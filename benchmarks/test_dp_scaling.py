@@ -1,0 +1,79 @@
+"""Section IV-A's runtime claim: DP cost explodes with the level count.
+
+"We have found that if we restrict |R| to about 20, optimizations can be
+done in reasonable time ... For larger |R|, e.g., 100, it quickly becomes
+impracticable because of an explosion in the number of paths."
+
+We time the DP on a fixed trace prefix for growing |R| and check the
+superlinear growth in both runtime proxy (expanded nodes) and frontier
+size.  Absolute times differ from a 1995 UltraSparc, but the shape is
+hardware-independent.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._common import BUFFER_BITS, fmt, once, print_table, starwars_trace
+from repro.analysis.empirical import windowed_peak_rate
+from repro.core import OptimalScheduler, uniform_rate_levels
+from repro.util.units import kbps
+
+LEVEL_COUNTS = (5, 10, 20, 40)
+PREFIX_FRAMES = 4800  # 200 seconds
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return starwars_trace().prefix(PREFIX_FRAMES).as_workload()
+
+
+@pytest.fixture(scope="module")
+def top_rate():
+    # The paper's grid tops out at 2.4 Mb/s; widen if the synthetic
+    # trace's one-second peak needs more (the grid must stay feasible).
+    trace = starwars_trace().prefix(PREFIX_FRAMES)
+    return max(kbps(2400), 1.2 * windowed_peak_rate(trace, 1.0))
+
+
+def test_dp_cost_explodes_with_levels(benchmark, workload, top_rate):
+    def run():
+        rows = []
+        for count in LEVEL_COUNTS:
+            levels = uniform_rate_levels(kbps(48), top_rate, count)
+            started = time.perf_counter()
+            result = OptimalScheduler(levels, alpha=5e6).solve(
+                workload, buffer_bits=BUFFER_BITS
+            )
+            rows.append(
+                {
+                    "levels": count,
+                    "seconds": time.perf_counter() - started,
+                    "nodes": result.nodes_expanded,
+                    "frontier": result.max_frontier,
+                    "cost": result.total_cost,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "Section IV-A: DP cost vs number of bandwidth levels |R|",
+        ["|R|", "runtime (s)", "nodes expanded", "max frontier"],
+        [
+            [r["levels"], fmt(r["seconds"], 2), r["nodes"], r["frontier"]]
+            for r in rows
+        ],
+    )
+
+    nodes = [r["nodes"] for r in rows]
+    # Superlinear growth: quadrupling |R| (5 -> 20) must grow the node
+    # count by far more than 4x.
+    assert nodes[2] > 4 * nodes[0]
+    # Monotone growth in frontier and nodes.
+    assert all(a <= b for a, b in zip(nodes, nodes[1:]))
+    # A finer grid never produces a worse optimum (uniform grids here are
+    # nested only approximately, so compare against a generous bound).
+    assert rows[-1]["cost"] <= rows[0]["cost"] * 1.05

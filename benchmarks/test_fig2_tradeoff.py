@@ -1,0 +1,147 @@
+"""Fig. 2: bandwidth efficiency vs. mean renegotiation interval.
+
+The paper sweeps the cost ratio alpha/beta for the optimal schedule (OPT)
+and the bandwidth granularity delta for the AR(1) heuristic, with
+B = 300 kb, B_l = 10 kb, B_h = 150 kb, T = 5 frames.  Expected shape:
+
+* OPT: a clean tradeoff — longer renegotiation intervals cost bandwidth
+  efficiency; >99% efficiency at intervals of several seconds;
+* heuristic: the same tradeoff but strictly dominated by OPT (the paper
+  reports ~95% efficiency at about one renegotiation per second);
+* the buffer never overflows 300 kb in either case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    BUFFER_BITS,
+    dp_rate_levels,
+    fmt,
+    once,
+    print_table,
+    scale,
+    starwars_trace,
+)
+from repro.core import OnlineParams, OnlineScheduler, OptimalScheduler
+from repro.util.units import kbps
+
+OPT_ALPHAS = (2e5, 1e6, 6e6, 3e7, 1.5e8)
+HEURISTIC_DELTAS_KBPS = (25, 50, 100, 200, 400)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return starwars_trace()
+
+
+def _run_opt_sweep(trace):
+    workload = trace.aggregate(scale().dp_frames_per_slot)
+    levels = dp_rate_levels(trace)
+    rows = []
+    for alpha in OPT_ALPHAS:
+        result = OptimalScheduler(levels, alpha=alpha, beta=1.0).solve(
+            workload, buffer_bits=BUFFER_BITS
+        )
+        schedule = result.schedule
+        rows.append(
+            {
+                "alpha": alpha,
+                "interval": schedule.mean_renegotiation_interval(),
+                "efficiency": schedule.bandwidth_efficiency(trace.mean_rate),
+                "max_buffer": schedule.max_buffer(workload),
+            }
+        )
+    return rows
+
+
+def _run_heuristic_sweep(trace):
+    workload = trace.as_workload()
+    rows = []
+    for delta in HEURISTIC_DELTAS_KBPS:
+        params = OnlineParams(
+            granularity=kbps(delta),
+            low_threshold=10_000.0,
+            high_threshold=150_000.0,
+            time_constant_slots=5.0,
+        )
+        result = OnlineScheduler(params).schedule(workload)
+        schedule = result.schedule
+        interval = (
+            schedule.mean_renegotiation_interval()
+            if schedule.num_renegotiations
+            else float("inf")
+        )
+        rows.append(
+            {
+                "delta_kbps": delta,
+                "interval": interval,
+                "efficiency": schedule.bandwidth_efficiency(trace.mean_rate),
+                "max_buffer": result.max_buffer,
+            }
+        )
+    return rows
+
+
+def test_fig2_tradeoff(benchmark, trace):
+    opt_rows, heur_rows = once(
+        benchmark, lambda: (_run_opt_sweep(trace), _run_heuristic_sweep(trace))
+    )
+
+    print_table(
+        "Fig. 2 (OPT): efficiency vs renegotiation interval",
+        ["alpha/beta", "mean interval (s)", "bandwidth efficiency", "max buffer (kb)"],
+        [
+            [fmt(r["alpha"]), fmt(r["interval"]), fmt(r["efficiency"], 4),
+             fmt(r["max_buffer"] / 1000, 1)]
+            for r in opt_rows
+        ],
+    )
+    print_table(
+        "Fig. 2 (AR(1) heuristic): efficiency vs renegotiation interval",
+        ["delta (kb/s)", "mean interval (s)", "bandwidth efficiency", "max buffer (kb)"],
+        [
+            [r["delta_kbps"], fmt(r["interval"]), fmt(r["efficiency"], 4),
+             fmt(r["max_buffer"] / 1000, 1)]
+            for r in heur_rows
+        ],
+    )
+
+    # --- Shape assertions ------------------------------------------------
+    # The buffer bound holds throughout (Fig. 2 caption).
+    for row in opt_rows:
+        assert row["max_buffer"] <= BUFFER_BITS + 1e-6
+    for row in heur_rows:
+        assert row["max_buffer"] <= 2 * BUFFER_BITS  # heuristic: soft bound
+
+    # OPT: renegotiating more often buys efficiency; the sweep must span a
+    # real tradeoff (intervals increasing with alpha, efficiency falling).
+    opt_intervals = [r["interval"] for r in opt_rows]
+    opt_effs = [r["efficiency"] for r in opt_rows]
+    assert opt_intervals == sorted(opt_intervals)
+    assert opt_effs == sorted(opt_effs, reverse=True)
+
+    # The paper's headline: >99% efficiency at single-digit-second
+    # intervals for OPT.
+    best = max(
+        (r for r in opt_rows if r["interval"] < 10.0),
+        key=lambda r: r["efficiency"],
+        default=None,
+    )
+    assert best is not None and best["efficiency"] > 0.97
+
+    # Heuristic achieves ~90+% at ~1 renegotiation/second.
+    fine = heur_rows[0]
+    assert fine["interval"] < 3.0
+    assert fine["efficiency"] > 0.85
+
+    # OPT dominates the heuristic at comparable renegotiation intervals.
+    for heur in heur_rows:
+        comparable = [
+            r for r in opt_rows if r["interval"] <= heur["interval"] * 1.5
+        ]
+        if comparable:
+            assert max(r["efficiency"] for r in comparable) >= heur[
+                "efficiency"
+            ] - 0.02

@@ -1,0 +1,90 @@
+"""Fig. 5: the (sigma, rho) curve of the video trace for 1e-6 loss.
+
+For each buffer size sigma, the minimum CBR drain rate rho keeping the
+fraction of bits lost at or below 1e-6.  Paper landmarks:
+
+* at sigma = 300 kb, rho is ~4.06x the trace's 374 kb/s average;
+* rho stays far above the average until the buffer reaches the tens of
+  megabits — ~100 Mb of buffering is needed before a rate only 5% above
+  the average suffices (the Section I example);
+* the curve is monotone non-increasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import fmt, once, print_table, starwars_trace
+from repro.analysis.empirical import sigma_rho_for_loss
+from repro.queueing.fluid import required_buffer
+from repro.util.units import kbits, mbits
+
+LOSS = 1e-6
+BUFFERS = [
+    kbits(50),
+    kbits(100),
+    kbits(300),
+    kbits(1_000),
+    mbits(3),
+    mbits(10),
+    mbits(30),
+    mbits(100),
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return starwars_trace().as_workload()
+
+
+def test_fig5_sigma_rho_curve(benchmark, workload):
+    curve = once(
+        benchmark, lambda: sigma_rho_for_loss(workload, BUFFERS, LOSS)
+    )
+    mean = workload.mean_rate
+
+    print_table(
+        "Fig. 5: (sigma, rho) curve of the trace for 1e-6 loss",
+        ["buffer sigma", "rho (kb/s)", "rho / mean"],
+        [
+            [fmt(sigma / 1000, 0) + " kb", fmt(rho / 1000, 1), fmt(rho / mean, 3)]
+            for sigma, rho in curve
+        ],
+    )
+
+    rhos = curve[:, 1]
+    # Monotone non-increasing in the buffer size.
+    assert all(a >= b - 1e-6 for a, b in zip(rhos, rhos[1:]))
+
+    # Landmark: at 300 kb the CBR rate is several times the mean.  The
+    # paper reports 4.06x for the real trace; our synthetic trace honours
+    # the paper's "sustained 5x peaks lasting over 10 s" description,
+    # which pins this point slightly higher (~5x) — see EXPERIMENTS.md.
+    rho_300kb = float(curve[np.searchsorted(curve[:, 0], kbits(300)), 1])
+    assert 3.0 <= rho_300kb / mean <= 6.5
+
+    # Landmark: even multi-megabit buffers stay well above the mean...
+    rho_3mb = float(curve[np.searchsorted(curve[:, 0], mbits(3)), 1])
+    assert rho_3mb / mean > 1.3
+
+    # ...while a huge buffer finally approaches it (Section I's ~100 Mb).
+    rho_100mb = float(curve[-1, 1])
+    assert rho_100mb / mean < 1.4
+
+
+def test_fig5_renegotiated_vs_static_buffering(benchmark, workload):
+    """The Section I contrast: at ~5% over the mean rate, a static CBR
+    service needs orders of magnitude more buffering than RCBR's 300 kb."""
+    rate = 1.05 * workload.mean_rate
+
+    def required():
+        drain = rate * workload.slot_duration
+        return required_buffer(workload.bits_per_slot, drain)
+
+    sigma = once(benchmark, required)
+    print(
+        f"\nStatic CBR at 1.05x mean rate needs {sigma / 1e6:.1f} Mb of "
+        f"buffer (RCBR: 0.3 Mb) -> {sigma / kbits(300):.0f}x more"
+    )
+    assert sigma > 30 * kbits(300)

@@ -1,0 +1,125 @@
+"""Figs. 7-8: the memoryless certainty-equivalent MBAC is not robust.
+
+Calls are randomly shifted copies of the trace's RCBR schedule arriving
+as a Poisson process; target renegotiation-failure probability 1e-3.
+Paper findings:
+
+* Fig. 7 — for small link capacities the measured failure probability is
+  orders of magnitude above the target, worsening with offered load;
+* Fig. 8 — the scheme's utilization *exceeds* the perfect-knowledge
+  controller's (normalized utilization > 1): it over-admits;
+* both effects shrink as the link capacity grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import fmt, once, optimal_schedule, print_table, scale
+from repro.admission.callsim import arrival_rate_for_load, simulate_admission
+from repro.admission.controllers import MemorylessMBAC, PerfectKnowledgeCAC
+from repro.core.schedule import empirical_rate_distribution
+
+FAILURE_TARGET = 1e-3
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return optimal_schedule()
+
+
+def _run_point(schedule, capacity_multiple, load, controller, seed):
+    mean = schedule.average_rate()
+    capacity = capacity_multiple * mean
+    arrival_rate = arrival_rate_for_load(
+        load, capacity, mean, schedule.duration
+    )
+    return simulate_admission(
+        schedule,
+        capacity,
+        arrival_rate,
+        controller,
+        seed=seed,
+        warmup_intervals=1,
+        min_intervals=5,
+        max_intervals=scale().mbac_max_intervals,
+        failure_target=FAILURE_TARGET,
+    )
+
+
+def test_fig7_fig8_memoryless(benchmark, schedule):
+    capacities = scale().mbac_capacities
+    loads = scale().mbac_loads
+    levels, fractions = empirical_rate_distribution(schedule)
+
+    def run():
+        rows = []
+        for capacity_multiple in capacities:
+            for load in loads:
+                seed = int(1000 * capacity_multiple + 10 * load)
+                memoryless = _run_point(
+                    schedule, capacity_multiple, load,
+                    MemorylessMBAC(FAILURE_TARGET), seed,
+                )
+                perfect = _run_point(
+                    schedule, capacity_multiple, load,
+                    PerfectKnowledgeCAC(levels, fractions, FAILURE_TARGET),
+                    seed,
+                )
+                rows.append(
+                    {
+                        "capacity": capacity_multiple,
+                        "load": load,
+                        "fail_memoryless": memoryless.failure_probability,
+                        "fail_perfect": perfect.failure_probability,
+                        "util_memoryless": memoryless.utilization,
+                        "util_perfect": perfect.utilization,
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, run)
+
+    print_table(
+        "Fig. 7: renegotiation failure probability (target 1e-3)",
+        ["capacity/mean", "load", "memoryless", "perfect knowledge"],
+        [
+            [fmt(r["capacity"], 1), fmt(r["load"], 2),
+             fmt(r["fail_memoryless"]), fmt(r["fail_perfect"])]
+            for r in rows
+        ],
+    )
+    print_table(
+        "Fig. 8: utilization (normalized to perfect knowledge)",
+        ["capacity/mean", "load", "memoryless util", "perfect util",
+         "normalized"],
+        [
+            [fmt(r["capacity"], 1), fmt(r["load"], 2),
+             fmt(r["util_memoryless"], 3), fmt(r["util_perfect"], 3),
+             fmt(r["util_memoryless"] / max(r["util_perfect"], 1e-9), 3)]
+            for r in rows
+        ],
+    )
+
+    # --- Shape assertions ------------------------------------------------
+    smallest = min(capacities)
+    heavy = max(loads)
+    worst = next(
+        r for r in rows if r["capacity"] == smallest and r["load"] == heavy
+    )
+    # Fig. 7's conclusion: the memoryless scheme badly misses the target
+    # at small capacity and high load (paper: 3-4 orders of magnitude).
+    assert worst["fail_memoryless"] > 10 * FAILURE_TARGET
+
+    # Fig. 8's conclusion: it over-admits relative to perfect knowledge.
+    assert worst["util_memoryless"] >= worst["util_perfect"] - 0.02
+
+    # Failure probability increases with offered load at fixed capacity.
+    for capacity_multiple in capacities:
+        at_cap = [r for r in rows if r["capacity"] == capacity_multiple]
+        light, heavy_row = at_cap[0], at_cap[-1]
+        assert heavy_row["fail_memoryless"] >= light["fail_memoryless"] - 1e-3
+
+    # The perfect-knowledge controller honours the target within noise.
+    for r in rows:
+        assert r["fail_perfect"] <= 50 * FAILURE_TARGET

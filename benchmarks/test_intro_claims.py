@@ -1,0 +1,85 @@
+"""The Section I headline example.
+
+"If an MPEG-1 compressed version of the Star Wars movie is transferred
+through our service, and if the average service rate over the lifetime of
+the connection is 5% above the average source rate of 374 kb/s, then
+300 kb worth of buffering at the end-system and an average renegotiation
+interval of about 12 s are sufficient for RCBR.  In contrast, a
+nonrenegotiated service with the same service rate would require about
+100 Mb of buffering."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    BUFFER_BITS,
+    dp_rate_levels,
+    fmt,
+    once,
+    print_table,
+    scale,
+    starwars_trace,
+)
+from repro.core import OptimalScheduler
+from repro.queueing.fluid import required_buffer
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return starwars_trace()
+
+
+def test_intro_example(benchmark, trace):
+    def run():
+        workload = trace.aggregate(scale().dp_frames_per_slot)
+        levels = dp_rate_levels(trace)
+        # Sweep alpha until the schedule's average rate is within ~5% of
+        # the source mean (the paper's operating point), preferring the
+        # longest renegotiation interval that achieves it.
+        chosen = None
+        for alpha in (3e7, 1.2e7, 6e6, 2e6, 1e6, 3e5):
+            result = OptimalScheduler(levels, alpha=alpha).solve(
+                workload, buffer_bits=BUFFER_BITS
+            )
+            overhead = result.schedule.average_rate() / trace.mean_rate
+            if overhead <= 1.05:
+                chosen = result
+                break
+        assert chosen is not None, "no sweep point reached 5% overhead"
+        static_buffer = required_buffer(
+            workload.bits_per_slot,
+            1.05 * trace.mean_rate * workload.slot_duration,
+        )
+        return chosen, static_buffer
+
+    result, static_buffer = once(benchmark, run)
+    schedule = result.schedule
+    interval = schedule.mean_renegotiation_interval()
+    overhead = schedule.average_rate() / trace.mean_rate
+
+    print_table(
+        "Section I example: RCBR vs nonrenegotiated service at ~1.05x mean rate",
+        ["quantity", "paper", "measured"],
+        [
+            ["avg service rate / mean", "1.05", fmt(overhead, 4)],
+            ["RCBR end-system buffer", "300 kb", "300 kb (constraint)"],
+            ["mean renegotiation interval", "~12 s", fmt(interval, 1) + " s"],
+            ["static CBR buffer needed", "~100 Mb",
+             fmt(static_buffer / 1e6, 1) + " Mb"],
+            ["buffering ratio", "~330x",
+             fmt(static_buffer / BUFFER_BITS, 0) + "x"],
+        ],
+    )
+
+    # RCBR fits in 300 kb by construction; verify explicitly.
+    assert schedule.is_feasible(
+        trace.aggregate(scale().dp_frames_per_slot), BUFFER_BITS
+    )
+    # Renegotiations are on the paper's slow time scale: seconds to tens
+    # of seconds, not per-frame.
+    assert 2.0 <= interval <= 60.0
+    # A static service at the same rate needs orders of magnitude more
+    # buffer than RCBR's 300 kb.
+    assert static_buffer > 30 * BUFFER_BITS

@@ -1,0 +1,100 @@
+"""Section II ablation: one-shot descriptors face a four-way bind.
+
+For multiple time-scale traffic, a nonrenegotiated service must pick a
+single drain rate (CBR) or token bucket (VBR/guaranteed) and then suffer
+at least one of:
+
+1. loss of statistical multiplexing gain (rate near the sustained peak);
+2. unacceptable loss (rate near the mean with a small buffer);
+3. huge buffers and delays (rate near the mean, lossless);
+4. loss of protection (large token bucket admits multi-megabit bursts
+   into the shared network).
+
+This benchmark quantifies each corner on the synthetic trace and shows
+RCBR escaping the bind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    BUFFER_BITS,
+    fmt,
+    once,
+    optimal_schedule,
+    print_table,
+    starwars_trace,
+)
+from repro.queueing.fluid import loss_fraction_for_rate, required_buffer
+from repro.queueing.leaky_bucket import TokenBucket, minimal_bucket_depth
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return starwars_trace()
+
+
+def test_oneshot_descriptor_bind(benchmark, trace):
+    workload = trace.as_workload()
+    mean = trace.mean_rate
+
+    def run():
+        # Corner 1: smooth CBR at 300 kb buffer -> rate near sustained peak.
+        smg_loss_rate = None
+        for factor in (1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 7.0, 8.0):
+            if loss_fraction_for_rate(workload, factor * mean, BUFFER_BITS) <= 1e-6:
+                smg_loss_rate = factor * mean
+                break
+        # Corner 2: rate at 1.1x mean, 300 kb buffer -> loss.
+        loss_at_mean = loss_fraction_for_rate(workload, 1.1 * mean, BUFFER_BITS)
+        # Corner 3: rate at 1.1x mean, lossless -> buffer and delay.
+        big_buffer = required_buffer(
+            workload.bits_per_slot, 1.1 * mean * workload.slot_duration
+        )
+        delay_seconds = big_buffer / (1.1 * mean)
+        # Corner 4: VBR with token rate 1.1x mean -> bucket depth = burst
+        # admitted unsmoothed into the network.
+        depth = minimal_bucket_depth(workload, 1.1 * mean)
+        bucket = TokenBucket(1.1 * mean, depth)
+        burst_10s = bucket.burst_bound(10.0)
+        return smg_loss_rate, loss_at_mean, big_buffer, delay_seconds, depth, burst_10s
+
+    smg_rate, loss_at_mean, big_buffer, delay, depth, burst = once(benchmark, run)
+    schedule = optimal_schedule()
+
+    print_table(
+        "Section II: the four-way bind of one-shot descriptors (vs RCBR)",
+        ["option", "consequence"],
+        [
+            ["(1) CBR @ 300 kb buffer, 1e-6 loss",
+             fmt(smg_rate / mean, 2) + "x mean rate reserved (SMG lost)"],
+            ["(2) CBR @ 1.1x mean, 300 kb buffer",
+             fmt(loss_at_mean) + " of bits lost"],
+            ["(3) CBR @ 1.1x mean, lossless",
+             fmt(big_buffer / 1e6, 1) + " Mb buffer, "
+             + fmt(delay, 1) + " s delay"],
+            ["(4) VBR bucket @ 1.1x mean token rate",
+             fmt(depth / 1e6, 1) + " Mb bucket -> "
+             + fmt(burst / 1e6, 1) + " Mb burst in 10 s (no protection)"],
+            ["RCBR @ 300 kb buffer",
+             fmt(schedule.average_rate() / mean, 3)
+             + "x mean, renegotiation every "
+             + fmt(schedule.mean_renegotiation_interval(), 1) + " s"],
+        ],
+    )
+
+    # (1) SMG loss: the one-shot rate is way above the mean.
+    assert smg_rate is not None and smg_rate >= 2.0 * mean
+    # (2) Loss: well above any video-grade QoS target.
+    assert loss_at_mean > 1e-3
+    # (3) Buffering: orders of magnitude beyond the end-system buffer,
+    # with a delay hopeless for interactive use.
+    assert big_buffer > 30 * BUFFER_BITS
+    assert delay > 1.0
+    # (4) Protection: the admitted burst dwarfs a switch's per-connection
+    # buffering.
+    assert depth > 10 * BUFFER_BITS
+    # RCBR escapes: near-mean reservation at a slow renegotiation rate.
+    assert schedule.average_rate() < 1.2 * mean
+    assert schedule.mean_renegotiation_interval() > 2.0

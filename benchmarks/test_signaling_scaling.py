@@ -1,0 +1,122 @@
+"""Section III-C: how RCBR signaling scales.
+
+* Signaling load grows linearly with the number of sources (one RM cell
+  per renegotiation, no per-VCI state on the fast path);
+* renegotiation failure probability grows with the hop count, since
+  "each hop is a possible point of failure";
+* offline sources compensate for path latency by renegotiating early
+  (lead time), so their effective service is latency-insensitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import fmt, once, optimal_schedule, print_table
+from repro.signaling import SignalingPath, SwitchPort, simulate_schedules_on_path
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return optimal_schedule()
+
+
+def test_signaling_load_linear_in_sources(benchmark, schedule):
+    counts = (2, 4, 8, 16)
+
+    def run():
+        rows = []
+        for count in counts:
+            schedules = [
+                schedule.shifted(offset)
+                for offset in np.linspace(0, schedule.duration * 0.9, count)
+            ]
+            path = SignalingPath([SwitchPort(1e15)], seed=1)
+            result = simulate_schedules_on_path(schedules, path)
+            rows.append(
+                {"sources": count, "cells": path.stats.cells_sent,
+                 "cells_per_second": result.cells_per_second}
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "Section III-C: signaling load vs number of sources",
+        ["sources", "RM cells", "cells/s"],
+        [
+            [r["sources"], r["cells"], fmt(r["cells_per_second"], 2)]
+            for r in rows
+        ],
+    )
+    # Linear: cells per source constant across the sweep (shifting can
+    # merge a wrap-adjacent segment, so allow a couple of cells of play).
+    per_source = [r["cells"] / r["sources"] for r in rows]
+    assert max(per_source) - min(per_source) <= 2.0
+    # Per-source signaling is light: well under one cell per second.
+    assert rows[-1]["cells_per_second"] / rows[-1]["sources"] < 1.0
+
+
+def test_failure_grows_with_hops(benchmark, schedule):
+    num_sources = 10
+    hop_counts = (1, 2, 4, 8)
+
+    def run():
+        rows = []
+        for hops in hop_counts:
+            schedules = [
+                schedule.random_shift(seed=100 + i) for i in range(num_sources)
+            ]
+            # Heterogeneous hop capacities (cross traffic differs per hop):
+            # each extra hop is an independent opportunity to be the
+            # bottleneck.
+            rng = np.random.default_rng(hops)
+            ports = [
+                SwitchPort(
+                    num_sources
+                    * schedule.average_rate()
+                    * float(rng.uniform(0.95, 1.15))
+                )
+                for _ in range(hops)
+            ]
+            path = SignalingPath(ports, seed=hops)
+            result = simulate_schedules_on_path(schedules, path)
+            rows.append(
+                {"hops": hops,
+                 "failure_fraction": result.stats.failure_fraction}
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "Section III-C: renegotiation failure fraction vs hop count",
+        ["hops", "failure fraction"],
+        [[r["hops"], fmt(r["failure_fraction"])] for r in rows],
+    )
+    # More hops cannot reduce the failure probability; by 8 hops it must
+    # visibly exceed the single-hop value.
+    assert rows[-1]["failure_fraction"] >= rows[0]["failure_fraction"]
+
+
+def test_lead_time_compensates_latency(benchmark, schedule):
+    """Offline sources renegotiate early: with lead time >= RTT the
+    granted rate is in place when the data needs it."""
+    num_sources = 6
+
+    def run():
+        schedules = [
+            schedule.random_shift(seed=300 + i) for i in range(num_sources)
+        ]
+        path = SignalingPath(
+            [SwitchPort(1e15)], hop_delay=0.010, seed=0
+        )
+        lead = path.round_trip_time
+        result = simulate_schedules_on_path(schedules, path, lead_time=lead)
+        return lead, result
+
+    lead, result = once(benchmark, run)
+    print(
+        f"\nlead time {lead * 1000:.1f} ms covers the round trip; "
+        f"failures: {result.stats.failures}"
+    )
+    assert result.stats.failures == 0

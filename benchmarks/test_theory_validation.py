@@ -1,0 +1,137 @@
+"""Section V-A theory validated against simulation.
+
+Three checks on the Fig. 4 three-subchain source:
+
+1. **eq. 9** — the exact equivalent bandwidth of the composed chain
+   converges to the worst subchain's EB as the scene-transition
+   probability epsilon shrinks;
+2. **eq. 10** — the Chernoff estimate of the shared-buffer overload
+   probability matches Monte-Carlo sampling of the slow marginal within
+   large-deviations accuracy (exponent agreement);
+3. **eq. 11 vs eq. 10** — the RCBR failure estimate is larger (RCBR
+   forgoes the fast time-scale smoothing), and the per-stream capacity
+   ordering CBR >= RCBR >= shared holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._common import fmt, once, print_table
+from repro.analysis.chernoff import empirical_exceedance, overload_probability
+from repro.analysis.effective_bw import effective_bandwidth, theta_for_buffer
+from repro.analysis.multiscale import (
+    gain_decomposition,
+    multiscale_effective_bandwidth,
+    rcbr_failure_estimate,
+    shared_buffer_loss_estimate,
+)
+from repro.traffic.markov import fig4_example
+from repro.util.units import kbits
+
+BUFFER = kbits(300)
+LOSS = 1e-6
+
+
+def test_eq9_convergence(benchmark):
+    theta = theta_for_buffer(BUFFER, LOSS)
+
+    def run():
+        rows = []
+        for epsilon in (1e-1, 1e-2, 1e-3, 1e-4, 1e-5):
+            source = fig4_example(epsilon=epsilon)
+            exact = effective_bandwidth(source.flat_source, theta)
+            eq9 = multiscale_effective_bandwidth(source, theta)
+            rows.append(
+                {"epsilon": epsilon, "exact": exact, "eq9": eq9,
+                 "relative_gap": abs(exact - eq9) / eq9}
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "eq. 9: exact EB of the composed chain vs worst-subchain EB",
+        ["epsilon", "exact EB (kb/s)", "eq. 9 (kb/s)", "relative gap"],
+        [
+            [fmt(r["epsilon"]), fmt(r["exact"] / 1000, 1),
+             fmt(r["eq9"] / 1000, 1), fmt(r["relative_gap"])]
+            for r in rows
+        ],
+    )
+    gaps = [r["relative_gap"] for r in rows]
+    # The gap shrinks monotonically and essentially vanishes.
+    assert all(a >= b - 1e-12 for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] < 1e-3
+
+
+def test_eq10_chernoff_vs_monte_carlo(benchmark):
+    source = fig4_example(epsilon=1e-4)
+    pi, means = source.slow_marginal()
+    num_streams = 40
+    rng = np.random.default_rng(7)
+
+    def run():
+        rows = []
+        samples = rng.choice(means, p=pi, size=(200_000, num_streams)).sum(axis=1)
+        for factor in (1.10, 1.25, 1.40):
+            capacity = factor * num_streams * float(pi @ means)
+            estimate = overload_probability(means, pi, num_streams, capacity)
+            empirical, count = empirical_exceedance(samples, capacity)
+            rows.append(
+                {"factor": factor, "chernoff": estimate,
+                 "monte_carlo": empirical, "hits": count}
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "eq. 10: Chernoff estimate vs Monte-Carlo overload frequency "
+        f"(N = 40 streams)",
+        ["capacity/mean", "Chernoff", "Monte-Carlo", "MC hits"],
+        [
+            [fmt(r["factor"], 2), fmt(r["chernoff"]), fmt(r["monte_carlo"]),
+             r["hits"]]
+            for r in rows
+        ],
+    )
+    for r in rows:
+        if r["hits"] >= 10:
+            # Chernoff is an upper-bound-style estimate: it must not be
+            # below the empirical frequency by more than noise, and the
+            # exponents should agree within a decade or two.
+            assert r["chernoff"] >= 0.3 * r["monte_carlo"]
+            assert r["chernoff"] <= max(1e3 * r["monte_carlo"], 1e-6)
+
+
+def test_eq11_vs_eq10_and_gain_ordering(benchmark):
+    source = fig4_example(epsilon=1e-4)
+    num_streams = 40
+
+    def run():
+        capacity = 1.35 * source.mean_rate()
+        shared = shared_buffer_loss_estimate(source, num_streams, capacity)
+        rcbr = rcbr_failure_estimate(
+            source, num_streams, capacity, BUFFER, LOSS
+        )
+        decomposition = gain_decomposition(source, BUFFER, LOSS)
+        return shared, rcbr, decomposition
+
+    shared, rcbr, (cbr_rate, rcbr_rate, shared_rate) = once(benchmark, run)
+    print_table(
+        "eq. 10 vs eq. 11 and the gain decomposition",
+        ["quantity", "value"],
+        [
+            ["shared-buffer loss estimate (eq. 10)", fmt(shared)],
+            ["RCBR failure estimate (eq. 11)", fmt(rcbr)],
+            ["CBR per-stream rate (eq. 9, kb/s)", fmt(cbr_rate / 1000, 1)],
+            ["RCBR per-stream rate (kb/s)", fmt(rcbr_rate / 1000, 1)],
+            ["shared per-stream rate (kb/s)", fmt(shared_rate / 1000, 1)],
+        ],
+    )
+    assert rcbr >= shared - 1e-15
+    assert cbr_rate >= rcbr_rate >= shared_rate
+    # RCBR recovers a large share of the CBR -> shared gap for this
+    # source ("RCBR extracts the component obtained from averaging").
+    recovered = (cbr_rate - rcbr_rate) / (cbr_rate - shared_rate)
+    assert recovered > 0.5

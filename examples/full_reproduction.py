@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Run the paper's full evaluation programmatically (long-running).
+
+This script drives the :mod:`repro.experiments` runners end to end at a
+chosen scale and prints every table: the Fig. 2 tradeoff, the Fig. 5
+(sigma, rho) curve, the Fig. 6 multiplexing-gain comparison, and the
+Section VI admission-control study.  It is the scripted equivalent of
+
+    REPRO_SCALE=paper pytest benchmarks/ --benchmark-only -s
+
+without pytest in the loop, for users who want the results as Python
+objects.
+
+Run:  python examples/full_reproduction.py [--frames N]
+      (defaults to a 17-minute trace; use --frames 171000 for the
+      paper's full two-hour scale — expect hours of runtime)
+"""
+
+import argparse
+
+from repro.experiments import (
+    run_mbac_comparison,
+    run_sigma_rho,
+    run_smg,
+    run_tradeoff,
+)
+from repro.experiments.runners import compute_optimal_schedule
+from repro.traffic import generate_starwars_trace
+from repro.util.units import format_bits, format_rate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=24_000)
+    parser.add_argument("--seed", type=int, default=1995)
+    parser.add_argument("--loss-target", type=float, default=1e-6)
+    args = parser.parse_args()
+
+    print(f"generating trace ({args.frames} frames, seed {args.seed})...")
+    trace = generate_starwars_trace(num_frames=args.frames, seed=args.seed)
+    mean = trace.mean_rate
+    print(f"  mean {format_rate(mean)}, duration {trace.duration / 60:.1f} min")
+
+    print("\n[1/4] Fig. 2 — efficiency vs renegotiation interval")
+    tradeoff = run_tradeoff(trace)
+    for point in tradeoff.optimal:
+        print(f"  OPT  alpha={point.parameter:>9.3g}  "
+              f"interval={point.mean_interval:6.1f}s  "
+              f"efficiency={point.efficiency:.4f}")
+    for point in tradeoff.heuristic:
+        print(f"  AR1  delta={format_rate(point.parameter):>11}  "
+              f"interval={point.mean_interval:6.2f}s  "
+              f"efficiency={point.efficiency:.4f}")
+
+    print("\n[2/4] Fig. 5 — (sigma, rho) curve")
+    sigma_rho = run_sigma_rho(trace, loss_target=args.loss_target)
+    for sigma, rho in zip(sigma_rho.buffers, sigma_rho.rates):
+        print(f"  {format_bits(sigma):>10} -> {format_rate(rho)} "
+              f"({rho / mean:.2f}x mean)")
+
+    print("\n[3/4] Fig. 6 — statistical multiplexing gain")
+    schedule = compute_optimal_schedule(trace, alpha=6e6)
+    smg = run_smg(trace, schedule, loss_target=args.loss_target)
+    print(f"  {'N':>4} {'CBR':>7} {'shared':>7} {'RCBR':>7}   (x mean)")
+    for point in smg.points:
+        print(f"  {point.num_sources:>4} {point.cbr_rate / mean:>7.2f} "
+              f"{point.shared_rate / mean:>7.2f} "
+              f"{point.rcbr_rate / mean:>7.2f}")
+    print(f"  schedule efficiency {smg.schedule_efficiency:.4f} -> "
+          f"asymptote {1 / smg.schedule_efficiency:.4f}x mean")
+
+    print("\n[4/4] Section VI — admission control")
+    mbac = run_mbac_comparison(schedule)
+    print(f"  {'controller':>12} {'cap/mean':>9} {'load':>5} "
+          f"{'failure':>9} {'util':>6}")
+    for point in mbac.points:
+        print(f"  {point.controller:>12} {point.capacity_multiple:>9.1f} "
+              f"{point.load:>5.2f} {point.failure_probability:>9.2e} "
+              f"{point.utilization:>6.1%}")
+
+    print("\ndone — see EXPERIMENTS.md for the paper-vs-measured record.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""How much multiplexing gain does RCBR capture?  (Fig. 3 / Fig. 6 mini)
+
+Compares the per-stream capacity needed to carry N copies of a video
+trace at 1e-3 bit-loss under the paper's three scenarios:
+
+  (a) static CBR    — per-source buffer, fixed rate, no sharing;
+  (b) shared buffer — one big queue, the unrestricted-sharing bound;
+  (c) RCBR          — per-source smoothing into stepwise CBR over a
+                      bufferless link.
+
+Also prints the theoretical decomposition for the paper's Fig. 4
+multiple time-scale Markov source: CBR rate (eq. 9), ideal-RCBR rate, and
+the shared-buffer floor.
+
+Run:  python examples/multiplexing_gain.py
+"""
+
+from repro import (
+    OptimalScheduler,
+    fig4_example,
+    generate_starwars_trace,
+    granular_rate_levels,
+)
+from repro.analysis import gain_decomposition
+from repro.queueing import scenario_a_rate, scenario_b_min_rate, scenario_c_min_rate
+from repro.util.units import format_rate, kbits, kbps
+
+LOSS = 1e-3  # modest target so the example runs in seconds
+
+
+def main() -> None:
+    trace = generate_starwars_trace(num_frames=14_400, seed=4)
+    workload = trace.aggregate(2)
+    levels = granular_rate_levels(kbps(64), 1.1 * trace.peak_rate)
+    schedule = (
+        OptimalScheduler(levels, alpha=4e6)
+        .solve(workload, buffer_bits=kbits(300))
+        .schedule
+    )
+    mean = trace.mean_rate
+    print(f"trace mean {format_rate(mean)}; "
+          f"schedule efficiency "
+          f"{schedule.bandwidth_efficiency(mean):.1%}\n")
+
+    cbr = scenario_a_rate(trace.as_workload(), kbits(300), LOSS)
+    print("per-stream capacity (multiples of the mean rate):")
+    print(f"{'N':>4} {'CBR (a)':>9} {'shared (b)':>11} {'RCBR (c)':>9}")
+    for n in (2, 4, 8, 16):
+        shared = scenario_b_min_rate(trace, n, kbits(300), LOSS, seed=n)
+        rcbr = scenario_c_min_rate(schedule, n, LOSS, seed=n)
+        print(f"{n:>4} {cbr / mean:>9.2f} {shared / mean:>11.2f} "
+              f"{rcbr / mean:>9.2f}")
+
+    print("\ntheory (Fig. 4 Markov source, Section V-A):")
+    source = fig4_example(epsilon=1e-4)
+    cbr_rate, rcbr_rate, shared_rate = gain_decomposition(
+        source, kbits(300), 1e-6
+    )
+    print(f"  static CBR needs (eq. 9):   {format_rate(cbr_rate)}")
+    print(f"  ideal RCBR converges to:    {format_rate(rcbr_rate)}")
+    print(f"  shared-buffer floor:        {format_rate(shared_rate)}")
+    recovered = (cbr_rate - rcbr_rate) / (cbr_rate - shared_rate)
+    print(f"  -> RCBR recovers {recovered:.0%} of the achievable gain, "
+          "giving up only the fast time-scale smoothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: compute an optimal RCBR schedule for a video trace.
+
+Generates a short Star-Wars-like VBR video trace, computes the paper's
+optimal renegotiation schedule (Viterbi-like DP, Section IV-A) for a
+300 kb end-system buffer, and reports the headline metrics: bandwidth
+efficiency, renegotiation interval, and the buffer a *nonrenegotiated*
+service would have needed at the same average rate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OptimalScheduler, generate_starwars_trace, granular_rate_levels
+from repro.queueing import required_buffer
+from repro.util.units import format_bits, format_rate, kbits, kbps
+
+
+def main() -> None:
+    # A 5-minute VBR video source (use num_frames=171_000 for the full
+    # two-hour movie of the paper's experiments).
+    trace = generate_starwars_trace(num_frames=7_200, seed=1)
+    workload = trace.as_workload()
+    print(f"trace: {trace.num_frames} frames, {trace.duration:.0f} s")
+    print(f"  mean rate: {format_rate(trace.mean_rate)}")
+    print(f"  peak frame rate: {format_rate(trace.peak_rate)}")
+
+    # The paper's setup: 300 kb buffer, 64 kb/s bandwidth granularity.
+    buffer_bits = kbits(300)
+    levels = granular_rate_levels(kbps(64), 1.1 * trace.peak_rate)
+
+    # alpha/beta is the network's price ratio: renegotiation cost vs
+    # bandwidth cost.  Larger alpha -> fewer renegotiations.
+    result = OptimalScheduler(levels, alpha=2e6, beta=1.0).solve(
+        workload, buffer_bits=buffer_bits
+    )
+    schedule = result.schedule
+
+    print("\noptimal RCBR schedule:")
+    print(f"  segments: {schedule.num_segments}")
+    print(f"  renegotiations: {schedule.num_renegotiations} "
+          f"(one every {schedule.mean_renegotiation_interval():.1f} s)")
+    print(f"  average reserved rate: {format_rate(schedule.average_rate())}")
+    print(f"  bandwidth efficiency: "
+          f"{schedule.bandwidth_efficiency(trace.mean_rate):.1%}")
+    print(f"  peak buffer use: {format_bits(schedule.max_buffer(workload))} "
+          f"(bound {format_bits(buffer_bits)})")
+
+    # What a one-shot (nonrenegotiated) CBR service would need instead.
+    static_buffer = required_buffer(
+        workload.bits_per_slot,
+        schedule.average_rate() * workload.slot_duration,
+    )
+    print("\nnonrenegotiated CBR at the same average rate would need "
+          f"{format_bits(static_buffer)} of buffering "
+          f"({static_buffer / buffer_bits:.0f}x more).")
+
+    # The first few renegotiation events, as a switch would see them.
+    print("\nfirst renegotiations (time, old -> new rate):")
+    for event in list(schedule.renegotiations())[:5]:
+        print(f"  t={event.time:7.2f}s  {format_rate(event.old_rate)} -> "
+              f"{format_rate(event.new_rate)}  (delta {event.delta:+.0f} b/s)")
+
+
+if __name__ == "__main__":
+    main()

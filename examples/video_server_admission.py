@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A video server's link under measurement-based admission control.
+
+The Section VI scenario: viewers start randomly shifted playbacks of the
+same movie (Poisson arrivals), each carried as an RCBR call following the
+movie's optimal renegotiation schedule.  The link runs one of three
+admission controllers:
+
+* perfect knowledge — the Chernoff test with the movie's true bandwidth
+  histogram (the unattainable ideal);
+* memoryless MBAC — estimates the histogram from a snapshot of current
+  reservations (the paper shows this over-admits);
+* memory MBAC — accumulates each call's reservation history (the fix).
+
+Run:  python examples/video_server_admission.py
+"""
+
+from repro import (
+    MemoryMBAC,
+    MemorylessMBAC,
+    OptimalScheduler,
+    PerfectKnowledgeCAC,
+    generate_starwars_trace,
+    granular_rate_levels,
+    simulate_admission,
+)
+from repro.admission import arrival_rate_for_load
+from repro.core.schedule import empirical_rate_distribution
+from repro.util.units import format_rate, kbits, kbps
+
+FAILURE_TARGET = 1e-3
+
+
+def main() -> None:
+    # The movie and its RCBR schedule (Section IV-A).
+    trace = generate_starwars_trace(num_frames=14_400, seed=3)
+    workload = trace.aggregate(2)
+    levels = granular_rate_levels(kbps(64), 1.1 * trace.peak_rate)
+    schedule = (
+        OptimalScheduler(levels, alpha=4e6)
+        .solve(workload, buffer_bits=kbits(300))
+        .schedule
+    )
+    print(f"movie: {trace.duration / 60:.0f} min, schedule renegotiates "
+          f"every {schedule.mean_renegotiation_interval():.1f} s")
+
+    # A smallish link: the regime where estimation errors matter.  (The
+    # Chernoff test is deliberately conservative at this scale — the
+    # paper: "the system will deny new calls even when there is
+    # available capacity".)
+    mean = schedule.average_rate()
+    capacity = 16 * mean
+    load = 0.9
+    arrival_rate = arrival_rate_for_load(load, capacity, mean, schedule.duration)
+    print(f"link: {format_rate(capacity)} (~16 concurrent viewers), "
+          f"offered load {load:.0%}, failure target {FAILURE_TARGET:g}\n")
+
+    levels_hist, fractions = empirical_rate_distribution(schedule)
+    controllers = {
+        "perfect knowledge": PerfectKnowledgeCAC(
+            levels_hist, fractions, FAILURE_TARGET
+        ),
+        "memoryless MBAC": MemorylessMBAC(FAILURE_TARGET),
+        "memory MBAC": MemoryMBAC(FAILURE_TARGET),
+    }
+
+    print(f"{'controller':>20} {'reneg failure':>14} {'utilization':>12} "
+          f"{'blocking':>9}")
+    for name, controller in controllers.items():
+        result = simulate_admission(
+            schedule,
+            capacity,
+            arrival_rate,
+            controller,
+            seed=17,
+            min_intervals=5,
+            max_intervals=10,
+            failure_target=FAILURE_TARGET,
+        )
+        print(f"{name:>20} {result.failure_probability:>14.2e} "
+              f"{result.utilization:>11.1%} "
+              f"{result.blocking_probability:>8.1%}")
+
+    print("\nReading the table: the memoryless controller reports higher "
+          "utilization\nbut blows through the failure target; memory "
+          "restores the target at a\nsmall utilization cost — the "
+          "Section VI conclusion.")
+
+
+if __name__ == "__main__":
+    main()

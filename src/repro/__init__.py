@@ -1,0 +1,95 @@
+"""RCBR: renegotiated constant bit-rate service for multiple time-scale traffic.
+
+A full reproduction of Grossglauser, Keshav & Tse, "RCBR: A Simple and
+Efficient Service for Multiple Time-Scale Traffic" (SIGCOMM '95 /
+IEEE/ACM ToN Dec. 1997).
+
+Quickstart::
+
+    from repro import (
+        generate_starwars_trace, OptimalScheduler, granular_rate_levels,
+    )
+    from repro.util.units import kbps, kbits
+
+    trace = generate_starwars_trace(num_frames=24_000, seed=1)
+    workload = trace.as_workload()
+    levels = granular_rate_levels(kbps(64), 2 * trace.mean_rate)
+    result = OptimalScheduler(levels, alpha=5e6).solve(
+        workload, buffer_bits=kbits(300)
+    )
+    print(result.schedule.bandwidth_efficiency(trace.mean_rate))
+
+Packages
+--------
+``repro.traffic``
+    Traces, Markov/multiple-time-scale sources, the synthetic Star Wars
+    generator, Poisson call arrivals.
+``repro.core``
+    Renegotiation schedules, the optimal Viterbi-like DP, the AR(1)
+    online heuristic, the RCBR service facade.
+``repro.queueing``
+    Fluid queues, token buckets, the RCBR link, the three Fig. 3
+    multiplexing scenarios, a discrete-event engine.
+``repro.analysis``
+    Equivalent bandwidth, the multiple time-scale results (eqs. 9-11),
+    Chernoff admission mathematics, empirical trace characterisation.
+``repro.admission``
+    Chernoff CAC, memoryless and memory MBAC, the call-level simulator.
+``repro.signaling``
+    RM-cell renegotiation over multi-hop switch paths.
+"""
+
+from repro.traffic import (
+    FrameTrace,
+    SlottedWorkload,
+    MarkovChain,
+    MarkovModulatedSource,
+    MultiTimescaleMarkovSource,
+    generate_starwars_trace,
+    fig4_example,
+)
+from repro.core import (
+    RateSchedule,
+    OptimalScheduler,
+    OnlineScheduler,
+    OnlineParams,
+    CostModel,
+    granular_rate_levels,
+    uniform_rate_levels,
+    simulate_rcbr_link,
+)
+from repro.queueing import RcbrLink, TokenBucket, simulate_fluid_queue
+from repro.admission import (
+    PerfectKnowledgeCAC,
+    MemorylessMBAC,
+    MemoryMBAC,
+    simulate_admission,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FrameTrace",
+    "SlottedWorkload",
+    "MarkovChain",
+    "MarkovModulatedSource",
+    "MultiTimescaleMarkovSource",
+    "generate_starwars_trace",
+    "fig4_example",
+    "RateSchedule",
+    "OptimalScheduler",
+    "OnlineScheduler",
+    "OnlineParams",
+    "CostModel",
+    "granular_rate_levels",
+    "uniform_rate_levels",
+    "simulate_rcbr_link",
+    "RcbrLink",
+    "TokenBucket",
+    "simulate_fluid_queue",
+    "PerfectKnowledgeCAC",
+    "MemorylessMBAC",
+    "MemoryMBAC",
+    "simulate_admission",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Admission control for RCBR: Chernoff CAC, MBAC, call-level simulation.
+
+Implements Section VI: the perfect-knowledge Chernoff test (eq. 12), the
+memoryless certainty-equivalent MBAC the paper shows to be fragile, the
+history-accumulating memory MBAC that fixes it, and the Poisson
+call-level simulator that measures renegotiation failure probability and
+utilization for Figs. 7-8.
+"""
+
+from repro.admission.controllers import (
+    AdmissionController,
+    AlwaysAdmit,
+    PerfectKnowledgeCAC,
+    MemorylessMBAC,
+    MemoryMBAC,
+    HeterogeneousKnowledgeCAC,
+)
+from repro.admission.callsim import (
+    IntervalSample,
+    CallSimResult,
+    CallLevelSimulator,
+    simulate_admission,
+    arrival_rate_for_load,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AlwaysAdmit",
+    "PerfectKnowledgeCAC",
+    "MemorylessMBAC",
+    "MemoryMBAC",
+    "HeterogeneousKnowledgeCAC",
+    "IntervalSample",
+    "CallSimResult",
+    "CallLevelSimulator",
+    "simulate_admission",
+    "arrival_rate_for_load",
+]

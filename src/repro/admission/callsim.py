@@ -1,0 +1,280 @@
+"""Call-level dynamics: Poisson arrivals of RCBR calls (Section VI).
+
+"The simulation set-up is as follows.  Each call is a randomly shifted
+version of a Star Wars RCBR schedule.  Calls arrive according to a
+Poisson process of rate lambda.  We measure both the average utilization
+and the renegotiation failure probability.  Each interval of the length
+of the trace provides us with one sample for these probabilities.  We
+collect samples until the 95% confidence interval for both probabilities
+is sufficiently small with respect to the estimated value (within 20%)."
+
+This module is that simulator, with the admission controller pluggable
+(:mod:`repro.admission.controllers`).  As the paper notes in footnote 4,
+using RCBR schedules instead of per-frame traces means only renegotiation
+events are simulated, which is what makes these long runs tractable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.admission.controllers import AdmissionController
+from repro.core.schedule import RateSchedule
+from repro.queueing.events import EventScheduler
+from repro.queueing.link import RcbrLink
+from repro.util.rng import SeedLike, as_generator
+from repro.util.stats import (
+    ConfidenceInterval,
+    RelativePrecisionStopper,
+    mean_confidence_interval,
+)
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """One trace-length measurement interval."""
+
+    failure_fraction: float
+    utilization: float
+    blocking_fraction: float
+    arrivals: int
+    increase_attempts: int
+
+
+@dataclass
+class CallSimResult:
+    """Aggregated call-level simulation output."""
+
+    samples: List[IntervalSample] = field(default_factory=list)
+    failure_interval: Optional[ConfidenceInterval] = None
+    utilization_interval: Optional[ConfidenceInterval] = None
+
+    @property
+    def failure_probability(self) -> float:
+        return float(np.mean([s.failure_fraction for s in self.samples]))
+
+    @property
+    def utilization(self) -> float:
+        return float(np.mean([s.utilization for s in self.samples]))
+
+    @property
+    def blocking_probability(self) -> float:
+        return float(np.mean([s.blocking_fraction for s in self.samples]))
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self.samples)
+
+
+class CallLevelSimulator:
+    """Poisson arrivals of randomly shifted schedules through a controller."""
+
+    def __init__(
+        self,
+        base_schedule,
+        capacity: float,
+        arrival_rate: float,
+        controller: AdmissionController,
+        seed: SeedLike = None,
+        class_weights: Optional[List[float]] = None,
+    ) -> None:
+        """``base_schedule`` may be one :class:`RateSchedule` or a list of
+        them (one per traffic class); arriving calls draw their class
+        from ``class_weights`` (uniform by default)."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if isinstance(base_schedule, RateSchedule):
+            self.class_schedules = [base_schedule]
+        else:
+            self.class_schedules = list(base_schedule)
+            if not self.class_schedules:
+                raise ValueError("need at least one schedule class")
+        if class_weights is None:
+            weights = np.ones(len(self.class_schedules))
+        else:
+            weights = np.asarray(class_weights, dtype=float)
+            if weights.size != len(self.class_schedules):
+                raise ValueError("class_weights must match schedule classes")
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("class_weights must be non-negative, not all 0")
+        self.class_probabilities = weights / weights.sum()
+        self.base_schedule = self.class_schedules[0]
+        self.capacity = capacity
+        self.arrival_rate = arrival_rate
+        self.controller = controller
+        self.rng = as_generator(seed)
+
+        self.engine = EventScheduler()
+        self.link = RcbrLink(capacity)
+        self._ids = itertools.count()
+
+        # Interval-local counters.
+        self._arrivals = 0
+        self._blocked = 0
+        self._increase_attempts = 0
+        self._increase_failures = 0
+        self._allocated_mark = 0.0
+
+        self._schedule_next_arrival()
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self) -> None:
+        gap = float(self.rng.exponential(1.0 / self.arrival_rate))
+        self.engine.schedule_in(gap, self._handle_arrival)
+
+    def _handle_arrival(self) -> None:
+        self._schedule_next_arrival()
+        now = self.engine.now
+        self._arrivals += 1
+        call_class = int(
+            self.rng.choice(len(self.class_schedules), p=self.class_probabilities)
+        )
+        if not self.controller.admit(self.capacity, now, call_class=call_class):
+            self._blocked += 1
+            return
+        call_id = next(self._ids)
+        base = self.class_schedules[call_class]
+        schedule = base.shifted(float(self.rng.uniform(0.0, base.duration)))
+        rates = schedule.rates
+        times = schedule.start_times
+        self._request(call_id, float(rates[0]), setup=True)
+        self.controller.on_admit(
+            call_id, float(rates[0]), now, call_class=call_class
+        )
+        for index in range(1, rates.size):
+            self.engine.schedule_at(
+                now + float(times[index]),
+                self._handle_renegotiation,
+                call_id,
+                float(rates[index]),
+            )
+        self.engine.schedule_at(
+            now + schedule.duration, self._handle_departure, call_id
+        )
+
+    def _handle_renegotiation(self, call_id, new_rate: float) -> None:
+        self._request(call_id, new_rate, setup=False)
+        self.controller.on_reservation(call_id, new_rate, self.engine.now)
+
+    def _handle_departure(self, call_id) -> None:
+        self.link.release(call_id, self.engine.now)
+        self.controller.on_departure(call_id, self.engine.now)
+
+    def _request(self, call_id, new_rate: float, setup: bool) -> None:
+        old = self.link.grant_of(call_id)
+        outcome = self.link.request(call_id, new_rate, self.engine.now)
+        if new_rate > old:
+            self._increase_attempts += 1
+            if outcome.failed:
+                self._increase_failures += 1
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def run_interval(self, interval_seconds: Optional[float] = None) -> IntervalSample:
+        """Advance one measurement interval and return its sample."""
+        if interval_seconds is None:
+            interval_seconds = self.base_schedule.duration
+        if interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+        arrivals0 = self._arrivals
+        blocked0 = self._blocked
+        attempts0 = self._increase_attempts
+        failures0 = self._increase_failures
+
+        end = self.engine.now + interval_seconds
+        self.engine.run(until=end)
+        self.link.finish(end)
+
+        arrivals = self._arrivals - arrivals0
+        blocked = self._blocked - blocked0
+        attempts = self._increase_attempts - attempts0
+        failures = self._increase_failures - failures0
+        allocated = self.link.allocated_bit_seconds - self._allocated_mark
+        self._allocated_mark = self.link.allocated_bit_seconds
+
+        return IntervalSample(
+            failure_fraction=failures / attempts if attempts else 0.0,
+            utilization=allocated / (self.capacity * interval_seconds),
+            blocking_fraction=blocked / arrivals if arrivals else 0.0,
+            arrivals=arrivals,
+            increase_attempts=attempts,
+        )
+
+
+def simulate_admission(
+    base_schedule: RateSchedule,
+    capacity: float,
+    arrival_rate: float,
+    controller: AdmissionController,
+    seed: SeedLike = None,
+    warmup_intervals: int = 1,
+    min_intervals: int = 5,
+    max_intervals: int = 60,
+    relative_precision: float = 0.2,
+    failure_target: Optional[float] = None,
+) -> CallSimResult:
+    """Run the Section VI experiment to the paper's stopping rule.
+
+    Collects trace-length interval samples of the renegotiation failure
+    fraction and utilization until both 95% confidence intervals are
+    within ``relative_precision`` of their estimates — stopping early on
+    the failure probability "if the target failure probability lies to
+    the right of the confidence interval".
+    """
+    simulator = CallLevelSimulator(
+        base_schedule, capacity, arrival_rate, controller, seed
+    )
+    for _ in range(warmup_intervals):
+        simulator.run_interval()
+
+    failure_stopper = RelativePrecisionStopper(
+        relative_precision=relative_precision,
+        min_samples=min_intervals,
+        max_samples=max_intervals,
+        target_below=failure_target,
+    )
+    utilization_stopper = RelativePrecisionStopper(
+        relative_precision=relative_precision,
+        min_samples=min_intervals,
+        max_samples=max_intervals,
+    )
+    result = CallSimResult()
+    while True:
+        sample = simulator.run_interval()
+        result.samples.append(sample)
+        failure_stopper.add(sample.failure_fraction)
+        utilization_stopper.add(sample.utilization)
+        if failure_stopper.should_stop() and utilization_stopper.should_stop():
+            break
+    result.failure_interval = mean_confidence_interval(failure_stopper.stats)
+    result.utilization_interval = mean_confidence_interval(
+        utilization_stopper.stats
+    )
+    return result
+
+
+def arrival_rate_for_load(
+    normalized_load: float,
+    capacity: float,
+    mean_call_rate: float,
+    holding_time: float,
+) -> float:
+    """lambda for a target normalized offered load.
+
+    normalized load = lambda * holding * mean_rate / capacity, so
+    lambda = load * capacity / (mean_rate * holding).
+    """
+    if normalized_load <= 0:
+        raise ValueError("normalized_load must be positive")
+    if capacity <= 0 or mean_call_rate <= 0 or holding_time <= 0:
+        raise ValueError("capacity, mean rate, and holding time must be positive")
+    return normalized_load * capacity / (mean_call_rate * holding_time)

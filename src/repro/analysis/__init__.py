@@ -1,0 +1,71 @@
+"""Large-deviations analysis and trace measurement (Section V-A, VI).
+
+* :mod:`repro.analysis.effective_bw` — equivalent bandwidth of Markov
+  sources (spectral-radius log-MGF);
+* :mod:`repro.analysis.multiscale` — eq. 9 (worst-subchain EB) and the
+  eq. 10/11 gain decomposition;
+* :mod:`repro.analysis.chernoff` — the Cramer/Chernoff machinery for
+  bufferless overload (eq. 12 and the admission tests);
+* :mod:`repro.analysis.empirical` — (sigma, rho) curves, sustained-peak
+  diagnostics, empirical bandwidth marginals.
+"""
+
+from repro.analysis.effective_bw import (
+    log_spectral_radius,
+    log_mgf_markov,
+    effective_bandwidth,
+    theta_for_buffer,
+    equivalent_bandwidth_for_buffer,
+    overflow_probability_estimate,
+)
+from repro.analysis.chernoff import (
+    log_mgf,
+    mean_of,
+    rate_function,
+    overload_probability,
+    max_admissible_calls,
+    admissible_region,
+    empirical_exceedance,
+)
+from repro.analysis.multiscale import (
+    subchain_effective_bandwidths,
+    multiscale_effective_bandwidth,
+    shared_buffer_loss_estimate,
+    rcbr_failure_estimate,
+    gain_decomposition,
+)
+from repro.analysis.empirical import (
+    sigma_rho_for_loss,
+    windowed_peak_rate,
+    sustained_peak_episodes,
+    merge_rate_distributions,
+    schedules_marginal,
+    autocorrelation,
+)
+
+__all__ = [
+    "log_spectral_radius",
+    "log_mgf_markov",
+    "effective_bandwidth",
+    "theta_for_buffer",
+    "equivalent_bandwidth_for_buffer",
+    "overflow_probability_estimate",
+    "log_mgf",
+    "mean_of",
+    "rate_function",
+    "overload_probability",
+    "max_admissible_calls",
+    "admissible_region",
+    "empirical_exceedance",
+    "subchain_effective_bandwidths",
+    "multiscale_effective_bandwidth",
+    "shared_buffer_loss_estimate",
+    "rcbr_failure_estimate",
+    "gain_decomposition",
+    "sigma_rho_for_loss",
+    "windowed_peak_rate",
+    "sustained_peak_episodes",
+    "merge_rate_distributions",
+    "schedules_marginal",
+    "autocorrelation",
+]

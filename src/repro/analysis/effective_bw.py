@@ -1,0 +1,135 @@
+"""Equivalent (effective) bandwidth of Markov-modulated sources.
+
+Section V-A: "the minimum drain rate required to achieve a target QoS
+buffer overflow probability is known as the equivalent bandwidth of the
+source", computed from a large-deviations estimate of the overflow
+probability in the large-buffer regime.
+
+For a discrete-time Markov source with transition matrix ``P`` and
+per-slot emissions ``a_i`` the scaled log moment generating function is::
+
+    Lambda(theta) = log sr( P . diag(e^{theta a}) )
+
+(``sr`` = spectral radius), and the equivalent bandwidth at ``theta`` is
+``Lambda(theta) / theta``.  The large-buffer asymptotic
+``P(Q > B) ~ e^{-theta B}`` with drain ``c = EB(theta)`` links the QoS
+target to ``theta = ln(1/epsilon) / B``.  The equivalent bandwidth always
+lies between the source's mean and peak rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.traffic.markov import MarkovModulatedSource
+
+
+def log_spectral_radius(matrix: np.ndarray) -> float:
+    """Natural log of the spectral radius of a non-negative matrix.
+
+    For non-negative matrices the spectral radius is the Perron root, a
+    real eigenvalue; we take the max modulus for numerical safety.
+    """
+    eigenvalues = np.linalg.eigvals(matrix)
+    radius = float(np.max(np.abs(eigenvalues)))
+    if radius <= 0:
+        raise ValueError("matrix has zero spectral radius")
+    return math.log(radius)
+
+
+def log_mgf_markov(
+    transition_matrix: np.ndarray, emissions: np.ndarray, theta: float
+) -> float:
+    """Lambda(theta) for a Markov-modulated emission process (per slot)."""
+    emissions = np.asarray(emissions, dtype=float)
+    if theta == 0.0:
+        return 0.0
+    # Scale by the max emission to avoid overflow for large theta.
+    shift = float(emissions.max()) if theta > 0 else float(emissions.min())
+    scaled = transition_matrix * np.exp(theta * (emissions - shift))[None, :]
+    return theta * shift + log_spectral_radius(scaled)
+
+
+def effective_bandwidth(
+    source: MarkovModulatedSource, theta_per_bit: float
+) -> float:
+    """EB(theta) in bits/second for a Markov-modulated source.
+
+    ``theta_per_bit`` is the large-deviations tilt per bit (so the
+    overflow asymptotic reads ``P(Q > B_bits) ~ e^{-theta_per_bit B}``).
+    """
+    if theta_per_bit < 0:
+        raise ValueError("theta must be non-negative")
+    if theta_per_bit == 0.0:
+        return source.mean_rate()
+    emissions = source.bits_per_slot_by_state
+    lam = log_mgf_markov(
+        source.chain.transition_matrix, emissions, theta_per_bit
+    )
+    bits_per_slot = lam / theta_per_bit
+    return bits_per_slot / source.slot_duration
+
+
+def theta_for_buffer(buffer_bits: float, loss_probability: float) -> float:
+    """The tilt matching a buffer size and overflow-probability target.
+
+    From ``epsilon = e^{-theta B}``: ``theta = ln(1/epsilon) / B``.
+    """
+    if buffer_bits <= 0:
+        raise ValueError("buffer_bits must be positive")
+    if not 0.0 < loss_probability < 1.0:
+        raise ValueError("loss_probability must be in (0, 1)")
+    return math.log(1.0 / loss_probability) / buffer_bits
+
+
+def equivalent_bandwidth_for_buffer(
+    source: MarkovModulatedSource,
+    buffer_bits: float,
+    loss_probability: float,
+) -> float:
+    """The CBR drain rate for scenario (a): EB at the buffer's tilt.
+
+    This is the single-source large-buffer answer the paper contrasts
+    with renegotiation: for multiple time-scale traffic it is pinned near
+    the worst subchain's needs (see :mod:`repro.analysis.multiscale`).
+    """
+    theta = theta_for_buffer(buffer_bits, loss_probability)
+    return effective_bandwidth(source, theta)
+
+
+def overflow_probability_estimate(
+    source: MarkovModulatedSource,
+    drain_rate: float,
+    buffer_bits: float,
+    theta_grid: Union[int, np.ndarray] = 200,
+) -> float:
+    """Large-deviations estimate of P(Q > B) at a given CBR drain.
+
+    Inverts the EB relation: finds the largest theta with
+    ``EB(theta) <= drain_rate`` on a log-spaced grid and returns
+    ``e^{-theta B}``.  Returns 1.0 if even theta -> 0 needs more than the
+    drain (unstable queue) and 0.0 if the drain is at or above the peak.
+    """
+    if drain_rate <= source.mean_rate():
+        return 1.0
+    if drain_rate >= source.peak_rate():
+        return 0.0
+    if isinstance(theta_grid, int):
+        # Span tilts from "overflow prob ~ 0.9" to "~ 1e-30" for this buffer.
+        low = math.log(1.0 / 0.9) / buffer_bits
+        high = math.log(1e30) / buffer_bits
+        grid = np.geomspace(low, high, theta_grid)
+    else:
+        grid = np.asarray(theta_grid, dtype=float)
+    best_theta = 0.0
+    for theta in grid:
+        if effective_bandwidth(source, float(theta)) <= drain_rate:
+            best_theta = float(theta)
+        else:
+            break
+    if best_theta == 0.0:
+        return 1.0
+    return math.exp(-best_theta * buffer_bits)

@@ -1,0 +1,150 @@
+"""Empirical trace characterisation.
+
+The measurement side of the reproduction: the (sigma, rho) curve of
+Fig. 5, sustained-peak diagnostics behind the Section II narrative, and
+the empirical bandwidth histograms that act as RCBR traffic descriptors
+(Section VI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.schedule import RateSchedule, empirical_rate_distribution
+from repro.queueing.fluid import min_rate_for_loss
+from repro.traffic.trace import FrameTrace, SlottedWorkload
+
+
+def sigma_rho_for_loss(
+    workload: SlottedWorkload,
+    buffer_sizes: Sequence[float],
+    loss_target: float,
+    tolerance: Optional[float] = None,
+) -> np.ndarray:
+    """The (sigma, rho) curve of the trace for a loss target (Fig. 5).
+
+    For each buffer size sigma, the minimum CBR drain rate rho such that
+    the fraction of bits lost stays at or below ``loss_target``.  Returns
+    shape ``(len(buffer_sizes), 2)`` with columns ``(sigma, rho)``.
+    """
+    rows = []
+    for sigma in buffer_sizes:
+        if sigma < 0:
+            raise ValueError("buffer sizes must be non-negative")
+        rho = min_rate_for_loss(workload, float(sigma), loss_target, tolerance)
+        rows.append((float(sigma), rho))
+    return np.asarray(rows)
+
+
+def windowed_peak_rate(trace: FrameTrace, window_seconds: float) -> float:
+    """Largest average rate over any window of the given length.
+
+    ``windowed_peak_rate(trace, 10) / trace.mean_rate`` quantifies the
+    paper's "sustained peak of five times the long-term average rate
+    lasts over 10 s".
+    """
+    if window_seconds <= 0:
+        raise ValueError("window must be positive")
+    frames = max(1, int(round(window_seconds * trace.frames_per_second)))
+    frames = min(frames, trace.num_frames)
+    cumulative = np.concatenate([[0.0], np.cumsum(trace.frame_bits)])
+    sums = cumulative[frames:] - cumulative[:-frames]
+    return float(sums.max()) / (frames * trace.frame_duration)
+
+
+def sustained_peak_episodes(
+    trace: FrameTrace, rate_threshold: float, min_duration_seconds: float
+) -> int:
+    """Count maximal episodes where the smoothed rate stays above threshold.
+
+    The rate is smoothed over one GOP-scale second before thresholding so
+    the fast I/B/P sawtooth does not fragment episodes.
+    """
+    if rate_threshold <= 0 or min_duration_seconds <= 0:
+        raise ValueError("threshold and duration must be positive")
+    fps = trace.frames_per_second
+    window = max(1, int(round(fps)))  # 1-second smoothing
+    kernel = np.ones(window) / window
+    smooth_bits = np.convolve(trace.frame_bits, kernel, mode="same")
+    above = smooth_bits * fps > rate_threshold
+    min_frames = int(round(min_duration_seconds * fps))
+    episodes = 0
+    run = 0
+    for flag in above:
+        if flag:
+            run += 1
+        else:
+            if run >= min_frames:
+                episodes += 1
+            run = 0
+    if run >= min_frames:
+        episodes += 1
+    return episodes
+
+
+def merge_rate_distributions(
+    distributions: Sequence[Tuple[np.ndarray, np.ndarray]],
+    weights: Optional[Sequence[float]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine several (levels, fractions) histograms into one.
+
+    Used to pool the descriptors of many calls — e.g. the memory-based
+    MBAC's accumulated history — into a single typical-call marginal.
+    """
+    if not distributions:
+        raise ValueError("need at least one distribution")
+    if weights is None:
+        weights = [1.0] * len(distributions)
+    if len(weights) != len(distributions):
+        raise ValueError("weights must match distributions")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weights must be non-negative")
+    all_levels = np.concatenate([levels for levels, _ in distributions])
+    all_mass = np.concatenate(
+        [
+            weight * np.asarray(fractions, dtype=float)
+            for weight, (_, fractions) in zip(weights, distributions)
+        ]
+    )
+    levels, inverse = np.unique(all_levels, return_inverse=True)
+    mass = np.zeros(levels.size)
+    np.add.at(mass, inverse, all_mass)
+    total = mass.sum()
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    return levels, mass / total
+
+
+def schedules_marginal(
+    schedules: Sequence[RateSchedule],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The pooled empirical bandwidth marginal of several schedules."""
+    return merge_rate_distributions(
+        [empirical_rate_distribution(schedule) for schedule in schedules],
+        weights=[schedule.duration for schedule in schedules],
+    )
+
+
+def autocorrelation(values: np.ndarray, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation at lags ``0..max_lag``.
+
+    Handy to visualise the multiple time-scale structure: video frame
+    sizes stay correlated over thousands of frames, unlike single
+    time-scale models.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("values must be a 1-D array with >= 2 entries")
+    if not 0 <= max_lag < values.size:
+        raise ValueError("max_lag must be in [0, len(values))")
+    centered = values - values.mean()
+    variance = float(centered @ centered)
+    if variance == 0.0:
+        return np.ones(max_lag + 1)
+    result = np.empty(max_lag + 1)
+    result[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        result[lag] = float(centered[:-lag] @ centered[lag:]) / variance
+    return result

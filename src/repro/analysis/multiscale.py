@@ -1,0 +1,117 @@
+"""Multiple time-scale large-deviations results (Section V-A).
+
+Three quantities from the paper's analysis:
+
+* **eq. 9** — the equivalent bandwidth of a multiple time-scale stream in
+  the joint regime (rare scene transitions, buffer large enough to absorb
+  fast fluctuations) is the *maximum of the subchain equivalent
+  bandwidths*: buffering cannot smooth the slow time scale, so the
+  worst-case subchain pins the CBR rate;
+* **eq. 10** — the shared-buffer loss estimate for many multiplexed
+  streams depends only on the slow marginal (subchain *mean* rates
+  weighted by subchain occupancy probabilities);
+* **eq. 11** — the RCBR renegotiation-failure estimate is the same
+  Chernoff bound applied to the subchain *equivalent bandwidths*; since
+  each EB exceeds its subchain mean, RCBR gives up exactly the fast
+  time-scale smoothing component of the gain, and the gap closes as the
+  fast fluctuations shrink.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.chernoff import overload_probability
+from repro.analysis.effective_bw import effective_bandwidth, theta_for_buffer
+from repro.traffic.markov import MultiTimescaleMarkovSource
+
+
+def subchain_effective_bandwidths(
+    source: MultiTimescaleMarkovSource, theta_per_bit: float
+) -> np.ndarray:
+    """e_i(theta): each subchain's equivalent bandwidth in isolation."""
+    return np.array(
+        [
+            effective_bandwidth(
+                sub.as_source(source.slot_duration), theta_per_bit
+            )
+            for sub in source.subchains
+        ]
+    )
+
+
+def multiscale_effective_bandwidth(
+    source: MultiTimescaleMarkovSource, theta_per_bit: float
+) -> float:
+    """eq. 9: EB of the whole stream = max over subchains.
+
+    Valid in the joint asymptotic regime where scene transitions are rare
+    and the buffer absorbs the fast time scale; the tests verify that the
+    exact EB of the composed chain converges to this value as
+    ``epsilon -> 0``.
+    """
+    return float(subchain_effective_bandwidths(source, theta_per_bit).max())
+
+
+def shared_buffer_loss_estimate(
+    source: MultiTimescaleMarkovSource,
+    num_streams: int,
+    capacity_per_stream: float,
+) -> float:
+    """eq. 10: loss estimate for N streams in a large shared buffer.
+
+    Chernoff bound on the probability that the streams' subchain *mean*
+    rates sum past the capacity — fast fluctuations are absorbed by the
+    buffer, so only the slow marginal matters.
+    """
+    pi, means = source.slow_marginal()
+    return overload_probability(
+        means, pi, num_streams, num_streams * capacity_per_stream
+    )
+
+
+def rcbr_failure_estimate(
+    source: MultiTimescaleMarkovSource,
+    num_streams: int,
+    capacity_per_stream: float,
+    buffer_bits: float,
+    loss_probability: float,
+) -> float:
+    """eq. 11: renegotiation-failure estimate for ideal RCBR.
+
+    The ideal scheme renegotiates to the entered subchain's equivalent
+    bandwidth (at the tilt implied by the per-source buffer and QoS), so
+    the demand marginal places probability pi_i on e_i rather than on the
+    subchain mean.
+    """
+    theta = theta_for_buffer(buffer_bits, loss_probability)
+    pi = source.subchain_stationary_distribution()
+    ebs = subchain_effective_bandwidths(source, theta)
+    return overload_probability(
+        ebs, pi, num_streams, num_streams * capacity_per_stream
+    )
+
+
+def gain_decomposition(
+    source: MultiTimescaleMarkovSource,
+    buffer_bits: float,
+    loss_probability: float,
+) -> Tuple[float, float, float]:
+    """The paper's decomposition of the multiplexing gain, as rates.
+
+    Returns ``(cbr_rate, rcbr_rate, shared_rate)`` — the per-stream
+    capacity needed under, respectively, static CBR (eq. 9), ideal RCBR in
+    the many-streams limit (the pi-weighted mean of subchain EBs), and
+    unrestricted sharing in the many-streams limit (the overall mean
+    rate).  ``cbr >= rcbr >= shared`` always; ``rcbr - shared`` is the
+    fast time-scale smoothing component RCBR gives up.
+    """
+    theta = theta_for_buffer(buffer_bits, loss_probability)
+    cbr = multiscale_effective_bandwidth(source, theta)
+    pi = source.subchain_stationary_distribution()
+    ebs = subchain_effective_bandwidths(source, theta)
+    rcbr = float(pi @ ebs)
+    shared = float(pi @ source.subchain_mean_rates())
+    return cbr, rcbr, shared

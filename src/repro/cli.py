@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operational entry points for the library:
+
+* ``generate`` — synthesize a Star-Wars-like VBR trace to a file;
+* ``analyze``  — print a trace's multiple time-scale statistics and its
+  (sigma, rho) curve;
+* ``schedule`` — compute an optimal or online RCBR schedule for a trace;
+* ``admit``    — the Chernoff admission calculator (max calls for a link);
+* ``fit``      — fit the generative model to an observed trace.
+
+Traces are ``.npz`` (:meth:`FrameTrace.save`) or one-frame-per-line text
+files; schedules are JSON (:meth:`RateSchedule.save`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.chernoff import max_admissible_calls
+from repro.analysis.empirical import sigma_rho_for_loss, windowed_peak_rate
+from repro.core import (
+    GopAwareOnlineScheduler,
+    GopAwareParams,
+    OnlineParams,
+    OnlineScheduler,
+    OptimalScheduler,
+    granular_rate_levels,
+)
+from repro.core.schedule import RateSchedule, empirical_rate_distribution
+from repro.traffic import FrameTrace, fit_starwars_model, generate_starwars_trace
+from repro.util.units import format_bits, format_rate, kbits, kbps
+
+
+def _load_trace(path: str) -> FrameTrace:
+    file_path = Path(path)
+    if not file_path.exists():
+        raise SystemExit(f"trace file not found: {path}")
+    if file_path.suffix == ".npz":
+        return FrameTrace.load(file_path)
+    return FrameTrace.load_text(file_path)
+
+
+def _save_trace(trace: FrameTrace, path: str) -> None:
+    if Path(path).suffix == ".npz":
+        trace.save(path)
+    else:
+        trace.save_text(path)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_starwars_trace(
+        num_frames=args.frames,
+        seed=args.seed,
+        mean_rate=kbps(args.mean_kbps),
+    )
+    _save_trace(trace, args.output)
+    print(
+        f"wrote {trace.num_frames} frames ({trace.duration:.0f} s) at "
+        f"{format_rate(trace.mean_rate)} to {args.output}"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    print(f"trace: {trace.name}")
+    print(f"  frames:          {trace.num_frames} ({trace.duration:.1f} s "
+          f"at {trace.frames_per_second:g} fps)")
+    print(f"  mean rate:       {format_rate(trace.mean_rate)}")
+    print(f"  peak frame rate: {format_rate(trace.peak_rate)} "
+          f"({trace.peak_rate / trace.mean_rate:.1f}x mean)")
+    for window in (1.0, 10.0, 60.0):
+        if window < trace.duration:
+            peak = windowed_peak_rate(trace, window)
+            print(f"  peak {window:>4.0f}s rate:  {format_rate(peak)} "
+                  f"({peak / trace.mean_rate:.2f}x mean)")
+    if args.sigma_rho:
+        buffers = [kbits(value) for value in (50, 100, 300, 1000, 3000, 10000)]
+        buffers = [b for b in buffers if b < trace.total_bits]
+        curve = sigma_rho_for_loss(
+            trace.as_workload(), buffers, args.loss_target
+        )
+        print(f"\n  (sigma, rho) curve at loss {args.loss_target:g}:")
+        for sigma, rho in curve:
+            print(f"    {format_bits(sigma):>10}  ->  {format_rate(rho)} "
+                  f"({rho / trace.mean_rate:.2f}x mean)")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    workload = (
+        trace.aggregate(args.frames_per_slot)
+        if args.frames_per_slot > 1
+        else trace.as_workload()
+    )
+    buffer_bits = kbits(args.buffer_kbits)
+    granularity = kbps(args.granularity_kbps)
+
+    if args.method == "optimal":
+        top = max(kbps(2400), 1.2 * windowed_peak_rate(trace, 1.0))
+        levels = granular_rate_levels(granularity, top)
+        result = OptimalScheduler(levels, alpha=args.alpha).solve(
+            workload, buffer_bits=buffer_bits
+        )
+        schedule = result.schedule
+        max_buffer = schedule.max_buffer(workload)
+        requests = schedule.num_renegotiations
+    else:
+        params = OnlineParams(granularity=granularity)
+        if args.method == "gop":
+            online = GopAwareOnlineScheduler(GopAwareParams(params))
+        else:
+            online = OnlineScheduler(params)
+        outcome = online.schedule(workload)
+        schedule = outcome.schedule
+        max_buffer = outcome.max_buffer
+        requests = outcome.requests_made
+
+    print(f"method:                  {args.method}")
+    print(f"segments:                {schedule.num_segments}")
+    print(f"renegotiations:          {schedule.num_renegotiations} "
+          f"(requests: {requests})")
+    print(f"mean interval:           "
+          f"{schedule.mean_renegotiation_interval():.2f} s")
+    print(f"average reserved rate:   {format_rate(schedule.average_rate())}")
+    print(f"bandwidth efficiency:    "
+          f"{schedule.bandwidth_efficiency(trace.mean_rate):.2%}")
+    print(f"peak buffer:             {format_bits(max_buffer)} "
+          f"(bound {format_bits(buffer_bits)})")
+    if args.output:
+        schedule.save(args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def cmd_admit(args: argparse.Namespace) -> int:
+    schedule = RateSchedule.load(args.schedule)
+    levels, fractions = empirical_rate_distribution(schedule)
+    capacity = kbps(args.capacity_kbps)
+    max_calls = max_admissible_calls(
+        levels, fractions, capacity, args.failure_target
+    )
+    mean = float(levels @ fractions)
+    print(f"per-call marginal: {levels.size} levels, "
+          f"mean {format_rate(mean)}")
+    print(f"link capacity:     {format_rate(capacity)} "
+          f"({capacity / mean:.1f}x call mean)")
+    print(f"failure target:    {args.failure_target:g}")
+    print(f"max calls:         {max_calls}")
+    if max_calls:
+        print(f"admitted load:     "
+              f"{max_calls * mean / capacity:.1%} of capacity")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import run_sigma_rho, run_smg, run_tradeoff
+    from repro.experiments.runners import compute_optimal_schedule
+
+    trace = (
+        _load_trace(args.trace)
+        if args.trace
+        else generate_starwars_trace(num_frames=args.frames, seed=args.seed)
+    )
+    mean = trace.mean_rate
+    if args.name == "tradeoff":
+        result = run_tradeoff(trace)
+        print("OPT (alpha sweep):")
+        for point in result.optimal:
+            print(f"  alpha={point.parameter:>10.3g}  "
+                  f"interval={point.mean_interval:6.1f}s  "
+                  f"efficiency={point.efficiency:.4f}")
+        print("AR(1) heuristic (delta sweep):")
+        for point in result.heuristic:
+            print(f"  delta={format_rate(point.parameter):>12}  "
+                  f"interval={point.mean_interval:6.2f}s  "
+                  f"efficiency={point.efficiency:.4f}")
+    elif args.name == "sigma-rho":
+        result = run_sigma_rho(trace)
+        for sigma, rho in zip(result.buffers, result.rates):
+            print(f"  {format_bits(sigma):>10}  ->  {format_rate(rho)} "
+                  f"({rho / mean:.2f}x mean)")
+    elif args.name == "smg":
+        schedule = compute_optimal_schedule(trace, alpha=4e6)
+        result = run_smg(trace, schedule, loss_target=args.loss_target)
+        print(f"{'N':>4} {'CBR':>7} {'shared':>7} {'RCBR':>7}  (x mean)")
+        for point in result.points:
+            print(f"{point.num_sources:>4} "
+                  f"{point.cbr_rate / mean:>7.2f} "
+                  f"{point.shared_rate / mean:>7.2f} "
+                  f"{point.rcbr_rate / mean:>7.2f}")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {args.name}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    model = fit_starwars_model(trace, num_classes=args.classes)
+    print(f"fitted model for {trace.name}:")
+    print(f"  mean rate:   {format_rate(model.mean_rate)}")
+    print(f"  GOP length:  {model.gop.gop_length}")
+    print(f"  noise sigma: {model.frame_noise_sigma:.3f}")
+    print("  scene classes:")
+    for scene in model.scene_classes:
+        print(f"    {scene.name:>8}: x{scene.rate_multiplier:5.2f} mean, "
+              f"~{scene.mean_duration:5.1f} s dwell, "
+              f"entry p={scene.probability:.3f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RCBR: renegotiated CBR service toolkit (SIGCOMM '95 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a Star-Wars-like VBR trace"
+    )
+    generate.add_argument("output", help="output file (.npz or .txt)")
+    generate.add_argument("--frames", type=int, default=24_000)
+    generate.add_argument("--seed", type=int, default=1995)
+    generate.add_argument("--mean-kbps", type=float, default=374.0)
+    generate.set_defaults(handler=cmd_generate)
+
+    analyze = commands.add_parser("analyze", help="trace statistics")
+    analyze.add_argument("trace")
+    analyze.add_argument("--sigma-rho", action="store_true",
+                         help="also compute the (sigma, rho) curve")
+    analyze.add_argument("--loss-target", type=float, default=1e-6)
+    analyze.set_defaults(handler=cmd_analyze)
+
+    schedule = commands.add_parser(
+        "schedule", help="compute an RCBR renegotiation schedule"
+    )
+    schedule.add_argument("trace")
+    schedule.add_argument(
+        "--method", choices=("optimal", "online", "gop"), default="optimal"
+    )
+    schedule.add_argument("--buffer-kbits", type=float, default=300.0)
+    schedule.add_argument("--granularity-kbps", type=float, default=64.0)
+    schedule.add_argument("--alpha", type=float, default=4e6,
+                          help="renegotiation cost (optimal method)")
+    schedule.add_argument("--frames-per-slot", type=int, default=2,
+                          help="DP slot aggregation (optimal method)")
+    schedule.add_argument("--output", help="write the schedule JSON here")
+    schedule.set_defaults(handler=cmd_schedule)
+
+    admit = commands.add_parser(
+        "admit", help="Chernoff admission calculator for a schedule"
+    )
+    admit.add_argument("schedule", help="schedule JSON from `repro schedule`")
+    admit.add_argument("--capacity-kbps", type=float, required=True)
+    admit.add_argument("--failure-target", type=float, default=1e-3)
+    admit.set_defaults(handler=cmd_admit)
+
+    fit = commands.add_parser(
+        "fit", help="fit the multiple time-scale model to a trace"
+    )
+    fit.add_argument("trace")
+    fit.add_argument("--classes", type=int, default=5)
+    fit.set_defaults(handler=cmd_fit)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's studies"
+    )
+    experiment.add_argument(
+        "name", choices=("tradeoff", "sigma-rho", "smg")
+    )
+    experiment.add_argument("--trace", help="trace file (default: synthesize)")
+    experiment.add_argument("--frames", type=int, default=14_400)
+    experiment.add_argument("--seed", type=int, default=1995)
+    experiment.add_argument("--loss-target", type=float, default=1e-3)
+    experiment.set_defaults(handler=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The RCBR core: schedules, the optimal DP, the online heuristic, service.
+
+This package is the paper's primary contribution:
+
+* :class:`RateSchedule` — the stepwise-CBR renegotiation schedule;
+* :class:`OptimalScheduler` — the Viterbi-like offline optimum (IV-A);
+* :class:`OnlineScheduler` — the causal AR(1) heuristic (IV-B);
+* :func:`simulate_rcbr_link` / :class:`OnlineRcbrSource` — the service
+  façade joining sources to a renegotiated link (III).
+"""
+
+from repro.core.schedule import (
+    RateSchedule,
+    Renegotiation,
+    empirical_rate_distribution,
+)
+from repro.core.cost import CostModel, ratio_for_interval
+from repro.core.optimal import (
+    OptimalScheduler,
+    OptimalScheduleResult,
+    InfeasibleScheduleError,
+    uniform_rate_levels,
+    granular_rate_levels,
+)
+from repro.core.online import OnlineParams, OnlineScheduler, OnlineScheduleResult
+from repro.core.smoothing import SmoothingResult, optimal_smoothing
+from repro.core.online_gop import GopAwareParams, GopAwareOnlineScheduler
+from repro.core.service import (
+    LinkSimulationResult,
+    simulate_rcbr_link,
+    OnlineRcbrSource,
+)
+
+__all__ = [
+    "RateSchedule",
+    "Renegotiation",
+    "empirical_rate_distribution",
+    "CostModel",
+    "ratio_for_interval",
+    "OptimalScheduler",
+    "OptimalScheduleResult",
+    "InfeasibleScheduleError",
+    "uniform_rate_levels",
+    "granular_rate_levels",
+    "OnlineParams",
+    "OnlineScheduler",
+    "OnlineScheduleResult",
+    "SmoothingResult",
+    "optimal_smoothing",
+    "GopAwareParams",
+    "GopAwareOnlineScheduler",
+    "LinkSimulationResult",
+    "simulate_rcbr_link",
+    "OnlineRcbrSource",
+]

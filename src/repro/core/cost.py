@@ -1,0 +1,62 @@
+"""The paper's renegotiation cost model (eq. 1).
+
+Total cost of a schedule = ``alpha`` per renegotiation plus ``beta`` per
+unit of allocated bandwidth per slot: "we have assumed a constant cost per
+renegotiation and a cost per allocated bandwidth and time unit".  The
+network operator announces the prices; the user optimises against them —
+sweeping the ratio ``alpha / beta`` traces the Fig. 2 tradeoff between
+bandwidth efficiency and renegotiation frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import RateSchedule
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices: ``alpha`` per renegotiation, ``beta`` per (bit/s)-slot."""
+
+    alpha: float
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("prices must be non-negative")
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError("at least one price must be positive")
+
+    @property
+    def ratio(self) -> float:
+        """The cost ratio alpha/beta that shapes the optimum."""
+        if self.beta == 0:
+            return float("inf")
+        return self.alpha / self.beta
+
+    def schedule_cost(self, schedule: RateSchedule, slot_duration: float) -> float:
+        """Evaluate eq. 1 for a schedule on its slot grid."""
+        return schedule.cost(self.alpha, self.beta, slot_duration)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Uniformly scaled prices (leaves the optimum unchanged)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return CostModel(self.alpha * factor, self.beta * factor)
+
+
+def ratio_for_interval(
+    target_interval_seconds: float, slot_duration: float, typical_rate: float
+) -> float:
+    """A starting alpha/beta ratio aiming at a renegotiation interval.
+
+    Heuristic calibration: a renegotiation is worth paying for when it
+    saves roughly its own cost in bandwidth, i.e. when
+    ``alpha ~ beta * typical_rate_saving * interval_in_slots``.  Useful to
+    seed the Fig. 2 sweep; the sweep itself then explores around it.
+    """
+    if target_interval_seconds <= 0 or slot_duration <= 0 or typical_rate <= 0:
+        raise ValueError("all arguments must be positive")
+    interval_slots = target_interval_seconds / slot_duration
+    return typical_rate * interval_slots

@@ -1,0 +1,140 @@
+"""Renegotiation-latency analysis (the paper's open question).
+
+Section III-C argues qualitatively that offline sources are insensitive
+to path latency ("they can compensate ... by initiating renegotiation
+earlier") while online sources pay for it, but adds: "We do not yet have
+analytical expressions or simulation results studying the effect of
+renegotiation delay on RCBR performance."  This module supplies that
+study.
+
+The mechanism: when a renegotiation issued at its scheduled time takes
+``delay`` seconds to take effect, the source keeps draining at the old
+rate meanwhile.  For rate *increases* that means the buffer keeps
+filling; the cost of latency is the extra end-system buffer needed to
+ride out every increase transition (or, equivalently, the loss incurred
+if the buffer cannot grow).  Initiating increases ``lead >= delay``
+early removes the cost for offline sources at a small bandwidth premium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.schedule import RateSchedule
+from repro.queueing.fluid import simulate_fluid_queue
+from repro.traffic.trace import SlottedWorkload
+
+
+def delayed_schedule(
+    schedule: RateSchedule, delay: float, lead: float = 0.0
+) -> RateSchedule:
+    """The service-rate function actually experienced under latency.
+
+    Every renegotiation is issued ``lead`` seconds early (0 for a purely
+    online source) and takes effect ``delay`` seconds after being issued.
+    The initial rate is in place at time 0 (setup completes before data
+    flows).  Effect times clamp to ``[0, duration)``; renegotiations whose
+    effect would land at or beyond the end are dropped.
+    """
+    if delay < 0 or lead < 0:
+        raise ValueError("delay and lead must be non-negative")
+    shift = delay - lead
+    times = [0.0]
+    rates = [float(schedule.rates[0])]
+    for event in schedule.renegotiations():
+        effective = min(max(event.time + shift, 0.0), schedule.duration)
+        if effective >= schedule.duration:
+            continue
+        if effective <= times[-1]:
+            # An early-issued change overtakes the previous segment.
+            rates[-1] = event.new_rate
+            if len(rates) >= 2 and rates[-1] == rates[-2]:
+                times.pop()
+                rates.pop()
+            continue
+        times.append(effective)
+        rates.append(event.new_rate)
+    # Merge equal neighbours.
+    merged_times = [times[0]]
+    merged_rates = [rates[0]]
+    for time, rate in zip(times[1:], rates[1:]):
+        if rate == merged_rates[-1]:
+            continue
+        merged_times.append(time)
+        merged_rates.append(rate)
+    return RateSchedule(
+        merged_times,
+        merged_rates,
+        schedule.duration,
+        name=f"{schedule.name}+d{delay:g}-l{lead:g}",
+    )
+
+
+@dataclass(frozen=True)
+class LatencyImpact:
+    """Cost of one (delay, lead) operating point."""
+
+    delay: float
+    lead: float
+    max_buffer: float
+    loss_fraction_at_bound: float
+    average_rate: float
+
+
+def latency_impact(
+    workload: SlottedWorkload,
+    schedule: RateSchedule,
+    delay: float,
+    lead: float = 0.0,
+    buffer_bits: float = 300_000.0,
+) -> LatencyImpact:
+    """Measure what latency costs when serving ``workload``.
+
+    Returns the peak buffer the delayed schedule actually needs, the
+    loss fraction if the buffer is pinned at ``buffer_bits``, and the
+    (lead-inflated) average reserved rate.
+    """
+    effective = delayed_schedule(schedule, delay, lead)
+    drains = (
+        effective.slot_rates(workload.slot_duration, workload.num_slots)
+        * workload.slot_duration
+    )
+    unlimited = simulate_fluid_queue(workload.bits_per_slot, drains)
+    bounded = simulate_fluid_queue(
+        workload.bits_per_slot, drains, buffer_bits=buffer_bits
+    )
+    return LatencyImpact(
+        delay=delay,
+        lead=lead,
+        max_buffer=unlimited.max_occupancy,
+        loss_fraction_at_bound=bounded.loss_fraction,
+        average_rate=effective.average_rate(),
+    )
+
+
+def latency_sweep(
+    workload: SlottedWorkload,
+    schedule: RateSchedule,
+    delays: Sequence[float],
+    lead_equals_delay: bool = False,
+    buffer_bits: float = 300_000.0,
+) -> list:
+    """One :class:`LatencyImpact` per delay.
+
+    With ``lead_equals_delay`` the offline compensation is applied
+    (initiate exactly one RTT early); without it the source is online
+    (lead 0) and eats the transition backlog.
+    """
+    return [
+        latency_impact(
+            workload,
+            schedule,
+            delay,
+            lead=delay if lead_equals_delay else 0.0,
+            buffer_bits=buffer_bits,
+        )
+        for delay in delays
+    ]

@@ -1,0 +1,165 @@
+"""Causal (online) renegotiation heuristic (Section IV-B).
+
+Interactive sources cannot use the offline DP, so the paper proposes a
+heuristic built from an AR(1) bandwidth estimator and two buffer
+thresholds.  Per slot (eq. 6)::
+
+    r_hat(t) = eta * r_hat(t-1) + (1 - eta) * x(t) + q(t) / T
+
+where ``x(t)`` is the incoming rate during the slot, ``q(t)`` the buffer
+occupancy at the slot's end, and ``T`` a time constant; the ``q/T`` term
+"adds the bandwidth necessary to flush the current buffer content within
+T".  We apply the flush term as an additive correction on top of the
+AR(1) state (rather than feeding it back into the recursion, which would
+inflate its steady-state contribution by ``1/(1 - eta)`` and grossly
+over-allocate).  The candidate rate is the estimate quantised up to the bandwidth
+granularity ``delta`` (eq. 7), and a renegotiation is issued only when the
+buffer crosses a threshold in the matching direction (eq. 8)::
+
+    request r_new  if  (q > B_h and r_new > r) or (q < B_l and r_new < r)
+
+Fig. 2's heuristic curve uses B_l = 10 kb, B_h = 150 kb, T = 5 frames and
+sweeps delta from 25 to 400 kb/s.  The AR coefficient ``eta`` is not
+stated in the paper; it defaults to 0.9 and is exposed as a parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.schedule import RateSchedule
+from repro.traffic.trace import SlottedWorkload
+
+
+@dataclass(frozen=True)
+class OnlineParams:
+    """Tuning knobs of the AR(1) heuristic (paper names in parentheses)."""
+
+    granularity: float  # delta, bits/s
+    low_threshold: float = 10_000.0  # B_l, bits
+    high_threshold: float = 150_000.0  # B_h, bits
+    time_constant_slots: float = 5.0  # T, slots
+    ar_coefficient: float = 0.9  # eta
+    max_rate: Optional[float] = None  # cap on requested rates (link speed)
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise ValueError("granularity must be positive")
+        if self.low_threshold < 0:
+            raise ValueError("low_threshold must be non-negative")
+        if self.high_threshold <= self.low_threshold:
+            raise ValueError("high_threshold must exceed low_threshold")
+        if self.time_constant_slots <= 0:
+            raise ValueError("time_constant_slots must be positive")
+        if not 0.0 <= self.ar_coefficient < 1.0:
+            raise ValueError("ar_coefficient must be in [0, 1)")
+        if self.max_rate is not None and self.max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+
+
+@dataclass(frozen=True)
+class OnlineScheduleResult:
+    """Outcome of running the heuristic over a workload."""
+
+    schedule: RateSchedule
+    max_buffer: float
+    final_buffer: float
+    requests_made: int
+    requests_denied: int
+
+    @property
+    def num_renegotiations(self) -> int:
+        return self.schedule.num_renegotiations
+
+
+class OnlineScheduler:
+    """The AR(1) + dual-buffer-threshold causal scheduler."""
+
+    def __init__(self, params: OnlineParams) -> None:
+        self.params = params
+
+    def quantize(self, rate_estimate: float) -> float:
+        """eq. 7: round the estimate *up* to the granularity grid."""
+        delta = self.params.granularity
+        quantized = math.ceil(max(0.0, rate_estimate) / delta - 1e-12) * delta
+        if self.params.max_rate is not None:
+            quantized = min(quantized, self.params.max_rate)
+        return quantized
+
+    def schedule(
+        self,
+        workload: SlottedWorkload,
+        initial_rate: Optional[float] = None,
+        request_fn: Optional[Callable[[float, float], bool]] = None,
+        name: str = "",
+    ) -> OnlineScheduleResult:
+        """Run the heuristic causally over ``workload``.
+
+        ``initial_rate`` defaults to the first slot's rate quantised to
+        the grid (the setup-time choice; causal schedulers cannot peek at
+        the mean).  ``request_fn(time, new_rate)``, if given, models the
+        network's grant decision: it returns True to grant.  A denied
+        request leaves the current rate in place and the heuristic retries
+        at the next threshold crossing — the paper's "trivial solution is
+        to try again".
+        """
+        params = self.params
+        arrivals = workload.bits_per_slot.tolist()
+        slot = workload.slot_duration
+        time_constant = params.time_constant_slots * slot
+
+        if initial_rate is None:
+            current_rate = self.quantize(arrivals[0] / slot)
+        else:
+            if initial_rate < 0:
+                raise ValueError("initial_rate must be non-negative")
+            current_rate = initial_rate
+
+        estimate = current_rate
+        buffer_level = 0.0
+        max_buffer = 0.0
+        requests = 0
+        denied = 0
+        slot_rates = np.empty(workload.num_slots)
+
+        for index, amount in enumerate(arrivals):
+            slot_rates[index] = current_rate
+            buffer_level = max(0.0, buffer_level + amount - current_rate * slot)
+            if buffer_level > max_buffer:
+                max_buffer = buffer_level
+
+            incoming_rate = amount / slot
+            estimate = (
+                params.ar_coefficient * estimate
+                + (1.0 - params.ar_coefficient) * incoming_rate
+            )
+            candidate = self.quantize(estimate + buffer_level / time_constant)
+
+            wants_up = buffer_level > params.high_threshold and candidate > current_rate
+            wants_down = buffer_level < params.low_threshold and candidate < current_rate
+            if wants_up or wants_down:
+                requests += 1
+                granted = True
+                if request_fn is not None:
+                    granted = bool(
+                        request_fn((index + 1) * slot, candidate)
+                    )
+                if granted:
+                    current_rate = candidate
+                else:
+                    denied += 1
+
+        schedule = RateSchedule.from_slot_rates(
+            slot_rates, slot, name=name or f"ar1({workload.name})"
+        )
+        return OnlineScheduleResult(
+            schedule=schedule,
+            max_buffer=max_buffer,
+            final_buffer=buffer_level,
+            requests_made=requests,
+            requests_denied=denied,
+        )

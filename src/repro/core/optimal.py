@@ -1,0 +1,323 @@
+"""Optimal offline renegotiation schedules (Section IV-A).
+
+The paper poses the offline problem as a shortest path on a trellis: a
+node is ``(time, rate, buffer occupancy, weight)``, a branch advances one
+slot choosing a new rate from a finite set ``R``, and the branch weight is
+``beta * rate + alpha * 1{rate changed}`` (eq. 1).  The buffer evolves as
+``q_t = max(0, q_{t-1} + a_t - c_t)`` (eq. 3) under the bound ``q_t <= B``
+(eq. 2) — or, in the delay-bound variant, the time-varying bound implied
+by eq. 5.
+
+The search is a Viterbi-like dynamic program with the paper's *cross-node
+pruning* (Lemma 1): a node is dominated if some node of the same slot has
+no larger buffer occupancy and a weight advantage of at least one
+renegotiation cost (``alpha`` for a different rate; any advantage for the
+same rate).  We keep, per rate, a Pareto frontier in (occupancy, weight)
+and apply the cross-rate alpha-rule against the global frontier — exactly
+the "prune across nodes" refinement of footnote 3.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.schedule import RateSchedule
+from repro.traffic.trace import SlottedWorkload
+
+
+class InfeasibleScheduleError(ValueError):
+    """No feasible schedule exists (rate set or buffer too small)."""
+
+
+def uniform_rate_levels(
+    min_rate: float, max_rate: float, count: int
+) -> np.ndarray:
+    """``count`` rate levels uniformly spaced on ``[min_rate, max_rate]``.
+
+    The paper's runtime study chooses "the bandwidth levels uniformly
+    within 48 kb/s and 2.4 Mb/s".
+    """
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    if not 0 <= min_rate < max_rate:
+        raise ValueError("need 0 <= min_rate < max_rate")
+    return np.linspace(min_rate, max_rate, count)
+
+
+def granular_rate_levels(
+    granularity: float, max_rate: float, include_zero: bool = False
+) -> np.ndarray:
+    """Multiples of ``granularity`` up to (at least) ``max_rate``.
+
+    Fig. 6's schedules use "a bandwidth granularity of delta = 64 kb/s";
+    the grid must reach the workload's needs, so the top level is the
+    first multiple of ``granularity`` at or above ``max_rate``.
+    """
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    if max_rate <= 0:
+        raise ValueError("max_rate must be positive")
+    top = int(np.ceil(max_rate / granularity - 1e-12))
+    start = 0 if include_zero else 1
+    return np.arange(start, top + 1, dtype=float) * granularity
+
+
+@dataclass(frozen=True)
+class OptimalScheduleResult:
+    """The optimal schedule plus diagnostics of the trellis search."""
+
+    schedule: RateSchedule
+    total_cost: float
+    nodes_expanded: int
+    max_frontier: int
+
+    @property
+    def num_renegotiations(self) -> int:
+        return self.schedule.num_renegotiations
+
+
+class OptimalScheduler:
+    """Viterbi-like optimal renegotiation scheduling.
+
+    Parameters
+    ----------
+    rate_levels:
+        The finite set ``R`` of allowed service rates (bits/second).
+    alpha:
+        Cost per renegotiation (eq. 1's per-event constant).
+    beta:
+        Cost per unit of allocated bandwidth per slot.  Only the ratio
+        ``alpha / beta`` matters for the shape of the optimum; the paper
+        sweeps it to trace Fig. 2.
+    """
+
+    def __init__(
+        self, rate_levels: Sequence[float], alpha: float, beta: float = 1.0
+    ) -> None:
+        levels = np.unique(np.asarray(rate_levels, dtype=float))
+        if levels.size < 1:
+            raise ValueError("need at least one rate level")
+        if np.any(levels < 0):
+            raise ValueError("rate levels must be non-negative")
+        if alpha < 0 or beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if alpha == 0 and beta == 0:
+            raise ValueError("at least one of alpha, beta must be positive")
+        self.rate_levels = levels
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        workload: SlottedWorkload,
+        buffer_bits: Optional[float] = None,
+        delay_bound_slots: Optional[int] = None,
+        name: str = "",
+    ) -> OptimalScheduleResult:
+        """Compute the minimum-cost feasible schedule for ``workload``.
+
+        Exactly one (or both) of ``buffer_bits`` (eq. 2) and
+        ``delay_bound_slots`` (eq. 5) must be given; with both, the
+        tighter constraint applies slot by slot.
+        """
+        if buffer_bits is None and delay_bound_slots is None:
+            raise ValueError("specify buffer_bits and/or delay_bound_slots")
+        if buffer_bits is not None and buffer_bits < 0:
+            raise ValueError("buffer_bits must be non-negative")
+        if delay_bound_slots is not None and delay_bound_slots < 1:
+            raise ValueError("delay_bound_slots must be >= 1")
+
+        arrivals = workload.bits_per_slot
+        num_slots = workload.num_slots
+        bounds = self._occupancy_bounds(
+            arrivals, buffer_bits, delay_bound_slots
+        )
+
+        drains = self.rate_levels * workload.slot_duration  # bits per slot
+        step_costs = self.beta * self.rate_levels
+        num_levels = self.rate_levels.size
+
+        # Append-only node store for backtracking: parent id and rate index.
+        parent_store = array("l")
+        rate_store = array("l")
+        nodes_expanded = 0
+        max_frontier = 0
+
+        # Frontier after the previous slot.
+        frontier_q: Optional[np.ndarray] = None
+        frontier_w: Optional[np.ndarray] = None
+        frontier_rate: Optional[np.ndarray] = None
+        frontier_id: Optional[np.ndarray] = None
+
+        level_index = np.arange(num_levels)
+
+        for slot in range(num_slots):
+            a_t = arrivals[slot]
+            bound = bounds[slot]
+            if frontier_q is None:
+                # Initial slot: the setup rate is chosen freely (the paper
+                # creates initial nodes for every rate with zero weight, so
+                # the first rate carries no renegotiation charge).
+                cand_q = np.maximum(0.0, a_t - drains)
+                cand_w = step_costs.copy()
+                cand_rate = level_index.copy()
+                cand_parent = np.full(num_levels, -1, dtype=np.int64)
+            else:
+                # Expansion shortcut: for a new rate r', the buffer map
+                # q -> max(0, q + a - drain) is monotone and the weight is
+                # parent w plus a constant, so only (q, w)-Pareto-optimal
+                # parents can yield surviving children.  Same-rate
+                # children (no alpha) come from the per-rate frontier we
+                # already keep; cross-rate children (all pay the same
+                # +alpha) can only come from the *global* envelope of the
+                # previous frontier.  A cross-rate expansion of an
+                # envelope parent that happens to share the new rate is
+                # dominated by its own same-rate child, so correctness is
+                # unaffected.  This cuts per-slot work from |R|*|frontier|
+                # to |frontier| + |R|*|envelope|.
+                env_order = np.lexsort((frontier_w, frontier_q))
+                env_running = np.minimum.accumulate(frontier_w[env_order])
+                on_envelope = frontier_w[env_order] <= env_running
+                env_ids = env_order[on_envelope]
+
+                # Same-rate children: one per previous node.
+                same_q = np.maximum(
+                    0.0, frontier_q + a_t - drains[frontier_rate]
+                )
+                same_w = frontier_w + step_costs[frontier_rate]
+                same_rate = frontier_rate
+                same_parent = frontier_id
+
+                # Cross-rate children: envelope nodes to every rate.
+                env_q = frontier_q[env_ids]
+                env_w = frontier_w[env_ids] + self.alpha
+                cross_q = np.maximum(
+                    0.0, env_q[None, :] + a_t - drains[:, None]
+                ).ravel()
+                cross_w = (env_w[None, :] + step_costs[:, None]).ravel()
+                cross_rate = np.repeat(level_index, env_ids.size)
+                cross_parent = np.tile(frontier_id[env_ids], num_levels)
+
+                cand_q = np.concatenate([same_q, cross_q])
+                cand_w = np.concatenate([same_w, cross_w])
+                cand_rate = np.concatenate([same_rate, cross_rate])
+                cand_parent = np.concatenate([same_parent, cross_parent])
+
+            feasible = cand_q <= bound + 1e-9
+            if not np.any(feasible):
+                raise InfeasibleScheduleError(
+                    f"no feasible rate assignment at slot {slot}: arrivals "
+                    f"{a_t:.0f} bits exceed max drain plus occupancy bound "
+                    f"{bound:.0f} bits; widen the rate set or the buffer"
+                )
+            cand_q = cand_q[feasible]
+            cand_w = cand_w[feasible]
+            cand_rate = cand_rate[feasible]
+            cand_parent = cand_parent[feasible]
+            nodes_expanded += cand_q.size
+
+            keep_q, keep_w, keep_rate, keep_parent = self._prune(
+                cand_q, cand_w, cand_rate, cand_parent
+            )
+
+            base_id = len(parent_store)
+            parent_store.extend(keep_parent.tolist())
+            rate_store.extend(keep_rate.tolist())
+            frontier_q = keep_q
+            frontier_w = keep_w
+            frontier_rate = keep_rate
+            frontier_id = np.arange(base_id, base_id + keep_q.size, dtype=np.int64)
+            max_frontier = max(max_frontier, keep_q.size)
+
+        best = int(np.argmin(frontier_w))
+        total_cost = float(frontier_w[best])
+        slot_rates = self._backtrack(
+            int(frontier_id[best]), parent_store, rate_store, num_slots
+        )
+        schedule = RateSchedule.from_slot_rates(
+            self.rate_levels[slot_rates],
+            workload.slot_duration,
+            name=name or f"opt({workload.name})",
+        )
+        return OptimalScheduleResult(
+            schedule=schedule,
+            total_cost=total_cost,
+            nodes_expanded=nodes_expanded,
+            max_frontier=max_frontier,
+        )
+
+    # ------------------------------------------------------------------
+    def _occupancy_bounds(
+        self,
+        arrivals: np.ndarray,
+        buffer_bits: Optional[float],
+        delay_bound_slots: Optional[int],
+    ) -> np.ndarray:
+        """Per-slot occupancy bound combining eq. 2 and eq. 5.
+
+        The delay bound "all data entering during time slot n has left by
+        the end of slot n + D" is equivalent to the time-varying bound
+        ``q_t <= A(t) - A(t - D)`` (arrivals of the last D slots), since
+        ``q_t = A(t) - Departures(t)`` for a lossless queue.
+        """
+        num_slots = arrivals.size
+        bounds = np.full(num_slots, np.inf)
+        if buffer_bits is not None:
+            bounds[:] = buffer_bits
+        if delay_bound_slots is not None:
+            cumulative = np.concatenate([[0.0], np.cumsum(arrivals)])
+            lows = np.maximum(0, np.arange(1, num_slots + 1) - delay_bound_slots)
+            window = cumulative[1:] - cumulative[lows]
+            bounds = np.minimum(bounds, window)
+        return bounds
+
+    def _prune(self, q, w, rate, parent):
+        """Within-rate Pareto pruning plus the cross-rate alpha rule."""
+        # Sort by (rate, q, w) so each rate forms one contiguous block in
+        # which a running minimum of w identifies the Pareto frontier.
+        order = np.lexsort((w, q, rate))
+        q, w, rate, parent = q[order], w[order], rate[order], parent[order]
+        keep = np.zeros(q.size, dtype=bool)
+        block_starts = np.flatnonzero(np.diff(rate)) + 1
+        block_bounds = np.concatenate([[0], block_starts, [q.size]])
+        for lo, hi in zip(block_bounds[:-1], block_bounds[1:]):
+            block_w = w[lo:hi]
+            running = np.minimum.accumulate(block_w)
+            first = np.empty(hi - lo, dtype=bool)
+            first[0] = True
+            # Keep a node iff it strictly improves the running minimum:
+            # same-rate nodes with q' >= q and w' >= w are dominated.
+            first[1:] = block_w[1:] < running[:-1]
+            keep[lo:hi] = first
+        q, w, rate, parent = q[keep], w[keep], rate[keep], parent[keep]
+
+        if self.alpha > 0.0 and q.size > 1:
+            # Cross-rate rule (Lemma 1): dominated if some node has
+            # q1 <= q2 and w1 + alpha <= w2 (see DESIGN.md for why this is
+            # safe regardless of the dominating node's rate).
+            order = np.lexsort((w, q))
+            sorted_q = q[order]
+            envelope = np.minimum.accumulate(w[order])
+            positions = np.searchsorted(sorted_q, q, side="right") - 1
+            keep = w < envelope[positions] + self.alpha - 1e-12
+            # The envelope minimizers themselves always survive.
+            keep[order[np.flatnonzero(w[order] <= envelope)]] = True
+            q, w, rate, parent = q[keep], w[keep], rate[keep], parent[keep]
+        return q, w, rate, parent
+
+    @staticmethod
+    def _backtrack(node_id: int, parents: array, rates: array, num_slots: int):
+        """Recover the per-slot rate indices by walking parent pointers."""
+        indices = np.empty(num_slots, dtype=np.int64)
+        current = node_id
+        for slot in range(num_slots - 1, -1, -1):
+            indices[slot] = rates[current]
+            current = parents[current]
+        if current != -1:
+            raise AssertionError("backtrack did not terminate at the root")
+        return indices

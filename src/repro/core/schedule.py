@@ -1,0 +1,359 @@
+"""Renegotiation schedules.
+
+A renegotiation schedule is the central RCBR object: a piecewise-constant
+(stepwise CBR) service-rate function together with the renegotiation
+instants at which the rate changes (Section IV).  Both the offline optimal
+algorithm and the online heuristic produce a :class:`RateSchedule`; the
+multiplexing simulators and the admission controllers consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.traffic.trace import SlottedWorkload
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Renegotiation:
+    """One renegotiation event: at ``time`` the service rate becomes ``new_rate``."""
+
+    time: float
+    new_rate: float
+    old_rate: float
+
+    @property
+    def delta(self) -> float:
+        """Rate change carried in the RM cell (Section III-B uses deltas)."""
+        return self.new_rate - self.old_rate
+
+
+class RateSchedule:
+    """A piecewise-constant service-rate function on ``[0, duration)``.
+
+    Parameters
+    ----------
+    start_times:
+        Segment start times in seconds; must begin at 0 and be strictly
+        increasing.
+    rates:
+        Service rate (bits/second) of each segment; adjacent segments must
+        have different rates (equal neighbours are merged by the factory
+        constructors).
+    duration:
+        Total schedule length in seconds.
+    """
+
+    def __init__(
+        self,
+        start_times: Sequence[float],
+        rates: Sequence[float],
+        duration: float,
+        name: str = "schedule",
+    ) -> None:
+        times = np.asarray(start_times, dtype=float)
+        rate_array = np.asarray(rates, dtype=float)
+        if times.ndim != 1 or times.size == 0:
+            raise ValueError("start_times must be a non-empty 1-D sequence")
+        if times.shape != rate_array.shape:
+            raise ValueError("start_times and rates must have the same length")
+        if times[0] != 0.0:
+            raise ValueError(f"first segment must start at 0, got {times[0]}")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("start_times must be strictly increasing")
+        if duration <= times[-1]:
+            raise ValueError(
+                f"duration ({duration}) must exceed the last start time ({times[-1]})"
+            )
+        if np.any(rate_array < 0):
+            raise ValueError("rates must be non-negative")
+        self._times = times
+        self._rates = rate_array
+        self._times.setflags(write=False)
+        self._rates.setflags(write=False)
+        self.duration = float(duration)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(
+        cls, rate: float, duration: float, name: str = "cbr"
+    ) -> "RateSchedule":
+        """A static CBR schedule (the degenerate no-renegotiation case)."""
+        return cls([0.0], [rate], duration, name=name)
+
+    @classmethod
+    def from_slot_rates(
+        cls,
+        slot_rates: Sequence[float],
+        slot_duration: float,
+        name: str = "schedule",
+    ) -> "RateSchedule":
+        """Compress a per-slot rate array into a schedule.
+
+        Runs of equal rates collapse into single segments; this is how the
+        DP and heuristic outputs (one rate per slot) become schedules.
+        """
+        rates = np.asarray(slot_rates, dtype=float)
+        if rates.ndim != 1 or rates.size == 0:
+            raise ValueError("slot_rates must be a non-empty 1-D sequence")
+        if slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        change = np.flatnonzero(np.diff(rates)) + 1
+        starts = np.concatenate([[0], change])
+        return cls(
+            starts * slot_duration,
+            rates[starts],
+            duration=rates.size * slot_duration,
+            name=name,
+        )
+
+    @classmethod
+    def from_segments(
+        cls,
+        segments: Sequence[Tuple[float, float]],
+        duration: float,
+        name: str = "schedule",
+    ) -> "RateSchedule":
+        """Build from ``(start_time, rate)`` pairs, merging equal neighbours."""
+        if not segments:
+            raise ValueError("segments must be non-empty")
+        starts: List[float] = []
+        rates: List[float] = []
+        for start, rate in segments:
+            if rates and rate == rates[-1]:
+                continue
+            starts.append(start)
+            rates.append(rate)
+        return cls(starts, rates, duration, name=name)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def start_times(self) -> np.ndarray:
+        return self._times
+
+    @property
+    def rates(self) -> np.ndarray:
+        return self._rates
+
+    @property
+    def num_segments(self) -> int:
+        return int(self._times.size)
+
+    @property
+    def num_renegotiations(self) -> int:
+        """Rate changes after the initial setup (the paper's count)."""
+        return self.num_segments - 1
+
+    def segments(self) -> Iterator[Tuple[float, float, float]]:
+        """Yield ``(start, end, rate)`` triples."""
+        ends = np.concatenate([self._times[1:], [self.duration]])
+        for start, end, rate in zip(self._times, ends, self._rates):
+            yield float(start), float(end), float(rate)
+
+    def renegotiations(self) -> Iterator[Renegotiation]:
+        """Yield the renegotiation events (excluding initial setup)."""
+        for index in range(1, self.num_segments):
+            yield Renegotiation(
+                time=float(self._times[index]),
+                new_rate=float(self._rates[index]),
+                old_rate=float(self._rates[index - 1]),
+            )
+
+    def rate_at(self, time: float) -> float:
+        """Service rate at time ``time`` (right-continuous)."""
+        if not 0.0 <= time < self.duration:
+            raise ValueError(f"time {time} outside [0, {self.duration})")
+        index = int(np.searchsorted(self._times, time, side="right")) - 1
+        return float(self._rates[index])
+
+    def slot_rates(self, slot_duration: float, num_slots: Optional[int] = None):
+        """Sample the schedule back onto a slot grid (rate per slot)."""
+        if slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        if num_slots is None:
+            num_slots = int(round(self.duration / slot_duration))
+        slot_starts = np.arange(num_slots) * slot_duration
+        indices = np.searchsorted(self._times, slot_starts, side="right") - 1
+        return self._rates[indices]
+
+    # ------------------------------------------------------------------
+    # Metrics (Section IV-A)
+    # ------------------------------------------------------------------
+    def average_rate(self) -> float:
+        """Time-weighted mean service rate in bits per second."""
+        ends = np.concatenate([self._times[1:], [self.duration]])
+        widths = ends - self._times
+        return float((widths * self._rates).sum() / self.duration)
+
+    def total_bits(self) -> float:
+        """Total reserved transmission capacity over the schedule, in bits."""
+        return self.average_rate() * self.duration
+
+    def bandwidth_efficiency(self, source_mean_rate: float) -> float:
+        """eta = (source average rate) / (schedule average rate), eq. in IV-A."""
+        if source_mean_rate <= 0:
+            raise ValueError("source_mean_rate must be positive")
+        return source_mean_rate / self.average_rate()
+
+    def mean_renegotiation_interval(self) -> float:
+        """Average seconds between renegotiations (inf if there are none)."""
+        if self.num_renegotiations == 0:
+            return float("inf")
+        return self.duration / self.num_renegotiations
+
+    def cost(self, alpha: float, beta: float, slot_duration: float) -> float:
+        """The paper's total cost (eq. 1) in slot units.
+
+        ``alpha`` is the constant cost per renegotiation; ``beta`` the cost
+        per unit bandwidth per slot.  The schedule is evaluated on the slot
+        grid it was built on so that DP costs are reproduced exactly.
+        """
+        rates = self.slot_rates(slot_duration)
+        return alpha * self.num_renegotiations + beta * float(rates.sum())
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shifted(self, offset_seconds: float, name: str = "") -> "RateSchedule":
+        """Circular shift by ``offset_seconds`` (wrapping at ``duration``).
+
+        Mirrors :meth:`FrameTrace.shifted`: the admission-control
+        experiments use "randomly shifted versions of a Star Wars RCBR
+        schedule" (Section VI), which is also how the simulation gains the
+        efficiency of handling renegotiation events only (footnote 4).
+        """
+        offset = float(offset_seconds) % self.duration
+        if offset == 0.0:
+            return self
+        shifted_times = (self._times - offset) % self.duration
+        # Float guard: a breakpoint numerically at `duration` wrapped all
+        # the way around and belongs at 0.
+        snap = np.isclose(
+            shifted_times, self.duration, rtol=0.0, atol=1e-9 * self.duration
+        )
+        shifted_times[snap] = 0.0
+        order = np.argsort(shifted_times, kind="stable")
+        times = shifted_times[order]
+        rates = self._rates[order]
+        # Collapse (sub-nanosecond) zero-length segments from the snap:
+        # the later entry at an equal time is the segment that actually
+        # covers forward from it.
+        keep_time = np.concatenate([np.diff(times) > 0, [True]])
+        times = times[keep_time]
+        rates = rates[keep_time]
+        if times[0] != 0.0:
+            # The segment containing the wrap point becomes the new head.
+            times = np.concatenate([[0.0], times])
+            rates = np.concatenate([[rates[-1]], rates])
+        # Merge equal neighbours created by the wrap.
+        keep = np.concatenate([[True], np.diff(rates) != 0])
+        return RateSchedule(
+            times[keep],
+            rates[keep],
+            self.duration,
+            name or f"{self.name}<<{offset:.3f}s",
+        )
+
+    def random_shift(self, seed: SeedLike = None) -> "RateSchedule":
+        rng = as_generator(seed)
+        return self.shifted(float(rng.uniform(0.0, self.duration)))
+
+    # ------------------------------------------------------------------
+    # Verification against the workload it serves
+    # ------------------------------------------------------------------
+    def buffer_trajectory(self, workload: SlottedWorkload) -> np.ndarray:
+        """Buffer occupancy after each slot when serving ``workload``.
+
+        The queue drains at the scheduled rate and cannot go negative
+        (eq. 3): ``q_t = max(0, q_{t-1} + a_t - c_t * slot)``.
+        """
+        rates = self.slot_rates(workload.slot_duration, workload.num_slots)
+        drains = rates * workload.slot_duration
+        arrivals = workload.bits_per_slot
+        occupancy = np.empty(workload.num_slots)
+        level = 0.0
+        for index in range(workload.num_slots):
+            level = max(0.0, level + arrivals[index] - drains[index])
+            occupancy[index] = level
+        return occupancy
+
+    def max_buffer(self, workload: SlottedWorkload) -> float:
+        """Peak buffer occupancy while serving ``workload`` (losslessly)."""
+        return float(self.buffer_trajectory(workload).max())
+
+    def is_feasible(self, workload: SlottedWorkload, buffer_bits: float) -> bool:
+        """True if the buffer bound is never exceeded (eq. 2)."""
+        return self.max_buffer(workload) <= buffer_bits + 1e-6
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A plain-JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "start_times": self._times.tolist(),
+            "rates": self._rates.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RateSchedule":
+        return cls(
+            data["start_times"],
+            data["rates"],
+            data["duration"],
+            name=data.get("name", "schedule"),
+        )
+
+    def save(self, path) -> None:
+        """Write the schedule as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "RateSchedule":
+        """Read a schedule previously written with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RateSchedule(name={self.name!r}, segments={self.num_segments}, "
+            f"duration={self.duration:.1f}s, avg_rate={self.average_rate():.0f}b/s)"
+        )
+
+
+def empirical_rate_distribution(
+    schedule: RateSchedule,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The schedule's marginal bandwidth distribution.
+
+    Returns ``(levels, fractions)``: the distinct rate levels used and the
+    fraction of time each level is held.  This is "the empirical
+    distribution (histogram) of bandwidth requirements throughout the
+    lifetime of a call ... viewed as the traffic descriptor of the call"
+    (Section VI), the input to the Chernoff admission test.
+    """
+    ends = np.concatenate([schedule.start_times[1:], [schedule.duration]])
+    widths = ends - schedule.start_times
+    levels, inverse = np.unique(schedule.rates, return_inverse=True)
+    fractions = np.zeros(levels.size)
+    np.add.at(fractions, inverse, widths)
+    fractions /= schedule.duration
+    return levels, fractions

@@ -1,0 +1,125 @@
+"""Optimal smoothing baseline (related work, Section VIII).
+
+Before renegotiation, the standard tool against VBR burstiness was
+*work-ahead smoothing*: given the whole trace and a client buffer, send
+ahead of schedule so the transmitted rate varies as little as possible.
+The classic result (Salehi et al., "Supporting stored video: reducing
+rate variability and end-to-end resource requirements through optimal
+smoothing") computes the unique schedule minimising (in the majorization
+sense) the rate variability — the "shortest path" threading between the
+cumulative-arrival floor and the floor-plus-buffer ceiling.
+
+The paper's Section V-A argument predicts smoothing alone cannot rescue
+multiple time-scale traffic: the *peak* of the smoothed schedule is still
+pinned by the worst scene (the slow time scale), so the one-shot CBR rate
+barely improves.  RCBR instead renegotiates across scenes.  This module
+provides the smoothing baseline so that comparison is runnable (see
+``benchmarks/test_smoothing_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import RateSchedule
+from repro.traffic.trace import SlottedWorkload
+
+
+@dataclass(frozen=True)
+class SmoothingResult:
+    """The optimally smoothed transmission plan."""
+
+    schedule: RateSchedule
+    cumulative_sent: np.ndarray  # bits sent by the end of each slot
+
+    @property
+    def peak_rate(self) -> float:
+        return float(self.schedule.rates.max())
+
+
+def optimal_smoothing(
+    workload: SlottedWorkload, buffer_bits: float, name: str = ""
+) -> SmoothingResult:
+    """Minimum-variability work-ahead transmission plan.
+
+    Orientation matches the renegotiation problem: ``workload`` arrives
+    into the source's buffer of size ``buffer_bits`` and the network
+    drains it.  Cumulative service S must satisfy ``A - B <= S <= A``
+    (the buffer neither overflows nor serves data that has not arrived),
+    and everything is delivered by the end (``S_T = A_T``).  Among all
+    feasible plans, the *taut string* through that corridor minimises
+    both the peak and the variance of the transmission rate (it is
+    majorization-minimal).
+
+    Implemented with the classic taut-string / funnel algorithm in
+    O(n^2) worst case but near-linear in practice.
+    """
+    if buffer_bits <= 0:
+        raise ValueError("buffer_bits must be positive")
+    ceiling = np.concatenate([[0.0], np.cumsum(workload.bits_per_slot)])
+    floor = np.maximum(0.0, ceiling - buffer_bits)
+    floor[-1] = ceiling[-1]  # deliver everything by the end
+    num_points = floor.size  # slots + 1
+
+    # Taut string between floor (below) and ceiling (above), anchored at
+    # (0, 0) and (n, total).  Classic funnel walk.
+    anchor_index = 0
+    anchor_value = 0.0
+    position = 0
+    sent = np.zeros(num_points)
+    while position < num_points - 1:
+        # Extend the funnel from the anchor as far as possible.
+        min_slope = -np.inf
+        max_slope = np.inf
+        min_candidate = None  # (index, slope) achieving the binding floor
+        max_candidate = None
+        index = anchor_index
+        while True:
+            index += 1
+            steps = index - anchor_index
+            low = (floor[index] - anchor_value) / steps
+            high = (ceiling[index] - anchor_value) / steps
+            if low > min_slope:
+                min_slope = low
+                min_candidate = index
+            if high < max_slope:
+                max_slope = high
+                max_candidate = index
+            if min_slope > max_slope + 1e-12:
+                # Funnel closed: the binding constraint decides the next
+                # linear segment.
+                if min_candidate <= max_candidate:
+                    # Floor binds first: go straight to the floor point.
+                    target_index, slope = min_candidate, min_slope
+                    # Recompute the tight slope to the chosen point.
+                    slope = (floor[target_index] - anchor_value) / (
+                        target_index - anchor_index
+                    )
+                else:
+                    target_index = max_candidate
+                    slope = (ceiling[target_index] - anchor_value) / (
+                        target_index - anchor_index
+                    )
+                break
+            if index == num_points - 1:
+                # Reached the end inside the funnel: aim at the final
+                # total with any feasible slope; take the tautest.
+                target_index = index
+                slope = (floor[index] - anchor_value) / (index - anchor_index)
+                slope = min(max(slope, min_slope), max_slope)
+                break
+        for step in range(anchor_index + 1, target_index + 1):
+            sent[step] = anchor_value + slope * (step - anchor_index)
+        anchor_index = target_index
+        anchor_value = sent[target_index]
+        position = target_index
+
+    rates = np.diff(sent) / workload.slot_duration
+    schedule = RateSchedule.from_slot_rates(
+        np.round(rates, 9),
+        workload.slot_duration,
+        name=name or f"smooth({workload.name})",
+    )
+    return SmoothingResult(schedule=schedule, cumulative_sent=sent[1:])

@@ -1,0 +1,281 @@
+"""The experiment runners (see the package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.admission.callsim import arrival_rate_for_load, simulate_admission
+from repro.admission.controllers import (
+    MemoryMBAC,
+    MemorylessMBAC,
+    PerfectKnowledgeCAC,
+)
+from repro.analysis.empirical import sigma_rho_for_loss, windowed_peak_rate
+from repro.core import (
+    OnlineParams,
+    OnlineScheduler,
+    OptimalScheduler,
+    granular_rate_levels,
+)
+from repro.core.schedule import RateSchedule, empirical_rate_distribution
+from repro.queueing.mux import (
+    scenario_a_rate,
+    scenario_b_min_rate,
+    scenario_c_min_rate,
+)
+from repro.traffic.trace import FrameTrace
+from repro.util.rng import SeedLike
+from repro.util.units import kbits, kbps
+
+DEFAULT_BUFFER = kbits(300)
+DEFAULT_GRANULARITY = kbps(64)
+
+
+def rate_levels_for(trace: FrameTrace, granularity: float) -> np.ndarray:
+    """The paper-style rate grid, widened to keep the DP feasible."""
+    top = max(kbps(2400), 1.1 * windowed_peak_rate(trace, 1.0))
+    return granular_rate_levels(granularity, top)
+
+
+def compute_optimal_schedule(
+    trace: FrameTrace,
+    alpha: float,
+    buffer_bits: float = DEFAULT_BUFFER,
+    granularity: float = DEFAULT_GRANULARITY,
+    frames_per_slot: int = 2,
+) -> RateSchedule:
+    """The trace's optimal RCBR schedule at the paper's parameters."""
+    workload = (
+        trace.aggregate(frames_per_slot)
+        if frames_per_slot > 1
+        else trace.as_workload()
+    )
+    levels = rate_levels_for(trace, granularity)
+    result = OptimalScheduler(levels, alpha=alpha, beta=1.0).solve(
+        workload, buffer_bits=buffer_bits
+    )
+    return result.schedule
+
+
+# ----------------------------------------------------------------------
+# Fig. 2: the efficiency / renegotiation-interval tradeoff
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point on a Fig. 2 curve."""
+
+    parameter: float  # alpha for OPT, delta for the heuristic
+    mean_interval: float
+    efficiency: float
+    max_buffer: float
+
+
+@dataclass
+class TradeoffResult:
+    optimal: List[TradeoffPoint] = field(default_factory=list)
+    heuristic: List[TradeoffPoint] = field(default_factory=list)
+
+
+def run_tradeoff(
+    trace: FrameTrace,
+    alphas: Sequence[float] = (2e5, 1e6, 6e6, 3e7),
+    deltas: Sequence[float] = (kbps(25), kbps(50), kbps(100), kbps(400)),
+    buffer_bits: float = DEFAULT_BUFFER,
+    granularity: float = DEFAULT_GRANULARITY,
+    frames_per_slot: int = 2,
+) -> TradeoffResult:
+    """Fig. 2: sweep the OPT cost ratio and the heuristic granularity."""
+    result = TradeoffResult()
+    workload = trace.aggregate(frames_per_slot)
+    levels = rate_levels_for(trace, granularity)
+    mean = trace.mean_rate
+    for alpha in alphas:
+        schedule = (
+            OptimalScheduler(levels, alpha=alpha)
+            .solve(workload, buffer_bits=buffer_bits)
+            .schedule
+        )
+        result.optimal.append(
+            TradeoffPoint(
+                parameter=alpha,
+                mean_interval=schedule.mean_renegotiation_interval(),
+                efficiency=schedule.bandwidth_efficiency(mean),
+                max_buffer=schedule.max_buffer(workload),
+            )
+        )
+    frame_workload = trace.as_workload()
+    for delta in deltas:
+        outcome = OnlineScheduler(OnlineParams(granularity=delta)).schedule(
+            frame_workload
+        )
+        result.heuristic.append(
+            TradeoffPoint(
+                parameter=delta,
+                mean_interval=outcome.schedule.mean_renegotiation_interval(),
+                efficiency=outcome.schedule.bandwidth_efficiency(mean),
+                max_buffer=outcome.max_buffer,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: the (sigma, rho) curve
+# ----------------------------------------------------------------------
+@dataclass
+class SigmaRhoResult:
+    buffers: np.ndarray
+    rates: np.ndarray
+    mean_rate: float
+
+    def normalized(self) -> np.ndarray:
+        """rho / mean for each buffer."""
+        return self.rates / self.mean_rate
+
+
+def run_sigma_rho(
+    trace: FrameTrace,
+    buffers: Sequence[float] = (
+        kbits(50), kbits(100), kbits(300), kbits(1000), kbits(3000),
+        kbits(10_000),
+    ),
+    loss_target: float = 1e-6,
+) -> SigmaRhoResult:
+    """Fig. 5: min CBR rate vs buffer size at the loss target."""
+    curve = sigma_rho_for_loss(trace.as_workload(), buffers, loss_target)
+    return SigmaRhoResult(
+        buffers=curve[:, 0], rates=curve[:, 1], mean_rate=trace.mean_rate
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: statistical multiplexing gain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SmgPoint:
+    num_sources: int
+    cbr_rate: float
+    shared_rate: float
+    rcbr_rate: float
+
+
+@dataclass
+class SmgResult:
+    points: List[SmgPoint]
+    mean_rate: float
+    schedule_efficiency: float
+
+
+def run_smg(
+    trace: FrameTrace,
+    schedule: RateSchedule,
+    source_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    loss_target: float = 1e-6,
+    buffer_bits: float = DEFAULT_BUFFER,
+    seed: SeedLike = 0,
+) -> SmgResult:
+    """Fig. 6: per-stream capacity under scenarios (a), (b), (c)."""
+    workload = trace.as_workload()
+    cbr = scenario_a_rate(workload, buffer_bits, loss_target)
+    points = []
+    for index, count in enumerate(source_counts):
+        shared = scenario_b_min_rate(
+            trace, count, buffer_bits, loss_target,
+            seed=(seed, 2 * index),
+        )
+        rcbr = scenario_c_min_rate(
+            schedule, count, loss_target, seed=(seed, 2 * index + 1)
+        )
+        points.append(
+            SmgPoint(
+                num_sources=count,
+                cbr_rate=cbr,
+                shared_rate=shared,
+                rcbr_rate=rcbr,
+            )
+        )
+    return SmgResult(
+        points=points,
+        mean_rate=trace.mean_rate,
+        schedule_efficiency=schedule.bandwidth_efficiency(trace.mean_rate),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section VI: MBAC comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MbacPoint:
+    controller: str
+    capacity_multiple: float
+    load: float
+    failure_probability: float
+    utilization: float
+    blocking_probability: float
+
+
+@dataclass
+class MbacResult:
+    points: List[MbacPoint]
+    failure_target: float
+
+    def by_controller(self, name: str) -> List[MbacPoint]:
+        return [point for point in self.points if point.controller == name]
+
+
+def run_mbac_comparison(
+    schedule: RateSchedule,
+    capacity_multiples: Sequence[float] = (6.0, 12.0),
+    loads: Sequence[float] = (0.6, 1.0),
+    failure_target: float = 1e-3,
+    controllers: Sequence[str] = ("memoryless", "memory", "perfect"),
+    seed_base: int = 10_000,
+    min_intervals: int = 5,
+    max_intervals: int = 10,
+) -> MbacResult:
+    """Figs. 7-8 and the memory fix: failure probability and utilization."""
+    levels, fractions = empirical_rate_distribution(schedule)
+    mean = schedule.average_rate()
+
+    def make_controller(name: str):
+        if name == "memoryless":
+            return MemorylessMBAC(failure_target)
+        if name == "memory":
+            return MemoryMBAC(failure_target)
+        if name == "perfect":
+            return PerfectKnowledgeCAC(levels, fractions, failure_target)
+        raise ValueError(f"unknown controller {name!r}")
+
+    points = []
+    for capacity_multiple in capacity_multiples:
+        capacity = capacity_multiple * mean
+        for load in loads:
+            arrival_rate = arrival_rate_for_load(
+                load, capacity, mean, schedule.duration
+            )
+            seed = seed_base + int(100 * capacity_multiple + 10 * load)
+            for name in controllers:
+                outcome = simulate_admission(
+                    schedule,
+                    capacity,
+                    arrival_rate,
+                    make_controller(name),
+                    seed=seed,
+                    min_intervals=min_intervals,
+                    max_intervals=max_intervals,
+                    failure_target=failure_target,
+                )
+                points.append(
+                    MbacPoint(
+                        controller=name,
+                        capacity_multiple=capacity_multiple,
+                        load=load,
+                        failure_probability=outcome.failure_probability,
+                        utilization=outcome.utilization,
+                        blocking_probability=outcome.blocking_probability,
+                    )
+                )
+    return MbacResult(points=points, failure_target=failure_target)

@@ -1,0 +1,60 @@
+"""Queueing substrates: fluid queues, token buckets, links, multiplexers.
+
+Everything the paper's Section II/V simulations need: the end-system fluid
+buffer, leaky-bucket descriptors, a discrete-event engine, the RCBR link
+with grant/deny renegotiation semantics, and the three Fig. 3 scenarios.
+"""
+
+from repro.queueing.fluid import (
+    FluidQueueResult,
+    simulate_fluid_queue,
+    required_buffer,
+    loss_fraction_for_rate,
+    min_rate_for_loss,
+    sigma_rho_curve,
+)
+from repro.queueing.leaky_bucket import (
+    TokenBucket,
+    ShapingResult,
+    minimal_bucket_depth,
+)
+from repro.queueing.events import Event, EventScheduler
+from repro.queueing.link import RcbrLink, RequestOutcome
+from repro.queueing.mux import (
+    aggregate_shifted_arrivals,
+    scenario_a_rate,
+    scenario_b_loss,
+    scenario_b_min_rate,
+    scenario_c_loss,
+    scenario_c_min_rate,
+    aggregate_demand,
+    rcbr_overflow_bits,
+    estimate_mean_loss,
+    schedule_step_events,
+)
+
+__all__ = [
+    "FluidQueueResult",
+    "simulate_fluid_queue",
+    "required_buffer",
+    "loss_fraction_for_rate",
+    "min_rate_for_loss",
+    "sigma_rho_curve",
+    "TokenBucket",
+    "ShapingResult",
+    "minimal_bucket_depth",
+    "Event",
+    "EventScheduler",
+    "RcbrLink",
+    "RequestOutcome",
+    "aggregate_shifted_arrivals",
+    "scenario_a_rate",
+    "scenario_b_loss",
+    "scenario_b_min_rate",
+    "scenario_c_loss",
+    "scenario_c_min_rate",
+    "aggregate_demand",
+    "rcbr_overflow_bits",
+    "estimate_mean_loss",
+    "schedule_step_events",
+]

@@ -1,0 +1,122 @@
+"""A minimal discrete-event simulation engine.
+
+The call-level admission-control simulator (:mod:`repro.admission.callsim`)
+and the signaling network (:mod:`repro.signaling`) are event-driven: call
+arrivals, departures, and renegotiation instants are events on a shared
+clock.  This engine is a conventional heap-based scheduler with stable
+FIFO ordering for simultaneous events and cancellable handles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(
+        self, time: float, sequence: int, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe to call repeatedly)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6g}, {state}, {self.callback.__name__})"
+
+
+class EventScheduler:
+    """A discrete-event clock with a priority queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._queue: list = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self._now}, requested={time})"
+            )
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def run(
+        self, until: float = math.inf, max_events: Optional[int] = None
+    ) -> None:
+        """Process events in time order until the queue empties.
+
+        Stops (without processing) at the first event strictly after
+        ``until``; the clock is then advanced to ``until``.  ``max_events``
+        bounds runaway simulations.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until != math.inf and until > self._now:
+            self._now = until
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False

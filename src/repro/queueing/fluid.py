@@ -1,0 +1,185 @@
+"""Slotted fluid queues.
+
+The paper models all services as "traffic from a source is queued at a
+buffer at the end-system, and the network drains the buffer at a given
+drain rate" (Section II).  This module simulates that queue exactly on the
+slot grid: per slot, ``a_t`` bits arrive, ``c_t * slot`` bits drain, the
+occupancy cannot go negative, and anything above the buffer bound is lost.
+
+These loops are the innermost kernel of the Fig. 5 / Fig. 6 experiments,
+so they are written with plain Python floats over pre-converted lists
+(substantially faster than per-element numpy scalar arithmetic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.traffic.trace import SlottedWorkload
+from repro.util.search import binary_search_min_feasible
+
+
+@dataclass(frozen=True)
+class FluidQueueResult:
+    """Outcome of a fluid-queue simulation."""
+
+    arrived_bits: float
+    lost_bits: float
+    max_occupancy: float
+    final_occupancy: float
+    occupancy: Optional[np.ndarray] = None
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of offered bits lost to buffer overflow."""
+        if self.arrived_bits == 0.0:
+            return 0.0
+        return self.lost_bits / self.arrived_bits
+
+    @property
+    def carried_bits(self) -> float:
+        return self.arrived_bits - self.lost_bits
+
+
+def simulate_fluid_queue(
+    arrivals_bits: Union[Sequence[float], np.ndarray],
+    drain_bits_per_slot: Union[float, Sequence[float], np.ndarray],
+    buffer_bits: float = math.inf,
+    initial_occupancy: float = 0.0,
+    record_occupancy: bool = False,
+) -> FluidQueueResult:
+    """Simulate a finite fluid queue over the slot grid.
+
+    Per slot: ``q <- max(0, q + a - drain)``; anything then above
+    ``buffer_bits`` overflows and is counted as lost.  This is exactly the
+    paper's eqs. 2-3 convention (the occupancy bound applies to the
+    post-service ``q_t``), shared with ``RateSchedule.buffer_trajectory``
+    and the optimal DP so that rates, buffers, and schedules are directly
+    comparable across the library.
+
+    ``drain_bits_per_slot`` may be a scalar (CBR) or a per-slot sequence
+    (an RCBR schedule sampled on the slot grid).
+    """
+    arrivals = np.asarray(arrivals_bits, dtype=float)
+    if arrivals.ndim != 1 or arrivals.size == 0:
+        raise ValueError("arrivals must be a non-empty 1-D sequence")
+    if buffer_bits < 0:
+        raise ValueError("buffer_bits must be non-negative")
+    if initial_occupancy < 0 or initial_occupancy > buffer_bits:
+        raise ValueError("initial_occupancy must lie within the buffer")
+
+    num_slots = arrivals.size
+    if np.isscalar(drain_bits_per_slot):
+        drains = [float(drain_bits_per_slot)] * num_slots
+        if drains[0] < 0:
+            raise ValueError("drain must be non-negative")
+    else:
+        drain_array = np.asarray(drain_bits_per_slot, dtype=float)
+        if drain_array.shape != arrivals.shape:
+            raise ValueError(
+                "per-slot drain must have the same length as arrivals "
+                f"({drain_array.shape} vs {arrivals.shape})"
+            )
+        if np.any(drain_array < 0):
+            raise ValueError("drains must be non-negative")
+        drains = drain_array.tolist()
+
+    arrival_list = arrivals.tolist()
+    bound = float(buffer_bits)
+    level = float(initial_occupancy)
+    lost = 0.0
+    peak = level
+    trajectory = np.empty(num_slots) if record_occupancy else None
+
+    for index in range(num_slots):
+        level += arrival_list[index] - drains[index]
+        if level < 0.0:
+            level = 0.0
+        elif level > bound:
+            lost += level - bound
+            level = bound
+        if level > peak:
+            peak = level
+        if trajectory is not None:
+            trajectory[index] = level
+
+    return FluidQueueResult(
+        arrived_bits=float(arrivals.sum()),
+        lost_bits=lost,
+        max_occupancy=peak,
+        final_occupancy=level,
+        occupancy=trajectory,
+    )
+
+
+def required_buffer(
+    arrivals_bits: Union[Sequence[float], np.ndarray],
+    drain_bits_per_slot: Union[float, Sequence[float], np.ndarray],
+) -> float:
+    """Smallest buffer for lossless service at the given drain.
+
+    This is sigma(rho) of the (sigma, rho) curve: the peak occupancy of
+    the infinite queue, ``max_t max_s [A(t) - A(s) - rho (t - s)]``.
+    """
+    result = simulate_fluid_queue(arrivals_bits, drain_bits_per_slot)
+    return result.max_occupancy
+
+
+def loss_fraction_for_rate(
+    workload: SlottedWorkload, rate: float, buffer_bits: float
+) -> float:
+    """Loss fraction when ``workload`` is served at CBR ``rate`` (bits/s)."""
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    drain = rate * workload.slot_duration
+    return simulate_fluid_queue(
+        workload.bits_per_slot, drain, buffer_bits
+    ).loss_fraction
+
+
+def min_rate_for_loss(
+    workload: SlottedWorkload,
+    buffer_bits: float,
+    loss_target: float,
+    tolerance: Optional[float] = None,
+) -> float:
+    """Minimum CBR drain rate keeping the loss fraction at or below target.
+
+    This computes one point of the trace's (sigma, rho) curve (Fig. 5):
+    for buffer size sigma = ``buffer_bits``, the minimum service rate rho
+    such that the fraction of bits lost is below ``loss_target``.
+    """
+    if not 0.0 <= loss_target < 1.0:
+        raise ValueError("loss_target must be in [0, 1)")
+    mean = workload.mean_rate
+    peak = workload.peak_rate
+    if tolerance is None:
+        tolerance = max(1.0, 1e-4 * mean)
+
+    def feasible(rate: float) -> bool:
+        return loss_fraction_for_rate(workload, rate, buffer_bits) <= loss_target
+
+    if feasible(mean):
+        return mean
+    return binary_search_min_feasible(feasible, mean, peak, tolerance)
+
+
+def sigma_rho_curve(
+    workload: SlottedWorkload,
+    rates: Sequence[float],
+) -> np.ndarray:
+    """Lossless (sigma, rho) pairs: required buffer for each drain rate.
+
+    Returns an array of shape ``(len(rates), 2)`` with columns
+    ``(rate, required_buffer)``.  The empirical-envelope counterpart with a
+    loss target is in :func:`repro.analysis.empirical.sigma_rho_for_loss`.
+    """
+    rows = []
+    for rate in rates:
+        drain = rate * workload.slot_duration
+        rows.append((float(rate), required_buffer(workload.bits_per_slot, drain)))
+    return np.asarray(rows)

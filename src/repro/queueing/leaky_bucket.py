@@ -1,0 +1,170 @@
+"""Token (leaky) bucket traffic descriptors.
+
+Section II argues that one-shot descriptors — a CBR rate or a leaky bucket
+``(token rate, bucket depth)`` — cannot capture multiple time-scale
+burstiness.  This module implements the descriptor itself so the
+``benchmarks/test_oneshot_descriptor.py`` ablation can demonstrate the
+four-way bind (lost multiplexing gain / loss / buffering / loss of
+protection) quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.traffic.trace import SlottedWorkload
+
+
+@dataclass(frozen=True)
+class TokenBucket:
+    """A token bucket with fill rate ``token_rate`` (bits/s) and depth ``bucket_bits``."""
+
+    token_rate: float
+    bucket_bits: float
+
+    def __post_init__(self) -> None:
+        if self.token_rate < 0:
+            raise ValueError("token_rate must be non-negative")
+        if self.bucket_bits < 0:
+            raise ValueError("bucket_bits must be non-negative")
+
+    # ------------------------------------------------------------------
+    def police(self, workload: SlottedWorkload) -> Tuple[np.ndarray, np.ndarray]:
+        """Split arrivals into conformant and excess bits per slot.
+
+        The bucket starts full.  Per slot, tokens refill by
+        ``token_rate * slot`` (capped at the depth); arrivals up to the
+        available tokens are conformant, the rest is tagged as excess.
+        """
+        refill = self.token_rate * workload.slot_duration
+        capacity = self.bucket_bits
+        tokens = capacity
+        arrivals = workload.bits_per_slot.tolist()
+        conformant = np.empty(len(arrivals))
+        excess = np.empty(len(arrivals))
+        for index, amount in enumerate(arrivals):
+            tokens = min(capacity, tokens + refill)
+            passed = min(amount, tokens)
+            tokens -= passed
+            conformant[index] = passed
+            excess[index] = amount - passed
+        return conformant, excess
+
+    def conforms(self, workload: SlottedWorkload) -> bool:
+        """True if the whole workload passes the bucket with no excess."""
+        _, excess = self.police(workload)
+        return bool(excess.sum() <= 1e-9)
+
+    def shape(
+        self, workload: SlottedWorkload, shaper_buffer_bits: float = math.inf
+    ) -> "ShapingResult":
+        """Buffer non-conformant data and release it as tokens allow.
+
+        Models the end-system VBR buffer of Section II: data waits in a
+        shaping buffer of size ``shaper_buffer_bits``; per slot the shaper
+        releases ``min(backlog + arrivals, tokens)``.  Data arriving to a
+        full shaping buffer is lost.
+        """
+        refill = self.token_rate * workload.slot_duration
+        capacity = self.bucket_bits
+        bound = float(shaper_buffer_bits)
+        tokens = capacity
+        backlog = 0.0
+        lost = 0.0
+        max_backlog = 0.0
+        arrivals = workload.bits_per_slot.tolist()
+        output = np.empty(len(arrivals))
+        for index, amount in enumerate(arrivals):
+            backlog += amount
+            if backlog > bound:
+                lost += backlog - bound
+                backlog = bound
+            if backlog > max_backlog:
+                max_backlog = backlog
+            tokens = min(capacity, tokens + refill)
+            released = min(backlog, tokens)
+            tokens -= released
+            backlog -= released
+            output[index] = released
+        return ShapingResult(
+            output_bits=output,
+            lost_bits=lost,
+            arrived_bits=float(workload.bits_per_slot.sum()),
+            max_backlog=max_backlog,
+            final_backlog=backlog,
+            slot_duration=workload.slot_duration,
+        )
+
+    def burst_bound(self, interval_seconds: float) -> float:
+        """Maximum bits admitted over any interval of the given length."""
+        if interval_seconds < 0:
+            raise ValueError("interval must be non-negative")
+        return self.bucket_bits + self.token_rate * interval_seconds
+
+
+@dataclass(frozen=True)
+class ShapingResult:
+    """Output of :meth:`TokenBucket.shape`."""
+
+    output_bits: np.ndarray
+    lost_bits: float
+    arrived_bits: float
+    max_backlog: float
+    final_backlog: float
+    slot_duration: float
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.arrived_bits == 0.0:
+            return 0.0
+        return self.lost_bits / self.arrived_bits
+
+    @property
+    def max_delay(self) -> float:
+        """Worst-case shaping delay implied by the peak backlog.
+
+        For a FIFO shaping buffer drained at the token rate, the delay of
+        the last bit of the peak backlog is backlog / token_rate.
+        """
+        if self.max_backlog == 0.0:
+            return 0.0
+        return math.inf if self.output_rate_bound == 0 else self.max_backlog / self.output_rate_bound
+
+    @property
+    def output_rate_bound(self) -> float:
+        """Long-run drain rate of the shaper (token refill rate)."""
+        total_slots = self.output_bits.size
+        if total_slots == 0:
+            return 0.0
+        return float(self.output_bits.sum()) / (total_slots * self.slot_duration)
+
+    def as_workload(self, name: str = "shaped") -> SlottedWorkload:
+        return SlottedWorkload(self.output_bits, self.slot_duration, name=name)
+
+
+def minimal_bucket_depth(workload: SlottedWorkload, token_rate: float) -> float:
+    """Smallest bucket depth making ``workload`` fully conformant.
+
+    The bucket's token *deficit* evolves as a virtual queue refilled at
+    the token rate and loaded by each slot's arrivals before they can be
+    served: ``d_t = max(0, d_{t-1} - rho dt) + a_t``.  The workload
+    conforms iff the deficit never exceeds the depth, so the minimal
+    depth is the deficit's peak.  This is the same sigma(rho) tradeoff as
+    the CBR buffer requirement (why Section II treats the two one-shot
+    descriptors interchangeably), differing only in that the deficit is
+    measured before the slot's refill can absorb the arrival.
+    """
+    if token_rate < 0:
+        raise ValueError("token_rate must be non-negative")
+    refill = token_rate * workload.slot_duration
+    deficit = 0.0
+    peak = 0.0
+    for amount in workload.bits_per_slot.tolist():
+        deficit = max(0.0, deficit - refill) + amount
+        if deficit > peak:
+            peak = deficit
+    return peak

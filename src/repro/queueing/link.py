@@ -1,0 +1,208 @@
+"""The RCBR link: per-source CBR allocations with renegotiation.
+
+This is the switch-side abstraction of Section III: a link of fixed
+capacity carrying one CBR allocation per source.  A renegotiation request
+succeeds iff the new total allocation fits ("it checks if the current port
+utilization plus the rate difference is less than the port capacity").
+
+Two behaviours from the paper are modelled faithfully:
+
+* "even if the renegotiation fails, the source can keep whatever
+  bandwidth it already has" — a denied increase leaves the old grant;
+* on failure "the source has to temporarily settle for whatever bandwidth
+  remaining in the link until more bandwidth becomes available"
+  (Section V-B) — the link grants the spare capacity immediately and
+  remembers the outstanding demand; freed capacity is redistributed to
+  shortfall sources in FIFO order of their requests.
+
+The link also integrates allocated bandwidth and per-source shortfall over
+time, which is how the experiments measure utilization and bits lost to
+renegotiation failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Result of a renegotiation (or setup) request."""
+
+    granted_rate: float
+    requested_rate: float
+
+    @property
+    def fully_granted(self) -> bool:
+        return self.granted_rate >= self.requested_rate - 1e-9
+
+    @property
+    def failed(self) -> bool:
+        return not self.fully_granted
+
+
+class RcbrLink:
+    """A fixed-capacity link multiplexing renegotiated CBR sources."""
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self._grants: Dict[object, float] = {}
+        self._demands: Dict[object, float] = {}
+        self._shortfall_order: List[object] = []
+        self._clock = 0.0
+        self._allocated_integral = 0.0  # bit-seconds of reserved bandwidth
+        self._shortfall_integral = 0.0  # bits lost to unmet demand
+        self.request_count = 0
+        self.increase_count = 0
+        self.failure_count = 0
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def allocated(self) -> float:
+        """Total granted bandwidth right now."""
+        return sum(self._grants.values())
+
+    @property
+    def spare(self) -> float:
+        return max(0.0, self.capacity - self.allocated)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self._grants)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self._demands.values())
+
+    def grant_of(self, source_id) -> float:
+        return self._grants.get(source_id, 0.0)
+
+    def demand_of(self, source_id) -> float:
+        return self._demands.get(source_id, 0.0)
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Time accounting
+    # ------------------------------------------------------------------
+    def _advance(self, time: float) -> None:
+        if time < self._clock - 1e-9:
+            raise ValueError(
+                f"time must not go backwards (now={self._clock}, got={time})"
+            )
+        elapsed = max(0.0, time - self._clock)
+        if elapsed > 0.0:
+            allocated = self.allocated
+            shortfall = sum(
+                self._demands[source] - self._grants[source]
+                for source in self._shortfall_order
+            )
+            self._allocated_integral += allocated * elapsed
+            self._shortfall_integral += shortfall * elapsed
+        self._clock = time
+
+    @property
+    def allocated_bit_seconds(self) -> float:
+        """Integral of granted bandwidth over time (bits)."""
+        return self._allocated_integral
+
+    @property
+    def lost_bits(self) -> float:
+        """Integral of unmet demand over time (bits lost to failures)."""
+        return self._shortfall_integral
+
+    def mean_utilization(self, horizon: Optional[float] = None) -> float:
+        """Time-average fraction of capacity reserved since time zero."""
+        span = self._clock if horizon is None else horizon
+        if span <= 0:
+            return 0.0
+        return self._allocated_integral / (self.capacity * span)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request(self, source_id, new_rate: float, time: float) -> RequestOutcome:
+        """Set up or renegotiate ``source_id``'s rate to ``new_rate``.
+
+        Decreases always succeed.  Increases succeed up to the spare
+        capacity; the shortfall is tracked and back-filled when capacity
+        frees.  A partially granted increase counts as one renegotiation
+        failure.
+        """
+        if new_rate < 0:
+            raise ValueError("rates must be non-negative")
+        self._advance(time)
+        old_grant = self._grants.get(source_id, 0.0)
+        self.request_count += 1
+        self._demands[source_id] = new_rate
+        if new_rate <= old_grant:
+            # Decrease (or no-op): always granted in full, frees capacity.
+            self._set_grant(source_id, new_rate)
+            self._redistribute()
+            return RequestOutcome(granted_rate=new_rate, requested_rate=new_rate)
+
+        self.increase_count += 1
+        available = self.spare
+        granted = min(new_rate, old_grant + available)
+        self._set_grant(source_id, granted)
+        if granted < new_rate - 1e-9:
+            self.failure_count += 1
+            if source_id not in self._shortfall_order:
+                self._shortfall_order.append(source_id)
+        else:
+            self._clear_shortfall(source_id)
+        return RequestOutcome(granted_rate=granted, requested_rate=new_rate)
+
+    def release(self, source_id, time: float) -> None:
+        """Tear down the source, freeing its bandwidth."""
+        self._advance(time)
+        self._grants.pop(source_id, None)
+        self._demands.pop(source_id, None)
+        self._clear_shortfall(source_id)
+        self._redistribute()
+
+    def finish(self, time: float) -> None:
+        """Advance the accounting clock to ``time`` with no state change."""
+        self._advance(time)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _set_grant(self, source_id, rate: float) -> None:
+        if rate <= 0.0 and self._demands.get(source_id, 0.0) <= 0.0:
+            self._grants[source_id] = 0.0
+        else:
+            self._grants[source_id] = rate
+
+    def _clear_shortfall(self, source_id) -> None:
+        if source_id in self._shortfall_order:
+            self._shortfall_order.remove(source_id)
+
+    def _redistribute(self) -> None:
+        """Hand freed capacity to shortfall sources in FIFO request order."""
+        spare = self.spare
+        satisfied = []
+        for source_id in self._shortfall_order:
+            if spare <= 1e-12:
+                break
+            missing = self._demands[source_id] - self._grants[source_id]
+            topup = min(missing, spare)
+            self._grants[source_id] += topup
+            spare -= topup
+            if self._grants[source_id] >= self._demands[source_id] - 1e-9:
+                satisfied.append(source_id)
+        for source_id in satisfied:
+            self._shortfall_order.remove(source_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"RcbrLink(capacity={self.capacity:.0f}, sources={self.num_sources}, "
+            f"allocated={self.allocated:.0f}, failures={self.failure_count})"
+        )

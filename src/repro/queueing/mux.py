@@ -1,0 +1,255 @@
+"""The three multiplexing scenarios of Fig. 3.
+
+Scenario (a): traditional CBR — each source has its own buffer ``B`` and a
+fixed CBR rate ``c``; no multiplexing between sources.
+
+Scenario (b): unrestricted sharing — ``N`` sources feed one shared server
+of rate ``N c`` and buffer ``N B``; this is the maximum achievable
+statistical multiplexing gain.
+
+Scenario (c): RCBR — each source is smoothed into a stepwise-CBR stream by
+its own buffer ``B`` and the streams share a *bufferless* link of rate
+``N c``; bits are lost when renegotiations fail.
+
+All three keep the total service rate ``N c`` and the total buffering
+``N B`` fixed, exactly as in the paper, so the per-source rate ``c(N)``
+needed for a target loss probability is directly comparable (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.schedule import RateSchedule
+from repro.queueing.fluid import min_rate_for_loss, simulate_fluid_queue
+from repro.traffic.trace import FrameTrace, SlottedWorkload
+from repro.util.rng import SeedLike, as_generator
+from repro.util.search import binary_search_min_feasible
+from repro.util.stats import RunningStats
+
+
+# ----------------------------------------------------------------------
+# Workload assembly
+# ----------------------------------------------------------------------
+def aggregate_shifted_arrivals(
+    trace: FrameTrace, num_sources: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Sum of ``num_sources`` randomly circular-shifted copies of the trace.
+
+    "The sources are randomly shifted versions of this trace"
+    (Section V-B).  Returns per-slot aggregate arrivals in bits.
+    """
+    if num_sources < 1:
+        raise ValueError("num_sources must be >= 1")
+    rng = as_generator(seed)
+    total = np.zeros(trace.num_frames)
+    for _ in range(num_sources):
+        offset = int(rng.integers(trace.num_frames))
+        total += np.roll(trace.frame_bits, -offset)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Scenario (a): static CBR
+# ----------------------------------------------------------------------
+def scenario_a_rate(
+    workload: SlottedWorkload,
+    buffer_bits: float,
+    loss_target: float,
+    tolerance: Optional[float] = None,
+) -> float:
+    """Per-source CBR rate for scenario (a).
+
+    Independent of ``N``: with no sharing, every source needs the rate
+    that meets the loss target through its own buffer — one point of the
+    trace's (sigma, rho) curve (Fig. 5).
+    """
+    return min_rate_for_loss(workload, buffer_bits, loss_target, tolerance)
+
+
+# ----------------------------------------------------------------------
+# Scenario (b): unrestricted sharing
+# ----------------------------------------------------------------------
+def scenario_b_loss(
+    trace: FrameTrace,
+    num_sources: int,
+    rate_per_source: float,
+    buffer_per_source: float,
+    seed: SeedLike = None,
+) -> float:
+    """One randomized-phasing sample of the shared-buffer loss fraction."""
+    arrivals = aggregate_shifted_arrivals(trace, num_sources, seed)
+    drain = num_sources * rate_per_source * trace.frame_duration
+    result = simulate_fluid_queue(
+        arrivals, drain, buffer_bits=num_sources * buffer_per_source
+    )
+    return result.loss_fraction
+
+
+# ----------------------------------------------------------------------
+# Scenario (c): RCBR over a bufferless link
+# ----------------------------------------------------------------------
+def schedule_step_events(schedule: RateSchedule) -> Tuple[np.ndarray, np.ndarray]:
+    """``(times, deltas)`` of a schedule's demand steps (initial rate included)."""
+    rates = schedule.rates
+    deltas = np.empty_like(rates)
+    deltas[0] = rates[0]
+    deltas[1:] = np.diff(rates)
+    return schedule.start_times.copy(), deltas
+
+
+def aggregate_demand(
+    schedules: Sequence[RateSchedule],
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Merge schedules into one stepwise aggregate demand function.
+
+    Returns ``(times, demand, duration)`` where ``demand[k]`` holds on
+    ``[times[k], times[k+1])``.  All schedules must share one duration.
+    """
+    if not schedules:
+        raise ValueError("need at least one schedule")
+    duration = schedules[0].duration
+    for schedule in schedules:
+        if abs(schedule.duration - duration) > 1e-9:
+            raise ValueError("all schedules must have the same duration")
+    times = np.concatenate([s.start_times for s in schedules])
+    deltas = np.concatenate([schedule_step_events(s)[1] for s in schedules])
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    demand = np.cumsum(deltas[order])
+    # Collapse simultaneous events so each breakpoint appears once.
+    keep = np.concatenate([np.diff(times) > 0, [True]])
+    return times[keep], demand[keep], duration
+
+
+def rcbr_overflow_bits(
+    schedules: Sequence[RateSchedule], capacity: float
+) -> Tuple[float, float]:
+    """``(lost_bits, offered_bits)`` on a bufferless link of ``capacity``.
+
+    Uses the work-conserving reallocation model of Section V-B: at any
+    instant the link carries ``min(total demand, capacity)``, so the bits
+    lost to renegotiation failures are the integral of the excess demand.
+    This is exact when freed capacity is immediately redistributed to
+    shortfall sources (see :class:`repro.queueing.link.RcbrLink`).
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    times, demand, duration = aggregate_demand(schedules)
+    widths = np.diff(np.concatenate([times, [duration]]))
+    excess = np.clip(demand - capacity, 0.0, None)
+    lost = float((excess * widths).sum())
+    offered = float((demand * widths).sum())
+    return lost, offered
+
+
+def scenario_c_loss(
+    schedule: RateSchedule,
+    num_sources: int,
+    rate_per_source: float,
+    seed: SeedLike = None,
+) -> float:
+    """One randomized-phasing sample of the RCBR loss fraction.
+
+    Each source is an independently circular-shifted copy of ``schedule``
+    ("each call is a randomly shifted version of a Star Wars RCBR
+    schedule").  Only renegotiation events are simulated (footnote 4).
+    """
+    if num_sources < 1:
+        raise ValueError("num_sources must be >= 1")
+    rng = as_generator(seed)
+    shifted = [schedule.random_shift(rng) for _ in range(num_sources)]
+    lost, offered = rcbr_overflow_bits(shifted, num_sources * rate_per_source)
+    if offered == 0.0:
+        return 0.0
+    return lost / offered
+
+
+# ----------------------------------------------------------------------
+# Loss-targeted rate search (the Fig. 6 procedure)
+# ----------------------------------------------------------------------
+def estimate_mean_loss(
+    sample_fn: Callable[[], float],
+    relative_std: float = 0.2,
+    min_samples: int = 4,
+    max_samples: int = 48,
+) -> float:
+    """Average repeated loss samples per the paper's stopping rule.
+
+    "At each step, we repeat the simulations until the sample standard
+    deviation of the estimate is less than 20% of the estimate"
+    (Section V-B).  All-zero samples short-circuit to zero.
+    """
+    stats = RunningStats()
+    while True:
+        stats.add(float(sample_fn()))
+        if stats.count >= min_samples:
+            if stats.mean == 0.0:
+                return 0.0
+            if stats.std_error <= relative_std * abs(stats.mean):
+                return stats.mean
+        if stats.count >= max_samples:
+            return stats.mean
+
+
+def scenario_b_min_rate(
+    trace: FrameTrace,
+    num_sources: int,
+    buffer_per_source: float,
+    loss_target: float,
+    seed: SeedLike = None,
+    tolerance: Optional[float] = None,
+    relative_std: float = 0.2,
+) -> float:
+    """Minimum per-source rate for scenario (b) at the loss target.
+
+    Binary search on ``c`` with randomized phasings at each step,
+    exactly the Fig. 6 procedure.
+    """
+    rng = as_generator(seed)
+    mean = trace.mean_rate
+    peak = trace.peak_rate
+    if tolerance is None:
+        tolerance = max(1.0, 0.01 * mean)
+
+    def feasible(rate: float) -> bool:
+        loss = estimate_mean_loss(
+            lambda: scenario_b_loss(
+                trace, num_sources, rate, buffer_per_source, rng
+            ),
+            relative_std=relative_std,
+        )
+        return loss <= loss_target
+
+    if feasible(mean):
+        return mean
+    return binary_search_min_feasible(feasible, mean, peak, tolerance)
+
+
+def scenario_c_min_rate(
+    schedule: RateSchedule,
+    num_sources: int,
+    loss_target: float,
+    seed: SeedLike = None,
+    tolerance: Optional[float] = None,
+    relative_std: float = 0.2,
+) -> float:
+    """Minimum per-source rate for scenario (c) at the loss target."""
+    rng = as_generator(seed)
+    low = schedule.average_rate() * 0.5
+    high = float(schedule.rates.max())
+    if tolerance is None:
+        tolerance = max(1.0, 0.01 * schedule.average_rate())
+
+    def feasible(rate: float) -> bool:
+        loss = estimate_mean_loss(
+            lambda: scenario_c_loss(schedule, num_sources, rate, rng),
+            relative_std=relative_std,
+        )
+        return loss <= loss_target
+
+    if feasible(low):
+        return low
+    return binary_search_min_feasible(feasible, low, high, tolerance)

@@ -1,0 +1,35 @@
+"""RM-cell-style renegotiation signaling (Section III-B/C).
+
+Models the lightweight signaling the paper argues makes RCBR deployable:
+rate-delta RM cells, the two-lookup switch-port admission check, periodic
+absolute-rate resynchronisation against drift, and multi-hop paths where
+every hop is a potential point of renegotiation failure.
+"""
+
+from repro.signaling.messages import CellKind, RmCell, RenegotiationRequest
+from repro.signaling.switch import SwitchPort
+from repro.signaling.network import (
+    PathStats,
+    SignalingPath,
+    PathSimulationResult,
+    simulate_schedules_on_path,
+)
+from repro.signaling.topology import (
+    SignalingNetwork,
+    NetworkSimulationResult,
+    simulate_calls_on_network,
+)
+
+__all__ = [
+    "CellKind",
+    "RmCell",
+    "RenegotiationRequest",
+    "SwitchPort",
+    "PathStats",
+    "SignalingPath",
+    "PathSimulationResult",
+    "simulate_schedules_on_path",
+    "SignalingNetwork",
+    "NetworkSimulationResult",
+    "simulate_calls_on_network",
+]

@@ -1,0 +1,74 @@
+"""Lightweight renegotiation signaling messages (Section III-B).
+
+RCBR reuses the ATM resource-management (RM) cell mechanism: "an RCBR
+source sets the explicit rate (ER) field in the RM cell to the difference
+between its old and new rates".  Deltas keep the switch stateless (no
+per-VCI lookup), at the price of parameter drift if an RM cell is lost;
+"to overcome this, we can resynchronize rates by periodically sending an
+RM cell with the true explicit rate, instead of a difference".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class CellKind(enum.Enum):
+    """What the ER field carries."""
+
+    DELTA = "delta"  # rate difference (stateless fast path)
+    ABSOLUTE = "absolute"  # true rate (periodic resynchronisation)
+
+
+_cell_ids = itertools.count()
+
+
+@dataclass
+class RmCell:
+    """A resource-management cell traversing the path.
+
+    ``er`` is the explicit-rate field: a rate difference for
+    :attr:`CellKind.DELTA` cells, the true rate for
+    :attr:`CellKind.ABSOLUTE` cells.  Switches deny a request by marking
+    the cell (the real mechanism "modifies the ER field to deny"); we
+    keep the original value and a flag for observability.
+    """
+
+    vci: int
+    kind: CellKind
+    er: float
+    issued_at: float
+    denied: bool = False
+    denied_at_hop: int = -1
+    cell_id: int = field(default_factory=lambda: next(_cell_ids))
+
+    def deny(self, hop_index: int) -> None:
+        if not self.denied:
+            self.denied = True
+            self.denied_at_hop = hop_index
+
+    @property
+    def is_increase(self) -> bool:
+        """Only increases can be denied; decreases always pass."""
+        return self.kind is CellKind.DELTA and self.er > 0
+
+
+@dataclass(frozen=True)
+class RenegotiationRequest:
+    """A source-side renegotiation intent, before encoding into a cell."""
+
+    vci: int
+    old_rate: float
+    new_rate: float
+    time: float
+
+    @property
+    def delta(self) -> float:
+        return self.new_rate - self.old_rate
+
+    def as_cell(self) -> RmCell:
+        return RmCell(
+            vci=self.vci, kind=CellKind.DELTA, er=self.delta, issued_at=self.time
+        )

@@ -1,0 +1,197 @@
+"""Multi-hop renegotiation over a path of switch ports (Section III-C).
+
+"As the mean number of hops in the network increases, the probability of
+renegotiation failure is likely to increase since each hop is a possible
+point of failure.  Moreover, the net renegotiation signaling load on the
+network also increases."
+
+This module replays renegotiation schedules over an N-hop path: each
+renegotiation becomes an RM cell traversing the hops in order with a
+per-hop propagation delay; an increase denied at hop ``k`` rolls back the
+``k`` upstream hops (mirroring the returning RM cell); optional RM-cell
+loss models the delta-drift problem, countered by periodic absolute
+resynchronisation (footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.schedule import RateSchedule
+from repro.queueing.events import EventScheduler
+from repro.signaling.messages import CellKind, RenegotiationRequest, RmCell
+from repro.signaling.switch import SwitchPort
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass
+class PathStats:
+    """Per-run signaling statistics."""
+
+    requests: int = 0
+    increase_requests: int = 0
+    failures: int = 0
+    cells_sent: int = 0
+    cells_lost: int = 0
+    failure_hops: List[int] = field(default_factory=list)
+
+    @property
+    def failure_fraction(self) -> float:
+        if self.increase_requests == 0:
+            return 0.0
+        return self.failures / self.increase_requests
+
+
+class SignalingPath:
+    """An ordered list of switch ports between a source and its sink."""
+
+    def __init__(
+        self,
+        ports: Sequence[SwitchPort],
+        hop_delay: float = 0.001,
+        cell_loss_probability: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if not ports:
+            raise ValueError("a path needs at least one port")
+        if hop_delay < 0:
+            raise ValueError("hop_delay must be non-negative")
+        if not 0.0 <= cell_loss_probability < 1.0:
+            raise ValueError("cell_loss_probability must be in [0, 1)")
+        self.ports = list(ports)
+        self.hop_delay = hop_delay
+        self.cell_loss_probability = cell_loss_probability
+        self.rng = as_generator(seed)
+        self.stats = PathStats()
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.ports)
+
+    @property
+    def round_trip_time(self) -> float:
+        """Source-to-sink-and-back signaling latency."""
+        return 2.0 * self.hop_delay * self.num_hops
+
+    # ------------------------------------------------------------------
+    def send(self, cell: RmCell) -> bool:
+        """Push one RM cell through the path synchronously.
+
+        Returns True if every hop accepted.  On a denial, accepted
+        upstream hops are rolled back.  A lost cell (loss sampled per
+        traversal) never reaches any hop — for delta cells this leaves
+        the source and switches disagreeing, i.e. drift.
+        """
+        self.stats.cells_sent += 1
+        if (
+            self.cell_loss_probability > 0.0
+            and self.rng.random() < self.cell_loss_probability
+        ):
+            self.stats.cells_lost += 1
+            return False
+        accepted: List[SwitchPort] = []
+        for hop_index, port in enumerate(self.ports):
+            if port.process(cell):
+                accepted.append(port)
+            else:
+                cell.deny(hop_index)
+                for upstream in accepted:
+                    upstream.rollback(cell)
+                self.stats.failure_hops.append(hop_index)
+                return False
+        return True
+
+    def renegotiate(self, request: RenegotiationRequest) -> bool:
+        """Issue a renegotiation; returns True if the new rate is granted."""
+        self.stats.requests += 1
+        if request.delta > 0:
+            self.stats.increase_requests += 1
+        granted = self.send(request.as_cell())
+        if not granted and request.delta > 0:
+            self.stats.failures += 1
+        return granted
+
+    def resynchronize(self, vci: int, true_rate: float, time: float) -> bool:
+        """Send an absolute-rate RM cell to repair any drift."""
+        cell = RmCell(
+            vci=vci, kind=CellKind.ABSOLUTE, er=true_rate, issued_at=time
+        )
+        return self.send(cell)
+
+    def release(self, vci: int) -> None:
+        for port in self.ports:
+            port.release(vci)
+
+
+@dataclass(frozen=True)
+class PathSimulationResult:
+    """Outcome of replaying schedules over a path."""
+
+    stats: PathStats
+    horizon: float
+    cells_per_second: float
+    source_failures: List[int]
+
+
+def simulate_schedules_on_path(
+    schedules: Sequence[RateSchedule],
+    path: SignalingPath,
+    resync_interval: Optional[float] = None,
+    lead_time: float = 0.0,
+) -> PathSimulationResult:
+    """Replay renegotiation schedules through a multi-hop path.
+
+    ``lead_time`` initiates each renegotiation early, the paper's offline
+    compensation for path latency ("offline applications ... can
+    compensate for an increased latency by initiating renegotiation
+    earlier").  ``resync_interval`` adds periodic absolute-rate cells per
+    source.  Per-source believed rates track grants, so statistics match
+    what a real NIU would observe.
+    """
+    if not schedules:
+        raise ValueError("need at least one schedule")
+    if lead_time < 0:
+        raise ValueError("lead_time must be non-negative")
+    engine = EventScheduler()
+    believed_rates = [0.0] * len(schedules)
+    source_failures = [0] * len(schedules)
+    horizon = max(schedule.duration for schedule in schedules)
+
+    def issue(vci: int, new_rate: float) -> None:
+        request = RenegotiationRequest(
+            vci=vci,
+            old_rate=believed_rates[vci],
+            new_rate=new_rate,
+            time=engine.now,
+        )
+        if path.renegotiate(request):
+            believed_rates[vci] = new_rate
+        elif request.delta > 0:
+            source_failures[vci] += 1
+        else:
+            # A lost decrease leaves the network over-reserving (drift).
+            believed_rates[vci] = new_rate
+
+    def resync(vci: int) -> None:
+        path.resynchronize(vci, believed_rates[vci], engine.now)
+        if engine.now + resync_interval < horizon:
+            engine.schedule_in(resync_interval, resync, vci)
+
+    for vci, schedule in enumerate(schedules):
+        for seg_start, _, rate in schedule.segments():
+            fire_at = max(0.0, seg_start - lead_time)
+            engine.schedule_at(fire_at, issue, vci, rate)
+        if resync_interval is not None and resync_interval > 0:
+            engine.schedule_at(resync_interval, resync, vci)
+
+    engine.run(until=horizon)
+    for vci in range(len(schedules)):
+        path.release(vci)
+
+    return PathSimulationResult(
+        stats=path.stats,
+        horizon=horizon,
+        cells_per_second=path.stats.cells_sent / horizon if horizon else 0.0,
+        source_failures=source_failures,
+    )

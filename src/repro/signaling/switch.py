@@ -1,0 +1,121 @@
+"""Switch-port renegotiation processing (Section III-B).
+
+The controller's fast path is two lookups and one comparison: "it checks
+if the current port utilization plus the rate difference is less than the
+port capacity.  If this is true, then the renegotiation request succeeds,
+and the VCI and port statistics are updated.  Otherwise, the controller
+modifies the ER field to deny the request."
+
+Delta cells need no per-VCI state — only the aggregate utilization is
+updated, which is the scaling argument of Section III-C ("RCBR support
+does not require per-VCI state").  Absolute (resynchronisation) cells do
+consult an optional per-VCI table; a port configured without one simply
+treats them as refreshes of its aggregate from the table-less delta flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.signaling.messages import CellKind, RmCell
+
+
+class SwitchPort:
+    """One output port: capacity, aggregate utilization, counters."""
+
+    def __init__(
+        self,
+        capacity: float,
+        name: str = "port",
+        track_per_vci: bool = True,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.name = name
+        self.utilization = 0.0
+        self.track_per_vci = track_per_vci
+        self._vci_rates: Optional[Dict[int, float]] = {} if track_per_vci else None
+        self.cells_processed = 0
+        self.requests_denied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def headroom(self) -> float:
+        return self.capacity - self.utilization
+
+    def rate_of(self, vci: int) -> Optional[float]:
+        if self._vci_rates is None:
+            return None
+        return self._vci_rates.get(vci)
+
+    # ------------------------------------------------------------------
+    def process(self, cell: RmCell) -> bool:
+        """Apply one RM cell; returns True if this hop accepted it.
+
+        A cell already denied upstream is forwarded untouched (the
+        downstream hops must not commit resources for a doomed request).
+        """
+        self.cells_processed += 1
+        if cell.denied:
+            return False
+        if cell.kind is CellKind.DELTA:
+            return self._process_delta(cell)
+        return self._process_absolute(cell)
+
+    def _process_delta(self, cell: RmCell) -> bool:
+        delta = cell.er
+        if delta <= 0:
+            # Decreases always succeed and free capacity immediately.
+            self.utilization = max(0.0, self.utilization + delta)
+            self._bump_vci(cell.vci, delta)
+            return True
+        if self.utilization + delta <= self.capacity + 1e-9:
+            self.utilization += delta
+            self._bump_vci(cell.vci, delta)
+            return True
+        self.requests_denied += 1
+        return False
+
+    def _process_absolute(self, cell: RmCell) -> bool:
+        """Resynchronise a VCI to its true rate (needs the per-VCI table)."""
+        if self._vci_rates is None:
+            # Stateless port: cannot resolve the old rate; ignore silently
+            # (the drift persists until a stateful hop or teardown).
+            return True
+        old = self._vci_rates.get(cell.vci, 0.0)
+        delta = cell.er - old
+        if delta <= 0 or self.utilization + delta <= self.capacity + 1e-9:
+            self.utilization = max(0.0, self.utilization + delta)
+            self._vci_rates[cell.vci] = cell.er
+            return True
+        self.requests_denied += 1
+        return False
+
+    def _bump_vci(self, vci: int, delta: float) -> None:
+        if self._vci_rates is not None:
+            new_rate = self._vci_rates.get(vci, 0.0) + delta
+            if new_rate <= 1e-12:
+                self._vci_rates.pop(vci, None)
+            else:
+                self._vci_rates[vci] = new_rate
+
+    def rollback(self, cell: RmCell) -> None:
+        """Undo a previously accepted increase (downstream hop denied)."""
+        if cell.kind is not CellKind.DELTA or cell.er <= 0:
+            return
+        self.utilization = max(0.0, self.utilization - cell.er)
+        self._bump_vci(cell.vci, -cell.er)
+
+    def release(self, vci: int) -> None:
+        """Tear down a connection, freeing its tracked bandwidth."""
+        if self._vci_rates is None:
+            return
+        rate = self._vci_rates.pop(vci, 0.0)
+        self.utilization = max(0.0, self.utilization - rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchPort({self.name!r}, util={self.utilization:.0f}/"
+            f"{self.capacity:.0f}, cells={self.cells_processed})"
+        )

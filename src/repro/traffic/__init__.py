@@ -1,0 +1,70 @@
+"""Traffic models: traces, Markov sources, the synthetic Star Wars trace.
+
+This package provides every workload the paper's experiments consume:
+
+* :class:`FrameTrace` / :class:`SlottedWorkload` — concrete traces;
+* :class:`MultiTimescaleMarkovSource` — the Section V-A analytical model
+  (fast subchains + rare scene transitions, Fig. 4);
+* :func:`generate_starwars_trace` — a synthetic stand-in for the MPEG-1
+  Star Wars trace, calibrated to its published statistics;
+* :class:`PoissonArrivals` — call arrivals for the Section VI experiments.
+"""
+
+from repro.traffic.trace import FrameTrace, SlottedWorkload
+from repro.traffic.mpeg import GopStructure, DEFAULT_GOP_PATTERN, DEFAULT_TYPE_WEIGHTS
+from repro.traffic.markov import (
+    MarkovChain,
+    MarkovModulatedSource,
+    Subchain,
+    MultiTimescaleMarkovSource,
+    two_state_onoff_subchain,
+    fig4_example,
+)
+from repro.traffic.onoff import onoff_source, onoff_activity
+from repro.traffic.starwars import (
+    SceneClass,
+    StarWarsModel,
+    default_scene_classes,
+    generate_starwars_trace,
+    STAR_WARS_MEAN_RATE,
+    STAR_WARS_FPS,
+    STAR_WARS_NUM_FRAMES,
+)
+from repro.traffic.arrivals import PoissonArrivals, offered_load
+from repro.traffic.fit import (
+    SceneSegmentation,
+    detect_gop_length,
+    estimate_gop_multipliers,
+    segment_scenes,
+    fit_starwars_model,
+)
+
+__all__ = [
+    "FrameTrace",
+    "SlottedWorkload",
+    "GopStructure",
+    "DEFAULT_GOP_PATTERN",
+    "DEFAULT_TYPE_WEIGHTS",
+    "MarkovChain",
+    "MarkovModulatedSource",
+    "Subchain",
+    "MultiTimescaleMarkovSource",
+    "two_state_onoff_subchain",
+    "fig4_example",
+    "onoff_source",
+    "onoff_activity",
+    "SceneClass",
+    "StarWarsModel",
+    "default_scene_classes",
+    "generate_starwars_trace",
+    "STAR_WARS_MEAN_RATE",
+    "STAR_WARS_FPS",
+    "STAR_WARS_NUM_FRAMES",
+    "PoissonArrivals",
+    "offered_load",
+    "SceneSegmentation",
+    "detect_gop_length",
+    "estimate_gop_multipliers",
+    "segment_scenes",
+    "fit_starwars_model",
+]

@@ -1,0 +1,64 @@
+"""Call-arrival processes.
+
+Section VI's admission-control experiments use a dynamic scenario where
+"calls arrive according to a Poisson process of rate lambda" and each call
+holds for the duration of its (randomly shifted) schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """A homogeneous Poisson arrival process with rate ``rate`` (per second)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+
+    def sample_times(self, horizon: float, seed: SeedLike = None) -> np.ndarray:
+        """All arrival instants in ``[0, horizon)``, sorted ascending."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        rng = as_generator(seed)
+        times: List[float] = []
+        clock = 0.0
+        while True:
+            clock += rng.exponential(1.0 / self.rate)
+            if clock >= horizon:
+                break
+            times.append(clock)
+        return np.asarray(times)
+
+    def stream(self, seed: SeedLike = None) -> Iterator[float]:
+        """An endless iterator of arrival instants."""
+        rng = as_generator(seed)
+        clock = 0.0
+        while True:
+            clock += rng.exponential(1.0 / self.rate)
+            yield clock
+
+    def expected_count(self, horizon: float) -> float:
+        return self.rate * horizon
+
+
+def offered_load(
+    arrival_rate: float, mean_holding_time: float, mean_call_rate: float
+) -> float:
+    """Offered load in bits per second (Erlang load x per-call mean rate).
+
+    The paper's Figs. 7-8 plot against the *normalized* offered load,
+    i.e. this quantity divided by the link capacity.
+    """
+    if arrival_rate <= 0 or mean_holding_time <= 0 or mean_call_rate <= 0:
+        raise ValueError("all arguments must be positive")
+    return arrival_rate * mean_holding_time * mean_call_rate

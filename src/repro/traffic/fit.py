@@ -1,0 +1,261 @@
+"""Fitting the multiple time-scale model to an observed trace.
+
+The synthetic generator in :mod:`repro.traffic.starwars` is calibrated by
+hand to the published Star Wars statistics.  This module closes the loop
+for *other* material: given any frame-size trace, estimate
+
+* the GOP length and per-phase size multipliers (the fast time scale),
+* a scene-class decomposition — multipliers, dwell times, and entry
+  probabilities (the slow time scale),
+* the residual noise level,
+
+and assemble a :class:`~repro.traffic.starwars.StarWarsModel` whose
+``generate()`` produces statistically similar traffic.  This is how a
+video server operator would derive RCBR admission descriptors for a new
+library without shipping the raw traces around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.empirical import autocorrelation
+from repro.traffic.mpeg import GopStructure
+from repro.traffic.starwars import SceneClass, StarWarsModel
+from repro.traffic.trace import FrameTrace
+
+
+def detect_gop_length(
+    trace: FrameTrace, max_length: int = 30, min_length: int = 2
+) -> int:
+    """Estimate the GOP period from the frame-size autocorrelation.
+
+    The I-frame comb makes the *high-frequency residual* of the trace
+    strongly periodic; the period is the lag maximising the residual
+    autocorrelation.
+    """
+    if not 2 <= min_length <= max_length:
+        raise ValueError("need 2 <= min_length <= max_length")
+    window = min(max_length, trace.num_frames // 4)
+    if window < min_length:
+        raise ValueError("trace too short to detect a GOP period")
+    kernel = np.ones(window) / window
+    smooth = np.convolve(trace.frame_bits, kernel, mode="same")
+    residual = trace.frame_bits - smooth
+    acf = autocorrelation(residual, min(max_length, residual.size - 1))
+    candidates = acf[min_length:]
+    return int(np.argmax(candidates)) + min_length
+
+
+def estimate_gop_multipliers(
+    trace: FrameTrace, gop_length: Optional[int] = None
+) -> Tuple[int, np.ndarray]:
+    """(phase offset, per-phase multipliers with mean 1).
+
+    The phase offset is chosen so the largest multiplier (the I frame)
+    sits at position 0, matching :class:`GopStructure` conventions.
+    """
+    if gop_length is None:
+        gop_length = detect_gop_length(trace)
+    if gop_length < 1:
+        raise ValueError("gop_length must be >= 1")
+    usable = (trace.num_frames // gop_length) * gop_length
+    if usable == 0:
+        raise ValueError("trace shorter than one GOP")
+    # Normalise out the slow time scale first so scene changes don't
+    # contaminate the phase means.
+    window = max(gop_length, 1)
+    kernel = np.ones(window) / window
+    level = np.convolve(trace.frame_bits, kernel, mode="same")
+    level = np.maximum(level, 1e-9)
+    relative = (trace.frame_bits / level)[:usable]
+    by_phase = relative.reshape(-1, gop_length).mean(axis=0)
+    by_phase = by_phase / by_phase.mean()
+    offset = int(np.argmax(by_phase))
+    return offset, np.roll(by_phase, -offset)
+
+
+def _kmeans_1d(
+    values: np.ndarray, num_classes: int, iterations: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's algorithm on a 1-D array; returns (centers, labels).
+
+    Centers are initialised at evenly spaced quantiles, which is
+    deterministic and works well for the skewed rate distributions here.
+    """
+    if num_classes < 1:
+        raise ValueError("num_classes must be >= 1")
+    quantiles = (np.arange(num_classes) + 0.5) / num_classes
+    centers = np.quantile(values, quantiles)
+    # Nudge duplicate centers apart (quantiles of a discrete-ish
+    # distribution can coincide).
+    for index in range(1, num_classes):
+        if centers[index] <= centers[index - 1]:
+            centers[index] = centers[index - 1] + 1e-9
+    labels = np.zeros(values.size, dtype=np.int64)
+    for _ in range(iterations):
+        labels = np.argmin(
+            np.abs(values[None, :] - centers[:, None]), axis=0
+        )
+        moved = 0.0
+        for index in range(num_classes):
+            members = values[labels == index]
+            if members.size:
+                new_center = members.mean()
+                moved = max(moved, abs(new_center - centers[index]))
+                centers[index] = new_center
+        if moved < 1e-12:
+            break
+    order = np.argsort(centers)
+    remap = np.empty_like(order)
+    remap[order] = np.arange(num_classes)
+    return centers[order], remap[labels]
+
+
+@dataclass(frozen=True)
+class SceneSegmentation:
+    """Per-frame scene labels plus per-class summary statistics."""
+
+    labels: np.ndarray  # scene-class index per frame
+    multipliers: np.ndarray  # class mean rate / trace mean rate
+    mean_durations: np.ndarray  # seconds
+    entry_probabilities: np.ndarray  # fraction of scene *entries* per class
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.multipliers.size)
+
+
+def segment_scenes(
+    trace: FrameTrace,
+    num_classes: int = 5,
+    smoothing_seconds: float = 1.0,
+    min_scene_seconds: float = 1.0,
+) -> SceneSegmentation:
+    """Decompose the trace into rate classes on the slow time scale.
+
+    The frame rate is smoothed over ``smoothing_seconds`` (hiding the
+    GOP), classified by 1-D k-means into ``num_classes`` levels, and
+    scenes shorter than ``min_scene_seconds`` are merged into their
+    predecessor so codec jitter does not masquerade as scene changes.
+    """
+    if smoothing_seconds <= 0 or min_scene_seconds <= 0:
+        raise ValueError("smoothing and minimum scene length must be positive")
+    fps = trace.frames_per_second
+    window = max(1, int(round(smoothing_seconds * fps)))
+    kernel = np.ones(window) / window
+    smooth = np.convolve(trace.frame_bits, kernel, mode="same")
+    _, labels = _kmeans_1d(smooth, num_classes)
+
+    # Merge micro-scenes into the preceding scene.
+    min_frames = max(1, int(round(min_scene_seconds * fps)))
+    merged = labels.copy()
+    start = 0
+    previous_label = merged[0]
+    for index in range(1, merged.size + 1):
+        if index == merged.size or merged[index] != merged[start]:
+            if index - start < min_frames and start > 0:
+                merged[start:index] = previous_label
+            else:
+                previous_label = merged[start]
+            start = index
+
+    multipliers = np.empty(num_classes)
+    overall = trace.frame_bits.mean()
+    for index in range(num_classes):
+        members = trace.frame_bits[merged == index]
+        multipliers[index] = (
+            members.mean() / overall if members.size else 0.0
+        )
+
+    # Scene entries and dwell times from the merged labels.
+    change = np.flatnonzero(np.diff(merged)) + 1
+    starts = np.concatenate([[0], change])
+    ends = np.concatenate([change, [merged.size]])
+    scene_labels = merged[starts]
+    dwell_seconds = (ends - starts) / fps
+    entries = np.zeros(num_classes)
+    durations = np.zeros(num_classes)
+    for index in range(num_classes):
+        mask = scene_labels == index
+        entries[index] = mask.sum()
+        durations[index] = dwell_seconds[mask].mean() if mask.any() else 0.0
+    total_entries = entries.sum()
+    entry_probabilities = (
+        entries / total_entries if total_entries else entries
+    )
+    return SceneSegmentation(
+        labels=merged,
+        multipliers=multipliers,
+        mean_durations=durations,
+        entry_probabilities=entry_probabilities,
+    )
+
+
+def fit_starwars_model(
+    trace: FrameTrace,
+    num_classes: int = 5,
+    gop_length: Optional[int] = None,
+) -> StarWarsModel:
+    """Fit a generative :class:`StarWarsModel` to an observed trace.
+
+    Scene classes with zero observed entries are dropped; the fitted
+    model's mean rate is the trace's mean rate.
+    """
+    offset, phase_multipliers = estimate_gop_multipliers(trace, gop_length)
+    segmentation = segment_scenes(trace, num_classes)
+
+    classes = []
+    for index in range(segmentation.num_classes):
+        if segmentation.entry_probabilities[index] <= 0:
+            continue
+        classes.append(
+            SceneClass(
+                name=f"class{index}",
+                rate_multiplier=max(segmentation.multipliers[index], 1e-6),
+                mean_duration=max(segmentation.mean_durations[index], 0.5),
+                probability=float(segmentation.entry_probabilities[index]),
+            )
+        )
+    if not classes:
+        raise ValueError("no scene classes could be fitted")
+
+    # Encode the fitted per-phase multipliers as a GopStructure: one
+    # symbol per phase with its own weight.
+    alphabet = "IPBQRSTUVWXYZABCDEFGHJKLMNO"
+    length = phase_multipliers.size
+    if length > len(alphabet):
+        raise ValueError("GOP longer than the supported 27 phases")
+    pattern = alphabet[:length]
+    weights = {
+        symbol: float(max(multiplier, 1e-6))
+        for symbol, multiplier in zip(pattern, phase_multipliers)
+    }
+    gop = GopStructure(pattern=pattern, type_weights=weights)
+
+    # Residual noise: relative deviation of frames from the scene x GOP
+    # prediction.
+    usable = (trace.num_frames // length) * length
+    level_window = max(length, 1)
+    kernel = np.ones(level_window) / level_window
+    level = np.maximum(
+        np.convolve(trace.frame_bits, kernel, mode="same"), 1e-9
+    )
+    predicted = level[:usable] * np.tile(
+        np.roll(phase_multipliers, offset), usable // length
+    )
+    ratio = trace.frame_bits[:usable] / np.maximum(predicted, 1e-9)
+    noise_sigma = float(
+        np.clip(np.std(np.log(np.maximum(ratio, 1e-9))), 0.01, 0.5)
+    )
+
+    return StarWarsModel(
+        mean_rate=trace.mean_rate,
+        frames_per_second=trace.frames_per_second,
+        scene_classes=tuple(classes),
+        gop=gop,
+        frame_noise_sigma=noise_sigma,
+    )

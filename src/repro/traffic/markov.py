@@ -1,0 +1,386 @@
+"""Markov-modulated traffic sources.
+
+Section V-A of the paper models a video source as a discrete-time process
+``{X_t}`` whose rate is a function of the state of an irreducible
+finite-state Markov chain.  The state space decomposes into *subchains*:
+fast time-scale dynamics happen inside a subchain, while transitions
+*between* subchains are rare (probability ``epsilon``), modelling scene
+changes.  Figure 4 shows a three-subchain example.
+
+:class:`MarkovChain` provides the linear-algebra plumbing (validation,
+stationary distribution, sampling), :class:`MarkovModulatedSource` attaches
+per-state rates, and :class:`MultiTimescaleMarkovSource` composes subchains
+exactly as in the paper so that the large-deviations results of
+:mod:`repro.analysis` can be checked against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.traffic.trace import SlottedWorkload
+from repro.util.rng import SeedLike, as_generator
+
+
+class MarkovChain:
+    """A finite, discrete-time Markov chain given by a row-stochastic matrix."""
+
+    def __init__(self, transition_matrix: Sequence[Sequence[float]]) -> None:
+        matrix = np.asarray(transition_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"transition matrix must be square, got {matrix.shape}")
+        if matrix.shape[0] == 0:
+            raise ValueError("transition matrix must be non-empty")
+        if np.any(matrix < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise ValueError(
+                f"rows of the transition matrix must sum to 1, got {row_sums}"
+            )
+        # Renormalise away float dust so long sample paths stay unbiased.
+        self._matrix = np.clip(matrix, 0.0, None)
+        self._matrix /= self._matrix.sum(axis=1, keepdims=True)
+        self._stationary: Optional[np.ndarray] = None
+
+    @property
+    def num_states(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The stationary distribution pi with pi P = pi.
+
+        Solved as the null space of (P^T - I) with the normalisation
+        constraint appended, which is robust for nearly decomposable
+        chains (our multiple time-scale chains are exactly that).
+        """
+        if self._stationary is None:
+            n = self.num_states
+            system = np.vstack([self._matrix.T - np.eye(n), np.ones((1, n))])
+            rhs = np.zeros(n + 1)
+            rhs[-1] = 1.0
+            solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+            solution = np.clip(solution, 0.0, None)
+            total = solution.sum()
+            if total <= 0:
+                raise ValueError("failed to compute stationary distribution")
+            self._stationary = solution / total
+        return self._stationary.copy()
+
+    def sample_path(
+        self,
+        num_steps: int,
+        seed: SeedLike = None,
+        initial_state: Optional[int] = None,
+    ) -> np.ndarray:
+        """Sample a state path of length ``num_steps``.
+
+        If ``initial_state`` is None the path starts from the stationary
+        distribution, so sample paths are (statistically) stationary from
+        the first step.
+        """
+        if num_steps < 1:
+            raise ValueError("num_steps must be >= 1")
+        rng = as_generator(seed)
+        cumulative = np.cumsum(self._matrix, axis=1)
+        path = np.empty(num_steps, dtype=np.int64)
+        if initial_state is None:
+            state = int(
+                rng.choice(self.num_states, p=self.stationary_distribution())
+            )
+        else:
+            if not 0 <= initial_state < self.num_states:
+                raise ValueError(f"initial_state out of range: {initial_state}")
+            state = int(initial_state)
+        uniforms = rng.random(num_steps)
+        for step in range(num_steps):
+            path[step] = state
+            state = int(np.searchsorted(cumulative[state], uniforms[step]))
+            if state >= self.num_states:  # guard against u == 1.0 edge
+                state = self.num_states - 1
+        return path
+
+
+@dataclass(frozen=True)
+class MarkovModulatedSource:
+    """A Markov chain with a data rate attached to each state.
+
+    ``rates`` are in bits per second; the source emits
+    ``rate[state] * slot_duration`` bits in each slot.
+    """
+
+    chain: MarkovChain
+    rates: np.ndarray
+    slot_duration: float = 1.0 / 24.0
+    name: str = "mmrp"
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=float)
+        if rates.ndim != 1 or rates.size != self.chain.num_states:
+            raise ValueError(
+                "rates must be a vector with one entry per chain state "
+                f"(chain has {self.chain.num_states} states, rates shape {rates.shape})"
+            )
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        object.__setattr__(self, "rates", rates)
+        rates.setflags(write=False)
+
+    @property
+    def num_states(self) -> int:
+        return self.chain.num_states
+
+    @property
+    def bits_per_slot_by_state(self) -> np.ndarray:
+        """a_i: bits emitted per slot in each state."""
+        return self.rates * self.slot_duration
+
+    def mean_rate(self) -> float:
+        """Stationary mean rate in bits per second."""
+        return float(self.chain.stationary_distribution() @ self.rates)
+
+    def peak_rate(self) -> float:
+        return float(self.rates.max())
+
+    def sample_states(
+        self,
+        num_slots: int,
+        seed: SeedLike = None,
+        initial_state: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.chain.sample_path(num_slots, seed, initial_state)
+
+    def sample_workload(
+        self,
+        num_slots: int,
+        seed: SeedLike = None,
+        initial_state: Optional[int] = None,
+    ) -> SlottedWorkload:
+        """Sample arrivals: bits per slot along a state path."""
+        states = self.sample_states(num_slots, seed, initial_state)
+        bits = self.bits_per_slot_by_state[states]
+        return SlottedWorkload(bits, self.slot_duration, name=self.name)
+
+
+@dataclass(frozen=True)
+class Subchain:
+    """One fast time-scale subchain of a multiple time-scale source."""
+
+    transition_matrix: np.ndarray
+    rates: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        chain = MarkovChain(self.transition_matrix)  # validates
+        rates = np.asarray(self.rates, dtype=float)
+        if rates.size != chain.num_states:
+            raise ValueError("rates must match subchain size")
+        object.__setattr__(self, "transition_matrix", chain.transition_matrix)
+        object.__setattr__(self, "rates", rates)
+
+    @property
+    def num_states(self) -> int:
+        return int(self.rates.size)
+
+    def as_source(self, slot_duration: float) -> MarkovModulatedSource:
+        """The subchain viewed in isolation as a source."""
+        return MarkovModulatedSource(
+            MarkovChain(self.transition_matrix),
+            self.rates,
+            slot_duration,
+            name=self.name or "subchain",
+        )
+
+    def mean_rate(self) -> float:
+        """m_i: the stationary mean rate of the subchain in isolation."""
+        return float(
+            MarkovChain(self.transition_matrix).stationary_distribution()
+            @ self.rates
+        )
+
+
+class MultiTimescaleMarkovSource:
+    """The paper's multiple time-scale Markov-modulated source (Fig. 4).
+
+    The state space is the union of the subchains' state spaces.  At every
+    slot, with probability ``1 - epsilon`` the source moves inside its
+    current subchain (per that subchain's transition matrix); with the
+    rare probability ``epsilon`` it jumps to another subchain chosen from
+    the row of ``subchain_transitions``, landing in that subchain's
+    stationary distribution.  Small ``epsilon`` means long scene
+    dwell-times: the expected dwell in a subchain is ``1/epsilon`` slots.
+    """
+
+    def __init__(
+        self,
+        subchains: Sequence[Subchain],
+        subchain_transitions: Sequence[Sequence[float]],
+        epsilon: float,
+        slot_duration: float = 1.0 / 24.0,
+        name: str = "multiscale",
+    ) -> None:
+        if len(subchains) < 2:
+            raise ValueError("need at least two subchains for multiple time scales")
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        slow = np.asarray(subchain_transitions, dtype=float)
+        if slow.shape != (len(subchains), len(subchains)):
+            raise ValueError(
+                "subchain_transitions must be square with one row per subchain"
+            )
+        if np.any(np.diag(slow) != 0.0):
+            raise ValueError(
+                "subchain_transitions must have zero diagonal (self-jumps are "
+                "the 1 - epsilon case)"
+            )
+        if not np.allclose(slow.sum(axis=1), 1.0, atol=1e-8):
+            raise ValueError("rows of subchain_transitions must sum to 1")
+
+        self.subchains = list(subchains)
+        self.subchain_transitions = slow
+        self.epsilon = float(epsilon)
+        self.slot_duration = float(slot_duration)
+        self.name = name
+
+        # Build the flat composed chain.
+        sizes = [sub.num_states for sub in self.subchains]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        total = int(offsets[-1])
+        matrix = np.zeros((total, total))
+        rates = np.zeros(total)
+        entry_distributions = [
+            MarkovChain(sub.transition_matrix).stationary_distribution()
+            for sub in self.subchains
+        ]
+        for i, sub in enumerate(self.subchains):
+            lo, hi = offsets[i], offsets[i + 1]
+            matrix[lo:hi, lo:hi] = (1.0 - epsilon) * sub.transition_matrix
+            rates[lo:hi] = sub.rates
+            for j, _ in enumerate(self.subchains):
+                if j == i:
+                    continue
+                jlo, jhi = offsets[j], offsets[j + 1]
+                jump = epsilon * slow[i, j]
+                matrix[lo:hi, jlo:jhi] += jump * entry_distributions[j][None, :]
+        self._offsets = offsets
+        self._state_subchain = np.concatenate(
+            [np.full(size, index) for index, size in enumerate(sizes)]
+        )
+        self._source = MarkovModulatedSource(
+            MarkovChain(matrix), rates, slot_duration, name=name
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def flat_source(self) -> MarkovModulatedSource:
+        """The composed source over the union state space."""
+        return self._source
+
+    @property
+    def num_subchains(self) -> int:
+        return len(self.subchains)
+
+    @property
+    def state_subchain(self) -> np.ndarray:
+        """Map from flat state index to subchain index."""
+        return self._state_subchain.copy()
+
+    def mean_rate(self) -> float:
+        return self._source.mean_rate()
+
+    def peak_rate(self) -> float:
+        return self._source.peak_rate()
+
+    def subchain_stationary_distribution(self) -> np.ndarray:
+        """pi_i: stationary probability of residing in each subchain."""
+        pi = self._source.chain.stationary_distribution()
+        return np.array(
+            [
+                pi[self._offsets[i] : self._offsets[i + 1]].sum()
+                for i in range(self.num_subchains)
+            ]
+        )
+
+    def subchain_mean_rates(self) -> np.ndarray:
+        """m_i: mean rate of each subchain considered in isolation."""
+        return np.array([sub.mean_rate() for sub in self.subchains])
+
+    def slow_marginal(self):
+        """(pi, m): the slow time-scale marginal used by eqs. 10-12.
+
+        A random variable taking value ``m[i]`` (the mean rate of subchain
+        ``i``) with probability ``pi[i]``.
+        """
+        return self.subchain_stationary_distribution(), self.subchain_mean_rates()
+
+    def sample_workload(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> SlottedWorkload:
+        return self._source.sample_workload(num_slots, seed)
+
+    def sample_states(self, num_slots: int, seed: SeedLike = None) -> np.ndarray:
+        return self._source.sample_states(num_slots, seed)
+
+
+def two_state_onoff_subchain(
+    peak_rate: float,
+    activity: float,
+    mixing: float = 0.5,
+    name: str = "",
+) -> Subchain:
+    """A two-state on/off subchain with given peak rate and on-probability.
+
+    ``activity`` is the stationary probability of the ON state;
+    ``mixing`` controls how fast the subchain mixes (larger = faster).
+    """
+    if not 0.0 < activity < 1.0:
+        raise ValueError("activity must be in (0, 1)")
+    if not 0.0 < mixing <= 1.0:
+        raise ValueError("mixing must be in (0, 1]")
+    p_on_off = mixing * (1.0 - activity)
+    p_off_on = mixing * activity
+    matrix = np.array(
+        [
+            [1.0 - p_off_on, p_off_on],
+            [p_on_off, 1.0 - p_on_off],
+        ]
+    )
+    return Subchain(matrix, np.array([0.0, peak_rate]), name=name)
+
+
+def fig4_example(
+    slot_duration: float = 1.0 / 24.0,
+    epsilon: float = 1e-3,
+    base_rate: float = 374_000.0,
+) -> MultiTimescaleMarkovSource:
+    """A three-subchain source in the spirit of the paper's Fig. 4.
+
+    Three scene classes — quiet, normal, and action — each an internally
+    fast-mixing two-state chain whose mean rates are well separated, with
+    rare (probability ``epsilon`` per slot) scene changes.  ``base_rate``
+    sets the overall scale (default: the Star Wars mean rate).
+    """
+    quiet = two_state_onoff_subchain(0.8 * base_rate, 0.5, mixing=0.6, name="quiet")
+    normal = two_state_onoff_subchain(1.6 * base_rate, 0.6, mixing=0.6, name="normal")
+    action = two_state_onoff_subchain(4.5 * base_rate, 0.7, mixing=0.6, name="action")
+    # Scene-change preferences: quiet <-> normal more common than jumps
+    # straight between quiet and action.
+    slow = np.array(
+        [
+            [0.0, 0.8, 0.2],
+            [0.5, 0.0, 0.5],
+            [0.2, 0.8, 0.0],
+        ]
+    )
+    return MultiTimescaleMarkovSource(
+        [quiet, normal, action], slow, epsilon, slot_duration, name="fig4"
+    )

@@ -1,0 +1,51 @@
+"""On-off sources.
+
+The classic single-time-scale bursty source: alternate between silence and
+peak-rate emission with geometric dwell times.  Used as the simplest
+workload for validating the queueing and admission-control machinery (the
+paper cites Gibbens et al.'s study of memoryless admission control for
+on-off sources in Section VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.markov import MarkovChain, MarkovModulatedSource
+
+
+def onoff_source(
+    peak_rate: float,
+    mean_on_slots: float,
+    mean_off_slots: float,
+    slot_duration: float = 1.0 / 24.0,
+    name: str = "onoff",
+) -> MarkovModulatedSource:
+    """A two-state on-off Markov-modulated source.
+
+    Dwell times in each state are geometric with the requested means
+    (in slots).  State 0 is OFF (rate 0), state 1 is ON (``peak_rate``).
+    """
+    if peak_rate <= 0:
+        raise ValueError("peak_rate must be positive")
+    if mean_on_slots < 1 or mean_off_slots < 1:
+        raise ValueError("mean dwell times must be at least one slot")
+    leave_on = 1.0 / mean_on_slots
+    leave_off = 1.0 / mean_off_slots
+    matrix = np.array(
+        [
+            [1.0 - leave_off, leave_off],
+            [leave_on, 1.0 - leave_on],
+        ]
+    )
+    return MarkovModulatedSource(
+        MarkovChain(matrix),
+        np.array([0.0, peak_rate]),
+        slot_duration,
+        name=name,
+    )
+
+
+def onoff_activity(mean_on_slots: float, mean_off_slots: float) -> float:
+    """Stationary probability of the ON state."""
+    return mean_on_slots / (mean_on_slots + mean_off_slots)

@@ -1,0 +1,221 @@
+"""Synthetic Star-Wars-like MPEG-1 trace generator.
+
+The paper's experiments use the Garrett/Willinger MPEG-1 encoding of the
+*Star Wars* movie: roughly two hours at 24 frames/s (~171 000 frames),
+long-term average rate 374 kb/s, and — critically — *multiple time-scale*
+burstiness: "episodes where a sustained peak of five times the long-term
+average rate lasts over 10 s" (Section II).
+
+That trace is not redistributable, so this module generates a synthetic
+trace with the same structure:
+
+* a **scene process**: a semi-Markov chain over scene classes (quiet,
+  normal, busy, action, peak) with class-dependent mean-rate multipliers
+  and lognormal scene durations of seconds to tens of seconds — the slow
+  time scale;
+* **within-scene drift**: a mean-one AR(1) modulation so rate wanders
+  inside a scene — intermediate time scale;
+* the **GOP sawtooth** (I/B/P multipliers from :mod:`repro.traffic.mpeg`)
+  plus lognormal per-frame noise — the fast time scale.
+
+The generated trace is rescaled so its empirical mean rate matches
+``mean_rate`` exactly, mirroring how the paper quotes results relative to
+the trace's 374 kb/s average.  ``EXPERIMENTS.md`` verifies that the
+emergent statistics the paper relies on (sustained 5x peaks, the shape of
+the (sigma, rho) curve, ~4x CBR equivalent bandwidth at a 300 kb buffer)
+hold for this generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.traffic.mpeg import GopStructure
+from repro.traffic.trace import FrameTrace
+from repro.util.rng import SeedLike, as_generator
+from repro.util.units import kbps
+
+#: Published statistics of the real trace, used as generator defaults.
+STAR_WARS_MEAN_RATE = kbps(374.0)
+STAR_WARS_FPS = 24.0
+STAR_WARS_NUM_FRAMES = 171_000  # ~2 hours
+
+
+@dataclass(frozen=True)
+class SceneClass:
+    """One scene class of the slow time-scale process."""
+
+    name: str
+    rate_multiplier: float  # scene mean rate relative to the trace mean
+    mean_duration: float  # seconds
+    duration_sigma: float = 0.5  # lognormal shape for the duration
+    probability: float = 0.0  # stationary probability of *entering* the class
+
+    def __post_init__(self) -> None:
+        if self.rate_multiplier <= 0:
+            raise ValueError("rate_multiplier must be positive")
+        if self.mean_duration <= 0:
+            raise ValueError("mean_duration must be positive")
+        if self.probability < 0:
+            raise ValueError("probability must be non-negative")
+
+
+def default_scene_classes() -> Sequence[SceneClass]:
+    """Scene mix calibrated to the paper's qualitative description.
+
+    The *peak* class produces the paper's "sustained peak of five times
+    the long-term average rate [lasting] over 10 s"; the entry
+    probabilities make such episodes occasional (a handful per
+    two-hour movie), as observed in the real trace.
+    """
+    return (
+        SceneClass("quiet", 0.45, mean_duration=18.0, probability=0.30),
+        SceneClass("normal", 0.85, mean_duration=20.0, probability=0.42),
+        SceneClass("busy", 1.60, mean_duration=15.0, probability=0.19),
+        SceneClass("action", 3.00, mean_duration=11.0, probability=0.065),
+        SceneClass("peak", 4.30, mean_duration=14.0, probability=0.025),
+    )
+
+
+@dataclass(frozen=True)
+class StarWarsModel:
+    """Parameters of the synthetic generator."""
+
+    mean_rate: float = STAR_WARS_MEAN_RATE
+    frames_per_second: float = STAR_WARS_FPS
+    scene_classes: Sequence[SceneClass] = field(
+        default_factory=default_scene_classes
+    )
+    gop: GopStructure = field(default_factory=GopStructure)
+    intra_scene_ar_coefficient: float = 0.98
+    intra_scene_sigma: float = 0.06
+    frame_noise_sigma: float = 0.10
+    max_frame_multiplier: float = 12.0
+    normalize_mean: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mean_rate <= 0:
+            raise ValueError("mean_rate must be positive")
+        if not self.scene_classes:
+            raise ValueError("need at least one scene class")
+        total = sum(cls.probability for cls in self.scene_classes)
+        if total <= 0:
+            raise ValueError("scene-class probabilities must not all be zero")
+        if not 0.0 <= self.intra_scene_ar_coefficient < 1.0:
+            raise ValueError("AR coefficient must be in [0, 1)")
+        if self.max_frame_multiplier is not None and self.max_frame_multiplier <= 1.0:
+            raise ValueError("max_frame_multiplier must exceed 1")
+
+    # ------------------------------------------------------------------
+    def _scene_probabilities(self) -> np.ndarray:
+        probs = np.array([cls.probability for cls in self.scene_classes])
+        return probs / probs.sum()
+
+    def sample_scene_sequence(self, num_frames: int, rng: np.random.Generator):
+        """Per-frame scene-class index and scene boundary flags.
+
+        Scene classes are drawn i.i.d. from the entry distribution (with
+        no immediate self-repeat, so adjacent scenes differ); durations
+        are lognormal with the class's mean.  Returns an integer array of
+        length ``num_frames``.
+        """
+        probs = self._scene_probabilities()
+        classes = self.scene_classes
+        scene_of_frame = np.empty(num_frames, dtype=np.int64)
+        position = 0
+        previous = -1
+        while position < num_frames:
+            index = int(rng.choice(len(classes), p=probs))
+            if index == previous and len(classes) > 1:
+                # Re-draw once to discourage (not forbid) repeats; repeated
+                # classes just merge into one longer scene, which is harmless.
+                index = int(rng.choice(len(classes), p=probs))
+            scene = classes[index]
+            # Lognormal with the requested mean: mean = exp(mu + sigma^2/2).
+            sigma = scene.duration_sigma
+            mu = np.log(scene.mean_duration) - 0.5 * sigma * sigma
+            duration_seconds = float(rng.lognormal(mu, sigma))
+            duration_frames = max(1, int(round(duration_seconds * self.frames_per_second)))
+            end = min(num_frames, position + duration_frames)
+            scene_of_frame[position:end] = index
+            position = end
+            previous = index
+        return scene_of_frame
+
+    def generate(
+        self,
+        num_frames: int = STAR_WARS_NUM_FRAMES,
+        seed: SeedLike = None,
+        name: str = "starwars-like",
+    ) -> FrameTrace:
+        """Generate a synthetic trace of ``num_frames`` frames."""
+        if num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        rng = as_generator(seed)
+
+        scene_of_frame = self.sample_scene_sequence(num_frames, rng)
+        multipliers = np.array(
+            [cls.rate_multiplier for cls in self.scene_classes]
+        )
+        scene_rate = multipliers[scene_of_frame]
+
+        # Intermediate time scale: mean-one AR(1) drift inside scenes.
+        drift = self._ar1_modulation(num_frames, rng)
+
+        # Fast time scale: GOP sawtooth with a random phase plus frame noise.
+        phase = int(rng.integers(self.gop.gop_length))
+        gop_multiplier = self.gop.multiplier_sequence(num_frames, phase)
+        noise_sigma = self.frame_noise_sigma
+        noise = rng.lognormal(
+            -0.5 * noise_sigma * noise_sigma, noise_sigma, size=num_frames
+        )
+
+        mean_frame_bits = self.mean_rate / self.frames_per_second
+        frame_bits = mean_frame_bits * scene_rate * drift * gop_multiplier * noise
+        if self.max_frame_multiplier is not None:
+            # The real trace's largest frame is ~12x the mean frame (the
+            # encoder's rate ceiling); without a cap the multiplicative
+            # model's tail produces unrealistically huge single frames.
+            frame_bits = np.minimum(
+                frame_bits, self.max_frame_multiplier * mean_frame_bits
+            )
+        if self.normalize_mean:
+            frame_bits *= mean_frame_bits / frame_bits.mean()
+        return FrameTrace(frame_bits, self.frames_per_second, name=name)
+
+    def _ar1_modulation(
+        self, num_frames: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """A stationary mean-one lognormal AR(1) multiplier sequence."""
+        coefficient = self.intra_scene_ar_coefficient
+        sigma = self.intra_scene_sigma
+        if sigma == 0.0:
+            return np.ones(num_frames)
+        innovations = rng.normal(0.0, sigma, size=num_frames)
+        log_values = np.empty(num_frames)
+        stationary_std = sigma / np.sqrt(1.0 - coefficient * coefficient)
+        log_values[0] = rng.normal(0.0, stationary_std)
+        for index in range(1, num_frames):
+            log_values[index] = (
+                coefficient * log_values[index - 1] + innovations[index]
+            )
+        # exp() of a zero-mean Gaussian has mean exp(var/2); divide it out.
+        return np.exp(log_values - 0.5 * stationary_std * stationary_std)
+
+
+def generate_starwars_trace(
+    num_frames: int = STAR_WARS_NUM_FRAMES,
+    seed: SeedLike = 1995,
+    mean_rate: float = STAR_WARS_MEAN_RATE,
+    name: str = "starwars-like",
+) -> FrameTrace:
+    """Convenience wrapper: a Star-Wars-like trace with default calibration.
+
+    The default seed makes the library's experiments reproducible out of
+    the box; pass ``seed=None`` for a fresh trace.
+    """
+    model = StarWarsModel(mean_rate=mean_rate)
+    return model.generate(num_frames=num_frames, seed=seed, name=name)

@@ -1,0 +1,279 @@
+"""Frame-size traces.
+
+A :class:`FrameTrace` is the workload object used throughout the
+reproduction: a sequence of frame sizes (in bits) produced at a fixed frame
+rate.  The paper's experiments all consume the MPEG-1 *Star Wars* trace in
+this form ("for video, a time slot would typically be the duration of a
+frame", Section IV-A).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class FrameTrace:
+    """A fixed-frame-rate video trace.
+
+    Parameters
+    ----------
+    frame_bits:
+        Size of each frame in bits, one entry per frame.
+    frames_per_second:
+        Playback frame rate (the paper's trace is 24 frames/s MPEG-1).
+    name:
+        Optional human-readable label carried through experiments.
+    """
+
+    frame_bits: np.ndarray
+    frames_per_second: float = 24.0
+    name: str = "trace"
+    _metadata: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.frame_bits, dtype=float)
+        if array.ndim != 1:
+            raise ValueError(f"frame_bits must be 1-D, got shape {array.shape}")
+        if array.size == 0:
+            raise ValueError("a trace must contain at least one frame")
+        if np.any(array < 0):
+            raise ValueError("frame sizes must be non-negative")
+        if self.frames_per_second <= 0:
+            raise ValueError("frames_per_second must be positive")
+        object.__setattr__(self, "frame_bits", array)
+        array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return int(self.frame_bits.size)
+
+    @property
+    def frame_duration(self) -> float:
+        """Duration of one frame slot in seconds."""
+        return 1.0 / self.frames_per_second
+
+    @property
+    def duration(self) -> float:
+        """Total playback duration in seconds."""
+        return self.num_frames * self.frame_duration
+
+    @property
+    def total_bits(self) -> float:
+        return float(self.frame_bits.sum())
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-term average rate in bits per second."""
+        return self.total_bits / self.duration
+
+    @property
+    def peak_rate(self) -> float:
+        """Largest single-frame rate in bits per second."""
+        return float(self.frame_bits.max()) * self.frames_per_second
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Per-frame instantaneous rates in bits per second."""
+        return self.frame_bits * self.frames_per_second
+
+    def cumulative_bits(self) -> np.ndarray:
+        """A(t): cumulative arrivals after each frame, length ``num_frames``."""
+        return np.cumsum(self.frame_bits)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shifted(self, offset_frames: int, name: str = "") -> "FrameTrace":
+        """Circularly shift the trace by ``offset_frames`` frames.
+
+        The paper builds multiplexed workloads from "randomly shifted
+        versions of this trace" (Section V-B); circular shifting preserves
+        the marginal statistics while decorrelating the sources.
+        """
+        offset = int(offset_frames) % self.num_frames
+        rolled = np.roll(self.frame_bits, -offset)
+        return FrameTrace(
+            rolled,
+            self.frames_per_second,
+            name or f"{self.name}+{offset}f",
+        )
+
+    def random_shift(self, seed: SeedLike = None) -> "FrameTrace":
+        """A uniformly random circular shift of the trace."""
+        rng = as_generator(seed)
+        return self.shifted(int(rng.integers(self.num_frames)))
+
+    def prefix(self, num_frames: int, name: str = "") -> "FrameTrace":
+        """The first ``num_frames`` frames, e.g. for fast benchmarks."""
+        if not 1 <= num_frames <= self.num_frames:
+            raise ValueError(
+                f"num_frames must be in [1, {self.num_frames}], got {num_frames}"
+            )
+        return FrameTrace(
+            self.frame_bits[:num_frames].copy(),
+            self.frames_per_second,
+            name or f"{self.name}[:{num_frames}]",
+        )
+
+    def aggregate(self, frames_per_slot: int) -> "SlottedWorkload":
+        """Aggregate frames into coarser slots (sums of consecutive frames).
+
+        Useful to run the renegotiation DP on long traces at a coarser
+        renegotiation granularity, trading schedule precision for speed.
+        """
+        if frames_per_slot < 1:
+            raise ValueError("frames_per_slot must be >= 1")
+        count = self.num_frames // frames_per_slot
+        if count == 0:
+            raise ValueError("trace shorter than one aggregated slot")
+        trimmed = self.frame_bits[: count * frames_per_slot]
+        sums = trimmed.reshape(count, frames_per_slot).sum(axis=1)
+        return SlottedWorkload(
+            bits_per_slot=sums,
+            slot_duration=frames_per_slot * self.frame_duration,
+            name=f"{self.name}/agg{frames_per_slot}",
+        )
+
+    def as_workload(self) -> "SlottedWorkload":
+        """View the trace as a slotted workload (one slot per frame)."""
+        return SlottedWorkload(
+            bits_per_slot=self.frame_bits,
+            slot_duration=self.frame_duration,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Save to ``.npz`` (compressed) with metadata."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            frame_bits=self.frame_bits,
+            frames_per_second=np.asarray(self.frames_per_second),
+            name=np.asarray(self.name),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FrameTrace":
+        """Load a trace previously written with :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            return cls(
+                frame_bits=data["frame_bits"],
+                frames_per_second=float(data["frames_per_second"]),
+                name=str(data["name"]),
+            )
+
+    def save_text(self, path: Union[str, Path]) -> None:
+        """Save in the classic one-frame-size-per-line text format.
+
+        This is the format the original Garrett/Willinger Star Wars trace
+        was distributed in (frame sizes in bits, one per line), with a JSON
+        header line for the frame rate.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            header = {"frames_per_second": self.frames_per_second, "name": self.name}
+            handle.write("# " + json.dumps(header) + "\n")
+            for size in self.frame_bits:
+                handle.write(f"{size:.0f}\n")
+
+    @classmethod
+    def load_text(
+        cls, path: Union[str, Path], frames_per_second: float = 24.0
+    ) -> "FrameTrace":
+        """Load a one-frame-per-line text trace (optionally with JSON header)."""
+        path = Path(path)
+        name = path.stem
+        sizes = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    try:
+                        header = json.loads(line[1:].strip())
+                        frames_per_second = header.get(
+                            "frames_per_second", frames_per_second
+                        )
+                        name = header.get("name", name)
+                    except json.JSONDecodeError:
+                        pass
+                    continue
+                sizes.append(float(line))
+        return cls(np.asarray(sizes), frames_per_second, name)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __iter__(self) -> Iterable[float]:
+        return iter(self.frame_bits)
+
+
+@dataclass(frozen=True)
+class SlottedWorkload:
+    """A generic slotted arrival process: bits arriving per fixed slot.
+
+    This is the form consumed by the renegotiation schedulers and the fluid
+    queues.  ``FrameTrace.as_workload()`` produces one slot per frame;
+    ``FrameTrace.aggregate()`` produces coarser slots.
+    """
+
+    bits_per_slot: np.ndarray
+    slot_duration: float
+    name: str = "workload"
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.bits_per_slot, dtype=float)
+        if array.ndim != 1 or array.size == 0:
+            raise ValueError("bits_per_slot must be a non-empty 1-D array")
+        if np.any(array < 0):
+            raise ValueError("arrivals must be non-negative")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        object.__setattr__(self, "bits_per_slot", array)
+        array.setflags(write=False)
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.bits_per_slot.size)
+
+    @property
+    def duration(self) -> float:
+        return self.num_slots * self.slot_duration
+
+    @property
+    def total_bits(self) -> float:
+        return float(self.bits_per_slot.sum())
+
+    @property
+    def mean_rate(self) -> float:
+        return self.total_bits / self.duration
+
+    @property
+    def peak_rate(self) -> float:
+        return float(self.bits_per_slot.max()) / self.slot_duration
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Per-slot instantaneous rates in bits per second."""
+        return self.bits_per_slot / self.slot_duration
+
+    def __len__(self) -> int:
+        return self.num_slots

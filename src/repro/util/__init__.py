@@ -1,0 +1,57 @@
+"""Shared utilities: units, RNG management, statistics, stochastic search.
+
+These helpers underpin every experiment in the reproduction.  They are
+deliberately small and dependency-light so that the substantive packages
+(:mod:`repro.traffic`, :mod:`repro.queueing`, ...) stay focused on the
+paper's algorithms.
+"""
+
+from repro.util.units import (
+    KILO,
+    MEGA,
+    GIGA,
+    kbps,
+    mbps,
+    gbps,
+    kbits,
+    mbits,
+    bits_to_kbits,
+    bits_to_mbits,
+    rate_to_kbps,
+    rate_to_mbps,
+    format_rate,
+    format_bits,
+)
+from repro.util.rng import RngMixin, as_generator, spawn_generators
+from repro.util.stats import (
+    RunningStats,
+    ConfidenceInterval,
+    mean_confidence_interval,
+    RelativePrecisionStopper,
+)
+from repro.util.search import binary_search_min_feasible
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "kbps",
+    "mbps",
+    "gbps",
+    "kbits",
+    "mbits",
+    "bits_to_kbits",
+    "bits_to_mbits",
+    "rate_to_kbps",
+    "rate_to_mbps",
+    "format_rate",
+    "format_bits",
+    "RngMixin",
+    "as_generator",
+    "spawn_generators",
+    "RunningStats",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "RelativePrecisionStopper",
+    "binary_search_min_feasible",
+]

@@ -1,0 +1,73 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`, normalised through :func:`as_generator`.
+Experiments that need many independent streams (e.g. one per multiplexed
+video source) use :func:`spawn_generators`, which derives child generators
+through numpy's ``SeedSequence`` spawning so the streams are statistically
+independent *and* reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh OS entropy), an integer seed, a
+    ``SeedSequence``, or an existing ``Generator`` (returned unchanged so
+    that callers can thread one generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    If ``seed`` is already a ``Generator`` its own ``spawn`` method is used
+    (available from numpy 1.25); otherwise a ``SeedSequence`` is built and
+    spawned.  Raises :class:`ValueError` for a negative count.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(count))
+    if isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    else:
+        sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily normalised ``rng`` attribute.
+
+    Subclasses call ``RngMixin.__init__(self, seed)`` (or set ``self._rng``
+    directly) and then use ``self.rng`` everywhere randomness is needed.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng: Optional[np.random.Generator] = (
+            None if seed is None else as_generator(seed)
+        )
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The component's random generator, created on first use."""
+        if self._rng is None:
+            self._rng = np.random.default_rng()
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the generator, e.g. to replay a scenario."""
+        self._rng = as_generator(seed)

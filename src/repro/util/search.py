@@ -1,0 +1,48 @@
+"""Search helpers.
+
+Figure 6 of the paper is produced by "a binary search on c; for each step
+in the search we do many simulations ... and compute the average fraction
+of bits lost as an estimate of the loss probability".
+:func:`binary_search_min_feasible` captures that pattern: find the smallest
+value of a scalar parameter for which a (possibly stochastic, but
+monotone-in-expectation) feasibility predicate holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def binary_search_min_feasible(
+    predicate: Callable[[float], bool],
+    low: float,
+    high: float,
+    tolerance: float,
+    max_iterations: int = 200,
+) -> float:
+    """Smallest ``x`` in ``[low, high]`` with ``predicate(x)`` true.
+
+    ``predicate`` must be monotone: false below some threshold and true at
+    and above it.  ``high`` must be feasible (checked); ``low`` may or may
+    not be.  The search narrows the bracket until its width is at most
+    ``tolerance`` and returns the feasible upper end of the bracket, so the
+    result is always a certified-feasible point within ``tolerance`` of the
+    true threshold.
+    """
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    if tolerance <= 0.0:
+        raise ValueError("tolerance must be positive")
+    if not predicate(high):
+        raise ValueError(f"upper bound {high} is not feasible")
+    if predicate(low):
+        return low
+    iterations = 0
+    while high - low > tolerance and iterations < max_iterations:
+        middle = (low + high) / 2.0
+        if predicate(middle):
+            high = middle
+        else:
+            low = middle
+        iterations += 1
+    return high

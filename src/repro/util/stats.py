@@ -1,0 +1,172 @@
+"""Statistics helpers used by the simulation experiments.
+
+The paper repeats each simulation "until the sample standard deviation of
+the estimate is less than 20% of the estimate" (Section V-B) and, for the
+admission-control study, "until the 95% confidence interval for both
+probabilities is sufficiently small with respect to the estimated value
+(within 20%)" (Section VI).  :class:`RelativePrecisionStopper` implements
+exactly those stopping rules, including the paper's early-exit when the
+target failure probability provably lies above the confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy import stats as _scipy_stats
+
+
+class RunningStats:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values) -> None:
+        """Fold an iterable of observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample (n-1) variance."""
+        if self._count < 2:
+            raise ValueError("variance requires at least two observations")
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self._count)
+
+    def __repr__(self) -> str:
+        if self._count == 0:
+            return "RunningStats(empty)"
+        return f"RunningStats(n={self._count}, mean={self._mean:.6g})"
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval around a sample mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    level: float
+    count: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def mean_confidence_interval(
+    stats: RunningStats, level: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of the recorded samples."""
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    if stats.count < 2:
+        raise ValueError("confidence interval requires at least two samples")
+    critical = _scipy_stats.t.ppf(0.5 + level / 2.0, df=stats.count - 1)
+    half = critical * stats.std_error
+    return ConfidenceInterval(
+        mean=stats.mean,
+        lower=stats.mean - half,
+        upper=stats.mean + half,
+        level=level,
+        count=stats.count,
+    )
+
+
+class RelativePrecisionStopper:
+    """The paper's simulation stopping rule.
+
+    Stop when the 95% (configurable) confidence half-width is within
+    ``relative_precision`` of the estimated mean.  Optionally also stop as
+    soon as the whole confidence interval lies *below* ``target_below``:
+    the paper uses this to terminate quickly when the measured
+    renegotiation-failure probability is clearly under the QoS target
+    ("we also stop if the target failure probability lies to the right of
+    the confidence interval").
+    """
+
+    def __init__(
+        self,
+        relative_precision: float = 0.2,
+        level: float = 0.95,
+        min_samples: int = 5,
+        max_samples: int = 10_000,
+        target_below: Optional[float] = None,
+    ) -> None:
+        if relative_precision <= 0.0:
+            raise ValueError("relative_precision must be positive")
+        if min_samples < 2:
+            raise ValueError("min_samples must be at least 2")
+        if max_samples < min_samples:
+            raise ValueError("max_samples must be >= min_samples")
+        self.relative_precision = relative_precision
+        self.level = level
+        self.min_samples = min_samples
+        self.max_samples = max_samples
+        self.target_below = target_below
+        self.stats = RunningStats()
+
+    def add(self, value: float) -> None:
+        self.stats.add(value)
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    def interval(self) -> ConfidenceInterval:
+        return mean_confidence_interval(self.stats, self.level)
+
+    def should_stop(self) -> bool:
+        """True once enough samples have been collected."""
+        if self.stats.count >= self.max_samples:
+            return True
+        if self.stats.count < self.min_samples:
+            return False
+        interval = self.interval()
+        if self.target_below is not None and interval.upper < self.target_below:
+            return True
+        if interval.mean == 0.0:
+            # All-zero samples: precision relative to zero is undefined;
+            # rely on target_below/max_samples to terminate.
+            return self.target_below is not None and 0.0 < self.target_below
+        return interval.half_width <= self.relative_precision * abs(interval.mean)
+
+    def run(self, sample_fn) -> ConfidenceInterval:
+        """Draw samples from ``sample_fn()`` until the rule says stop."""
+        while not self.should_stop():
+            self.add(float(sample_fn()))
+        return self.interval()

@@ -1,0 +1,86 @@
+"""Unit helpers.
+
+Internally the whole library uses **bits** for data volumes and **bits per
+second** for rates, matching the units the paper reports (kb, kb/s, Mb).
+Time is in **seconds** unless a function explicitly works in slots.
+
+The helpers below exist so that calling code reads like the paper::
+
+    buffer = kbits(300)          # the paper's 300 kb end-system buffer
+    mean_rate = kbps(374)        # the Star Wars trace's average rate
+"""
+
+from __future__ import annotations
+
+KILO = 1_000.0
+MEGA = 1_000_000.0
+GIGA = 1_000_000_000.0
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * KILO
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * MEGA
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bits per second."""
+    return value * GIGA
+
+
+def kbits(value: float) -> float:
+    """Convert kilobits to bits."""
+    return value * KILO
+
+
+def mbits(value: float) -> float:
+    """Convert megabits to bits."""
+    return value * MEGA
+
+
+def bits_to_kbits(value: float) -> float:
+    """Convert bits to kilobits."""
+    return value / KILO
+
+
+def bits_to_mbits(value: float) -> float:
+    """Convert bits to megabits."""
+    return value / MEGA
+
+
+def rate_to_kbps(value: float) -> float:
+    """Convert a rate in bits per second to kilobits per second."""
+    return value / KILO
+
+
+def rate_to_mbps(value: float) -> float:
+    """Convert a rate in bits per second to megabits per second."""
+    return value / MEGA
+
+
+def format_rate(bits_per_second: float) -> str:
+    """Render a rate with the most readable SI prefix, e.g. ``'374.0 kb/s'``."""
+    magnitude = abs(bits_per_second)
+    if magnitude >= GIGA:
+        return f"{bits_per_second / GIGA:.2f} Gb/s"
+    if magnitude >= MEGA:
+        return f"{bits_per_second / MEGA:.2f} Mb/s"
+    if magnitude >= KILO:
+        return f"{bits_per_second / KILO:.1f} kb/s"
+    return f"{bits_per_second:.0f} b/s"
+
+
+def format_bits(bits: float) -> str:
+    """Render a data volume with the most readable SI prefix, e.g. ``'300 kb'``."""
+    magnitude = abs(bits)
+    if magnitude >= GIGA:
+        return f"{bits / GIGA:.2f} Gb"
+    if magnitude >= MEGA:
+        return f"{bits / MEGA:.2f} Mb"
+    if magnitude >= KILO:
+        return f"{bits / KILO:.1f} kb"
+    return f"{bits:.0f} b"

@@ -1,0 +1,46 @@
+"""Shared fixtures: short deterministic workloads and schedules.
+
+Kept deliberately small so the unit-test suite stays fast; the benchmark
+suite (benchmarks/) runs the paper-scale experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OptimalScheduler, granular_rate_levels
+from repro.traffic import generate_starwars_trace
+from repro.util.units import kbits, kbps
+
+
+@pytest.fixture(scope="session")
+def short_trace():
+    """A 60-second Star-Wars-like trace (1440 frames at 24 fps)."""
+    return generate_starwars_trace(num_frames=1440, seed=42)
+
+
+@pytest.fixture(scope="session")
+def short_workload(short_trace):
+    return short_trace.as_workload()
+
+
+@pytest.fixture(scope="session")
+def medium_trace():
+    """A 5-minute trace for the slower integration tests."""
+    return generate_starwars_trace(num_frames=7200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def optimal_schedule(short_workload, short_trace):
+    """The optimal schedule of the short trace at 300 kb buffer."""
+    levels = granular_rate_levels(kbps(256), short_trace.peak_rate)
+    result = OptimalScheduler(levels, alpha=5e6, beta=1.0).solve(
+        short_workload, buffer_bits=kbits(300)
+    )
+    return result.schedule
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,135 @@
+"""The call-level admission simulator."""
+
+import numpy as np
+import pytest
+
+from repro.admission.callsim import (
+    CallLevelSimulator,
+    arrival_rate_for_load,
+    simulate_admission,
+)
+from repro.admission.controllers import AlwaysAdmit, MemorylessMBAC
+from repro.core.schedule import RateSchedule
+
+
+@pytest.fixture
+def toy_schedule():
+    """A 100-second schedule alternating 100 and 300 b/s every 10 s."""
+    times = np.arange(10) * 10.0
+    rates = np.where(np.arange(10) % 2 == 0, 100.0, 300.0)
+    return RateSchedule(times, rates, duration=100.0)
+
+
+class TestArrivalRateForLoad:
+    def test_formula_inverts_offered_load(self):
+        lam = arrival_rate_for_load(0.8, 10_000.0, 200.0, 100.0)
+        assert lam * 100.0 * 200.0 / 10_000.0 == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(1.0, 0.0, 1.0, 1.0)
+
+
+class TestCallLevelSimulator:
+    def test_interval_sample_fields(self, toy_schedule):
+        simulator = CallLevelSimulator(
+            toy_schedule, 10_000.0, 0.05, AlwaysAdmit(), seed=1
+        )
+        sample = simulator.run_interval()
+        assert 0.0 <= sample.utilization <= 1.0
+        assert 0.0 <= sample.failure_fraction <= 1.0
+        assert 0.0 <= sample.blocking_fraction <= 1.0
+        assert sample.arrivals >= 0
+
+    def test_huge_capacity_no_failures(self, toy_schedule):
+        simulator = CallLevelSimulator(
+            toy_schedule, 1e9, 0.05, AlwaysAdmit(), seed=2
+        )
+        for _ in range(3):
+            sample = simulator.run_interval()
+            assert sample.failure_fraction == 0.0
+
+    def test_tiny_capacity_fails(self, toy_schedule):
+        simulator = CallLevelSimulator(
+            toy_schedule, 350.0, 0.2, AlwaysAdmit(), seed=3
+        )
+        total_failures = sum(
+            simulator.run_interval().failure_fraction for _ in range(5)
+        )
+        assert total_failures > 0.0
+
+    def test_reproducible(self, toy_schedule):
+        def run():
+            simulator = CallLevelSimulator(
+                toy_schedule, 2_000.0, 0.05, AlwaysAdmit(), seed=42
+            )
+            return [simulator.run_interval().utilization for _ in range(3)]
+
+        assert run() == run()
+
+    def test_utilization_grows_with_load(self, toy_schedule):
+        def utilization(load_rate):
+            simulator = CallLevelSimulator(
+                toy_schedule, 5_000.0, load_rate, AlwaysAdmit(), seed=5
+            )
+            return np.mean(
+                [simulator.run_interval().utilization for _ in range(5)]
+            )
+
+        assert utilization(0.15) > utilization(0.01)
+
+    def test_validation(self, toy_schedule):
+        with pytest.raises(ValueError):
+            CallLevelSimulator(toy_schedule, 0.0, 1.0, AlwaysAdmit())
+        with pytest.raises(ValueError):
+            CallLevelSimulator(toy_schedule, 1.0, 0.0, AlwaysAdmit())
+        simulator = CallLevelSimulator(toy_schedule, 1.0, 1.0, AlwaysAdmit())
+        with pytest.raises(ValueError):
+            simulator.run_interval(0.0)
+
+
+class TestSimulateAdmission:
+    def test_produces_confidence_intervals(self, toy_schedule):
+        result = simulate_admission(
+            toy_schedule,
+            capacity=2_000.0,
+            arrival_rate=0.05,
+            controller=AlwaysAdmit(),
+            seed=7,
+            warmup_intervals=1,
+            min_intervals=3,
+            max_intervals=6,
+        )
+        assert result.num_intervals >= 3
+        assert result.failure_interval is not None
+        assert result.utilization_interval is not None
+        assert 0.0 <= result.utilization <= 1.0
+
+    def test_early_stop_when_below_target(self, toy_schedule):
+        result = simulate_admission(
+            toy_schedule,
+            capacity=1e9,
+            arrival_rate=0.05,
+            controller=AlwaysAdmit(),
+            seed=8,
+            min_intervals=3,
+            max_intervals=50,
+            failure_target=1e-3,
+        )
+        # No failures at huge capacity: should stop at min_intervals.
+        assert result.num_intervals == 3
+        assert result.failure_probability == 0.0
+
+    def test_mbac_blocks_some_calls_under_overload(self, toy_schedule):
+        result = simulate_admission(
+            toy_schedule,
+            capacity=1_000.0,
+            arrival_rate=0.5,  # heavy overload
+            controller=MemorylessMBAC(1e-3),
+            seed=9,
+            min_intervals=3,
+            max_intervals=6,
+        )
+        assert result.blocking_probability > 0.0

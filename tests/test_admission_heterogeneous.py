@@ -1,0 +1,170 @@
+"""Heterogeneous call classes: mixture Chernoff and the matching CAC."""
+
+import numpy as np
+import pytest
+
+from repro.admission.callsim import CallLevelSimulator
+from repro.admission.controllers import HeterogeneousKnowledgeCAC
+from repro.analysis.chernoff import (
+    heterogeneous_overload_probability,
+    overload_probability,
+)
+from repro.core.schedule import RateSchedule
+
+AUDIO = (np.array([64.0, 128.0]), np.array([0.7, 0.3]))
+VIDEO = (np.array([300.0, 900.0, 1500.0]), np.array([0.5, 0.4, 0.1]))
+
+
+class TestMixtureChernoff:
+    def test_reduces_to_homogeneous(self):
+        levels, probs = VIDEO
+        for n, capacity in ((5, 4000.0), (20, 14_000.0)):
+            hetero = heterogeneous_overload_probability(
+                [(levels, probs, n)], capacity
+            )
+            homo = overload_probability(levels, probs, n, capacity)
+            assert hetero == pytest.approx(homo, rel=1e-6, abs=1e-12)
+
+    def test_bounds(self):
+        classes = [(*AUDIO, 10), (*VIDEO, 5)]
+        total_peak = 10 * 128.0 + 5 * 1500.0
+        total_mean = 10 * float(AUDIO[0] @ AUDIO[1]) + 5 * float(
+            VIDEO[0] @ VIDEO[1]
+        )
+        assert heterogeneous_overload_probability(classes, total_peak) == 0.0
+        assert (
+            heterogeneous_overload_probability(classes, total_mean * 0.99)
+            == 1.0
+        )
+
+    def test_monotone_in_capacity(self):
+        classes = [(*AUDIO, 10), (*VIDEO, 5)]
+        capacities = np.linspace(5000.0, 8000.0, 5)
+        values = [
+            heterogeneous_overload_probability(classes, c) for c in capacities
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_adding_calls_increases_risk(self):
+        capacity = 7000.0
+        few = heterogeneous_overload_probability(
+            [(*AUDIO, 5), (*VIDEO, 4)], capacity
+        )
+        more = heterogeneous_overload_probability(
+            [(*AUDIO, 5), (*VIDEO, 5)], capacity
+        )
+        assert more >= few - 1e-12
+
+    def test_zero_count_classes_skipped(self):
+        value = heterogeneous_overload_probability(
+            [(*AUDIO, 0), (*VIDEO, 5)], 5000.0
+        )
+        homo = overload_probability(*VIDEO, 5, 5000.0)
+        assert value == pytest.approx(homo, rel=1e-6, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heterogeneous_overload_probability([], 100.0)
+        with pytest.raises(ValueError):
+            heterogeneous_overload_probability([(*AUDIO, 0)], 100.0)
+        with pytest.raises(ValueError):
+            heterogeneous_overload_probability([(*AUDIO, -1)], 100.0)
+        with pytest.raises(ValueError):
+            heterogeneous_overload_probability([(*AUDIO, 1)], 0.0)
+
+
+class TestHeterogeneousCAC:
+    def test_admits_cheap_class_longer(self):
+        controller = HeterogeneousKnowledgeCAC([AUDIO, VIDEO], 1e-3)
+        capacity = 3000.0
+        admitted_audio = 0
+        while controller.admit(capacity, 0.0, call_class=0):
+            controller.on_admit(f"a{admitted_audio}", 64.0, 0.0, call_class=0)
+            admitted_audio += 1
+            if admitted_audio > 100:
+                break
+        fresh = HeterogeneousKnowledgeCAC([AUDIO, VIDEO], 1e-3)
+        admitted_video = 0
+        while fresh.admit(capacity, 0.0, call_class=1):
+            fresh.on_admit(f"v{admitted_video}", 300.0, 0.0, call_class=1)
+            admitted_video += 1
+            if admitted_video > 100:
+                break
+        assert admitted_audio > admitted_video
+
+    def test_mixture_state_tracked(self):
+        controller = HeterogeneousKnowledgeCAC([AUDIO, VIDEO], 1e-2)
+        controller.on_admit("a", 64.0, 0.0, call_class=0)
+        controller.on_admit("v", 300.0, 0.0, call_class=1)
+        assert controller.class_counts() == (1, 1)
+        controller.on_departure("a", 5.0)
+        assert controller.class_counts() == (0, 1)
+
+    def test_rejects_unknown_class(self):
+        controller = HeterogeneousKnowledgeCAC([AUDIO], 1e-3)
+        with pytest.raises(ValueError):
+            controller.admit(1000.0, 0.0, call_class=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousKnowledgeCAC([], 1e-3)
+        with pytest.raises(ValueError):
+            HeterogeneousKnowledgeCAC([AUDIO], 1.0)
+
+
+class TestMultiClassSimulator:
+    def make_schedules(self):
+        audio = RateSchedule.constant(64.0, 100.0)
+        video = RateSchedule(
+            [0.0, 40.0], [300.0, 900.0], duration=100.0
+        )
+        return [audio, video]
+
+    def test_classes_sampled_by_weight(self):
+        schedules = self.make_schedules()
+        controller = HeterogeneousKnowledgeCAC(
+            [
+                (np.array([64.0]), np.array([1.0])),
+                (np.array([300.0, 900.0]), np.array([0.4, 0.6])),
+            ],
+            0.5,
+        )
+        simulator = CallLevelSimulator(
+            schedules,
+            capacity=50_000.0,
+            arrival_rate=0.5,
+            controller=controller,
+            seed=4,
+            class_weights=[0.9, 0.1],
+        )
+        simulator.run_interval(200.0)
+        audio_count, video_count = controller.class_counts()
+        total = audio_count + video_count
+        assert total > 20
+        assert audio_count > 4 * video_count
+
+    def test_single_schedule_still_works(self):
+        from repro.admission.controllers import AlwaysAdmit
+
+        schedule = RateSchedule.constant(100.0, 50.0)
+        simulator = CallLevelSimulator(
+            schedule, 10_000.0, 0.1, AlwaysAdmit(), seed=1
+        )
+        sample = simulator.run_interval()
+        assert sample.arrivals >= 0
+
+    def test_weight_validation(self):
+        schedules = self.make_schedules()
+        from repro.admission.controllers import AlwaysAdmit
+
+        with pytest.raises(ValueError):
+            CallLevelSimulator(
+                schedules, 1000.0, 0.1, AlwaysAdmit(), class_weights=[1.0]
+            )
+        with pytest.raises(ValueError):
+            CallLevelSimulator(
+                schedules, 1000.0, 0.1, AlwaysAdmit(),
+                class_weights=[0.0, 0.0],
+            )
+        with pytest.raises(ValueError):
+            CallLevelSimulator([], 1000.0, 0.1, AlwaysAdmit())

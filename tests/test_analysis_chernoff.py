@@ -1,0 +1,173 @@
+"""Chernoff / Cramer machinery (eqs. 10-12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import (
+    admissible_region,
+    empirical_exceedance,
+    log_mgf,
+    max_admissible_calls,
+    mean_of,
+    overload_probability,
+    rate_function,
+)
+
+LEVELS = np.array([1.0, 2.0, 5.0])
+PROBS = np.array([0.5, 0.3, 0.2])
+MEAN = float(LEVELS @ PROBS)  # 2.1
+
+
+class TestLogMgf:
+    def test_zero_theta(self):
+        assert log_mgf(LEVELS, PROBS, 0.0) == pytest.approx(0.0)
+
+    def test_matches_direct_computation(self):
+        theta = 0.37
+        expected = math.log(float(PROBS @ np.exp(theta * LEVELS)))
+        assert log_mgf(LEVELS, PROBS, theta) == pytest.approx(expected)
+
+    def test_normalises_probs(self):
+        assert log_mgf(LEVELS, PROBS * 10, 0.5) == pytest.approx(
+            log_mgf(LEVELS, PROBS, 0.5)
+        )
+
+    def test_mean_helper(self):
+        assert mean_of(LEVELS, PROBS) == pytest.approx(MEAN)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_mgf([], [], 1.0)
+        with pytest.raises(ValueError):
+            log_mgf([1.0], [1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            log_mgf([1.0], [-1.0], 1.0)
+        with pytest.raises(ValueError):
+            log_mgf([1.0], [0.0], 1.0)
+
+
+class TestRateFunction:
+    def test_zero_at_and_below_mean(self):
+        assert rate_function(LEVELS, PROBS, MEAN) == 0.0
+        assert rate_function(LEVELS, PROBS, MEAN / 2) == 0.0
+
+    def test_positive_above_mean(self):
+        assert rate_function(LEVELS, PROBS, 3.0) > 0.0
+
+    def test_increasing_above_mean(self):
+        values = [rate_function(LEVELS, PROBS, c) for c in (2.5, 3.0, 4.0, 4.9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_at_peak_equals_log_prob(self):
+        assert rate_function(LEVELS, PROBS, 5.0) == pytest.approx(
+            -math.log(0.2)
+        )
+
+    def test_above_peak_is_infinite(self):
+        assert rate_function(LEVELS, PROBS, 5.1) == math.inf
+
+    def test_legendre_duality(self):
+        """I*(c) >= theta c - Lambda(theta) for every theta (sup form)."""
+        c = 3.3
+        value = rate_function(LEVELS, PROBS, c)
+        for theta in np.linspace(0.0, 5.0, 50):
+            assert value >= theta * c - log_mgf(LEVELS, PROBS, theta) - 1e-9
+
+    def test_degenerate_distribution(self):
+        assert rate_function([4.0], [1.0], 4.0) == pytest.approx(0.0)
+        assert rate_function([4.0], [1.0], 3.0) == 0.0
+        assert rate_function([4.0], [1.0], 5.0) == math.inf
+
+
+class TestOverloadProbability:
+    def test_bounded_by_one(self):
+        assert overload_probability(LEVELS, PROBS, 10, 10.0) <= 1.0
+
+    def test_one_when_capacity_below_mean_demand(self):
+        assert overload_probability(LEVELS, PROBS, 10, 10 * MEAN * 0.9) == 1.0
+
+    def test_zero_when_capacity_above_peak_demand(self):
+        assert overload_probability(LEVELS, PROBS, 10, 51.0) == 0.0
+
+    def test_matches_binomial_chernoff(self):
+        """Two-level marginal: compare to the Bernoulli Chernoff bound."""
+        levels = [0.0, 1.0]
+        probs = [0.7, 0.3]
+        n, capacity = 50, 25.0
+        estimate = overload_probability(levels, probs, n, capacity)
+        # Exact binomial tail as sanity: the Chernoff estimate should be
+        # an upper-bound-flavoured approximation within a couple orders.
+        from scipy.stats import binom
+
+        exact = float(binom.sf(capacity, n, 0.3))
+        assert estimate >= exact * 0.9
+        assert estimate < exact * 1e3
+
+    def test_monotone_in_calls(self):
+        capacity = 30.0
+        probs = [
+            overload_probability(LEVELS, PROBS, n, capacity)
+            for n in (5, 10, 13, 14)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overload_probability(LEVELS, PROBS, 0, 10.0)
+        with pytest.raises(ValueError):
+            overload_probability(LEVELS, PROBS, 1, 0.0)
+
+
+class TestMaxAdmissibleCalls:
+    def test_boundary_is_tight(self):
+        capacity = 100.0
+        target = 1e-3
+        n = max_admissible_calls(LEVELS, PROBS, capacity, target)
+        assert overload_probability(LEVELS, PROBS, n, capacity) <= target
+        assert overload_probability(LEVELS, PROBS, n + 1, capacity) > target
+
+    def test_zero_when_even_one_call_fails(self):
+        # One call with peak 5 > capacity 4 and mean 2.1 > ... target tiny.
+        n = max_admissible_calls(LEVELS, PROBS, 4.0, 1e-9)
+        assert n == 0
+
+    def test_scales_roughly_linearly_with_capacity(self):
+        small = max_admissible_calls(LEVELS, PROBS, 100.0, 1e-3)
+        large = max_admissible_calls(LEVELS, PROBS, 1000.0, 1e-3)
+        assert large > 8 * small  # superlinear: economies of scale
+
+    def test_more_tolerant_target_admits_more(self):
+        strict = max_admissible_calls(LEVELS, PROBS, 100.0, 1e-6)
+        loose = max_admissible_calls(LEVELS, PROBS, 100.0, 1e-2)
+        assert loose >= strict
+
+    def test_admits_when_peak_fits(self):
+        # All calls at peak always fit: estimate is 0 <= target.
+        n = max_admissible_calls([2.0], [1.0], 10.0, 1e-9)
+        assert n == 5
+
+    def test_region_helper(self):
+        region = admissible_region(LEVELS, PROBS, [50.0, 100.0], 1e-3)
+        assert region.shape == (2,)
+        assert region[1] >= region[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_admissible_calls(LEVELS, PROBS, 100.0, 0.0)
+
+
+class TestEmpiricalExceedance:
+    def test_counts(self):
+        fraction, count = empirical_exceedance(np.array([1.0, 2.0, 3.0]), 1.5)
+        assert count == 2
+        assert fraction == pytest.approx(2 / 3)
+
+    def test_strict_inequality(self):
+        fraction, _ = empirical_exceedance(np.array([1.0, 1.0]), 1.0)
+        assert fraction == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_exceedance(np.array([]), 0.0)

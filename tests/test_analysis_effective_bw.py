@@ -1,0 +1,157 @@
+"""Equivalent bandwidth of Markov sources."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.effective_bw import (
+    effective_bandwidth,
+    equivalent_bandwidth_for_buffer,
+    log_mgf_markov,
+    log_spectral_radius,
+    overflow_probability_estimate,
+    theta_for_buffer,
+)
+from repro.traffic.markov import MarkovChain, MarkovModulatedSource
+from repro.traffic.onoff import onoff_source
+
+
+@pytest.fixture
+def onoff():
+    return onoff_source(
+        peak_rate=100.0, mean_on_slots=10, mean_off_slots=10, slot_duration=1.0
+    )
+
+
+class TestLogSpectralRadius:
+    def test_identity(self):
+        assert log_spectral_radius(np.eye(3)) == pytest.approx(0.0)
+
+    def test_scaled_identity(self):
+        assert log_spectral_radius(2.0 * np.eye(2)) == pytest.approx(np.log(2.0))
+
+    def test_stochastic_matrix_radius_one(self):
+        matrix = np.array([[0.3, 0.7], [0.6, 0.4]])
+        assert log_spectral_radius(matrix) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            log_spectral_radius(np.zeros((2, 2)))
+
+
+class TestLogMgf:
+    def test_zero_theta_is_zero(self, onoff):
+        assert log_mgf_markov(
+            onoff.chain.transition_matrix, onoff.bits_per_slot_by_state, 0.0
+        ) == pytest.approx(0.0)
+
+    def test_iid_case_matches_direct_mgf(self):
+        # Rows identical -> emissions are i.i.d.; Lambda is the scalar MGF.
+        p = np.array([[0.25, 0.75], [0.25, 0.75]])
+        chain = MarkovChain(p)
+        emissions = np.array([0.0, 2.0])
+        theta = 0.7
+        expected = np.log(0.25 + 0.75 * np.exp(theta * 2.0))
+        assert log_mgf_markov(
+            chain.transition_matrix, emissions, theta
+        ) == pytest.approx(expected)
+
+    def test_large_theta_no_overflow(self, onoff):
+        value = log_mgf_markov(
+            onoff.chain.transition_matrix,
+            onoff.bits_per_slot_by_state,
+            theta=10.0,
+        )
+        assert np.isfinite(value)
+
+
+class TestEffectiveBandwidth:
+    def test_between_mean_and_peak(self, onoff):
+        for theta in (1e-6, 1e-3, 0.1, 1.0):
+            eb = effective_bandwidth(onoff, theta)
+            assert onoff.mean_rate() - 1e-6 <= eb <= onoff.peak_rate() + 1e-6
+
+    def test_monotone_in_theta(self, onoff):
+        thetas = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1]
+        values = [effective_bandwidth(onoff, t) for t in thetas]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_small_theta_approaches_mean(self, onoff):
+        assert effective_bandwidth(onoff, 1e-9) == pytest.approx(
+            onoff.mean_rate(), rel=1e-3
+        )
+
+    def test_large_theta_approaches_peak(self, onoff):
+        assert effective_bandwidth(onoff, 50.0) == pytest.approx(
+            onoff.peak_rate(), rel=0.05
+        )
+
+    def test_zero_theta_returns_mean(self, onoff):
+        assert effective_bandwidth(onoff, 0.0) == onoff.mean_rate()
+
+    def test_negative_theta_rejected(self, onoff):
+        with pytest.raises(ValueError):
+            effective_bandwidth(onoff, -1.0)
+
+    def test_cbr_source_eb_is_its_rate(self):
+        chain = MarkovChain([[1.0]])
+        source = MarkovModulatedSource(chain, np.array([42.0]), 1.0)
+        assert effective_bandwidth(source, 0.5) == pytest.approx(42.0)
+
+
+class TestThetaForBuffer:
+    def test_formula(self):
+        assert theta_for_buffer(1000.0, 1e-6) == pytest.approx(
+            np.log(1e6) / 1000.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theta_for_buffer(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            theta_for_buffer(100.0, 0.0)
+        with pytest.raises(ValueError):
+            theta_for_buffer(100.0, 1.0)
+
+
+class TestEbAgainstSimulation:
+    def test_large_buffer_asymptotic_is_conservative_estimate(self, onoff):
+        """Serving at EB(theta) should give overflow prob near e^{-theta B}
+        (same order of magnitude) in a long simulation."""
+        from repro.queueing.fluid import simulate_fluid_queue
+
+        buffer_bits = 400.0
+        target = 1e-2
+        theta = theta_for_buffer(buffer_bits, target)
+        rate = equivalent_bandwidth_for_buffer(onoff, buffer_bits, target)
+        workload = onoff.sample_workload(400_000, seed=8)
+        result = simulate_fluid_queue(
+            workload.bits_per_slot,
+            rate * onoff.slot_duration,
+            buffer_bits=buffer_bits,
+        )
+        # Within two orders of magnitude (large deviations are exponents,
+        # not prefactors).
+        assert result.loss_fraction < target * 10
+        assert result.loss_fraction > target / 1000
+
+
+class TestOverflowEstimate:
+    def test_unstable_gives_one(self, onoff):
+        assert overflow_probability_estimate(onoff, 10.0, 100.0) == 1.0
+
+    def test_peak_gives_zero(self, onoff):
+        assert overflow_probability_estimate(onoff, 100.0, 100.0) == 0.0
+
+    def test_monotone_in_rate(self, onoff):
+        rates = [55.0, 65.0, 75.0, 85.0]
+        probs = [
+            overflow_probability_estimate(onoff, rate, 500.0) for rate in rates
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_in_buffer(self, onoff):
+        buffers = [100.0, 300.0, 900.0]
+        probs = [
+            overflow_probability_estimate(onoff, 70.0, b) for b in buffers
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))

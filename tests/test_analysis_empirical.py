@@ -1,0 +1,158 @@
+"""Empirical trace characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.empirical import (
+    autocorrelation,
+    merge_rate_distributions,
+    schedules_marginal,
+    sigma_rho_for_loss,
+    sustained_peak_episodes,
+    windowed_peak_rate,
+)
+from repro.core.schedule import RateSchedule
+from repro.traffic.trace import FrameTrace
+
+
+class TestSigmaRho:
+    def test_curve_is_nonincreasing(self, short_workload):
+        buffers = [50_000.0, 150_000.0, 400_000.0, 1_000_000.0]
+        curve = sigma_rho_for_loss(short_workload, buffers, 1e-6)
+        rhos = curve[:, 1]
+        assert all(a >= b - 1e-6 for a, b in zip(rhos, rhos[1:]))
+
+    def test_columns(self, short_workload):
+        curve = sigma_rho_for_loss(short_workload, [100_000.0], 1e-6)
+        assert curve.shape == (1, 2)
+        assert curve[0, 0] == 100_000.0
+
+    def test_negative_buffer_rejected(self, short_workload):
+        with pytest.raises(ValueError):
+            sigma_rho_for_loss(short_workload, [-1.0], 1e-6)
+
+
+class TestWindowedPeak:
+    def test_single_frame_window_is_peak_rate(self, short_trace):
+        peak = windowed_peak_rate(short_trace, short_trace.frame_duration)
+        assert peak == pytest.approx(short_trace.peak_rate)
+
+    def test_whole_trace_window_is_mean(self, short_trace):
+        mean = windowed_peak_rate(short_trace, short_trace.duration)
+        assert mean == pytest.approx(short_trace.mean_rate)
+
+    def test_decreasing_in_window_length(self, short_trace):
+        windows = [0.5, 2.0, 10.0, 30.0]
+        peaks = [windowed_peak_rate(short_trace, w) for w in windows]
+        assert all(a >= b - 1e-6 for a, b in zip(peaks, peaks[1:]))
+
+    def test_validation(self, short_trace):
+        with pytest.raises(ValueError):
+            windowed_peak_rate(short_trace, 0.0)
+
+
+class TestSustainedEpisodes:
+    def test_flat_trace_above_threshold_is_one_episode(self):
+        trace = FrameTrace(np.full(240, 1000.0), frames_per_second=24.0)
+        episodes = sustained_peak_episodes(trace, 500.0 * 24, 1.0)
+        assert episodes == 1
+
+    def test_flat_trace_below_threshold_no_episode(self):
+        trace = FrameTrace(np.full(240, 1000.0), frames_per_second=24.0)
+        assert sustained_peak_episodes(trace, 2000.0 * 24, 1.0) == 0
+
+    def test_short_burst_not_counted(self):
+        sizes = np.full(480, 100.0)
+        sizes[100:105] = 10_000.0  # 5 frames, diluted by 1 s smoothing
+        trace = FrameTrace(sizes, frames_per_second=24.0)
+        # Smoothed peak is ~(5*10000 + 19*100)/24 ~ 2160 bits/frame.
+        assert sustained_peak_episodes(trace, 3000.0 * 24, 1.0) == 0
+
+    def test_two_separated_bursts(self):
+        sizes = np.full(960, 100.0)
+        sizes[100:160] = 10_000.0
+        sizes[600:660] = 10_000.0
+        trace = FrameTrace(sizes, frames_per_second=24.0)
+        assert (
+            sustained_peak_episodes(trace, 1500.0 * 24, 1.5) == 2
+        )
+
+    def test_validation(self, short_trace):
+        with pytest.raises(ValueError):
+            sustained_peak_episodes(short_trace, 0.0, 1.0)
+
+
+class TestMergeDistributions:
+    def test_merge_disjoint(self):
+        a = (np.array([1.0]), np.array([1.0]))
+        b = (np.array([3.0]), np.array([1.0]))
+        levels, fractions = merge_rate_distributions([a, b])
+        assert np.allclose(levels, [1.0, 3.0])
+        assert np.allclose(fractions, [0.5, 0.5])
+
+    def test_merge_with_weights(self):
+        a = (np.array([1.0]), np.array([1.0]))
+        b = (np.array([3.0]), np.array([1.0]))
+        levels, fractions = merge_rate_distributions([a, b], weights=[3.0, 1.0])
+        assert np.allclose(fractions, [0.75, 0.25])
+
+    def test_merge_overlapping_levels(self):
+        a = (np.array([1.0, 2.0]), np.array([0.5, 0.5]))
+        b = (np.array([2.0]), np.array([1.0]))
+        levels, fractions = merge_rate_distributions([a, b])
+        assert np.allclose(levels, [1.0, 2.0])
+        assert np.allclose(fractions, [0.25, 0.75])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_rate_distributions([])
+        a = (np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            merge_rate_distributions([a], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            merge_rate_distributions([a], weights=[-1.0])
+        with pytest.raises(ValueError):
+            merge_rate_distributions([a], weights=[0.0])
+
+
+class TestSchedulesMarginal:
+    def test_pool_weighted_by_duration(self):
+        s1 = RateSchedule.constant(10.0, 10.0)
+        s2 = RateSchedule.constant(30.0, 30.0)
+        levels, fractions = schedules_marginal([s1, s2])
+        assert np.allclose(levels, [10.0, 30.0])
+        assert np.allclose(fractions, [0.25, 0.75])
+
+    def test_single_schedule_matches_own_distribution(self, optimal_schedule):
+        from repro.core.schedule import empirical_rate_distribution
+
+        pooled = schedules_marginal([optimal_schedule])
+        own = empirical_rate_distribution(optimal_schedule)
+        assert np.allclose(pooled[0], own[0])
+        assert np.allclose(pooled[1], own[1])
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        acf = autocorrelation(rng.normal(size=500), 10)
+        assert acf[0] == 1.0
+
+    def test_white_noise_near_zero(self, rng):
+        acf = autocorrelation(rng.normal(size=20_000), 5)
+        assert abs(acf[1]) < 0.05
+
+    def test_periodic_signal(self):
+        signal = np.tile([1.0, -1.0], 100)
+        acf = autocorrelation(signal, 2)
+        assert acf[1] == pytest.approx(-1.0, abs=0.05)
+        assert acf[2] == pytest.approx(1.0, abs=0.05)
+
+    def test_constant_signal(self):
+        acf = autocorrelation(np.ones(10), 3)
+        assert np.allclose(acf, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            autocorrelation(np.arange(5, dtype=float), 5)

@@ -1,0 +1,107 @@
+"""Multiple time-scale results: eq. 9 and the gain decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.effective_bw import effective_bandwidth, theta_for_buffer
+from repro.analysis.multiscale import (
+    gain_decomposition,
+    multiscale_effective_bandwidth,
+    rcbr_failure_estimate,
+    shared_buffer_loss_estimate,
+    subchain_effective_bandwidths,
+)
+from repro.traffic.markov import fig4_example
+
+THETA = theta_for_buffer(300_000.0, 1e-6)
+
+
+class TestEq9:
+    def test_subchain_ebs_ordered_like_means(self):
+        source = fig4_example(epsilon=1e-4)
+        ebs = subchain_effective_bandwidths(source, THETA)
+        means = source.subchain_mean_rates()
+        assert np.all(np.argsort(ebs) == np.argsort(means))
+
+    def test_each_subchain_eb_exceeds_its_mean(self):
+        """Key to eq. 11 > eq. 10: EB_i >= m_i for every subchain."""
+        source = fig4_example(epsilon=1e-4)
+        ebs = subchain_effective_bandwidths(source, THETA)
+        means = source.subchain_mean_rates()
+        assert np.all(ebs >= means - 1e-6)
+
+    def test_full_chain_eb_converges_to_worst_subchain(self):
+        """eq. 9: as epsilon -> 0, EB(full) -> max_i EB_i."""
+        for epsilon, tolerance in ((1e-2, 0.15), (1e-3, 0.02), (1e-5, 0.001)):
+            source = fig4_example(epsilon=epsilon)
+            full = effective_bandwidth(source.flat_source, THETA)
+            worst = multiscale_effective_bandwidth(source, THETA)
+            assert full == pytest.approx(worst, rel=tolerance)
+
+    def test_eq9_exceeds_max_subchain_mean(self):
+        """The paper: the drain rate needed exceeds max_i m_i, so
+        buffering alone yields little gain for multi-time-scale traffic."""
+        source = fig4_example(epsilon=1e-4)
+        eq9 = multiscale_effective_bandwidth(source, THETA)
+        assert eq9 > source.subchain_mean_rates().max()
+
+
+class TestGainDecomposition:
+    def test_ordering_cbr_rcbr_shared(self):
+        source = fig4_example(epsilon=1e-4)
+        cbr, rcbr, shared = gain_decomposition(source, 300_000.0, 1e-6)
+        assert cbr >= rcbr >= shared
+
+    def test_rcbr_captures_most_gain_when_fast_scale_small(self):
+        """Sources whose fast fluctuations are small lose almost nothing:
+        the RCBR rate approaches the shared rate."""
+        from repro.traffic.markov import (
+            MultiTimescaleMarkovSource,
+            two_state_onoff_subchain,
+        )
+
+        # Subchains with high activity => small fast-scale variance.
+        quiet = two_state_onoff_subchain(110.0, 0.90, mixing=0.9, name="q")
+        busy = two_state_onoff_subchain(550.0, 0.92, mixing=0.9, name="b")
+        source = MultiTimescaleMarkovSource(
+            [quiet, busy],
+            [[0.0, 1.0], [1.0, 0.0]],
+            epsilon=1e-4,
+            slot_duration=1.0,
+        )
+        cbr, rcbr, shared = gain_decomposition(source, 5_000.0, 1e-6)
+        # RCBR recovers most of the CBR -> shared gap.
+        recovered = (cbr - rcbr) / (cbr - shared)
+        assert recovered > 0.7
+
+    def test_shared_is_overall_mean(self):
+        source = fig4_example(epsilon=1e-4)
+        _, _, shared = gain_decomposition(source, 300_000.0, 1e-6)
+        assert shared == pytest.approx(source.mean_rate(), rel=1e-3)
+
+
+class TestChernoffEstimates:
+    def test_rcbr_failure_at_least_shared_loss(self):
+        """eq. 11 >= eq. 10 at equal capacity: RCBR gives up the fast
+        time-scale smoothing component."""
+        source = fig4_example(epsilon=1e-4)
+        capacity = 1.5 * source.mean_rate()
+        shared = shared_buffer_loss_estimate(source, 50, capacity)
+        rcbr = rcbr_failure_estimate(source, 50, capacity, 300_000.0, 1e-6)
+        assert rcbr >= shared - 1e-15
+
+    def test_estimates_decay_with_more_streams(self):
+        """The law-of-large-numbers effect: same per-stream capacity,
+        more streams => smaller overload probability."""
+        source = fig4_example(epsilon=1e-4)
+        capacity = 1.4 * source.mean_rate()
+        few = shared_buffer_loss_estimate(source, 10, capacity)
+        many = shared_buffer_loss_estimate(source, 100, capacity)
+        assert many <= few
+
+    def test_estimates_in_unit_interval(self):
+        source = fig4_example(epsilon=1e-4)
+        for factor in (0.9, 1.2, 2.0, 4.0):
+            capacity = factor * source.mean_rate()
+            value = shared_buffer_loss_estimate(source, 20, capacity)
+            assert 0.0 <= value <= 1.0

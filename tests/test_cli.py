@@ -1,0 +1,141 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.schedule import RateSchedule
+from repro.traffic import FrameTrace, generate_starwars_trace
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.npz"
+    generate_starwars_trace(num_frames=2400, seed=9).save(path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        code = main(["generate", str(out), "--frames", "480", "--seed", "1"])
+        assert code == 0
+        trace = FrameTrace.load(out)
+        assert trace.num_frames == 480
+        assert "480 frames" in capsys.readouterr().out
+
+    def test_writes_text(self, tmp_path):
+        out = tmp_path / "t.txt"
+        main(["generate", str(out), "--frames", "100", "--seed", "1"])
+        trace = FrameTrace.load_text(out)
+        assert trace.num_frames == 100
+
+    def test_custom_mean(self, tmp_path):
+        out = tmp_path / "t.npz"
+        main(["generate", str(out), "--frames", "480", "--mean-kbps", "1000"])
+        assert FrameTrace.load(out).mean_rate == pytest.approx(1_000_000.0)
+
+
+class TestAnalyze:
+    def test_basic_stats(self, trace_file, capsys):
+        assert main(["analyze", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "mean rate" in out
+        assert "peak frame rate" in out
+
+    def test_sigma_rho(self, trace_file, capsys):
+        assert main(["analyze", trace_file, "--sigma-rho",
+                     "--loss-target", "1e-3"]) == 0
+        assert "(sigma, rho)" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "/nonexistent/file.npz"])
+
+
+class TestSchedule:
+    def test_optimal_writes_schedule(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        code = main([
+            "schedule", trace_file, "--method", "optimal",
+            "--granularity-kbps", "128", "--alpha", "2e6",
+            "--output", str(out),
+        ])
+        assert code == 0
+        schedule = RateSchedule.load(out)
+        assert schedule.num_segments >= 1
+        assert "bandwidth efficiency" in capsys.readouterr().out
+
+    def test_online_method(self, trace_file, capsys):
+        assert main(["schedule", trace_file, "--method", "online"]) == 0
+        assert "renegotiations" in capsys.readouterr().out
+
+    def test_gop_method(self, trace_file, capsys):
+        assert main(["schedule", trace_file, "--method", "gop"]) == 0
+        assert "renegotiations" in capsys.readouterr().out
+
+
+class TestAdmit:
+    def test_calculator(self, trace_file, tmp_path, capsys):
+        sched = tmp_path / "s.json"
+        main(["schedule", trace_file, "--method", "online",
+              "--output", str(sched)])
+        capsys.readouterr()
+        assert main(["admit", str(sched), "--capacity-kbps", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "max calls" in out
+
+    def test_handwritten_schedule(self, tmp_path, capsys):
+        sched = tmp_path / "s.json"
+        sched.write_text(json.dumps({
+            "name": "x", "duration": 100.0,
+            "start_times": [0.0, 50.0], "rates": [100_000.0, 300_000.0],
+        }))
+        assert main(["admit", str(sched), "--capacity-kbps", "1000"]) == 0
+
+
+class TestFit:
+    def test_fit_prints_classes(self, trace_file, capsys):
+        assert main(["fit", trace_file, "--classes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scene classes" in out
+        assert "GOP length" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestExperiment:
+    def test_sigma_rho_experiment(self, capsys):
+        assert main(["experiment", "sigma-rho", "--frames", "2400",
+                     "--seed", "1", "--loss-target", "1e-3"]) == 0
+        assert "x mean" in capsys.readouterr().out
+
+    def test_experiment_with_trace_file(self, trace_file, capsys):
+        assert main(["experiment", "sigma-rho", "--trace", trace_file]) == 0
+        assert "x mean" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "frobnicate"])
+
+    def test_tradeoff_experiment(self, capsys):
+        assert main(["experiment", "tradeoff", "--frames", "2400",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT (alpha sweep):" in out
+        assert "AR(1) heuristic" in out
+
+    def test_smg_experiment(self, capsys):
+        assert main(["experiment", "smg", "--frames", "2400",
+                     "--seed", "2", "--loss-target", "1e-2"]) == 0
+        out = capsys.readouterr().out
+        assert "CBR" in out and "RCBR" in out

@@ -1,0 +1,113 @@
+"""Renegotiation-latency machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import delayed_schedule, latency_impact, latency_sweep
+from repro.core.schedule import RateSchedule
+from repro.traffic.trace import SlottedWorkload
+
+
+@pytest.fixture
+def step_schedule():
+    return RateSchedule([0.0, 10.0, 20.0], [100.0, 400.0, 200.0], 30.0)
+
+
+class TestDelayedSchedule:
+    def test_zero_delay_is_identity(self, step_schedule):
+        delayed = delayed_schedule(step_schedule, 0.0)
+        assert np.allclose(delayed.start_times, step_schedule.start_times)
+        assert np.allclose(delayed.rates, step_schedule.rates)
+
+    def test_delay_pushes_changes_later(self, step_schedule):
+        delayed = delayed_schedule(step_schedule, 2.0)
+        assert np.allclose(delayed.start_times, [0.0, 12.0, 22.0])
+
+    def test_lead_cancels_delay(self, step_schedule):
+        compensated = delayed_schedule(step_schedule, 2.0, lead=2.0)
+        assert np.allclose(compensated.start_times, step_schedule.start_times)
+
+    def test_lead_beyond_delay_pulls_earlier(self, step_schedule):
+        early = delayed_schedule(step_schedule, 1.0, lead=3.0)
+        assert np.allclose(early.start_times, [0.0, 8.0, 18.0])
+
+    def test_change_effective_after_end_dropped(self):
+        schedule = RateSchedule([0.0, 9.0], [100.0, 900.0], 10.0)
+        delayed = delayed_schedule(schedule, 5.0)
+        assert delayed.num_segments == 1
+        assert delayed.rates[0] == 100.0
+
+    def test_initial_rate_always_at_zero(self, step_schedule):
+        delayed = delayed_schedule(step_schedule, 7.0)
+        assert delayed.start_times[0] == 0.0
+        assert delayed.rates[0] == 100.0
+
+    def test_overtaken_changes_collapse(self):
+        # Two changes 1 s apart with 10 s of lead collapse at t=0.
+        schedule = RateSchedule([0.0, 5.0, 6.0], [100.0, 300.0, 200.0], 30.0)
+        early = delayed_schedule(schedule, 0.0, lead=10.0)
+        assert early.start_times[0] == 0.0
+        # The surviving head rate is the last overtaking change.
+        assert early.rates[0] == 200.0
+
+    def test_validation(self, step_schedule):
+        with pytest.raises(ValueError):
+            delayed_schedule(step_schedule, -1.0)
+        with pytest.raises(ValueError):
+            delayed_schedule(step_schedule, 1.0, lead=-1.0)
+
+
+class TestLatencyImpact:
+    @pytest.fixture
+    def workload_and_schedule(self):
+        # Rate steps up exactly when the arrivals step up.
+        arrivals = np.concatenate([np.full(10, 10.0), np.full(10, 50.0)])
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        schedule = RateSchedule([0.0, 10.0], [10.0, 50.0], 20.0)
+        return workload, schedule
+
+    def test_no_delay_no_extra_buffer(self, workload_and_schedule):
+        workload, schedule = workload_and_schedule
+        impact = latency_impact(workload, schedule, delay=0.0)
+        assert impact.max_buffer == pytest.approx(0.0)
+
+    def test_delay_costs_transition_backlog(self, workload_and_schedule):
+        workload, schedule = workload_and_schedule
+        impact = latency_impact(workload, schedule, delay=3.0)
+        # Three slots at 50 arrivals vs 10 drain: 120 bits of backlog.
+        assert impact.max_buffer == pytest.approx(120.0)
+
+    def test_lead_compensation_removes_cost(self, workload_and_schedule):
+        workload, schedule = workload_and_schedule
+        impact = latency_impact(workload, schedule, delay=3.0, lead=3.0)
+        assert impact.max_buffer == pytest.approx(0.0)
+
+    def test_loss_at_bound(self, workload_and_schedule):
+        workload, schedule = workload_and_schedule
+        impact = latency_impact(
+            workload, schedule, delay=3.0, buffer_bits=50.0
+        )
+        assert impact.loss_fraction_at_bound > 0.0
+
+    def test_lead_inflates_average_rate(self, workload_and_schedule):
+        workload, schedule = workload_and_schedule
+        plain = latency_impact(workload, schedule, delay=0.0)
+        led = latency_impact(workload, schedule, delay=0.0, lead=3.0)
+        assert led.average_rate >= plain.average_rate
+
+
+class TestLatencySweep:
+    def test_monotone_buffer_growth(self, short_workload, optimal_schedule):
+        delays = [0.0, 0.05, 0.2, 0.5]
+        impacts = latency_sweep(short_workload, optimal_schedule, delays)
+        buffers = [impact.max_buffer for impact in impacts]
+        assert all(a <= b + 1e-6 for a, b in zip(buffers, buffers[1:]))
+
+    def test_offline_compensation_flat(self, short_workload, optimal_schedule):
+        delays = [0.0, 0.05, 0.2, 0.5]
+        impacts = latency_sweep(
+            short_workload, optimal_schedule, delays, lead_equals_delay=True
+        )
+        buffers = [impact.max_buffer for impact in impacts]
+        # Leading by the RTT keeps the buffer need at the no-latency value.
+        assert max(buffers) <= buffers[0] + 1e-6

@@ -1,0 +1,158 @@
+"""The causal AR(1) renegotiation heuristic (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineParams, OnlineScheduler
+from repro.traffic.trace import SlottedWorkload
+
+
+def constant_workload(rate, num_slots=100, slot=1.0):
+    return SlottedWorkload(np.full(num_slots, rate * slot), slot)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = OnlineParams(granularity=25_000.0)
+        assert params.low_threshold == 10_000.0  # B_l = 10 kb
+        assert params.high_threshold == 150_000.0  # B_h = 150 kb
+        assert params.time_constant_slots == 5.0  # T = 5 frames
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineParams(granularity=0.0)
+        with pytest.raises(ValueError):
+            OnlineParams(granularity=1.0, low_threshold=-1.0)
+        with pytest.raises(ValueError):
+            OnlineParams(granularity=1.0, low_threshold=10, high_threshold=5)
+        with pytest.raises(ValueError):
+            OnlineParams(granularity=1.0, time_constant_slots=0.0)
+        with pytest.raises(ValueError):
+            OnlineParams(granularity=1.0, ar_coefficient=1.0)
+        with pytest.raises(ValueError):
+            OnlineParams(granularity=1.0, max_rate=0.0)
+
+
+class TestQuantization:
+    def test_rounds_up_to_grid(self):
+        scheduler = OnlineScheduler(OnlineParams(granularity=100.0))
+        assert scheduler.quantize(1.0) == 100.0
+        assert scheduler.quantize(100.0) == 100.0
+        assert scheduler.quantize(101.0) == 200.0
+
+    def test_zero_maps_to_zero(self):
+        scheduler = OnlineScheduler(OnlineParams(granularity=100.0))
+        assert scheduler.quantize(0.0) == 0.0
+
+    def test_max_rate_caps(self):
+        scheduler = OnlineScheduler(
+            OnlineParams(granularity=100.0, max_rate=250.0)
+        )
+        assert scheduler.quantize(1000.0) == 250.0
+
+
+class TestSchedulingBehaviour:
+    def test_constant_source_never_renegotiates(self):
+        workload = constant_workload(1000.0)
+        params = OnlineParams(granularity=100.0, low_threshold=1, high_threshold=50)
+        result = OnlineScheduler(params).schedule(workload)
+        assert result.num_renegotiations == 0
+        assert result.schedule.average_rate() == pytest.approx(1000.0)
+
+    def test_step_up_source_renegotiates_up(self):
+        rates = np.concatenate([np.full(50, 100.0), np.full(50, 1000.0)])
+        workload = SlottedWorkload(rates, slot_duration=1.0)
+        params = OnlineParams(
+            granularity=100.0, low_threshold=10, high_threshold=100
+        )
+        result = OnlineScheduler(params).schedule(workload)
+        assert result.num_renegotiations >= 1
+        # Final rate should have risen to cover the new level.
+        assert result.schedule.rates[-1] >= 1000.0
+
+    def test_step_down_source_renegotiates_down(self):
+        rates = np.concatenate([np.full(50, 1000.0), np.full(100, 100.0)])
+        workload = SlottedWorkload(rates, slot_duration=1.0)
+        params = OnlineParams(
+            granularity=100.0, low_threshold=10, high_threshold=100
+        )
+        result = OnlineScheduler(params).schedule(workload)
+        assert result.schedule.rates[-1] < 1000.0
+
+    def test_max_buffer_reported_matches_schedule_replay(self, short_workload):
+        params = OnlineParams(granularity=64_000.0)
+        result = OnlineScheduler(params).schedule(short_workload)
+        replay = result.schedule.max_buffer(short_workload)
+        assert result.max_buffer == pytest.approx(replay, rel=1e-9)
+
+    def test_finer_granularity_more_renegotiations(self, short_workload):
+        fine = OnlineScheduler(OnlineParams(granularity=25_000.0)).schedule(
+            short_workload
+        )
+        coarse = OnlineScheduler(OnlineParams(granularity=400_000.0)).schedule(
+            short_workload
+        )
+        assert fine.num_renegotiations >= coarse.num_renegotiations
+
+    def test_finer_granularity_better_efficiency(self, short_workload):
+        """The Fig. 2 heuristic tradeoff, swept by delta."""
+        fine = OnlineScheduler(OnlineParams(granularity=25_000.0)).schedule(
+            short_workload
+        )
+        coarse = OnlineScheduler(OnlineParams(granularity=400_000.0)).schedule(
+            short_workload
+        )
+        mean = short_workload.mean_rate
+        assert fine.schedule.bandwidth_efficiency(
+            mean
+        ) >= coarse.schedule.bandwidth_efficiency(mean)
+
+    def test_buffer_stays_moderate_on_video(self, short_workload):
+        """Fig. 2's caption: occupancy never exceeded B = 300 kb."""
+        params = OnlineParams(granularity=100_000.0)
+        result = OnlineScheduler(params).schedule(short_workload)
+        assert result.max_buffer < 400_000.0
+
+    def test_initial_rate_explicit(self):
+        workload = constant_workload(500.0, num_slots=10)
+        params = OnlineParams(granularity=100.0)
+        result = OnlineScheduler(params).schedule(workload, initial_rate=700.0)
+        assert result.schedule.rates[0] == 700.0
+
+    def test_initial_rate_negative_rejected(self):
+        workload = constant_workload(10.0, num_slots=5)
+        scheduler = OnlineScheduler(OnlineParams(granularity=100.0))
+        with pytest.raises(ValueError):
+            scheduler.schedule(workload, initial_rate=-1.0)
+
+
+class TestRequestDenial:
+    def test_denied_requests_keep_old_rate(self):
+        rates = np.concatenate([np.full(20, 100.0), np.full(80, 2000.0)])
+        workload = SlottedWorkload(rates, slot_duration=1.0)
+        params = OnlineParams(
+            granularity=100.0, low_threshold=10, high_threshold=100
+        )
+        deny_all = OnlineScheduler(params).schedule(
+            workload, request_fn=lambda time, rate: False
+        )
+        assert deny_all.requests_denied == deny_all.requests_made
+        assert deny_all.num_renegotiations == 0
+
+    def test_denied_then_granted_retries(self):
+        rates = np.concatenate([np.full(20, 100.0), np.full(80, 2000.0)])
+        workload = SlottedWorkload(rates, slot_duration=1.0)
+        params = OnlineParams(
+            granularity=100.0, low_threshold=10, high_threshold=100
+        )
+        calls = []
+
+        def grant_after_three(time, rate):
+            calls.append(time)
+            return len(calls) > 3
+
+        result = OnlineScheduler(params).schedule(
+            workload, request_fn=grant_after_three
+        )
+        assert result.requests_denied == 3
+        assert result.num_renegotiations >= 1

@@ -1,0 +1,250 @@
+"""The Viterbi-like optimal renegotiation DP (Section IV-A)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.optimal import (
+    InfeasibleScheduleError,
+    OptimalScheduler,
+    granular_rate_levels,
+    uniform_rate_levels,
+)
+from repro.traffic.trace import SlottedWorkload
+
+
+def brute_force_optimum(arrivals, levels, alpha, beta, buffer_bits, slot=1.0):
+    """Exhaustive search over all rate sequences (tiny instances only)."""
+    best_cost = np.inf
+    best_seq = None
+    num_slots = len(arrivals)
+    for sequence in itertools.product(range(len(levels)), repeat=num_slots):
+        q = 0.0
+        cost = 0.0
+        feasible = True
+        prev = None
+        for t, idx in enumerate(sequence):
+            rate = levels[idx]
+            q = max(0.0, q + arrivals[t] - rate * slot)
+            if q > buffer_bits + 1e-9:
+                feasible = False
+                break
+            cost += beta * rate
+            if prev is not None and idx != prev:
+                cost += alpha
+            prev = idx
+        if feasible and cost < best_cost:
+            best_cost = cost
+            best_seq = sequence
+    return best_cost, best_seq
+
+
+class TestLevelFactories:
+    def test_uniform_levels(self):
+        levels = uniform_rate_levels(48_000, 2_400_000, 20)
+        assert levels.size == 20
+        assert levels[0] == 48_000
+        assert levels[-1] == 2_400_000
+
+    def test_uniform_levels_validation(self):
+        with pytest.raises(ValueError):
+            uniform_rate_levels(10, 5, 3)
+        with pytest.raises(ValueError):
+            uniform_rate_levels(0, 10, 1)
+
+    def test_granular_levels_cover_max(self):
+        levels = granular_rate_levels(64_000, 374_000)
+        assert levels[-1] >= 374_000
+        assert np.allclose(np.diff(levels), 64_000)
+
+    def test_granular_levels_zero_flag(self):
+        with_zero = granular_rate_levels(1000, 3000, include_zero=True)
+        without = granular_rate_levels(1000, 3000)
+        assert with_zero[0] == 0.0
+        assert without[0] == 1000.0
+
+    def test_granular_exact_multiple(self):
+        levels = granular_rate_levels(100, 300)
+        assert np.allclose(levels, [100, 200, 300])
+
+    def test_granular_validation(self):
+        with pytest.raises(ValueError):
+            granular_rate_levels(0, 100)
+        with pytest.raises(ValueError):
+            granular_rate_levels(10, 0)
+
+
+class TestDpAgainstBruteForce:
+    """The DP must find the brute-force optimum on small instances."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exhaustive_search(self, seed):
+        rng = np.random.default_rng(seed)
+        num_slots = 6
+        levels = [1.0, 2.0, 4.0]
+        arrivals = rng.uniform(0.0, 4.0, size=num_slots)
+        alpha, beta, buffer_bits = 1.5, 1.0, 3.0
+        expected_cost, _ = brute_force_optimum(
+            arrivals, levels, alpha, beta, buffer_bits
+        )
+        if np.isinf(expected_cost):
+            pytest.skip("instance infeasible")
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        result = OptimalScheduler(levels, alpha, beta).solve(
+            workload, buffer_bits=buffer_bits
+        )
+        assert result.total_cost == pytest.approx(expected_cost)
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.3, 5.0, 100.0])
+    def test_matches_exhaustive_for_various_alpha(self, alpha):
+        rng = np.random.default_rng(99)
+        levels = [1.0, 3.0]
+        arrivals = rng.uniform(0.0, 3.0, size=7)
+        expected_cost, _ = brute_force_optimum(
+            arrivals, levels, alpha, 1.0, buffer_bits=2.0
+        )
+        if np.isinf(expected_cost):
+            pytest.skip("instance infeasible")
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        result = OptimalScheduler(levels, alpha, 1.0).solve(
+            workload, buffer_bits=2.0
+        )
+        assert result.total_cost == pytest.approx(expected_cost)
+
+
+class TestDpBehaviour:
+    def test_schedule_respects_buffer(self, short_workload):
+        levels = granular_rate_levels(256_000, short_workload.peak_rate)
+        result = OptimalScheduler(levels, alpha=1e6).solve(
+            short_workload, buffer_bits=300_000
+        )
+        assert result.schedule.is_feasible(short_workload, 300_000)
+
+    def test_cost_matches_schedule_cost(self, short_workload):
+        levels = granular_rate_levels(256_000, short_workload.peak_rate)
+        scheduler = OptimalScheduler(levels, alpha=1e6, beta=1.0)
+        result = scheduler.solve(short_workload, buffer_bits=300_000)
+        recomputed = result.schedule.cost(
+            1e6, 1.0, short_workload.slot_duration
+        )
+        assert result.total_cost == pytest.approx(recomputed, rel=1e-9)
+
+    def test_higher_alpha_fewer_renegotiations(self, short_workload):
+        levels = granular_rate_levels(128_000, short_workload.peak_rate)
+        cheap = OptimalScheduler(levels, alpha=1e5).solve(
+            short_workload, buffer_bits=300_000
+        )
+        expensive = OptimalScheduler(levels, alpha=5e7).solve(
+            short_workload, buffer_bits=300_000
+        )
+        assert expensive.num_renegotiations <= cheap.num_renegotiations
+
+    def test_higher_alpha_lower_efficiency(self, short_workload):
+        """The Fig. 2 tradeoff: pricier renegotiation costs bandwidth."""
+        levels = granular_rate_levels(128_000, short_workload.peak_rate)
+        cheap = OptimalScheduler(levels, alpha=1e5).solve(
+            short_workload, buffer_bits=300_000
+        )
+        expensive = OptimalScheduler(levels, alpha=5e7).solve(
+            short_workload, buffer_bits=300_000
+        )
+        assert (
+            expensive.schedule.average_rate() >= cheap.schedule.average_rate()
+        )
+
+    def test_bigger_buffer_no_worse_cost(self, short_workload):
+        levels = granular_rate_levels(256_000, short_workload.peak_rate)
+        scheduler = OptimalScheduler(levels, alpha=1e6)
+        small = scheduler.solve(short_workload, buffer_bits=150_000)
+        large = scheduler.solve(short_workload, buffer_bits=600_000)
+        assert large.total_cost <= small.total_cost + 1e-6
+
+    def test_huge_alpha_yields_cbr(self):
+        arrivals = np.array([1.0, 3.0, 1.0, 3.0, 1.0])
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        result = OptimalScheduler([1.0, 2.0, 3.0], alpha=1e9).solve(
+            workload, buffer_bits=100.0
+        )
+        assert result.num_renegotiations == 0
+
+    def test_single_level(self):
+        arrivals = np.array([1.0, 1.0])
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        result = OptimalScheduler([2.0], alpha=1.0).solve(
+            workload, buffer_bits=10.0
+        )
+        assert result.schedule.average_rate() == pytest.approx(2.0)
+
+    def test_infeasible_raises(self):
+        arrivals = np.array([100.0])
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        with pytest.raises(InfeasibleScheduleError):
+            OptimalScheduler([1.0], alpha=1.0).solve(workload, buffer_bits=1.0)
+
+    def test_requires_some_constraint(self, short_workload):
+        scheduler = OptimalScheduler([1.0], alpha=1.0)
+        with pytest.raises(ValueError):
+            scheduler.solve(short_workload)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OptimalScheduler([], alpha=1.0)
+        with pytest.raises(ValueError):
+            OptimalScheduler([1.0], alpha=-1.0)
+        with pytest.raises(ValueError):
+            OptimalScheduler([1.0], alpha=0.0, beta=0.0)
+        with pytest.raises(ValueError):
+            OptimalScheduler([-5.0], alpha=1.0)
+
+
+class TestDelayBound:
+    def test_delay_bound_equivalent_occupancy_limit(self):
+        # With delay bound D slots, q_t may not exceed the last D slots'
+        # arrivals.  Serve a burst then silence: the burst must drain
+        # within D slots.
+        arrivals = np.array([10.0, 0.0, 0.0, 0.0])
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        result = OptimalScheduler([1.0, 5.0, 10.0], alpha=0.1).solve(
+            workload, delay_bound_slots=2
+        )
+        # Data from slot 0 must be gone by end of slot 2: cumulative
+        # service through slot 2 must reach 10 bits.
+        rates = result.schedule.slot_rates(1.0, 4)
+        assert rates[:2].sum() >= 10.0 - 1e-9
+
+    def test_tighter_delay_bound_costs_more(self, short_workload):
+        levels = granular_rate_levels(256_000, short_workload.peak_rate)
+        scheduler = OptimalScheduler(levels, alpha=1e6)
+        tight = scheduler.solve(short_workload, delay_bound_slots=6)
+        loose = scheduler.solve(short_workload, delay_bound_slots=48)
+        assert tight.total_cost >= loose.total_cost - 1e-6
+
+    def test_combined_bounds_use_tighter(self):
+        arrivals = np.array([4.0, 4.0, 4.0])
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        scheduler = OptimalScheduler([1.0, 4.0, 8.0], alpha=0.1)
+        combined = scheduler.solve(
+            workload, buffer_bits=100.0, delay_bound_slots=1
+        )
+        delay_only = scheduler.solve(workload, delay_bound_slots=1)
+        assert combined.total_cost == pytest.approx(delay_only.total_cost)
+
+    def test_delay_bound_validation(self, short_workload):
+        scheduler = OptimalScheduler([1.0], alpha=1.0)
+        with pytest.raises(ValueError):
+            scheduler.solve(short_workload, delay_bound_slots=0)
+
+
+class TestDiagnostics:
+    def test_nodes_expanded_positive(self, short_workload):
+        levels = granular_rate_levels(256_000, short_workload.peak_rate)
+        result = OptimalScheduler(levels, alpha=1e6).solve(
+            short_workload, buffer_bits=300_000
+        )
+        assert result.nodes_expanded > 0
+        assert result.max_frontier >= 1
+
+    def test_duplicate_levels_deduplicated(self):
+        scheduler = OptimalScheduler([1.0, 1.0, 2.0], alpha=1.0)
+        assert scheduler.rate_levels.size == 2

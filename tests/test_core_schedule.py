@@ -1,0 +1,208 @@
+"""RateSchedule representation and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import (
+    RateSchedule,
+    empirical_rate_distribution,
+)
+from repro.traffic.trace import SlottedWorkload
+
+
+@pytest.fixture
+def simple_schedule():
+    # 0-10s at 100 b/s, 10-30s at 300 b/s, 30-40s at 200 b/s.
+    return RateSchedule([0.0, 10.0, 30.0], [100.0, 300.0, 200.0], duration=40.0)
+
+
+class TestConstruction:
+    def test_constant(self):
+        schedule = RateSchedule.constant(500.0, 60.0)
+        assert schedule.num_renegotiations == 0
+        assert schedule.average_rate() == pytest.approx(500.0)
+
+    def test_from_slot_rates_compresses_runs(self):
+        schedule = RateSchedule.from_slot_rates(
+            [5.0, 5.0, 7.0, 7.0, 7.0, 5.0], slot_duration=2.0
+        )
+        assert schedule.num_segments == 3
+        assert np.allclose(schedule.start_times, [0.0, 4.0, 10.0])
+        assert np.allclose(schedule.rates, [5.0, 7.0, 5.0])
+        assert schedule.duration == pytest.approx(12.0)
+
+    def test_from_segments_merges_equal_neighbours(self):
+        schedule = RateSchedule.from_segments(
+            [(0.0, 4.0), (5.0, 4.0), (9.0, 2.0)], duration=10.0
+        )
+        assert schedule.num_segments == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateSchedule([1.0], [5.0], 10.0)  # must start at 0
+        with pytest.raises(ValueError):
+            RateSchedule([0.0, 0.0], [1.0, 2.0], 10.0)  # strictly increasing
+        with pytest.raises(ValueError):
+            RateSchedule([0.0, 5.0], [1.0, 2.0], 5.0)  # duration too short
+        with pytest.raises(ValueError):
+            RateSchedule([0.0], [-1.0], 5.0)  # negative rate
+        with pytest.raises(ValueError):
+            RateSchedule([], [], 5.0)
+
+
+class TestInspection:
+    def test_rate_at(self, simple_schedule):
+        assert simple_schedule.rate_at(0.0) == 100.0
+        assert simple_schedule.rate_at(9.999) == 100.0
+        assert simple_schedule.rate_at(10.0) == 300.0
+        assert simple_schedule.rate_at(39.9) == 200.0
+
+    def test_rate_at_out_of_range(self, simple_schedule):
+        with pytest.raises(ValueError):
+            simple_schedule.rate_at(40.0)
+        with pytest.raises(ValueError):
+            simple_schedule.rate_at(-0.1)
+
+    def test_segments(self, simple_schedule):
+        segments = list(simple_schedule.segments())
+        assert segments == [
+            (0.0, 10.0, 100.0),
+            (10.0, 30.0, 300.0),
+            (30.0, 40.0, 200.0),
+        ]
+
+    def test_renegotiations_carry_deltas(self, simple_schedule):
+        events = list(simple_schedule.renegotiations())
+        assert len(events) == 2
+        assert events[0].delta == pytest.approx(200.0)
+        assert events[1].delta == pytest.approx(-100.0)
+
+    def test_slot_rates_roundtrip(self):
+        rates = [5.0, 5.0, 7.0, 3.0]
+        schedule = RateSchedule.from_slot_rates(rates, slot_duration=1.0)
+        assert np.allclose(schedule.slot_rates(1.0), rates)
+
+
+class TestMetrics:
+    def test_average_rate_is_time_weighted(self, simple_schedule):
+        expected = (100 * 10 + 300 * 20 + 200 * 10) / 40
+        assert simple_schedule.average_rate() == pytest.approx(expected)
+
+    def test_total_bits(self, simple_schedule):
+        assert simple_schedule.total_bits() == pytest.approx(
+            simple_schedule.average_rate() * 40.0
+        )
+
+    def test_bandwidth_efficiency(self, simple_schedule):
+        avg = simple_schedule.average_rate()
+        assert simple_schedule.bandwidth_efficiency(avg) == pytest.approx(1.0)
+        assert simple_schedule.bandwidth_efficiency(avg / 2) == pytest.approx(0.5)
+
+    def test_mean_renegotiation_interval(self, simple_schedule):
+        assert simple_schedule.mean_renegotiation_interval() == pytest.approx(20.0)
+
+    def test_no_renegotiations_interval_is_inf(self):
+        schedule = RateSchedule.constant(5.0, 10.0)
+        assert schedule.mean_renegotiation_interval() == float("inf")
+
+    def test_cost_eq1(self):
+        schedule = RateSchedule.from_slot_rates([2.0, 2.0, 4.0], slot_duration=1.0)
+        # One renegotiation, sum of slot rates = 8.
+        assert schedule.cost(alpha=10.0, beta=1.0, slot_duration=1.0) == 18.0
+
+
+class TestShifting:
+    def test_shift_preserves_average_rate(self, simple_schedule):
+        shifted = simple_schedule.shifted(17.0)
+        assert shifted.average_rate() == pytest.approx(
+            simple_schedule.average_rate()
+        )
+
+    def test_shift_preserves_duration(self, simple_schedule):
+        assert simple_schedule.shifted(13.0).duration == 40.0
+
+    def test_shift_by_zero_is_identity(self, simple_schedule):
+        assert simple_schedule.shifted(0.0) is simple_schedule
+
+    def test_shift_by_duration_wraps_to_identity(self, simple_schedule):
+        shifted = simple_schedule.shifted(40.0)
+        assert np.allclose(shifted.rates, simple_schedule.rates)
+
+    def test_shift_rate_lookup(self, simple_schedule):
+        shifted = simple_schedule.shifted(15.0)
+        # t=0 of shifted is t=15 of original (rate 300).
+        assert shifted.rate_at(0.0) == 300.0
+        # t=20 of shifted is t=35 of original (rate 200).
+        assert shifted.rate_at(20.0) == 200.0
+        # t=30 of shifted is t=5 of original (rate 100).
+        assert shifted.rate_at(30.0) == 100.0
+
+    def test_shift_preserves_marginal(self, simple_schedule):
+        levels_a, frac_a = empirical_rate_distribution(simple_schedule)
+        levels_b, frac_b = empirical_rate_distribution(
+            simple_schedule.shifted(23.456)
+        )
+        assert np.allclose(levels_a, levels_b)
+        assert np.allclose(frac_a, frac_b)
+
+    def test_random_shift_reproducible(self, simple_schedule):
+        a = simple_schedule.random_shift(seed=4)
+        b = simple_schedule.random_shift(seed=4)
+        assert np.allclose(a.start_times, b.start_times)
+
+
+class TestBufferVerification:
+    def test_buffer_trajectory(self):
+        workload = SlottedWorkload(np.array([10.0, 10.0, 0.0]), slot_duration=1.0)
+        schedule = RateSchedule.constant(5.0, 3.0)
+        trajectory = schedule.buffer_trajectory(workload)
+        assert np.allclose(trajectory, [5.0, 10.0, 5.0])
+
+    def test_underflow_clamps_to_zero(self):
+        workload = SlottedWorkload(np.array([10.0, 0.0, 0.0]), slot_duration=1.0)
+        schedule = RateSchedule.constant(100.0, 3.0)
+        assert np.allclose(schedule.buffer_trajectory(workload), 0.0)
+
+    def test_is_feasible(self):
+        workload = SlottedWorkload(np.array([10.0, 10.0]), slot_duration=1.0)
+        schedule = RateSchedule.constant(5.0, 2.0)
+        assert schedule.is_feasible(workload, buffer_bits=10.0)
+        assert not schedule.is_feasible(workload, buffer_bits=5.0)
+
+
+class TestEmpiricalDistribution:
+    def test_fractions_sum_to_one(self, simple_schedule):
+        _, fractions = empirical_rate_distribution(simple_schedule)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_fractions_match_durations(self, simple_schedule):
+        levels, fractions = empirical_rate_distribution(simple_schedule)
+        assert np.allclose(levels, [100.0, 200.0, 300.0])
+        assert np.allclose(fractions, [0.25, 0.25, 0.5])
+
+    def test_repeated_levels_pool(self):
+        schedule = RateSchedule([0.0, 1.0, 2.0], [5.0, 9.0, 5.0], duration=4.0)
+        levels, fractions = empirical_rate_distribution(schedule)
+        assert np.allclose(levels, [5.0, 9.0])
+        assert np.allclose(fractions, [0.75, 0.25])
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, simple_schedule, tmp_path):
+        path = tmp_path / "schedule.json"
+        simple_schedule.save(path)
+        loaded = RateSchedule.load(path)
+        assert np.allclose(loaded.start_times, simple_schedule.start_times)
+        assert np.allclose(loaded.rates, simple_schedule.rates)
+        assert loaded.duration == simple_schedule.duration
+        assert loaded.name == simple_schedule.name
+
+    def test_dict_roundtrip(self, simple_schedule):
+        rebuilt = RateSchedule.from_dict(simple_schedule.to_dict())
+        assert np.allclose(rebuilt.rates, simple_schedule.rates)
+
+    def test_from_dict_default_name(self):
+        schedule = RateSchedule.from_dict(
+            {"duration": 5.0, "start_times": [0.0], "rates": [1.0]}
+        )
+        assert schedule.name == "schedule"

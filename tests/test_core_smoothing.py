@@ -1,0 +1,109 @@
+"""Optimal work-ahead smoothing (the Section VIII related-work baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.smoothing import optimal_smoothing
+from repro.traffic.trace import SlottedWorkload
+
+
+def corridor_peak_lower_bound(arrivals, buffer_bits):
+    """Minimal achievable peak rate: the tightest corridor chord slope."""
+    cumulative = np.concatenate([[0.0], np.cumsum(arrivals)])
+    floor = np.maximum(0.0, cumulative - buffer_bits)
+    floor[-1] = cumulative[-1]
+    bound = 0.0
+    n = cumulative.size
+    for i in range(n):
+        for j in range(i + 1, n):
+            bound = max(bound, (floor[j] - cumulative[i]) / (j - i))
+    return bound
+
+
+class TestOptimalSmoothing:
+    def test_constant_arrivals_single_segment(self):
+        workload = SlottedWorkload(np.full(20, 3.0), 1.0)
+        result = optimal_smoothing(workload, buffer_bits=50.0)
+        assert result.schedule.num_segments == 1
+        assert result.peak_rate == pytest.approx(3.0)
+
+    def test_burst_spread_by_buffer(self):
+        workload = SlottedWorkload(np.array([10.0, 0.0, 0.0, 0.0]), 1.0)
+        result = optimal_smoothing(workload, buffer_bits=5.0)
+        rates = result.schedule.slot_rates(1.0, 4)
+        # Must push 5 bits out in slot 1 (buffer bound), then coast.
+        assert rates[0] == pytest.approx(5.0)
+        assert np.allclose(rates[1:], 5.0 / 3.0)
+
+    def test_everything_delivered(self):
+        rng = np.random.default_rng(3)
+        arrivals = rng.uniform(0, 10, 50)
+        workload = SlottedWorkload(arrivals, 1.0)
+        result = optimal_smoothing(workload, buffer_bits=12.0)
+        assert result.cumulative_sent[-1] == pytest.approx(arrivals.sum())
+
+    def test_feasibility_corridor(self):
+        rng = np.random.default_rng(4)
+        arrivals = rng.uniform(0, 10, 80)
+        workload = SlottedWorkload(arrivals, 1.0)
+        buffer_bits = 9.0
+        result = optimal_smoothing(workload, buffer_bits)
+        cumulative = np.cumsum(arrivals)
+        assert np.all(result.cumulative_sent <= cumulative + 1e-9)
+        assert np.all(result.cumulative_sent >= cumulative - buffer_bits - 1e-9)
+
+    def test_peak_is_minimal(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            arrivals = rng.uniform(0, 10, 25)
+            buffer_bits = float(rng.uniform(3, 15))
+            workload = SlottedWorkload(arrivals, 1.0)
+            result = optimal_smoothing(workload, buffer_bits)
+            bound = corridor_peak_lower_bound(arrivals, buffer_bits)
+            assert result.peak_rate == pytest.approx(bound, rel=1e-9, abs=1e-9)
+
+    def test_bigger_buffer_smaller_peak(self):
+        rng = np.random.default_rng(6)
+        arrivals = rng.uniform(0, 10, 40)
+        workload = SlottedWorkload(arrivals, 1.0)
+        small = optimal_smoothing(workload, 5.0)
+        large = optimal_smoothing(workload, 50.0)
+        assert large.peak_rate <= small.peak_rate + 1e-9
+
+    def test_schedule_serves_workload_within_buffer(self):
+        rng = np.random.default_rng(7)
+        arrivals = rng.uniform(0, 10, 60)
+        workload = SlottedWorkload(arrivals, 1.0)
+        result = optimal_smoothing(workload, buffer_bits=10.0)
+        # Replaying the smoothed schedule against the workload respects
+        # the same buffer bound (consistency with RateSchedule).
+        assert result.schedule.max_buffer(workload) <= 10.0 + 1e-6
+
+    def test_validation(self):
+        workload = SlottedWorkload(np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            optimal_smoothing(workload, 0.0)
+
+    @given(
+        arrivals=hnp.arrays(
+            dtype=np.float64, shape=st.integers(1, 30),
+            elements=st.floats(0.0, 20.0),
+        ),
+        buffer_bits=st.floats(1.0, 50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_feasible_and_minimal_peak(self, arrivals, buffer_bits):
+        workload = SlottedWorkload(arrivals, 1.0)
+        result = optimal_smoothing(workload, buffer_bits)
+        cumulative = np.cumsum(arrivals)
+        assert np.all(result.cumulative_sent <= cumulative + 1e-6)
+        assert np.all(
+            result.cumulative_sent >= cumulative - buffer_bits - 1e-6
+        )
+        assert result.cumulative_sent[-1] == pytest.approx(
+            arrivals.sum(), abs=1e-6
+        )
+        bound = corridor_peak_lower_bound(arrivals, buffer_bits)
+        assert result.peak_rate <= bound + 1e-6

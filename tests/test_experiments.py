@@ -1,0 +1,101 @@
+"""Programmatic experiment runners (small-scale smoke of each study)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_mbac_comparison,
+    run_sigma_rho,
+    run_smg,
+    run_tradeoff,
+)
+from repro.experiments.runners import compute_optimal_schedule
+from repro.traffic import generate_starwars_trace
+from repro.util.units import kbits, kbps
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_starwars_trace(num_frames=4800, seed=21)
+
+
+@pytest.fixture(scope="module")
+def schedule(trace):
+    return compute_optimal_schedule(trace, alpha=4e6)
+
+
+class TestComputeOptimalSchedule:
+    def test_respects_buffer(self, trace, schedule):
+        assert schedule.is_feasible(trace.aggregate(2), kbits(300))
+
+    def test_no_aggregation_path(self, trace):
+        schedule = compute_optimal_schedule(
+            trace, alpha=4e6, frames_per_slot=1, granularity=kbps(256)
+        )
+        assert schedule.duration == pytest.approx(trace.duration)
+
+
+class TestTradeoff:
+    def test_shapes(self, trace):
+        result = run_tradeoff(
+            trace, alphas=(1e6, 3e7), deltas=(kbps(50), kbps(400))
+        )
+        assert len(result.optimal) == 2
+        assert len(result.heuristic) == 2
+        # The classic ordering along each curve.
+        assert result.optimal[0].efficiency >= result.optimal[1].efficiency
+        assert (
+            result.optimal[0].mean_interval <= result.optimal[1].mean_interval
+        )
+        assert (
+            result.heuristic[0].efficiency >= result.heuristic[1].efficiency
+        )
+
+    def test_buffer_bound_respected(self, trace):
+        result = run_tradeoff(trace, alphas=(1e6,), deltas=(kbps(100),))
+        assert result.optimal[0].max_buffer <= kbits(300) + 1e-6
+
+
+class TestSigmaRho:
+    def test_monotone_and_normalized(self, trace):
+        result = run_sigma_rho(
+            trace, buffers=(kbits(100), kbits(300), kbits(3000)),
+            loss_target=1e-3,
+        )
+        rates = result.rates
+        assert all(a >= b - 1e-6 for a, b in zip(rates, rates[1:]))
+        assert np.all(result.normalized() >= 1.0 - 1e-9)
+
+
+class TestSmg:
+    def test_ordering(self, trace, schedule):
+        result = run_smg(
+            trace, schedule, source_counts=(2, 8), loss_target=1e-3, seed=5
+        )
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.cbr_rate >= point.shared_rate - 0.1 * result.mean_rate
+        # Gain grows with N.
+        assert result.points[1].rcbr_rate <= result.points[0].rcbr_rate + 0.06 * result.mean_rate
+        assert 0.5 < result.schedule_efficiency <= 1.05
+
+
+class TestMbac:
+    def test_controllers_compared(self, schedule):
+        result = run_mbac_comparison(
+            schedule,
+            capacity_multiples=(6.0,),
+            loads=(1.0,),
+            min_intervals=3,
+            max_intervals=4,
+        )
+        names = {point.controller for point in result.points}
+        assert names == {"memoryless", "memory", "perfect"}
+        memoryless = result.by_controller("memoryless")[0]
+        memory = result.by_controller("memory")[0]
+        assert memory.failure_probability <= memoryless.failure_probability + 1e-3
+
+    def test_unknown_controller_rejected(self, schedule):
+        with pytest.raises(ValueError):
+            run_mbac_comparison(schedule, controllers=("bogus",),
+                                min_intervals=2, max_intervals=2)

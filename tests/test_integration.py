@@ -1,0 +1,202 @@
+"""Cross-module integration: the paper's pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.admission.callsim import arrival_rate_for_load, simulate_admission
+from repro.admission.controllers import (
+    MemoryMBAC,
+    MemorylessMBAC,
+    PerfectKnowledgeCAC,
+)
+from repro.analysis.empirical import sigma_rho_for_loss
+from repro.core import (
+    OnlineParams,
+    OnlineScheduler,
+    OptimalScheduler,
+    granular_rate_levels,
+    simulate_rcbr_link,
+)
+from repro.core.schedule import empirical_rate_distribution
+from repro.queueing.mux import (
+    rcbr_overflow_bits,
+    scenario_a_rate,
+    scenario_b_loss,
+    scenario_c_loss,
+)
+from repro.signaling import SignalingPath, SwitchPort, simulate_schedules_on_path
+from repro.util.units import kbits, kbps
+
+
+class TestOfflinePipeline:
+    """Trace -> optimal schedule -> verified service."""
+
+    def test_schedule_serves_trace_within_buffer(self, medium_trace):
+        workload = medium_trace.as_workload()
+        levels = granular_rate_levels(kbps(128), medium_trace.peak_rate)
+        result = OptimalScheduler(levels, alpha=5e6).solve(
+            workload, buffer_bits=kbits(300)
+        )
+        assert result.schedule.is_feasible(workload, kbits(300))
+        assert result.schedule.duration == pytest.approx(workload.duration)
+
+    def test_optimal_beats_online_at_same_renegotiation_budget(
+        self, medium_trace
+    ):
+        """Fig. 2's headline: OPT dominates the heuristic."""
+        workload = medium_trace.as_workload()
+        online = OnlineScheduler(OnlineParams(granularity=kbps(100))).schedule(
+            workload
+        )
+        levels = granular_rate_levels(kbps(100), medium_trace.peak_rate)
+        # Pick alpha so OPT renegotiates no more often than the heuristic.
+        optimal = None
+        for alpha in (1e5, 1e6, 1e7, 1e8):
+            candidate = OptimalScheduler(levels, alpha=alpha).solve(
+                workload, buffer_bits=kbits(300)
+            )
+            if candidate.num_renegotiations <= online.num_renegotiations:
+                optimal = candidate
+                break
+        assert optimal is not None
+        mean = workload.mean_rate
+        assert optimal.schedule.bandwidth_efficiency(
+            mean
+        ) >= online.schedule.bandwidth_efficiency(mean) - 0.02
+
+    def test_online_schedule_verifies_against_trace(self, medium_trace):
+        workload = medium_trace.as_workload()
+        result = OnlineScheduler(OnlineParams(granularity=kbps(64))).schedule(
+            workload
+        )
+        # The reported max buffer is what the schedule actually produces.
+        assert result.schedule.max_buffer(workload) == pytest.approx(
+            result.max_buffer, rel=1e-9
+        )
+
+
+class TestScenarioOrdering:
+    """Fig. 6's qualitative ordering at a fixed per-source rate."""
+
+    def test_rcbr_between_cbr_and_shared(self, medium_trace, optimal_schedule):
+        # Build the medium trace's schedule (5-minute) for scenario (c).
+        workload = medium_trace.as_workload()
+        levels = granular_rate_levels(kbps(128), medium_trace.peak_rate)
+        schedule = (
+            OptimalScheduler(levels, alpha=5e6)
+            .solve(workload, buffer_bits=kbits(300))
+            .schedule
+        )
+        num_sources = 8
+        cbr_rate = scenario_a_rate(workload, kbits(300), 1e-3)
+        # At the static-CBR rate, both multiplexed scenarios lose ~nothing.
+        rcbr_loss = scenario_c_loss(schedule, num_sources, cbr_rate, seed=1)
+        assert rcbr_loss <= 1e-3
+        # At a rate near the schedule average, RCBR loses a little, while
+        # static CBR per-source would lose badly (it needed cbr_rate).
+        tight = 1.05 * schedule.average_rate()
+        assert tight < cbr_rate
+        shared_loss = scenario_b_loss(
+            medium_trace, num_sources, tight, kbits(300), seed=2
+        )
+        rcbr_tight = scenario_c_loss(schedule, num_sources, tight, seed=3)
+        # Unrestricted sharing is at least as good as RCBR (extra gain
+        # from the shared buffer absorbing fast-scale fluctuations).
+        assert shared_loss <= rcbr_tight + 5e-3
+
+
+class TestSigmaRhoConsistency:
+    def test_scenario_a_matches_sigma_rho_point(self, short_workload):
+        curve = sigma_rho_for_loss(short_workload, [kbits(300)], 1e-6)
+        rate = scenario_a_rate(short_workload, kbits(300), 1e-6)
+        assert curve[0, 1] == pytest.approx(rate, rel=1e-6)
+
+
+class TestDetailedVsAggregateLink:
+    def test_loss_agreement_across_capacities(self, optimal_schedule):
+        schedules = [optimal_schedule.shifted(offset) for offset in
+                     np.linspace(0, optimal_schedule.duration * 0.9, 7)]
+        for factor in (0.7, 0.85, 1.0):
+            capacity = 7 * optimal_schedule.average_rate() * factor
+            detailed = simulate_rcbr_link(schedules, capacity)
+            lost, _ = rcbr_overflow_bits(schedules, capacity)
+            assert detailed.lost_bits == pytest.approx(
+                lost, rel=1e-9, abs=1e-6
+            )
+
+
+class TestAdmissionPipeline:
+    """Schedule -> descriptor -> controllers -> dynamics."""
+
+    def test_memory_beats_memoryless_on_failure_probability(
+        self, optimal_schedule
+    ):
+        """The Section VI conclusion, on a small link (the regime where
+        the paper shows the memoryless scheme breaking down)."""
+        schedule = optimal_schedule
+        target = 1e-2
+        mean_rate = schedule.average_rate()
+        capacity = 6 * mean_rate
+        lam = arrival_rate_for_load(1.2, capacity, mean_rate, schedule.duration)
+
+        memoryless = simulate_admission(
+            schedule, capacity, lam, MemorylessMBAC(target),
+            seed=11, min_intervals=6, max_intervals=12,
+        )
+        memory = simulate_admission(
+            schedule, capacity, lam, MemoryMBAC(target),
+            seed=11, min_intervals=6, max_intervals=12,
+        )
+        assert memory.failure_probability <= memoryless.failure_probability
+
+    def test_perfect_knowledge_meets_target(self, optimal_schedule):
+        schedule = optimal_schedule
+        target = 1e-2
+        levels, fractions = empirical_rate_distribution(schedule)
+        mean_rate = schedule.average_rate()
+        capacity = 8 * mean_rate
+        lam = arrival_rate_for_load(1.0, capacity, mean_rate, schedule.duration)
+        result = simulate_admission(
+            schedule, capacity, lam,
+            PerfectKnowledgeCAC(levels, fractions, target),
+            seed=13, min_intervals=6, max_intervals=12,
+            failure_target=target,
+        )
+        # Allow statistical slack: an order of magnitude above target
+        # would signal a broken controller.
+        assert result.failure_probability <= 5 * target
+
+
+class TestSignalingPipeline:
+    """Schedules over a multi-hop path: Section III-C scaling."""
+
+    def test_failure_probability_grows_with_hops(self, optimal_schedule):
+        schedules = [
+            optimal_schedule.shifted(offset)
+            for offset in np.linspace(0, optimal_schedule.duration * 0.9, 6)
+        ]
+        capacity = 6 * optimal_schedule.average_rate() * 0.92
+
+        def failure_fraction(num_hops):
+            ports = [SwitchPort(capacity) for _ in range(num_hops)]
+            path = SignalingPath(ports, seed=5)
+            return simulate_schedules_on_path(schedules, path).stats.failure_fraction
+
+        # Identical-capacity hops fail together, so the growth is only
+        # visible with heterogeneous capacities; emulate by shrinking one.
+        single = failure_fraction(1)
+        ports = [SwitchPort(capacity), SwitchPort(capacity * 0.9)]
+        path = SignalingPath(ports, seed=5)
+        double = simulate_schedules_on_path(schedules, path).stats.failure_fraction
+        assert double >= single
+
+    def test_signaling_load_linear_in_sources(self, optimal_schedule):
+        for count in (2, 4):
+            schedules = [
+                optimal_schedule.shifted(offset)
+                for offset in np.linspace(0, 30, count)
+            ]
+            path = SignalingPath([SwitchPort(1e12)], seed=1)
+            simulate_schedules_on_path(schedules, path)
+            expected = sum(s.num_segments for s in schedules)
+            assert path.stats.cells_sent == expected

@@ -1,0 +1,280 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.chernoff import log_mgf, overload_probability, rate_function
+from repro.core.optimal import OptimalScheduler
+from repro.core.schedule import RateSchedule, empirical_rate_distribution
+from repro.queueing.fluid import required_buffer, simulate_fluid_queue
+from repro.queueing.leaky_bucket import TokenBucket, minimal_bucket_depth
+from repro.queueing.link import RcbrLink
+from repro.queueing.mux import rcbr_overflow_bits
+from repro.traffic.trace import SlottedWorkload
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+arrivals_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(0.0, 1000.0, allow_nan=False, allow_infinity=False),
+)
+
+positive_rates = st.floats(0.1, 2000.0, allow_nan=False, allow_infinity=False)
+
+slot_rate_lists = st.lists(
+    st.sampled_from([0.0, 10.0, 25.0, 70.0, 200.0]), min_size=1, max_size=50
+)
+
+
+# ----------------------------------------------------------------------
+# Fluid queue invariants
+# ----------------------------------------------------------------------
+class TestFluidQueueProperties:
+    @given(arrivals=arrivals_arrays, drain=positive_rates,
+           buffer_bits=st.floats(0.0, 5000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_conservation_and_bounds(self, arrivals, drain, buffer_bits):
+        result = simulate_fluid_queue(arrivals, drain, buffer_bits)
+        assert 0.0 <= result.final_occupancy <= buffer_bits + 1e-9
+        assert 0.0 <= result.lost_bits <= result.arrived_bits + 1e-9
+        assert result.max_occupancy <= buffer_bits + 1e-9
+        served = result.arrived_bits - result.lost_bits - result.final_occupancy
+        # Served work cannot exceed total drain capacity.
+        assert served <= drain * arrivals.size + 1e-6
+        assert served >= -1e-9
+
+    @given(arrivals=arrivals_arrays, drain=positive_rates)
+    @settings(max_examples=100, deadline=None)
+    def test_infinite_buffer_no_loss(self, arrivals, drain):
+        result = simulate_fluid_queue(arrivals, drain)
+        assert result.lost_bits == 0.0
+
+    @given(arrivals=arrivals_arrays, drain=positive_rates)
+    @settings(max_examples=60, deadline=None)
+    def test_loss_decreases_with_buffer(self, arrivals, drain):
+        small = simulate_fluid_queue(arrivals, drain, buffer_bits=100.0)
+        large = simulate_fluid_queue(arrivals, drain, buffer_bits=500.0)
+        assert large.lost_bits <= small.lost_bits + 1e-9
+
+    @given(arrivals=arrivals_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_required_buffer_monotone_in_drain(self, arrivals):
+        low = required_buffer(arrivals, 5.0)
+        high = required_buffer(arrivals, 50.0)
+        assert high <= low + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Schedule invariants
+# ----------------------------------------------------------------------
+class TestScheduleProperties:
+    @given(rates=slot_rate_lists, slot=st.floats(0.01, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_slot_rate_roundtrip(self, rates, slot):
+        schedule = RateSchedule.from_slot_rates(rates, slot)
+        assert np.allclose(schedule.slot_rates(slot, len(rates)), rates)
+
+    @given(rates=slot_rate_lists, slot=st.floats(0.01, 2.0),
+           offset=st.floats(0.0, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_shift_invariants(self, rates, slot, offset):
+        schedule = RateSchedule.from_slot_rates(rates, slot)
+        shifted = schedule.shifted(offset)
+        assert shifted.duration == pytest.approx(schedule.duration)
+        assert shifted.average_rate() == pytest.approx(
+            schedule.average_rate(), rel=1e-9, abs=1e-9
+        )
+
+    @given(rates=slot_rate_lists, slot=st.floats(0.01, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_marginal_sums_to_one(self, rates, slot):
+        schedule = RateSchedule.from_slot_rates(rates, slot)
+        _, fractions = empirical_rate_distribution(schedule)
+        assert fractions.sum() == pytest.approx(1.0)
+        assert np.all(fractions > 0.0)
+
+    @given(rates=slot_rate_lists, slot=st.floats(0.01, 2.0),
+           offset=st.floats(0.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_preserves_marginal(self, rates, slot, offset):
+        schedule = RateSchedule.from_slot_rates(rates, slot)
+        la, fa = empirical_rate_distribution(schedule)
+        lb, fb = empirical_rate_distribution(schedule.shifted(offset))
+        assert np.allclose(la, lb)
+        assert np.allclose(fa, fb, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Optimal DP invariants
+# ----------------------------------------------------------------------
+class TestOptimalProperties:
+    @given(
+        arrivals=hnp.arrays(
+            dtype=np.float64, shape=st.integers(2, 10),
+            elements=st.floats(0.0, 8.0),
+        ),
+        alpha=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_feasible_and_cost_consistent(self, arrivals, alpha):
+        levels = [2.0, 5.0, 9.0]
+        buffer_bits = 6.0
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        scheduler = OptimalScheduler(levels, alpha=alpha, beta=1.0)
+        result = scheduler.solve(workload, buffer_bits=buffer_bits)
+        assert result.schedule.is_feasible(workload, buffer_bits)
+        recomputed = result.schedule.cost(alpha, 1.0, 1.0)
+        assert result.total_cost == pytest.approx(recomputed, rel=1e-9)
+
+    @given(
+        arrivals=hnp.arrays(
+            dtype=np.float64, shape=st.integers(2, 10),
+            elements=st.floats(0.0, 8.0),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_no_worse_than_constant_peak(self, arrivals):
+        """The constant-max-level schedule is always feasible, so the
+        optimum must not cost more."""
+        levels = [2.0, 5.0, 9.0]
+        alpha = 1.0
+        workload = SlottedWorkload(arrivals, slot_duration=1.0)
+        result = OptimalScheduler(levels, alpha=alpha).solve(
+            workload, buffer_bits=8.0
+        )
+        constant_cost = 9.0 * arrivals.size  # no renegotiations
+        assert result.total_cost <= constant_cost + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Token bucket invariants
+# ----------------------------------------------------------------------
+class TestTokenBucketProperties:
+    @given(arrivals=arrivals_arrays, rate=positive_rates,
+           depth=st.floats(0.0, 3000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_police_partition(self, arrivals, rate, depth):
+        workload = SlottedWorkload(arrivals, 1.0) if arrivals.sum() > 0 else None
+        if workload is None:
+            return
+        bucket = TokenBucket(rate, depth)
+        conformant, excess = bucket.police(workload)
+        assert np.allclose(conformant + excess, workload.bits_per_slot)
+        assert np.all(conformant >= -1e-12)
+        assert np.all(excess >= -1e-12)
+
+    @given(arrivals=arrivals_arrays, rate=positive_rates)
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_depth_is_tight(self, arrivals, rate):
+        if arrivals.sum() == 0:
+            return
+        workload = SlottedWorkload(arrivals, 1.0)
+        depth = minimal_bucket_depth(workload, rate)
+        assert TokenBucket(rate, depth + 1e-6).conforms(workload)
+
+    @given(arrivals=arrivals_arrays, rate=positive_rates,
+           depth=st.floats(1.0, 3000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_shaped_output_conforms(self, arrivals, rate, depth):
+        if arrivals.sum() == 0:
+            return
+        workload = SlottedWorkload(arrivals, 1.0)
+        bucket = TokenBucket(rate, depth)
+        shaped = bucket.shape(workload).as_workload()
+        assert bucket.conforms(shaped)
+
+
+# ----------------------------------------------------------------------
+# Chernoff invariants
+# ----------------------------------------------------------------------
+class TestChernoffProperties:
+    marginals = st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.floats(0.01, 1.0)),
+        min_size=1, max_size=6,
+    )
+
+    @given(marginal=marginals, theta=st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_log_mgf_convexity_point(self, marginal, theta):
+        levels = [m[0] for m in marginal]
+        probs = [m[1] for m in marginal]
+        # Midpoint convexity at (0, theta): Lambda(theta/2) <= Lambda(theta)/2
+        half = log_mgf(levels, probs, theta / 2)
+        full = log_mgf(levels, probs, theta)
+        assert half <= full / 2 + 1e-9
+
+    @given(marginal=marginals, capacity=st.floats(1.0, 500.0),
+           calls=st.integers(1, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_overload_probability_in_unit_interval(
+        self, marginal, capacity, calls
+    ):
+        levels = [m[0] for m in marginal]
+        probs = [m[1] for m in marginal]
+        value = overload_probability(levels, probs, calls, capacity)
+        assert 0.0 <= value <= 1.0
+
+    @given(marginal=marginals, c=st.floats(0.0, 120.0))
+    @settings(max_examples=100, deadline=None)
+    def test_rate_function_nonnegative(self, marginal, c):
+        levels = [m[0] for m in marginal]
+        probs = [m[1] for m in marginal]
+        value = rate_function(levels, probs, c)
+        assert value >= 0.0 or math.isinf(value)
+
+
+# ----------------------------------------------------------------------
+# RCBR link invariants
+# ----------------------------------------------------------------------
+class TestLinkProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(st.integers(0, 5), st.floats(0.0, 600.0)),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_never_exceeded_and_work_conserving(self, requests):
+        link = RcbrLink(1000.0)
+        for time, (source, rate) in enumerate(requests):
+            link.request(source, rate, float(time))
+            assert link.allocated <= link.capacity + 1e-6
+            expected = min(link.total_demand, link.capacity)
+            assert link.allocated == pytest.approx(expected, abs=1e-6)
+
+    @given(
+        segments=st.lists(
+            st.sampled_from([100.0, 250.0, 400.0, 700.0]),
+            min_size=1, max_size=8, unique=False,
+        ),
+        capacity_factor=st.floats(0.5, 1.5),
+        num_sources=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_loss_matches_event_sim(
+        self, segments, capacity_factor, num_sources
+    ):
+        from repro.core.service import simulate_rcbr_link
+
+        deduped = [segments[0]]
+        for rate in segments[1:]:
+            if rate != deduped[-1]:
+                deduped.append(rate)
+        times = [float(i) for i in range(len(deduped))]
+        schedule = RateSchedule(times, deduped, duration=len(deduped))
+        schedules = [
+            schedule.shifted(i * schedule.duration / num_sources)
+            for i in range(num_sources)
+        ]
+        capacity = max(
+            1.0, num_sources * schedule.average_rate() * capacity_factor
+        )
+        detailed = simulate_rcbr_link(schedules, capacity)
+        lost, _ = rcbr_overflow_bits(schedules, capacity)
+        assert detailed.lost_bits == pytest.approx(lost, rel=1e-6, abs=1e-6)

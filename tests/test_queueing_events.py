@@ -1,0 +1,118 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.queueing.events import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule_at(2.0, fired.append, "b")
+        engine.schedule_at(1.0, fired.append, "a")
+        engine.schedule_at(3.0, fired.append, "c")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = EventScheduler()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(1.0, fired.append, tag)
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_in_is_relative(self):
+        engine = EventScheduler()
+        times = []
+        engine.schedule_in(1.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.0]
+
+    def test_nested_scheduling(self):
+        engine = EventScheduler()
+        fired = []
+
+        def outer():
+            fired.append(("outer", engine.now))
+            engine.schedule_in(0.5, inner)
+
+        def inner():
+            fired.append(("inner", engine.now))
+
+        engine.schedule_at(1.0, outer)
+        engine.run()
+        assert fired == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventScheduler()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_in(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = EventScheduler()
+        fired = []
+        handle = engine.schedule_at(1.0, fired.append, "x")
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_twice_is_safe(self):
+        handle = EventScheduler().schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule_at(1.0, fired.append, "early")
+        engine.schedule_at(10.0, fired.append, "late")
+        engine.run(until=5.0)
+        assert fired == ["early"]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_includes_boundary(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule_at(5.0, fired.append, "edge")
+        engine.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_max_events(self):
+        engine = EventScheduler()
+        fired = []
+        for index in range(5):
+            engine.schedule_at(float(index), fired.append, index)
+        engine.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule_at(1.0, fired.append, "a")
+        assert engine.step()
+        assert fired == ["a"]
+        assert not engine.step()
+
+    def test_counters(self):
+        engine = EventScheduler()
+        engine.schedule_at(1.0, lambda: None)
+        cancelled = engine.schedule_at(2.0, lambda: None)
+        cancelled.cancel()
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.processed_events == 1

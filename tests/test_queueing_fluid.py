@@ -1,0 +1,162 @@
+"""Fluid-queue simulation kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing.fluid import (
+    loss_fraction_for_rate,
+    min_rate_for_loss,
+    required_buffer,
+    sigma_rho_curve,
+    simulate_fluid_queue,
+)
+from repro.traffic.trace import SlottedWorkload
+
+
+class TestSimulateFluidQueue:
+    def test_stable_queue_no_loss(self):
+        result = simulate_fluid_queue([1.0, 1.0, 1.0], 2.0, buffer_bits=10.0)
+        assert result.lost_bits == 0.0
+        assert result.loss_fraction == 0.0
+        assert result.final_occupancy == 0.0
+
+    def test_conservation(self):
+        arrivals = [5.0, 0.0, 7.0, 1.0]
+        result = simulate_fluid_queue(arrivals, 2.0, buffer_bits=4.0)
+        served = result.arrived_bits - result.lost_bits - result.final_occupancy
+        assert served >= 0
+        assert result.arrived_bits == pytest.approx(13.0)
+
+    def test_overflow_accounting(self):
+        # One slot of 10 bits into a 4-bit buffer: 6 lost immediately.
+        result = simulate_fluid_queue([10.0], 0.0, buffer_bits=4.0)
+        assert result.lost_bits == pytest.approx(6.0)
+        assert result.final_occupancy == pytest.approx(4.0)
+
+    def test_occupancy_never_negative(self):
+        result = simulate_fluid_queue(
+            [1.0, 0.0, 0.0], 100.0, record_occupancy=True
+        )
+        assert np.all(result.occupancy >= 0.0)
+
+    def test_occupancy_trajectory(self):
+        result = simulate_fluid_queue(
+            [3.0, 3.0, 0.0], 1.0, buffer_bits=100.0, record_occupancy=True
+        )
+        assert np.allclose(result.occupancy, [2.0, 4.0, 3.0])
+
+    def test_max_occupancy_is_post_service(self):
+        # Eq. 2/3 convention: the bound applies after the slot's service.
+        result = simulate_fluid_queue([5.0, 5.0], 5.0, buffer_bits=100.0)
+        assert result.max_occupancy == pytest.approx(0.0)
+        result = simulate_fluid_queue([5.0, 5.0], 3.0, buffer_bits=100.0)
+        assert result.max_occupancy == pytest.approx(4.0)
+
+    def test_per_slot_drain_schedule(self):
+        result = simulate_fluid_queue([4.0, 4.0], [1.0, 7.0], buffer_bits=100.0)
+        assert result.final_occupancy == pytest.approx(0.0)
+        assert result.lost_bits == 0.0
+
+    def test_initial_occupancy(self):
+        result = simulate_fluid_queue([0.0], 1.0, 10.0, initial_occupancy=5.0)
+        assert result.final_occupancy == pytest.approx(4.0)
+
+    def test_infinite_buffer_never_loses(self):
+        result = simulate_fluid_queue([1e9, 1e9], 0.0)
+        assert result.lost_bits == 0.0
+        assert result.final_occupancy == pytest.approx(2e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_fluid_queue([], 1.0)
+        with pytest.raises(ValueError):
+            simulate_fluid_queue([1.0], -1.0)
+        with pytest.raises(ValueError):
+            simulate_fluid_queue([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            simulate_fluid_queue([1.0], 1.0, buffer_bits=-1.0)
+        with pytest.raises(ValueError):
+            simulate_fluid_queue([1.0], 1.0, 5.0, initial_occupancy=6.0)
+
+
+class TestRequiredBuffer:
+    def test_matches_envelope_formula(self):
+        arrivals = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        drain = 2.5
+        # Brute-force sigma = max over windows of (sum - drain * len).
+        best = 0.0
+        for start in range(len(arrivals)):
+            for end in range(start + 1, len(arrivals) + 1):
+                window = arrivals[start:end].sum() - drain * (end - start)
+                best = max(best, window)
+        assert required_buffer(arrivals, drain) == pytest.approx(best)
+
+    def test_zero_for_fast_drain(self):
+        # Drain exceeds per-slot arrivals: queue never builds up.
+        assert required_buffer([1.0, 1.0], 10.0) == pytest.approx(0.0)
+
+    def test_monotone_in_drain(self, short_workload):
+        arrivals = short_workload.bits_per_slot
+        slot = short_workload.slot_duration
+        buffers = [
+            required_buffer(arrivals, rate * slot)
+            for rate in np.linspace(
+                short_workload.mean_rate, short_workload.peak_rate, 5
+            )
+        ]
+        assert all(a >= b - 1e-6 for a, b in zip(buffers, buffers[1:]))
+
+
+class TestMinRateForLoss:
+    def test_zero_loss_target_needs_envelope_rate(self):
+        workload = SlottedWorkload(np.array([4.0, 0.0, 4.0, 0.0]), 1.0)
+        rate = min_rate_for_loss(workload, buffer_bits=2.0, loss_target=0.0)
+        # Need to drain 2 bits of each 4-bit burst within its slot.
+        assert rate == pytest.approx(2.0, abs=0.01)
+
+    def test_rate_bounded_by_mean_and_peak(self, short_workload):
+        rate = min_rate_for_loss(short_workload, 300_000.0, 1e-6)
+        assert short_workload.mean_rate <= rate <= short_workload.peak_rate
+
+    def test_achieves_target(self, short_workload):
+        rate = min_rate_for_loss(short_workload, 300_000.0, 1e-3)
+        loss = loss_fraction_for_rate(short_workload, rate, 300_000.0)
+        assert loss <= 1e-3
+
+    def test_bigger_buffer_smaller_rate(self, short_workload):
+        small = min_rate_for_loss(short_workload, 100_000.0, 1e-6)
+        large = min_rate_for_loss(short_workload, 1_000_000.0, 1e-6)
+        assert large <= small + 1.0
+
+    def test_huge_buffer_approaches_mean(self, short_workload):
+        rate = min_rate_for_loss(short_workload, 1e9, 1e-6)
+        assert rate == pytest.approx(short_workload.mean_rate, rel=0.01)
+
+    def test_validation(self, short_workload):
+        with pytest.raises(ValueError):
+            min_rate_for_loss(short_workload, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            loss_fraction_for_rate(short_workload, -1.0, 1.0)
+
+
+class TestSigmaRhoCurve:
+    def test_shape_and_monotonicity(self, short_workload):
+        rates = np.linspace(
+            short_workload.mean_rate * 1.05, short_workload.peak_rate, 6
+        )
+        curve = sigma_rho_curve(short_workload, rates)
+        assert curve.shape == (6, 2)
+        sigmas = curve[:, 1]
+        assert all(a >= b - 1e-6 for a, b in zip(sigmas, sigmas[1:]))
+
+    def test_multiple_timescale_traffic_has_long_tail(self, medium_trace):
+        """Section II: at drain near the mean, the buffer requirement is
+        enormous relative to the 300 kb RCBR buffer."""
+        workload = medium_trace.as_workload()
+        rate = 1.05 * workload.mean_rate
+        sigma = required_buffer(
+            workload.bits_per_slot, rate * workload.slot_duration
+        )
+        assert sigma > 10 * 300_000.0

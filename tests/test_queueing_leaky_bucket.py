@@ -1,0 +1,115 @@
+"""Token-bucket descriptors (Section II's one-shot VBR descriptor)."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.leaky_bucket import TokenBucket, minimal_bucket_depth
+from repro.traffic.trace import SlottedWorkload
+
+
+def workload(arrivals, slot=1.0):
+    return SlottedWorkload(np.asarray(arrivals, dtype=float), slot)
+
+
+class TestPolice:
+    def test_conformant_plus_excess_equals_arrivals(self):
+        bucket = TokenBucket(token_rate=2.0, bucket_bits=3.0)
+        load = workload([5.0, 1.0, 0.0, 8.0])
+        conformant, excess = bucket.police(load)
+        assert np.allclose(conformant + excess, load.bits_per_slot)
+
+    def test_smooth_traffic_all_conformant(self):
+        bucket = TokenBucket(token_rate=2.0, bucket_bits=2.0)
+        load = workload([2.0] * 10)
+        assert bucket.conforms(load)
+
+    def test_burst_within_depth_conformant(self):
+        bucket = TokenBucket(token_rate=1.0, bucket_bits=10.0)
+        load = workload([10.0, 0.0, 0.0])
+        assert bucket.conforms(load)
+
+    def test_burst_beyond_depth_tagged(self):
+        bucket = TokenBucket(token_rate=1.0, bucket_bits=5.0)
+        load = workload([10.0])
+        _, excess = bucket.police(load)
+        # The bucket starts full and the refill caps at the depth.
+        assert excess[0] == pytest.approx(5.0)
+
+    def test_tokens_cap_at_depth(self):
+        bucket = TokenBucket(token_rate=1.0, bucket_bits=3.0)
+        # Long silence should not accumulate more than depth.
+        load = workload([0.0] * 100 + [10.0])
+        _, excess = bucket.police(load)
+        assert excess[-1] == pytest.approx(10.0 - 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, -1.0)
+
+
+class TestShape:
+    def test_output_conserves_bits_with_infinite_buffer(self):
+        bucket = TokenBucket(token_rate=2.0, bucket_bits=1.0)
+        load = workload([5.0, 5.0, 0.0, 0.0, 0.0, 0.0])
+        result = bucket.shape(load)
+        assert result.lost_bits == 0.0
+        total_out = result.output_bits.sum() + result.final_backlog
+        assert total_out == pytest.approx(load.total_bits)
+
+    def test_finite_buffer_loses(self):
+        bucket = TokenBucket(token_rate=1.0, bucket_bits=1.0)
+        load = workload([100.0])
+        result = bucket.shape(load, shaper_buffer_bits=10.0)
+        assert result.lost_bits == pytest.approx(90.0)
+        assert result.loss_fraction == pytest.approx(0.9)
+
+    def test_output_conforms_to_bucket(self):
+        bucket = TokenBucket(token_rate=2.0, bucket_bits=3.0)
+        load = workload([9.0, 0.0, 4.0, 0.0, 1.0, 0.0])
+        shaped = bucket.shape(load).as_workload()
+        assert bucket.conforms(shaped)
+
+    def test_max_backlog_tracked(self):
+        bucket = TokenBucket(token_rate=1.0, bucket_bits=1.0)
+        load = workload([5.0, 0.0, 0.0])
+        result = bucket.shape(load)
+        assert result.max_backlog == pytest.approx(5.0)
+
+    def test_empty_input_passthrough(self):
+        bucket = TokenBucket(token_rate=1.0, bucket_bits=1.0)
+        load = workload([0.0, 0.0])
+        result = bucket.shape(load)
+        assert result.loss_fraction == 0.0
+        assert np.allclose(result.output_bits, 0.0)
+
+
+class TestBurstBound:
+    def test_linear_envelope(self):
+        bucket = TokenBucket(token_rate=3.0, bucket_bits=7.0)
+        assert bucket.burst_bound(0.0) == 7.0
+        assert bucket.burst_bound(2.0) == pytest.approx(13.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 1.0).burst_bound(-1.0)
+
+
+class TestMinimalDepth:
+    def test_equals_required_buffer(self, short_workload):
+        rate = 1.5 * short_workload.mean_rate
+        depth = minimal_bucket_depth(short_workload, rate)
+        bucket = TokenBucket(rate, depth + 1e-6)
+        assert bucket.conforms(short_workload)
+
+    def test_smaller_depth_fails(self, short_workload):
+        rate = 1.5 * short_workload.mean_rate
+        depth = minimal_bucket_depth(short_workload, rate)
+        tight = TokenBucket(rate, depth * 0.9)
+        assert not tight.conforms(short_workload)
+
+    def test_depth_decreases_with_rate(self, short_workload):
+        low = minimal_bucket_depth(short_workload, 1.1 * short_workload.mean_rate)
+        high = minimal_bucket_depth(short_workload, 2.0 * short_workload.mean_rate)
+        assert high <= low

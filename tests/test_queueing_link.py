@@ -1,0 +1,138 @@
+"""The RCBR link: grants, denials, shortfall redistribution, accounting."""
+
+import pytest
+
+from repro.queueing.link import RcbrLink
+
+
+class TestBasicRequests:
+    def test_setup_within_capacity_granted(self):
+        link = RcbrLink(1000.0)
+        outcome = link.request("a", 400.0, 0.0)
+        assert outcome.fully_granted
+        assert link.allocated == 400.0
+
+    def test_increase_beyond_capacity_partially_granted(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 800.0, 0.0)
+        outcome = link.request("b", 500.0, 1.0)
+        assert outcome.failed
+        assert outcome.granted_rate == pytest.approx(200.0)
+        assert link.failure_count == 1
+
+    def test_source_keeps_old_bandwidth_on_denial(self):
+        """Section III-A1: even on failure, keep what you have."""
+        link = RcbrLink(1000.0)
+        link.request("a", 400.0, 0.0)
+        link.request("b", 600.0, 0.0)
+        outcome = link.request("a", 900.0, 1.0)
+        assert outcome.failed
+        assert link.grant_of("a") == pytest.approx(400.0)
+
+    def test_decrease_always_succeeds(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 900.0, 0.0)
+        outcome = link.request("a", 100.0, 1.0)
+        assert outcome.fully_granted
+        assert link.allocated == pytest.approx(100.0)
+
+    def test_allocated_never_exceeds_capacity(self):
+        link = RcbrLink(1000.0)
+        for index in range(10):
+            link.request(index, 300.0, float(index))
+        assert link.allocated <= 1000.0 + 1e-9
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RcbrLink(10.0).request("a", -1.0, 0.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RcbrLink(0.0)
+
+
+class TestRedistribution:
+    def test_freed_capacity_fills_shortfall(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 800.0, 0.0)
+        link.request("b", 500.0, 0.0)  # shortfall: gets 200
+        assert link.grant_of("b") == pytest.approx(200.0)
+        link.release("a", 1.0)
+        assert link.grant_of("b") == pytest.approx(500.0)
+
+    def test_fifo_order_of_shortfall(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 1000.0, 0.0)
+        link.request("b", 600.0, 0.0)  # first in line, gets 0
+        link.request("c", 600.0, 0.0)  # second in line, gets 0
+        link.request("a", 700.0, 1.0)  # frees 300
+        assert link.grant_of("b") == pytest.approx(300.0)
+        assert link.grant_of("c") == pytest.approx(0.0)
+
+    def test_decrease_of_shortfall_source_clears_it(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 900.0, 0.0)
+        link.request("b", 400.0, 0.0)  # shortfall
+        link.request("b", 100.0, 1.0)  # gives up, now satisfied
+        link.release("a", 2.0)
+        assert link.grant_of("b") == pytest.approx(100.0)
+
+    def test_work_conservation(self):
+        """Total grant equals min(total demand, capacity)."""
+        link = RcbrLink(1000.0)
+        link.request("a", 700.0, 0.0)
+        link.request("b", 700.0, 0.0)
+        assert link.allocated == pytest.approx(1000.0)
+        link.request("a", 100.0, 1.0)
+        assert link.allocated == pytest.approx(800.0)
+
+
+class TestAccounting:
+    def test_allocated_integral(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 400.0, 0.0)
+        link.request("a", 600.0, 10.0)
+        link.finish(20.0)
+        assert link.allocated_bit_seconds == pytest.approx(
+            400.0 * 10 + 600.0 * 10
+        )
+        assert link.mean_utilization(20.0) == pytest.approx(0.5)
+
+    def test_lost_bits_from_shortfall(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 800.0, 0.0)
+        link.request("b", 500.0, 0.0)  # 300 short
+        link.finish(10.0)
+        assert link.lost_bits == pytest.approx(3000.0)
+
+    def test_lost_bits_stop_after_satisfaction(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 800.0, 0.0)
+        link.request("b", 500.0, 0.0)
+        link.release("a", 5.0)  # b becomes whole at t=5
+        link.finish(10.0)
+        assert link.lost_bits == pytest.approx(300.0 * 5)
+
+    def test_time_cannot_go_backwards(self):
+        link = RcbrLink(100.0)
+        link.request("a", 10.0, 5.0)
+        with pytest.raises(ValueError):
+            link.request("a", 20.0, 1.0)
+
+    def test_counters(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 500.0, 0.0)
+        link.request("a", 700.0, 1.0)
+        link.request("a", 300.0, 2.0)
+        assert link.request_count == 3
+        assert link.increase_count == 2
+        assert link.failure_count == 0
+
+    def test_release_unknown_source_is_safe(self):
+        link = RcbrLink(100.0)
+        link.release("ghost", 1.0)
+        assert link.num_sources == 0
+
+    def test_repr(self):
+        link = RcbrLink(100.0)
+        assert "RcbrLink" in repr(link)

@@ -1,0 +1,183 @@
+"""The three Fig. 3 multiplexing scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import RateSchedule
+from repro.queueing.mux import (
+    aggregate_demand,
+    aggregate_shifted_arrivals,
+    estimate_mean_loss,
+    rcbr_overflow_bits,
+    scenario_a_rate,
+    scenario_b_loss,
+    scenario_b_min_rate,
+    scenario_c_loss,
+    scenario_c_min_rate,
+    schedule_step_events,
+)
+
+
+class TestAggregateArrivals:
+    def test_total_bits_preserved(self, short_trace):
+        total = aggregate_shifted_arrivals(short_trace, 5, seed=1)
+        assert total.sum() == pytest.approx(5 * short_trace.total_bits)
+
+    def test_reproducible(self, short_trace):
+        a = aggregate_shifted_arrivals(short_trace, 3, seed=2)
+        b = aggregate_shifted_arrivals(short_trace, 3, seed=2)
+        assert np.allclose(a, b)
+
+    def test_validation(self, short_trace):
+        with pytest.raises(ValueError):
+            aggregate_shifted_arrivals(short_trace, 0)
+
+
+class TestScenarioA:
+    def test_is_min_rate_for_loss(self, short_workload):
+        rate = scenario_a_rate(short_workload, 300_000.0, 1e-6)
+        assert short_workload.mean_rate < rate <= short_workload.peak_rate
+
+
+class TestScenarioB:
+    def test_generous_rate_no_loss(self, short_trace):
+        loss = scenario_b_loss(
+            short_trace,
+            num_sources=4,
+            rate_per_source=short_trace.peak_rate,
+            buffer_per_source=300_000.0,
+            seed=3,
+        )
+        assert loss == 0.0
+
+    def test_starved_rate_loses(self, short_trace):
+        loss = scenario_b_loss(
+            short_trace,
+            num_sources=4,
+            rate_per_source=0.5 * short_trace.mean_rate,
+            buffer_per_source=10_000.0,
+            seed=3,
+        )
+        assert loss > 0.1
+
+    def test_multiplexing_gain_grows_with_n(self, medium_trace):
+        """More sources need less per-source rate (the SMG of Fig. 6)."""
+        few = scenario_b_min_rate(
+            medium_trace, 2, 300_000.0, 1e-3, seed=1, relative_std=0.5
+        )
+        many = scenario_b_min_rate(
+            medium_trace, 16, 300_000.0, 1e-3, seed=1, relative_std=0.5
+        )
+        assert many < few
+
+
+class TestScheduleEvents:
+    def test_step_events_reconstruct_rates(self):
+        schedule = RateSchedule([0.0, 5.0, 8.0], [10.0, 30.0, 20.0], 12.0)
+        times, deltas = schedule_step_events(schedule)
+        assert np.allclose(times, [0.0, 5.0, 8.0])
+        assert np.allclose(np.cumsum(deltas), [10.0, 30.0, 20.0])
+
+    def test_aggregate_demand_of_identical_constants(self):
+        schedules = [RateSchedule.constant(100.0, 10.0) for _ in range(3)]
+        times, demand, duration = aggregate_demand(schedules)
+        assert np.allclose(times, [0.0])
+        assert np.allclose(demand, [300.0])
+        assert duration == 10.0
+
+    def test_aggregate_demand_merges_breakpoints(self):
+        s1 = RateSchedule([0.0, 4.0], [10.0, 20.0], 10.0)
+        s2 = RateSchedule([0.0, 6.0], [5.0, 1.0], 10.0)
+        times, demand, _ = aggregate_demand([s1, s2])
+        assert np.allclose(times, [0.0, 4.0, 6.0])
+        assert np.allclose(demand, [15.0, 25.0, 21.0])
+
+    def test_aggregate_demand_requires_equal_durations(self):
+        s1 = RateSchedule.constant(1.0, 5.0)
+        s2 = RateSchedule.constant(1.0, 6.0)
+        with pytest.raises(ValueError):
+            aggregate_demand([s1, s2])
+
+    def test_aggregate_demand_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            aggregate_demand([])
+
+
+class TestRcbrOverflow:
+    def test_no_overflow_when_capacity_sufficient(self):
+        schedules = [RateSchedule.constant(100.0, 10.0) for _ in range(3)]
+        lost, offered = rcbr_overflow_bits(schedules, capacity=300.0)
+        assert lost == 0.0
+        assert offered == pytest.approx(3000.0)
+
+    def test_overflow_amount_exact(self):
+        s1 = RateSchedule([0.0, 5.0], [100.0, 300.0], 10.0)
+        s2 = RateSchedule.constant(100.0, 10.0)
+        # Demand: 200 for 5 s, then 400 for 5 s; capacity 350 -> 50 over.
+        lost, _ = rcbr_overflow_bits([s1, s2], capacity=350.0)
+        assert lost == pytest.approx(250.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            rcbr_overflow_bits([RateSchedule.constant(1.0, 1.0)], 0.0)
+
+
+class TestScenarioC:
+    def test_zero_loss_at_peak_capacity(self, optimal_schedule):
+        loss = scenario_c_loss(
+            optimal_schedule,
+            num_sources=5,
+            rate_per_source=float(optimal_schedule.rates.max()),
+            seed=1,
+        )
+        assert loss == 0.0
+
+    def test_loss_grows_as_capacity_shrinks(self, optimal_schedule):
+        tight = scenario_c_loss(optimal_schedule, 5, 0.8 * optimal_schedule.average_rate(), seed=1)
+        loose = scenario_c_loss(optimal_schedule, 5, 1.2 * optimal_schedule.average_rate(), seed=1)
+        assert tight >= loose
+
+    def test_min_rate_below_peak(self, optimal_schedule):
+        rate = scenario_c_min_rate(
+            optimal_schedule, 8, 1e-3, seed=2, relative_std=0.5
+        )
+        assert rate <= float(optimal_schedule.rates.max())
+        assert rate > 0
+
+    def test_validation(self, optimal_schedule):
+        with pytest.raises(ValueError):
+            scenario_c_loss(optimal_schedule, 0, 1.0)
+
+
+class TestEstimateMeanLoss:
+    def test_constant_sampler_stops_fast(self):
+        calls = []
+
+        def sample():
+            calls.append(1)
+            return 0.25
+
+        estimate = estimate_mean_loss(sample, min_samples=4)
+        assert estimate == pytest.approx(0.25)
+        assert len(calls) == 4
+
+    def test_all_zero_short_circuits(self):
+        assert estimate_mean_loss(lambda: 0.0) == 0.0
+
+    def test_noisy_sampler_converges(self):
+        rng = np.random.default_rng(0)
+        estimate = estimate_mean_loss(
+            lambda: rng.uniform(0.09, 0.11), relative_std=0.05
+        )
+        assert estimate == pytest.approx(0.1, rel=0.1)
+
+    def test_max_samples_bound(self):
+        rng = np.random.default_rng(0)
+        calls = []
+
+        def sample():
+            calls.append(1)
+            return rng.uniform(0.0, 100.0)
+
+        estimate_mean_loss(sample, relative_std=1e-9, max_samples=10)
+        assert len(calls) == 10

@@ -1,0 +1,129 @@
+"""Network-level signaling: routing and call-level load balancing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.schedule import RateSchedule
+from repro.signaling.topology import (
+    SignalingNetwork,
+    simulate_calls_on_network,
+)
+
+
+def ring_graph(num_nodes=6, capacity=1000.0):
+    graph = nx.cycle_graph(num_nodes)
+    nx.set_edge_attributes(graph, capacity, "capacity")
+    return graph
+
+
+def line_graph(num_nodes=4, capacity=1000.0):
+    graph = nx.path_graph(num_nodes)
+    nx.set_edge_attributes(graph, capacity, "capacity")
+    return graph
+
+
+class TestConstruction:
+    def test_ports_per_edge(self):
+        network = SignalingNetwork(ring_graph(5))
+        assert len(network.ports) == 5
+
+    def test_edge_capacity_attribute(self):
+        graph = line_graph()
+        graph[0][1]["capacity"] = 42.0
+        network = SignalingNetwork(graph)
+        assert network.port_between(0, 1).capacity == 42.0
+
+    def test_default_capacity(self):
+        graph = nx.path_graph(2)  # no capacity attribute
+        network = SignalingNetwork(graph, default_capacity=7.0)
+        assert network.port_between(0, 1).capacity == 7.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            SignalingNetwork(nx.Graph())
+
+
+class TestRouting:
+    def test_k_shortest_on_ring(self):
+        network = SignalingNetwork(ring_graph(6))
+        paths = network.k_shortest_paths(0, 3, k=2)
+        assert len(paths) == 2
+        assert len(paths[0]) - 1 == 3  # clockwise, 3 hops
+        assert len(paths[1]) - 1 == 3  # counter-clockwise, 3 hops
+
+    def test_k1_is_shortest(self):
+        network = SignalingNetwork(ring_graph(6))
+        route = network.select_route(0, 2, k=1)
+        assert len(route) - 1 == 2
+
+    def test_load_balancing_avoids_congested_route(self):
+        network = SignalingNetwork(ring_graph(6))
+        # Congest the clockwise route 0-1-2-3.
+        network.port_between(1, 2).utilization = 900.0
+        route = network.select_route(0, 3, k=2)
+        # Must pick the counter-clockwise route 0-5-4-3.
+        assert route == [0, 5, 4, 3]
+
+    def test_k_must_be_positive(self):
+        network = SignalingNetwork(ring_graph())
+        with pytest.raises(ValueError):
+            network.k_shortest_paths(0, 1, k=0)
+
+    def test_attach_builds_path(self):
+        network = SignalingNetwork(line_graph(4))
+        path = network.attach(0, 3)
+        assert path.num_hops == 3
+
+
+class TestNetworkSimulation:
+    def constant_call(self, rate, duration=30.0):
+        return RateSchedule.constant(rate, duration)
+
+    def stepping_call(self, low, high, duration=30.0):
+        return RateSchedule([0.0, 10.0, 20.0], [low, high, low], duration)
+
+    def test_no_contention_no_failures(self):
+        network = SignalingNetwork(ring_graph(6, capacity=1e9))
+        calls = [(0, 3, self.stepping_call(100.0, 500.0)) for _ in range(4)]
+        result = simulate_calls_on_network(network, calls)
+        assert result.failures == 0
+
+    def test_contention_causes_failures(self):
+        network = SignalingNetwork(line_graph(3, capacity=1000.0))
+        calls = [(0, 2, self.stepping_call(300.0, 700.0)) for _ in range(3)]
+        result = simulate_calls_on_network(network, calls)
+        assert result.failures > 0
+        assert 0.0 < result.failure_fraction <= 1.0
+
+    def test_alternate_routes_reduce_failures(self):
+        """The Section III-C conjecture, in miniature."""
+        def run(k):
+            network = SignalingNetwork(ring_graph(6, capacity=1500.0))
+            calls = [
+                (0, 3, self.stepping_call(300.0, 900.0))
+                for _ in range(3)
+            ]
+            return simulate_calls_on_network(network, calls, k=k)
+
+        single = run(1)
+        balanced = run(2)
+        assert balanced.failures <= single.failures
+
+    def test_utilization_released_at_end(self):
+        network = SignalingNetwork(line_graph(3, capacity=1e6))
+        calls = [(0, 2, self.constant_call(100.0))]
+        simulate_calls_on_network(network, calls)
+        assert network.port_between(0, 1).utilization == pytest.approx(0.0)
+
+    def test_cells_counted(self):
+        network = SignalingNetwork(line_graph(3, capacity=1e6))
+        calls = [(0, 2, self.stepping_call(100.0, 200.0))]
+        simulate_calls_on_network(network, calls)
+        # 3 requests (setup + 2 renegotiations) across 2 hops each.
+        assert network.total_cells_processed() == 6
+
+    def test_empty_calls_rejected(self):
+        network = SignalingNetwork(line_graph())
+        with pytest.raises(ValueError):
+            simulate_calls_on_network(network, [])

@@ -1,0 +1,156 @@
+"""Fitting the multiple time-scale model to observed traces."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.fit import (
+    SceneSegmentation,
+    _kmeans_1d,
+    detect_gop_length,
+    estimate_gop_multipliers,
+    fit_starwars_model,
+    segment_scenes,
+)
+from repro.traffic.mpeg import GopStructure
+from repro.traffic.starwars import StarWarsModel, generate_starwars_trace
+from repro.traffic.trace import FrameTrace
+
+
+@pytest.fixture(scope="module")
+def synthetic_trace():
+    return generate_starwars_trace(num_frames=14_400, seed=77)
+
+
+class TestKmeans1d:
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate(
+            [rng.normal(0, 0.1, 200), rng.normal(5, 0.1, 200),
+             rng.normal(10, 0.1, 200)]
+        )
+        centers, labels = _kmeans_1d(values, 3)
+        assert np.allclose(np.sort(centers), [0, 5, 10], atol=0.2)
+        assert np.unique(labels).size == 3
+
+    def test_labels_sorted_by_center(self):
+        values = np.array([0.0, 0.1, 10.0, 10.1, 5.0, 5.1])
+        centers, labels = _kmeans_1d(values, 3)
+        assert centers[0] < centers[1] < centers[2]
+        assert labels[0] == 0 and labels[2] == 2 and labels[4] == 1
+
+    def test_single_class(self):
+        centers, labels = _kmeans_1d(np.array([1.0, 2.0, 3.0]), 1)
+        assert centers[0] == pytest.approx(2.0)
+        assert np.all(labels == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _kmeans_1d(np.array([1.0]), 0)
+
+
+class TestGopDetection:
+    def test_detects_planted_period(self):
+        gop = GopStructure()  # 12-frame pattern
+        sizes = 1000.0 * gop.multiplier_sequence(2400)
+        trace = FrameTrace(sizes, frames_per_second=24.0)
+        assert detect_gop_length(trace) == 12
+
+    def test_detects_on_synthetic_trace(self, synthetic_trace):
+        assert detect_gop_length(synthetic_trace) == 12
+
+    def test_validation(self):
+        trace = FrameTrace(np.ones(10), 24.0)
+        with pytest.raises(ValueError):
+            detect_gop_length(trace, min_length=1)
+
+
+class TestGopMultipliers:
+    def test_recovers_planted_shape(self):
+        gop = GopStructure()
+        sizes = 1000.0 * gop.multiplier_sequence(2400)
+        trace = FrameTrace(sizes, frames_per_second=24.0)
+        offset, multipliers = estimate_gop_multipliers(trace, gop_length=12)
+        expected = gop.multipliers()
+        # The returned profile is rotated so the I frame leads.
+        assert multipliers[0] == max(multipliers)
+        assert np.allclose(np.sort(multipliers), np.sort(expected), rtol=0.05)
+
+    def test_mean_is_one(self, synthetic_trace):
+        _, multipliers = estimate_gop_multipliers(synthetic_trace, 12)
+        assert multipliers.mean() == pytest.approx(1.0)
+
+    def test_i_frame_dominates_on_synthetic(self, synthetic_trace):
+        _, multipliers = estimate_gop_multipliers(synthetic_trace, 12)
+        assert multipliers[0] > 1.5
+
+    def test_validation(self, synthetic_trace):
+        with pytest.raises(ValueError):
+            estimate_gop_multipliers(synthetic_trace, gop_length=0)
+
+
+class TestSceneSegmentation:
+    def test_two_level_trace(self):
+        low = np.full(1200, 1000.0)
+        high = np.full(1200, 5000.0)
+        sizes = np.concatenate([low, high, low, high])
+        trace = FrameTrace(sizes, frames_per_second=24.0)
+        segmentation = segment_scenes(trace, num_classes=2)
+        assert segmentation.num_classes == 2
+        # Multipliers straddle 1 (mean is 3000).
+        assert segmentation.multipliers[0] == pytest.approx(1 / 3, rel=0.1)
+        assert segmentation.multipliers[1] == pytest.approx(5 / 3, rel=0.1)
+        # Dwell ~50 s per scene.
+        assert segmentation.mean_durations[0] == pytest.approx(50.0, rel=0.2)
+
+    def test_entry_probabilities_sum_to_one(self, synthetic_trace):
+        segmentation = segment_scenes(synthetic_trace, num_classes=4)
+        assert segmentation.entry_probabilities.sum() == pytest.approx(1.0)
+
+    def test_labels_cover_trace(self, synthetic_trace):
+        segmentation = segment_scenes(synthetic_trace, num_classes=4)
+        assert segmentation.labels.size == synthetic_trace.num_frames
+
+    def test_micro_scenes_merged(self, synthetic_trace):
+        segmentation = segment_scenes(
+            synthetic_trace, num_classes=4, min_scene_seconds=2.0
+        )
+        change = np.flatnonzero(np.diff(segmentation.labels)) + 1
+        starts = np.concatenate([[0], change])
+        ends = np.concatenate([change, [segmentation.labels.size]])
+        durations = (ends - starts) / synthetic_trace.frames_per_second
+        # Interior scenes respect the minimum (the first may be short).
+        assert np.all(durations[1:] >= 2.0 - 1e-9)
+
+    def test_validation(self, synthetic_trace):
+        with pytest.raises(ValueError):
+            segment_scenes(synthetic_trace, smoothing_seconds=0.0)
+
+
+class TestFitStarwarsModel:
+    def test_roundtrip_preserves_headline_statistics(self, synthetic_trace):
+        model = fit_starwars_model(synthetic_trace, num_classes=5)
+        assert isinstance(model, StarWarsModel)
+        regenerated = model.generate(num_frames=14_400, seed=5)
+        # Mean rate matches by construction.
+        assert regenerated.mean_rate == pytest.approx(
+            synthetic_trace.mean_rate, rel=1e-6
+        )
+        # Slow time scale: the 10-second peak ratio is in the same class.
+        from repro.analysis.empirical import windowed_peak_rate
+
+        original = windowed_peak_rate(synthetic_trace, 10.0) / synthetic_trace.mean_rate
+        refit = windowed_peak_rate(regenerated, 10.0) / regenerated.mean_rate
+        assert refit == pytest.approx(original, rel=0.5)
+
+    def test_fitted_gop_shape_has_twelve_phases(self, synthetic_trace):
+        model = fit_starwars_model(synthetic_trace, gop_length=12)
+        assert model.gop.gop_length == 12
+
+    def test_fitted_classes_have_probabilities(self, synthetic_trace):
+        model = fit_starwars_model(synthetic_trace)
+        total = sum(c.probability for c in model.scene_classes)
+        assert total == pytest.approx(1.0)
+
+    def test_noise_sigma_bounded(self, synthetic_trace):
+        model = fit_starwars_model(synthetic_trace)
+        assert 0.01 <= model.frame_noise_sigma <= 0.5

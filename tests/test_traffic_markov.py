@@ -1,0 +1,186 @@
+"""Markov chains and multiple time-scale sources."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.markov import (
+    MarkovChain,
+    MarkovModulatedSource,
+    MultiTimescaleMarkovSource,
+    Subchain,
+    fig4_example,
+    two_state_onoff_subchain,
+)
+
+
+@pytest.fixture
+def two_state_chain():
+    return MarkovChain([[0.9, 0.1], [0.2, 0.8]])
+
+
+class TestMarkovChain:
+    def test_stationary_solves_balance(self, two_state_chain):
+        pi = two_state_chain.stationary_distribution()
+        assert np.allclose(pi @ two_state_chain.transition_matrix, pi)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_stationary_two_state_closed_form(self, two_state_chain):
+        # pi = (q, p) / (p + q) for leave-probabilities p=0.1, q=0.2.
+        pi = two_state_chain.stationary_distribution()
+        assert np.allclose(pi, [2 / 3, 1 / 3])
+
+    def test_sample_path_visits_states_per_stationary(self, two_state_chain):
+        path = two_state_chain.sample_path(20_000, seed=1)
+        frequency = np.bincount(path, minlength=2) / path.size
+        assert frequency[0] == pytest.approx(2 / 3, abs=0.03)
+
+    def test_sample_path_reproducible(self, two_state_chain):
+        a = two_state_chain.sample_path(100, seed=5)
+        b = two_state_chain.sample_path(100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_sample_path_initial_state(self, two_state_chain):
+        path = two_state_chain.sample_path(10, seed=0, initial_state=1)
+        assert path[0] == 1
+
+    def test_transition_matrix_copy_is_defensive(self, two_state_chain):
+        matrix = two_state_chain.transition_matrix
+        matrix[0, 0] = 0.0
+        assert two_state_chain.transition_matrix[0, 0] == pytest.approx(0.9)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            MarkovChain([[0.5, 0.5]])
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            MarkovChain([[0.5, 0.4], [0.2, 0.8]])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            MarkovChain([[1.1, -0.1], [0.2, 0.8]])
+
+    def test_rejects_bad_initial_state(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.sample_path(5, initial_state=7)
+
+    def test_rejects_zero_steps(self, two_state_chain):
+        with pytest.raises(ValueError):
+            two_state_chain.sample_path(0)
+
+
+class TestMarkovModulatedSource:
+    def test_mean_rate_is_stationary_average(self, two_state_chain):
+        source = MarkovModulatedSource(
+            two_state_chain, np.array([0.0, 300.0]), slot_duration=0.5
+        )
+        assert source.mean_rate() == pytest.approx(300.0 / 3)
+
+    def test_peak_rate(self, two_state_chain):
+        source = MarkovModulatedSource(
+            two_state_chain, np.array([10.0, 300.0]), slot_duration=0.5
+        )
+        assert source.peak_rate() == 300.0
+
+    def test_bits_per_slot(self, two_state_chain):
+        source = MarkovModulatedSource(
+            two_state_chain, np.array([10.0, 300.0]), slot_duration=0.5
+        )
+        assert np.allclose(source.bits_per_slot_by_state, [5.0, 150.0])
+
+    def test_sampled_workload_mean_converges(self, two_state_chain):
+        source = MarkovModulatedSource(
+            two_state_chain, np.array([0.0, 300.0]), slot_duration=0.5
+        )
+        workload = source.sample_workload(30_000, seed=2)
+        assert workload.mean_rate == pytest.approx(source.mean_rate(), rel=0.1)
+
+    def test_rate_vector_must_match_states(self, two_state_chain):
+        with pytest.raises(ValueError):
+            MarkovModulatedSource(two_state_chain, np.array([1.0]))
+
+    def test_rejects_negative_rates(self, two_state_chain):
+        with pytest.raises(ValueError):
+            MarkovModulatedSource(two_state_chain, np.array([-1.0, 2.0]))
+
+
+class TestSubchain:
+    def test_onoff_factory_activity(self):
+        sub = two_state_onoff_subchain(100.0, activity=0.25)
+        assert sub.mean_rate() == pytest.approx(25.0)
+
+    def test_as_source(self):
+        sub = two_state_onoff_subchain(100.0, activity=0.5)
+        source = sub.as_source(slot_duration=1.0)
+        assert source.mean_rate() == pytest.approx(50.0)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            two_state_onoff_subchain(100.0, activity=1.0)
+
+    def test_rejects_mismatched_rates(self):
+        with pytest.raises(ValueError):
+            Subchain(np.array([[1.0]]), np.array([1.0, 2.0]))
+
+
+class TestMultiTimescaleSource:
+    @pytest.fixture
+    def source(self):
+        return fig4_example(epsilon=1e-3)
+
+    def test_three_subchains(self, source):
+        assert source.num_subchains == 3
+        assert source.flat_source.num_states == 6
+
+    def test_subchain_probabilities_sum_to_one(self, source):
+        pi = source.subchain_stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_mean_rate_consistent_with_slow_marginal(self, source):
+        # For fast-mixing subchains and small epsilon, overall mean is the
+        # pi-weighted subchain means.
+        pi, means = source.slow_marginal()
+        assert source.mean_rate() == pytest.approx(float(pi @ means), rel=1e-3)
+
+    def test_subchain_means_ordered(self, source):
+        means = source.subchain_mean_rates()
+        assert means[0] < means[1] < means[2]
+
+    def test_state_subchain_mapping(self, source):
+        mapping = source.state_subchain
+        assert list(mapping) == [0, 0, 1, 1, 2, 2]
+
+    def test_sampled_dwell_times_scale_with_epsilon(self):
+        # Scene dwell ~ 1/epsilon slots: with eps=0.01 expect mean ~100.
+        source = fig4_example(epsilon=0.01)
+        states = source.sample_states(200_000, seed=3)
+        scenes = source.state_subchain[states]
+        changes = np.flatnonzero(np.diff(scenes)) + 1
+        dwell = np.diff(np.concatenate([[0], changes]))
+        assert dwell.mean() == pytest.approx(100.0, rel=0.25)
+
+    def test_workload_mean_converges(self, source):
+        workload = source.sample_workload(150_000, seed=4)
+        assert workload.mean_rate == pytest.approx(source.mean_rate(), rel=0.15)
+
+    def test_requires_two_subchains(self):
+        sub = two_state_onoff_subchain(1.0, 0.5)
+        with pytest.raises(ValueError):
+            MultiTimescaleMarkovSource([sub], [[0.0]], epsilon=0.1)
+
+    def test_rejects_nonzero_diagonal(self):
+        subs = [two_state_onoff_subchain(1.0, 0.5) for _ in range(2)]
+        with pytest.raises(ValueError):
+            MultiTimescaleMarkovSource(
+                subs, [[0.5, 0.5], [0.0, 1.0]], epsilon=0.1
+            )
+
+    def test_rejects_bad_epsilon(self):
+        subs = [two_state_onoff_subchain(1.0, 0.5) for _ in range(2)]
+        slow = [[0.0, 1.0], [1.0, 0.0]]
+        with pytest.raises(ValueError):
+            MultiTimescaleMarkovSource(subs, slow, epsilon=0.0)
+
+    def test_flat_chain_is_stochastic(self, source):
+        matrix = source.flat_source.chain.transition_matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)

@@ -1,0 +1,70 @@
+"""GOP structure modelling."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.mpeg import DEFAULT_GOP_PATTERN, GopStructure
+
+
+class TestGopStructure:
+    def test_default_pattern_is_mpeg1(self):
+        assert DEFAULT_GOP_PATTERN == "IBBPBBPBBPBB"
+        assert GopStructure().gop_length == 12
+
+    def test_multipliers_have_unit_mean(self):
+        gop = GopStructure()
+        assert gop.multipliers().mean() == pytest.approx(1.0)
+
+    def test_i_frames_are_largest(self):
+        gop = GopStructure()
+        mult = gop.multipliers()
+        types = list(gop.pattern)
+        i_values = [m for m, t in zip(mult, types) if t == "I"]
+        b_values = [m for m, t in zip(mult, types) if t == "B"]
+        assert min(i_values) > max(b_values)
+
+    def test_multiplier_sequence_repeats(self):
+        gop = GopStructure()
+        sequence = gop.multiplier_sequence(24)
+        assert np.allclose(sequence[:12], sequence[12:])
+
+    def test_multiplier_sequence_phase(self):
+        gop = GopStructure()
+        base = gop.multiplier_sequence(12)
+        shifted = gop.multiplier_sequence(12, phase=3)
+        assert np.allclose(shifted, np.roll(base, -3))
+
+    def test_frame_types(self):
+        gop = GopStructure(pattern="IPB", type_weights={"I": 3, "P": 2, "B": 1})
+        assert list(gop.frame_types(5)) == ["I", "P", "B", "I", "P"]
+
+    def test_peak_to_mean(self):
+        gop = GopStructure(pattern="IB", type_weights={"I": 3.0, "B": 1.0})
+        assert gop.peak_to_mean() == pytest.approx(1.5)
+
+    def test_custom_pattern_mean_is_one(self):
+        gop = GopStructure(pattern="IPPP", type_weights={"I": 4.0, "P": 1.0})
+        assert gop.multipliers().mean() == pytest.approx(1.0)
+
+    def test_zero_frames(self):
+        gop = GopStructure()
+        assert gop.multiplier_sequence(0).size == 0
+        assert gop.frame_types(0).size == 0
+
+
+class TestGopValidation:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            GopStructure(pattern="")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            GopStructure(pattern="IXB")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            GopStructure(pattern="IB", type_weights={"I": 1.0, "B": 0.0})
+
+    def test_negative_frame_count_rejected(self):
+        with pytest.raises(ValueError):
+            GopStructure().multiplier_sequence(-1)

@@ -1,0 +1,77 @@
+"""On-off sources and Poisson call arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.arrivals import PoissonArrivals, offered_load
+from repro.traffic.onoff import onoff_activity, onoff_source
+
+
+class TestOnOff:
+    def test_mean_rate_matches_activity(self):
+        source = onoff_source(100.0, mean_on_slots=10, mean_off_slots=30)
+        assert source.mean_rate() == pytest.approx(25.0)
+
+    def test_activity_helper(self):
+        assert onoff_activity(10, 30) == pytest.approx(0.25)
+
+    def test_dwell_times_geometric_with_requested_mean(self):
+        source = onoff_source(
+            100.0, mean_on_slots=5, mean_off_slots=20, slot_duration=1.0
+        )
+        states = source.sample_states(200_000, seed=1)
+        on_runs = []
+        run = 0
+        for state in states:
+            if state == 1:
+                run += 1
+            elif run:
+                on_runs.append(run)
+                run = 0
+        assert np.mean(on_runs) == pytest.approx(5.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            onoff_source(0.0, 5, 5)
+        with pytest.raises(ValueError):
+            onoff_source(10.0, 0.5, 5)
+
+
+class TestPoissonArrivals:
+    def test_count_matches_rate(self):
+        process = PoissonArrivals(rate=2.0)
+        times = process.sample_times(horizon=5000.0, seed=3)
+        assert times.size == pytest.approx(10_000, rel=0.05)
+
+    def test_times_sorted_and_in_range(self):
+        process = PoissonArrivals(rate=1.0)
+        times = process.sample_times(horizon=100.0, seed=0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0
+        assert times.max() < 100.0
+
+    def test_stream_is_increasing(self):
+        process = PoissonArrivals(rate=5.0)
+        stream = process.stream(seed=1)
+        values = [next(stream) for _ in range(100)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_expected_count(self):
+        assert PoissonArrivals(0.5).expected_count(10.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).sample_times(0.0)
+
+
+class TestOfferedLoad:
+    def test_formula(self):
+        assert offered_load(0.01, 7000.0, 374_000.0) == pytest.approx(
+            0.01 * 7000.0 * 374_000.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            offered_load(0.0, 1.0, 1.0)

@@ -1,0 +1,153 @@
+"""FrameTrace and SlottedWorkload behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.trace import FrameTrace, SlottedWorkload
+
+
+@pytest.fixture
+def tiny_trace():
+    return FrameTrace(np.array([10.0, 20.0, 30.0, 40.0]), frames_per_second=2.0)
+
+
+class TestFrameTraceBasics:
+    def test_mean_rate(self, tiny_trace):
+        # 100 bits over 2 seconds.
+        assert tiny_trace.mean_rate == pytest.approx(50.0)
+
+    def test_peak_rate(self, tiny_trace):
+        assert tiny_trace.peak_rate == pytest.approx(40.0 * 2.0)
+
+    def test_duration_and_frame_duration(self, tiny_trace):
+        assert tiny_trace.duration == pytest.approx(2.0)
+        assert tiny_trace.frame_duration == pytest.approx(0.5)
+
+    def test_rates_per_frame(self, tiny_trace):
+        assert np.allclose(tiny_trace.rates, [20.0, 40.0, 60.0, 80.0])
+
+    def test_cumulative_bits(self, tiny_trace):
+        assert np.allclose(tiny_trace.cumulative_bits(), [10, 30, 60, 100])
+
+    def test_len_and_iter(self, tiny_trace):
+        assert len(tiny_trace) == 4
+        assert list(tiny_trace) == [10.0, 20.0, 30.0, 40.0]
+
+    def test_frame_bits_are_readonly(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.frame_bits[0] = 5.0
+
+
+class TestFrameTraceValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrameTrace(np.array([]))
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            FrameTrace(np.array([1.0, -2.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            FrameTrace(np.ones((2, 2)))
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ValueError):
+            FrameTrace(np.array([1.0]), frames_per_second=0.0)
+
+
+class TestShifting:
+    def test_shift_preserves_marginal(self, tiny_trace):
+        shifted = tiny_trace.shifted(2)
+        assert sorted(shifted.frame_bits) == sorted(tiny_trace.frame_bits)
+        assert shifted.mean_rate == pytest.approx(tiny_trace.mean_rate)
+
+    def test_shift_rolls_left(self, tiny_trace):
+        shifted = tiny_trace.shifted(1)
+        assert np.allclose(shifted.frame_bits, [20, 30, 40, 10])
+
+    def test_shift_wraps(self, tiny_trace):
+        assert np.allclose(
+            tiny_trace.shifted(5).frame_bits, tiny_trace.shifted(1).frame_bits
+        )
+
+    def test_random_shift_reproducible(self, tiny_trace):
+        a = tiny_trace.random_shift(seed=3)
+        b = tiny_trace.random_shift(seed=3)
+        assert np.allclose(a.frame_bits, b.frame_bits)
+
+
+class TestPrefixAndAggregate:
+    def test_prefix(self, tiny_trace):
+        prefix = tiny_trace.prefix(2)
+        assert np.allclose(prefix.frame_bits, [10, 20])
+
+    def test_prefix_bounds(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.prefix(0)
+        with pytest.raises(ValueError):
+            tiny_trace.prefix(5)
+
+    def test_aggregate_sums_frames(self, tiny_trace):
+        workload = tiny_trace.aggregate(2)
+        assert np.allclose(workload.bits_per_slot, [30, 70])
+        assert workload.slot_duration == pytest.approx(1.0)
+
+    def test_aggregate_preserves_mean_rate(self, tiny_trace):
+        workload = tiny_trace.aggregate(2)
+        assert workload.mean_rate == pytest.approx(tiny_trace.mean_rate)
+
+    def test_aggregate_trims_remainder(self):
+        trace = FrameTrace(np.array([1.0, 2.0, 3.0]), frames_per_second=1.0)
+        workload = trace.aggregate(2)
+        assert workload.num_slots == 1
+        assert workload.bits_per_slot[0] == pytest.approx(3.0)
+
+    def test_aggregate_rejects_too_coarse(self, tiny_trace):
+        with pytest.raises(ValueError):
+            tiny_trace.aggregate(10)
+
+    def test_as_workload_roundtrip(self, tiny_trace):
+        workload = tiny_trace.as_workload()
+        assert np.allclose(workload.bits_per_slot, tiny_trace.frame_bits)
+        assert workload.slot_duration == tiny_trace.frame_duration
+
+
+class TestSerialisation:
+    def test_npz_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        tiny_trace.save(path)
+        loaded = FrameTrace.load(path)
+        assert np.allclose(loaded.frame_bits, tiny_trace.frame_bits)
+        assert loaded.frames_per_second == tiny_trace.frames_per_second
+
+    def test_text_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.txt"
+        tiny_trace.save_text(path)
+        loaded = FrameTrace.load_text(path)
+        assert np.allclose(loaded.frame_bits, tiny_trace.frame_bits)
+        assert loaded.frames_per_second == tiny_trace.frames_per_second
+
+    def test_text_without_header_uses_default_fps(self, tmp_path):
+        path = tmp_path / "bare.txt"
+        path.write_text("100\n200\n")
+        loaded = FrameTrace.load_text(path, frames_per_second=30.0)
+        assert loaded.frames_per_second == 30.0
+        assert np.allclose(loaded.frame_bits, [100, 200])
+
+
+class TestSlottedWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlottedWorkload(np.array([]), 1.0)
+        with pytest.raises(ValueError):
+            SlottedWorkload(np.array([-1.0]), 1.0)
+        with pytest.raises(ValueError):
+            SlottedWorkload(np.array([1.0]), 0.0)
+
+    def test_rates_and_peak(self):
+        workload = SlottedWorkload(np.array([10.0, 30.0]), slot_duration=0.5)
+        assert np.allclose(workload.rates, [20.0, 60.0])
+        assert workload.peak_rate == pytest.approx(60.0)
+        assert workload.mean_rate == pytest.approx(40.0)
+        assert len(workload) == 2

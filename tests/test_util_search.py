@@ -1,0 +1,53 @@
+"""Binary search on a monotone feasibility predicate."""
+
+import pytest
+
+from repro.util.search import binary_search_min_feasible
+
+
+def test_finds_threshold_of_step_function():
+    result = binary_search_min_feasible(
+        lambda x: x >= 3.7, low=0.0, high=10.0, tolerance=1e-6
+    )
+    assert result == pytest.approx(3.7, abs=1e-5)
+
+
+def test_result_is_always_feasible():
+    threshold = 2.5
+
+    def predicate(x):
+        return x >= threshold
+
+    result = binary_search_min_feasible(predicate, 0.0, 10.0, tolerance=1e-3)
+    assert predicate(result)
+
+
+def test_feasible_low_returns_low():
+    assert binary_search_min_feasible(lambda x: True, 1.0, 2.0, 0.1) == 1.0
+
+
+def test_infeasible_high_raises():
+    with pytest.raises(ValueError):
+        binary_search_min_feasible(lambda x: False, 0.0, 1.0, 0.1)
+
+
+def test_inverted_bounds_raise():
+    with pytest.raises(ValueError):
+        binary_search_min_feasible(lambda x: True, 2.0, 1.0, 0.1)
+
+
+def test_nonpositive_tolerance_raises():
+    with pytest.raises(ValueError):
+        binary_search_min_feasible(lambda x: True, 0.0, 1.0, 0.0)
+
+
+def test_max_iterations_bounds_work():
+    calls = []
+
+    def predicate(x):
+        calls.append(x)
+        return x >= 0.5
+
+    binary_search_min_feasible(predicate, 0.0, 1.0, 1e-12, max_iterations=10)
+    # 2 bracket checks + at most 10 bisections
+    assert len(calls) <= 12

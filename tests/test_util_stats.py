@@ -1,0 +1,130 @@
+"""Running statistics and the paper's stopping rules."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    RelativePrecisionStopper,
+    RunningStats,
+    mean_confidence_interval,
+)
+
+
+class TestRunningStats:
+    def test_mean_matches_numpy(self):
+        values = [3.0, 1.5, 2.25, 9.0, -4.0]
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+
+    def test_variance_matches_numpy_sample_variance(self):
+        values = [3.0, 1.5, 2.25, 9.0, -4.0]
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+
+    def test_std_error(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        stats = RunningStats()
+        stats.extend(values)
+        expected = np.std(values, ddof=1) / np.sqrt(len(values))
+        assert stats.std_error == pytest.approx(expected)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            RunningStats().mean
+
+    def test_single_sample_variance_raises(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.variance
+
+    def test_numerical_stability_with_large_offset(self):
+        # Welford should not lose precision with a huge common offset.
+        offset = 1e12
+        values = [offset + v for v in (0.0, 1.0, 2.0)]
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.variance == pytest.approx(1.0, rel=1e-6)
+
+    def test_repr(self):
+        stats = RunningStats()
+        assert "empty" in repr(stats)
+        stats.add(1.0)
+        assert "n=1" in repr(stats)
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_mean(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        ci = mean_confidence_interval(stats)
+        assert ci.lower < ci.mean < ci.upper
+        assert ci.contains(ci.mean)
+
+    def test_higher_level_is_wider(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        narrow = mean_confidence_interval(stats, level=0.9)
+        wide = mean_confidence_interval(stats, level=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_requires_two_samples(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            mean_confidence_interval(stats)
+
+    def test_rejects_bad_level(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_confidence_interval(stats, level=1.5)
+
+
+class TestRelativePrecisionStopper:
+    def test_stops_on_tight_samples(self):
+        stopper = RelativePrecisionStopper(min_samples=3)
+        for _ in range(3):
+            stopper.add(1.0)
+        # Zero variance: half width is zero, well within 20%.
+        assert stopper.should_stop()
+
+    def test_does_not_stop_before_min_samples(self):
+        stopper = RelativePrecisionStopper(min_samples=5)
+        for _ in range(4):
+            stopper.add(1.0)
+        assert not stopper.should_stop()
+
+    def test_early_exit_when_clearly_below_target(self):
+        stopper = RelativePrecisionStopper(
+            min_samples=3, target_below=0.5, relative_precision=1e-6
+        )
+        for value in (0.01, 0.02, 0.015):
+            stopper.add(value)
+        # Precision rule alone would need far more samples, but the whole
+        # CI sits below the target, matching the paper's early stop.
+        assert stopper.should_stop()
+
+    def test_max_samples_forces_stop(self):
+        stopper = RelativePrecisionStopper(min_samples=2, max_samples=4)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            stopper.add(rng.normal(0.0, 100.0))
+        assert stopper.should_stop()
+
+    def test_run_draws_until_stopping(self):
+        rng = np.random.default_rng(1)
+        stopper = RelativePrecisionStopper(min_samples=5, max_samples=500)
+        interval = stopper.run(lambda: rng.normal(10.0, 1.0))
+        assert interval.half_width <= 0.2 * abs(interval.mean) + 1e-12
+        assert interval.mean == pytest.approx(10.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelativePrecisionStopper(relative_precision=0.0)
+        with pytest.raises(ValueError):
+            RelativePrecisionStopper(min_samples=1)
+        with pytest.raises(ValueError):
+            RelativePrecisionStopper(min_samples=5, max_samples=2)

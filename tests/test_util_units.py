@@ -1,0 +1,46 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_kbps_is_thousand_bits_per_second():
+    assert units.kbps(374) == 374_000.0
+
+
+def test_mbps_is_million_bits_per_second():
+    assert units.mbps(2.4) == 2_400_000.0
+
+
+def test_gbps():
+    assert units.gbps(1) == 1e9
+
+
+def test_kbits_and_mbits():
+    assert units.kbits(300) == 300_000.0
+    assert units.mbits(100) == 100_000_000.0
+
+
+def test_roundtrip_rate_conversions():
+    assert units.rate_to_kbps(units.kbps(55.5)) == pytest.approx(55.5)
+    assert units.rate_to_mbps(units.mbps(1.25)) == pytest.approx(1.25)
+
+
+def test_roundtrip_bit_conversions():
+    assert units.bits_to_kbits(units.kbits(7)) == pytest.approx(7)
+    assert units.bits_to_mbits(units.mbits(3)) == pytest.approx(3)
+
+
+def test_format_rate_picks_sensible_prefix():
+    assert units.format_rate(374_000) == "374.0 kb/s"
+    assert units.format_rate(2_400_000) == "2.40 Mb/s"
+    assert units.format_rate(1.5e9) == "1.50 Gb/s"
+    assert units.format_rate(512) == "512 b/s"
+
+
+def test_format_bits_picks_sensible_prefix():
+    assert units.format_bits(300_000) == "300.0 kb"
+    assert units.format_bits(100_000_000) == "100.00 Mb"
+    assert units.format_bits(2.5e9) == "2.50 Gb"
+    assert units.format_bits(42) == "42 b"
