@@ -37,6 +37,9 @@ Packages
     Chernoff CAC, memoryless and memory MBAC, the call-level simulator.
 ``repro.signaling``
     RM-cell renegotiation over multi-hop switch paths.
+``repro.faults``
+    Seeded fault injection (denial bursts, cell loss, switch outages),
+    recovery policies beyond naive retry, and the chaos/soak harness.
 """
 
 from repro.traffic import (
@@ -65,6 +68,13 @@ from repro.admission import (
     MemoryMBAC,
     simulate_admission,
 )
+from repro.faults import (
+    ChaosConfig,
+    FaultPlan,
+    make_recovery_policy,
+    run_chaos_trial,
+    sweep_fault_recovery,
+)
 
 __version__ = "1.0.0"
 
@@ -91,5 +101,10 @@ __all__ = [
     "MemorylessMBAC",
     "MemoryMBAC",
     "simulate_admission",
+    "ChaosConfig",
+    "FaultPlan",
+    "make_recovery_policy",
+    "run_chaos_trial",
+    "sweep_fault_recovery",
     "__version__",
 ]

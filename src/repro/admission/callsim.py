@@ -43,6 +43,7 @@ class IntervalSample:
     blocking_fraction: float
     arrivals: int
     increase_attempts: int
+    abandoned: int = 0  # calls that departed early under sustained denials
 
 
 @dataclass
@@ -69,6 +70,10 @@ class CallSimResult:
     def num_intervals(self) -> int:
         return len(self.samples)
 
+    @property
+    def total_abandoned(self) -> int:
+        return sum(sample.abandoned for sample in self.samples)
+
 
 class CallLevelSimulator:
     """Poisson arrivals of randomly shifted schedules through a controller."""
@@ -81,10 +86,20 @@ class CallLevelSimulator:
         controller: AdmissionController,
         seed: SeedLike = None,
         class_weights: Optional[List[float]] = None,
+        faults=None,
+        abandon_after: Optional[int] = None,
     ) -> None:
         """``base_schedule`` may be one :class:`RateSchedule` or a list of
         them (one per traffic class); arriving calls draw their class
-        from ``class_weights`` (uniform by default)."""
+        from ``class_weights`` (uniform by default).
+
+        ``faults`` (a :class:`~repro.faults.injectors.FaultPlan`) injects
+        renegotiation denials on top of the link's honest capacity check.
+        ``abandon_after``, if set, makes a call depart early once it has
+        suffered that many *consecutive* denied increases — an impatient
+        user hanging up under sustained faults — freeing its bandwidth
+        and cancelling its remaining renegotiations.
+        """
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if arrival_rate <= 0:
@@ -110,15 +125,24 @@ class CallLevelSimulator:
         self.controller = controller
         self.rng = as_generator(seed)
 
+        if abandon_after is not None and abandon_after < 1:
+            raise ValueError("abandon_after must be >= 1 denial")
+        self.faults = faults
+        self.abandon_after = abandon_after
+
         self.engine = EventScheduler()
         self.link = RcbrLink(capacity)
         self._ids = itertools.count()
+        self._call_events: dict = {}
+        self._denial_streak: dict = {}
 
         # Interval-local counters.
         self._arrivals = 0
         self._blocked = 0
         self._increase_attempts = 0
         self._increase_failures = 0
+        self._abandoned = 0
+        self._injected_denials = 0
         self._allocated_mark = 0.0
 
         self._schedule_next_arrival()
@@ -149,32 +173,70 @@ class CallLevelSimulator:
         self.controller.on_admit(
             call_id, float(rates[0]), now, call_class=call_class
         )
+        events = []
         for index in range(1, rates.size):
-            self.engine.schedule_at(
-                now + float(times[index]),
-                self._handle_renegotiation,
-                call_id,
-                float(rates[index]),
+            events.append(
+                self.engine.schedule_at(
+                    now + float(times[index]),
+                    self._handle_renegotiation,
+                    call_id,
+                    float(rates[index]),
+                )
             )
-        self.engine.schedule_at(
-            now + schedule.duration, self._handle_departure, call_id
+        events.append(
+            self.engine.schedule_at(
+                now + schedule.duration, self._handle_departure, call_id
+            )
         )
+        self._call_events[call_id] = events
 
     def _handle_renegotiation(self, call_id, new_rate: float) -> None:
         self._request(call_id, new_rate, setup=False)
-        self.controller.on_reservation(call_id, new_rate, self.engine.now)
+        if call_id in self._call_events:  # still alive (may have abandoned)
+            self.controller.on_reservation(call_id, new_rate, self.engine.now)
 
     def _handle_departure(self, call_id) -> None:
+        self._call_events.pop(call_id, None)
+        self._denial_streak.pop(call_id, None)
         self.link.release(call_id, self.engine.now)
         self.controller.on_departure(call_id, self.engine.now)
 
     def _request(self, call_id, new_rate: float, setup: bool) -> None:
         old = self.link.grant_of(call_id)
+        is_increase = new_rate > old
+        if is_increase and not setup:
+            # Injected denial bursts hit renegotiations, not setup (setup
+            # admission is the controller's job, already modelled).
+            if self.faults is not None and self.faults.should_deny(
+                self.engine.now
+            ):
+                self._increase_attempts += 1
+                self._increase_failures += 1
+                self._injected_denials += 1
+                self._note_denial(call_id)
+                return
         outcome = self.link.request(call_id, new_rate, self.engine.now)
-        if new_rate > old:
+        if is_increase:
             self._increase_attempts += 1
             if outcome.failed:
                 self._increase_failures += 1
+                if not setup:
+                    self._note_denial(call_id)
+            else:
+                self._denial_streak.pop(call_id, None)
+
+    def _note_denial(self, call_id) -> None:
+        streak = self._denial_streak.get(call_id, 0) + 1
+        self._denial_streak[call_id] = streak
+        if self.abandon_after is not None and streak >= self.abandon_after:
+            self._abandon(call_id)
+
+    def _abandon(self, call_id) -> None:
+        """The call gives up: cancel its future events and depart now."""
+        for event in self._call_events.get(call_id, ()):
+            event.cancel()
+        self._abandoned += 1
+        self._handle_departure(call_id)
 
     # ------------------------------------------------------------------
     # Measurement
@@ -189,6 +251,7 @@ class CallLevelSimulator:
         blocked0 = self._blocked
         attempts0 = self._increase_attempts
         failures0 = self._increase_failures
+        abandoned0 = self._abandoned
 
         end = self.engine.now + interval_seconds
         self.engine.run(until=end)
@@ -198,6 +261,7 @@ class CallLevelSimulator:
         blocked = self._blocked - blocked0
         attempts = self._increase_attempts - attempts0
         failures = self._increase_failures - failures0
+        abandoned = self._abandoned - abandoned0
         allocated = self.link.allocated_bit_seconds - self._allocated_mark
         self._allocated_mark = self.link.allocated_bit_seconds
 
@@ -207,6 +271,7 @@ class CallLevelSimulator:
             blocking_fraction=blocked / arrivals if arrivals else 0.0,
             arrivals=arrivals,
             increase_attempts=attempts,
+            abandoned=abandoned,
         )
 
 
@@ -221,6 +286,8 @@ def simulate_admission(
     max_intervals: int = 60,
     relative_precision: float = 0.2,
     failure_target: Optional[float] = None,
+    faults=None,
+    abandon_after: Optional[int] = None,
 ) -> CallSimResult:
     """Run the Section VI experiment to the paper's stopping rule.
 
@@ -231,7 +298,13 @@ def simulate_admission(
     the right of the confidence interval".
     """
     simulator = CallLevelSimulator(
-        base_schedule, capacity, arrival_rate, controller, seed
+        base_schedule,
+        capacity,
+        arrival_rate,
+        controller,
+        seed,
+        faults=faults,
+        abandon_after=abandon_after,
     )
     for _ in range(warmup_intervals):
         simulator.run_interval()

@@ -27,12 +27,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
 from repro.core.schedule import RateSchedule
 from repro.traffic.trace import SlottedWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> core)
+    from repro.faults.recovery import RecoveryPolicy
 
 
 @dataclass(frozen=True)
@@ -63,13 +66,23 @@ class OnlineParams:
 
 @dataclass(frozen=True)
 class OnlineScheduleResult:
-    """Outcome of running the heuristic over a workload."""
+    """Outcome of running the heuristic over a workload.
+
+    ``bits_lost`` counts overflow of the finite RCBR buffer (when a
+    ``buffer_size`` is given) plus any bits shed by a panic-drain
+    recovery policy; ``drain_slots`` counts slots spent draining and
+    ``requests_suppressed`` counts threshold crossings a backoff policy
+    chose not to signal.
+    """
 
     schedule: RateSchedule
     max_buffer: float
     final_buffer: float
     requests_made: int
     requests_denied: int
+    bits_lost: float = 0.0
+    drain_slots: int = 0
+    requests_suppressed: int = 0
 
     @property
     def num_renegotiations(self) -> int:
@@ -96,18 +109,29 @@ class OnlineScheduler:
         initial_rate: Optional[float] = None,
         request_fn: Optional[Callable[[float, float], bool]] = None,
         name: str = "",
+        buffer_size: Optional[float] = None,
+        recovery: Optional["RecoveryPolicy"] = None,
     ) -> OnlineScheduleResult:
         """Run the heuristic causally over ``workload``.
 
         ``initial_rate`` defaults to the first slot's rate quantised to
         the grid (the setup-time choice; causal schedulers cannot peek at
         the mean).  ``request_fn(time, new_rate)``, if given, models the
-        network's grant decision: it returns True to grant.  A denied
-        request leaves the current rate in place and the heuristic retries
-        at the next threshold crossing — the paper's "trivial solution is
-        to try again".
+        network's grant decision: it returns True to grant.  With no
+        ``recovery`` policy, a denied request leaves the current rate in
+        place and the heuristic retries at the next threshold crossing —
+        the paper's "trivial solution is to try again".
+
+        ``buffer_size`` models the finite RCBR end-system buffer: bits
+        beyond it overflow and are counted in ``bits_lost`` rather than
+        letting the backlog grow unboundedly on sustained denials.
+        ``recovery`` (see :mod:`repro.faults.recovery`) replaces the naive
+        retry with request gating, a downgrade ladder of fallback rates,
+        and an optional panic-drain mode.
         """
         params = self.params
+        if buffer_size is not None and buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
         arrivals = workload.bits_per_slot.tolist()
         slot = workload.slot_duration
         time_constant = params.time_constant_slots * slot
@@ -119,16 +143,36 @@ class OnlineScheduler:
                 raise ValueError("initial_rate must be non-negative")
             current_rate = initial_rate
 
+        if recovery is not None:
+            recovery.reset()
+
         estimate = current_rate
         buffer_level = 0.0
         max_buffer = 0.0
         requests = 0
         denied = 0
+        suppressed = 0
+        bits_lost = 0.0
+        drain_slots = 0
         slot_rates = np.empty(workload.num_slots)
 
         for index, amount in enumerate(arrivals):
             slot_rates[index] = current_rate
-            buffer_level = max(0.0, buffer_level + amount - current_rate * slot)
+            if recovery is not None and recovery.in_drain(
+                buffer_level, buffer_size
+            ):
+                # Panic mode: shed the slot's arrivals at the source and
+                # keep serving the backlog until the buffer drains.
+                bits_lost += amount
+                drain_slots += 1
+                buffer_level = max(0.0, buffer_level - current_rate * slot)
+            else:
+                buffer_level = max(
+                    0.0, buffer_level + amount - current_rate * slot
+                )
+                if buffer_size is not None and buffer_level > buffer_size:
+                    bits_lost += buffer_level - buffer_size
+                    buffer_level = buffer_size
             if buffer_level > max_buffer:
                 max_buffer = buffer_level
 
@@ -142,16 +186,36 @@ class OnlineScheduler:
             wants_up = buffer_level > params.high_threshold and candidate > current_rate
             wants_down = buffer_level < params.low_threshold and candidate < current_rate
             if wants_up or wants_down:
-                requests += 1
-                granted = True
-                if request_fn is not None:
-                    granted = bool(
-                        request_fn((index + 1) * slot, candidate)
-                    )
-                if granted:
-                    current_rate = candidate
+                if recovery is None:
+                    requests += 1
+                    granted = True
+                    if request_fn is not None:
+                        granted = bool(
+                            request_fn((index + 1) * slot, candidate)
+                        )
+                    if granted:
+                        current_rate = candidate
+                    else:
+                        denied += 1
+                elif not recovery.allow_request(index):
+                    suppressed += 1
                 else:
-                    denied += 1
+                    rungs = (
+                        recovery.ladder(candidate, current_rate, self.quantize)
+                        if wants_up
+                        else (candidate,)
+                    )
+                    for rung in rungs:
+                        requests += 1
+                        granted = True
+                        if request_fn is not None:
+                            granted = bool(request_fn((index + 1) * slot, rung))
+                        if granted:
+                            current_rate = rung
+                            recovery.on_grant(index, rung)
+                            break
+                        denied += 1
+                        recovery.on_denial(index, rung)
 
         schedule = RateSchedule.from_slot_rates(
             slot_rates, slot, name=name or f"ar1({workload.name})"
@@ -162,4 +226,7 @@ class OnlineScheduler:
             final_buffer=buffer_level,
             requests_made=requests,
             requests_denied=denied,
+            bits_lost=bits_lost,
+            drain_slots=drain_slots,
+            requests_suppressed=suppressed,
         )

@@ -107,7 +107,11 @@ class OnlineRcbrSource:
     The heuristic's requests go through the link's admission check; denied
     increases leave the old rate in place and the source "settles for
     whatever bandwidth remaining" while retrying at the next threshold
-    crossing (Section III-A1).
+    crossing (Section III-A1).  A finite ``buffer_size`` and a
+    ``recovery`` policy (:mod:`repro.faults.recovery`) turn the source
+    into the hardened variant: overflow is counted as ``bits_lost`` and
+    denials are handled by backoff / downgrade / drain instead of the
+    naive retry.
     """
 
     def __init__(
@@ -115,9 +119,13 @@ class OnlineRcbrSource:
         source_id,
         params: OnlineParams,
         link: RcbrLink,
+        buffer_size: Optional[float] = None,
+        recovery=None,
     ) -> None:
         self.source_id = source_id
         self.link = link
+        self.buffer_size = buffer_size
+        self.recovery = recovery
         self._scheduler = OnlineScheduler(params)
 
     def run(self, workload: SlottedWorkload) -> OnlineScheduleResult:
@@ -132,7 +140,11 @@ class OnlineRcbrSource:
         )
         setup = self.link.request(self.source_id, initial, 0.0)
         result = self._scheduler.schedule(
-            workload, initial_rate=setup.granted_rate, request_fn=request
+            workload,
+            initial_rate=setup.granted_rate,
+            request_fn=request,
+            buffer_size=self.buffer_size,
+            recovery=self.recovery,
         )
         self.link.release(self.source_id, workload.duration)
         return result

@@ -1,0 +1,69 @@
+"""Fault injection and failure recovery for the renegotiation pipeline.
+
+The paper's treatment of failure is one sentence ("the trivial solution
+is to try again"); this package is the production-hardening answer:
+seeded, composable fault injectors (:mod:`repro.faults.injectors`),
+source-side recovery policies beyond naive retry
+(:mod:`repro.faults.recovery`), and a chaos/soak harness that sweeps
+fault intensity against policy (:mod:`repro.faults.harness`).
+"""
+
+from repro.faults.injectors import (
+    CellFate,
+    CellOutcome,
+    CellDelayInjector,
+    CellDuplicationInjector,
+    CellLossInjector,
+    DenialBurstInjector,
+    FaultInjector,
+    FaultPlan,
+    INJECTOR_REGISTRY,
+    SwitchOutageInjector,
+    TraceCorruptionInjector,
+    register_injector,
+)
+from repro.faults.recovery import (
+    BaseRecoveryPolicy,
+    DowngradeLadderPolicy,
+    DrainPolicy,
+    ExponentialBackoffPolicy,
+    NaiveRetryPolicy,
+    RECOVERY_REGISTRY,
+    RecoveryPolicy,
+    make_recovery_policy,
+)
+from repro.faults.harness import (
+    ChaosConfig,
+    ChaosResult,
+    run_chaos_trial,
+    soak,
+    sweep_fault_recovery,
+)
+
+__all__ = [
+    "CellFate",
+    "CellOutcome",
+    "CellDelayInjector",
+    "CellDuplicationInjector",
+    "CellLossInjector",
+    "DenialBurstInjector",
+    "FaultInjector",
+    "FaultPlan",
+    "INJECTOR_REGISTRY",
+    "SwitchOutageInjector",
+    "TraceCorruptionInjector",
+    "register_injector",
+    "BaseRecoveryPolicy",
+    "DowngradeLadderPolicy",
+    "DrainPolicy",
+    "ExponentialBackoffPolicy",
+    "NaiveRetryPolicy",
+    "RECOVERY_REGISTRY",
+    "RecoveryPolicy",
+    "make_recovery_policy",
+    "ChaosConfig",
+    "ChaosResult",
+    "run_chaos_trial",
+    "soak",
+    "sweep_fault_recovery",
+]

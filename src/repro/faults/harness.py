@@ -1,0 +1,250 @@
+"""Chaos/soak harness: sweep fault intensity against recovery policies.
+
+One trial wires the full renegotiation pipeline under faults: a seeded
+Star-Wars-like workload streams through the AR(1) online scheduler with a
+finite RCBR buffer; every renegotiation travels a multi-hop
+:class:`~repro.signaling.network.SignalingPath` carrying a
+:class:`~repro.faults.injectors.FaultPlan` (Markov-modulated denial
+bursts, cell loss, hop outages), with per-request timeouts and bounded
+absolute-cell retries; a :mod:`repro.faults.recovery` policy decides what
+the source does about denials.  The trial reports bits lost, the
+renegotiation failure fraction, and time-to-recover statistics, plus a
+fingerprint hash so bit-identical replay from a seed is checkable in one
+string comparison.
+
+``sweep_fault_recovery`` crosses fault intensities with policies (the
+chaos grid); ``soak`` repeats one configuration across seeds (the long
+holds).  All randomness derives from ``ChaosConfig.seed`` through
+``SeedSequence`` spawning: trace, fault plan, and policy jitter each get
+an independent stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.online import OnlineParams, OnlineScheduler
+from repro.faults.injectors import FaultPlan
+from repro.faults.recovery import RECOVERY_REGISTRY, make_recovery_policy
+from repro.signaling.messages import RenegotiationRequest
+from repro.signaling.network import SignalingPath
+from repro.signaling.switch import SwitchPort
+from repro.traffic.starwars import generate_starwars_trace
+from repro.util.rng import spawn_generators
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One point in the chaos grid: fault intensities x recovery policy."""
+
+    policy: str = "naive"
+    policy_kwargs: Tuple[Tuple[str, object], ...] = ()
+    deny_rate: float = 0.2  # long-run injected denial probability
+    mean_burst_slots: float = 5.0  # mean denial-burst length (queries)
+    deny_burst_probability: float = 0.9  # denial prob while bursting
+    cell_loss: float = 0.0
+    outage_rate: float = 0.0  # outage starts per second per hop
+    outage_duration: float = 0.0  # mean outage length, seconds
+    corruption: float = 0.0  # per-slot trace corruption probability
+    num_slots: int = 2000
+    num_hops: int = 3
+    port_capacity: float = 20e6
+    granularity: float = 64_000.0
+    buffer_bits: float = 300_000.0  # the paper's 300 kb end-system buffer
+    max_retries: int = 2
+    seed: int = 0
+
+    def fault_spec(self) -> Dict[str, Dict[str, object]]:
+        """The :meth:`FaultPlan.from_spec` spec this config describes."""
+        spec: Dict[str, Dict[str, object]] = {}
+        if self.deny_rate > 0.0:
+            spec["denial"] = {
+                "rate": self.deny_rate,
+                "mean_burst": self.mean_burst_slots,
+                "deny_burst": self.deny_burst_probability,
+            }
+        if self.cell_loss > 0.0:
+            spec["cell_loss"] = {"probability": self.cell_loss}
+        if self.outage_rate > 0.0:
+            spec["outage"] = {
+                "rate": self.outage_rate,
+                "mean_duration": self.outage_duration,
+            }
+        if self.corruption > 0.0:
+            spec["corruption"] = {"probability": self.corruption}
+        return spec
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Outcome of one chaos trial."""
+
+    policy: str
+    deny_rate: float
+    cell_loss: float
+    seed: int
+    offered_bits: float
+    bits_lost: float
+    requests: int
+    denied: int
+    suppressed: int
+    renegotiations: int
+    drain_slots: int
+    max_buffer: float
+    recovery_episodes: int
+    mean_time_to_recover: float
+    max_time_to_recover: float
+    cells_sent: int
+    cells_lost: int
+    retries: int
+    timeouts: int
+    in_flight_leaks: int
+    fingerprint: str
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered_bits == 0.0:
+            return 0.0
+        return self.bits_lost / self.offered_bits
+
+    @property
+    def failure_fraction(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.denied / self.requests
+
+
+def run_chaos_trial(config: ChaosConfig) -> ChaosResult:
+    """Run one seeded trial of the faulted renegotiation pipeline.
+
+    Determinism contract: the same ``config`` (seed included) produces a
+    bit-identical schedule and loss accounting, attested by
+    ``fingerprint``.
+    """
+    trace_rng, fault_rng, policy_rng = spawn_generators(config.seed, 3)
+    trace = generate_starwars_trace(
+        num_frames=config.num_slots, seed=trace_rng, name="chaos"
+    )
+    plan = FaultPlan.from_spec(config.fault_spec(), seed=fault_rng)
+    workload = plan.corrupt(trace.as_workload())
+
+    ports = [
+        SwitchPort(config.port_capacity, name=f"hop{i}")
+        for i in range(config.num_hops)
+    ]
+    path = SignalingPath(ports, faults=plan, max_retries=config.max_retries)
+    policy = make_recovery_policy(
+        config.policy, seed=policy_rng, **dict(config.policy_kwargs)
+    )
+    scheduler = OnlineScheduler(OnlineParams(granularity=config.granularity))
+
+    believed_rate = 0.0
+    episode_start: Optional[float] = None
+    episodes: List[float] = []
+
+    initial = scheduler.quantize(
+        workload.bits_per_slot[0] / workload.slot_duration
+    )
+    setup = RenegotiationRequest(
+        vci=0, old_rate=0.0, new_rate=initial, time=0.0
+    )
+    if path.renegotiate(setup):
+        believed_rate = initial
+
+    def request_fn(time: float, rate: float) -> bool:
+        nonlocal believed_rate, episode_start
+        if plan.should_deny(time):
+            granted = False
+        else:
+            request = RenegotiationRequest(
+                vci=0, old_rate=believed_rate, new_rate=rate, time=time
+            )
+            granted = path.renegotiate(request)
+            if granted:
+                believed_rate = rate
+        if granted:
+            if episode_start is not None:
+                episodes.append(time - episode_start)
+                episode_start = None
+        elif episode_start is None:
+            episode_start = time
+        return granted
+
+    result = scheduler.schedule(
+        workload,
+        initial_rate=believed_rate if believed_rate > 0 else initial,
+        request_fn=request_fn,
+        buffer_size=config.buffer_bits,
+        recovery=policy,
+    )
+    if episode_start is not None:  # never recovered before the horizon
+        episodes.append(workload.duration - episode_start)
+    path.release(0)
+
+    digest = hashlib.sha256()
+    digest.update(np.asarray(result.schedule.rates, dtype=float).tobytes())
+    digest.update(np.float64(result.bits_lost).tobytes())
+    digest.update(np.int64(result.requests_made).tobytes())
+
+    return ChaosResult(
+        policy=config.policy,
+        deny_rate=config.deny_rate,
+        cell_loss=config.cell_loss,
+        seed=config.seed,
+        offered_bits=workload.total_bits,
+        bits_lost=result.bits_lost,
+        requests=result.requests_made,
+        denied=result.requests_denied,
+        suppressed=result.requests_suppressed,
+        renegotiations=result.num_renegotiations,
+        drain_slots=result.drain_slots,
+        max_buffer=result.max_buffer,
+        recovery_episodes=len(episodes),
+        mean_time_to_recover=float(np.mean(episodes)) if episodes else 0.0,
+        max_time_to_recover=float(np.max(episodes)) if episodes else 0.0,
+        cells_sent=path.stats.cells_sent,
+        cells_lost=path.stats.cells_lost,
+        retries=path.stats.retries,
+        timeouts=path.stats.timeouts,
+        in_flight_leaks=path.in_flight,
+        fingerprint=digest.hexdigest()[:16],
+    )
+
+
+def sweep_fault_recovery(
+    deny_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+    policies: Optional[Sequence[str]] = None,
+    base: ChaosConfig = ChaosConfig(),
+) -> List[ChaosResult]:
+    """The chaos grid: every policy at every denial intensity.
+
+    Every cell of the grid reuses ``base`` (so cell loss, outages, seeds
+    are held fixed) and overrides only the swept axes.
+    """
+    if policies is None:
+        policies = sorted(RECOVERY_REGISTRY)
+    results = []
+    for deny_rate in deny_rates:
+        for policy in policies:
+            results.append(
+                run_chaos_trial(
+                    replace(base, deny_rate=deny_rate, policy=policy)
+                )
+            )
+    return results
+
+
+def soak(
+    base: ChaosConfig, repeats: int = 5, seed_stride: int = 1
+) -> List[ChaosResult]:
+    """Repeat one configuration across seeds (the long-hold chaos run)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return [
+        run_chaos_trial(replace(base, seed=base.seed + i * seed_stride))
+        for i in range(repeats)
+    ]

@@ -1,0 +1,408 @@
+"""Composable, seeded fault injectors for the renegotiation pipeline.
+
+The paper treats a denied renegotiation with a single line — "the trivial
+solution is to try again" — and leaves multi-hop failure growth as "an
+open area for research" (Section III-C).  Growing the reproduction toward
+a production-scale service requires a first-class fault model: faults must
+be *injectable* (so recovery code paths are exercised deliberately, not
+by luck), *composable* (real incidents combine denial bursts with cell
+loss and switch outages), and *deterministic* (a chaos run must replay
+bit-identically from its seed, or failures cannot be debugged).
+
+Every injector draws from its own :mod:`repro.util.rng` stream, derived
+from one master seed through ``SeedSequence`` spawning, so adding or
+removing one injector never perturbs the others' sample paths.  The
+:class:`FaultPlan` registry builds a full fault scenario from a plain
+``{name: kwargs}`` spec, which is how the chaos harness and the CLI-level
+sweeps describe scenarios.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.traffic.trace import SlottedWorkload
+from repro.util.rng import SeedLike, as_generator, spawn_generators
+
+
+class CellFate(enum.Enum):
+    """What the network does to one signaling cell in transit."""
+
+    DELIVER = "deliver"
+    LOSE = "lose"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """A sampled fate for one cell; ``delay`` is extra seconds in transit."""
+
+    fate: CellFate
+    delay: float = 0.0
+
+
+DELIVERED = CellOutcome(CellFate.DELIVER)
+
+
+INJECTOR_REGISTRY: Dict[str, Type["FaultInjector"]] = {}
+
+
+def register_injector(name: str):
+    """Class decorator adding an injector to the :class:`FaultPlan` registry."""
+
+    def decorate(cls: Type["FaultInjector"]) -> Type["FaultInjector"]:
+        cls.injector_name = name
+        INJECTOR_REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+class FaultInjector:
+    """Base class: one kind of fault, driven by one private RNG stream."""
+
+    injector_name = "base"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self.rng = as_generator(seed)
+
+    def reseed(self, seed: SeedLike) -> None:
+        self.rng = as_generator(seed)
+
+
+@register_injector("denial")
+class DenialBurstInjector(FaultInjector):
+    """Markov-modulated renegotiation denials (a Gilbert two-state model).
+
+    Denials in a loaded network are bursty: a congested downstream hop
+    denies every increase for a stretch, then relents.  The injector is a
+    two-state chain stepped once per query — CALM denies with probability
+    ``deny_calm``, BURST with ``deny_burst`` — so the long-run denial rate
+    is ``pi_burst * deny_burst + (1 - pi_burst) * deny_calm`` with
+    ``pi_burst = enter / (enter + exit)``.
+
+    Passing ``rate`` (with ``mean_burst``) solves for the transition
+    probabilities hitting that long-run denial rate, which is how the
+    chaos harness dials "a 20% injected denial rate".
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        mean_burst: float = 5.0,
+        enter_probability: Optional[float] = None,
+        exit_probability: Optional[float] = None,
+        deny_burst: float = 1.0,
+        deny_calm: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= deny_calm <= deny_burst <= 1.0:
+            raise ValueError("need 0 <= deny_calm <= deny_burst <= 1")
+        if rate is not None:
+            if enter_probability is not None or exit_probability is not None:
+                raise ValueError("give either rate or explicit probabilities")
+            if mean_burst < 1.0:
+                raise ValueError("mean_burst must be >= 1 query")
+            if not deny_calm <= rate < deny_burst:
+                raise ValueError(
+                    f"rate must lie in [deny_calm, deny_burst) = "
+                    f"[{deny_calm}, {deny_burst}), got {rate}"
+                )
+            pi_burst = (rate - deny_calm) / (deny_burst - deny_calm)
+            exit_probability = 1.0 / mean_burst
+            if pi_burst >= 1.0 - 1e-12:
+                enter_probability = 1.0
+            else:
+                enter_probability = pi_burst * exit_probability / (1.0 - pi_burst)
+        if enter_probability is None or exit_probability is None:
+            raise ValueError("give rate or both transition probabilities")
+        if not 0.0 <= enter_probability <= 1.0:
+            raise ValueError("enter_probability must be in [0, 1]")
+        if not 0.0 < exit_probability <= 1.0:
+            raise ValueError("exit_probability must be in (0, 1]")
+        self.enter_probability = float(enter_probability)
+        self.exit_probability = float(exit_probability)
+        self.deny_burst = float(deny_burst)
+        self.deny_calm = float(deny_calm)
+        self._bursting = False
+        self.queries = 0
+        self.denials = 0
+
+    @property
+    def stationary_burst_fraction(self) -> float:
+        total = self.enter_probability + self.exit_probability
+        return self.enter_probability / total if total > 0 else 0.0
+
+    @property
+    def target_rate(self) -> float:
+        pi = self.stationary_burst_fraction
+        return pi * self.deny_burst + (1.0 - pi) * self.deny_calm
+
+    @property
+    def observed_rate(self) -> float:
+        return self.denials / self.queries if self.queries else 0.0
+
+    def should_deny(self, time: float) -> bool:
+        """Step the modulating chain once and sample a denial."""
+        if self._bursting:
+            if self.rng.random() < self.exit_probability:
+                self._bursting = False
+        else:
+            if self.rng.random() < self.enter_probability:
+                self._bursting = True
+        probability = self.deny_burst if self._bursting else self.deny_calm
+        denied = self.rng.random() < probability
+        self.queries += 1
+        if denied:
+            self.denials += 1
+        return denied
+
+
+@register_injector("cell_loss")
+class CellLossInjector(FaultInjector):
+    """Independent per-cell loss (the paper's delta-drift trigger)."""
+
+    def __init__(self, probability: float, seed: SeedLike = None) -> None:
+        super().__init__(seed)
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        self.probability = float(probability)
+        self.losses = 0
+
+    def lose(self, time: float) -> bool:
+        lost = self.probability > 0.0 and self.rng.random() < self.probability
+        if lost:
+            self.losses += 1
+        return lost
+
+
+@register_injector("cell_delay")
+class CellDelayInjector(FaultInjector):
+    """Occasional exponential extra transit delay for a signaling cell.
+
+    A delay beyond the source's request timeout is indistinguishable from
+    loss at the source but the cell still lands in the network — the
+    nastiest drift case, because a retry can double-apply a delta.
+    """
+
+    def __init__(
+        self, probability: float, mean_delay: float, seed: SeedLike = None
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        if mean_delay <= 0:
+            raise ValueError("mean_delay must be positive")
+        self.probability = float(probability)
+        self.mean_delay = float(mean_delay)
+
+    def sample_delay(self, time: float) -> float:
+        if self.probability > 0.0 and self.rng.random() < self.probability:
+            return float(self.rng.exponential(self.mean_delay))
+        return 0.0
+
+
+@register_injector("duplication")
+class CellDuplicationInjector(FaultInjector):
+    """Per-cell duplication (e.g. a retransmitting link layer)."""
+
+    def __init__(self, probability: float, seed: SeedLike = None) -> None:
+        super().__init__(seed)
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        self.probability = float(probability)
+
+    def duplicate(self, time: float) -> bool:
+        return self.probability > 0.0 and self.rng.random() < self.probability
+
+
+class _OutageProcess:
+    """One hop's renewal process of outage windows (Poisson starts)."""
+
+    def __init__(self, rate: float, mean_duration: float, rng) -> None:
+        self.rate = rate
+        self.mean_duration = mean_duration
+        self.rng = rng
+        self._start = float(rng.exponential(1.0 / rate))
+        self._end = self._start + float(rng.exponential(mean_duration))
+
+    def is_down(self, time: float) -> bool:
+        # Queries arrive in non-decreasing time order per hop (cells are
+        # injected chronologically); roll the window forward past `time`.
+        while self._end <= time:
+            self._start = self._end + float(self.rng.exponential(1.0 / self.rate))
+            self._end = self._start + float(self.rng.exponential(self.mean_duration))
+        return self._start <= time < self._end
+
+
+@register_injector("outage")
+class SwitchOutageInjector(FaultInjector):
+    """Transient switch outages: hops silently eat cells while down.
+
+    Each hop gets its own spawned stream so its outage windows are
+    independent of the other hops' and of how often they are queried.
+    """
+
+    def __init__(
+        self, rate: float, mean_duration: float, seed: SeedLike = None
+    ) -> None:
+        super().__init__(seed)
+        if rate <= 0:
+            raise ValueError("rate must be positive (outage starts per second)")
+        if mean_duration <= 0:
+            raise ValueError("mean_duration must be positive")
+        self.rate = float(rate)
+        self.mean_duration = float(mean_duration)
+        self._hops: Dict[int, _OutageProcess] = {}
+
+    def hop_down(self, time: float, hop_index: int) -> bool:
+        process = self._hops.get(hop_index)
+        if process is None:
+            process = _OutageProcess(
+                self.rate, self.mean_duration, self.rng.spawn(1)[0]
+            )
+            self._hops[hop_index] = process
+        return process.is_down(time)
+
+
+@register_injector("corruption")
+class TraceCorruptionInjector(FaultInjector):
+    """Corrupt a slotted workload: dropouts and spikes in the arrivals.
+
+    Models damaged input (a glitching encoder, a corrupted trace file):
+    each slot independently, with probability ``probability``, is either
+    zeroed (a dropout) or multiplied by ``spike_factor`` (a burst),
+    chosen with equal odds.
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        spike_factor: float = 3.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        if spike_factor <= 1.0:
+            raise ValueError("spike_factor must exceed 1")
+        self.probability = float(probability)
+        self.spike_factor = float(spike_factor)
+        self.corrupted_slots = 0
+
+    def corrupt(self, workload: SlottedWorkload) -> SlottedWorkload:
+        bits = workload.bits_per_slot.copy()
+        hit = self.rng.random(bits.size) < self.probability
+        spikes = self.rng.random(bits.size) < 0.5
+        bits[hit & spikes] *= self.spike_factor
+        bits[hit & ~spikes] = 0.0
+        self.corrupted_slots += int(hit.sum())
+        return SlottedWorkload(
+            bits_per_slot=bits,
+            slot_duration=workload.slot_duration,
+            name=f"{workload.name}!chaos",
+        )
+
+
+class FaultPlan:
+    """A named composition of injectors built from one master seed.
+
+    A plan is the unit the harness, the signaling path, and the call-level
+    simulator consume: they query the plan, not individual injectors, so a
+    scenario can enable any subset of faults without the consumers
+    changing.  Queries against absent injectors return the benign default
+    (no denial, clean delivery, all hops up, identity corruption).
+    """
+
+    def __init__(self, injectors: Mapping[str, FaultInjector]) -> None:
+        unknown = set(injectors) - set(INJECTOR_REGISTRY)
+        if unknown:
+            raise ValueError(
+                f"unknown injector(s) {sorted(unknown)}; "
+                f"registered: {sorted(INJECTOR_REGISTRY)}"
+            )
+        self._injectors: Dict[str, FaultInjector] = dict(injectors)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Mapping[str, Optional[Mapping[str, object]]],
+        seed: SeedLike = None,
+    ) -> "FaultPlan":
+        """Build a plan from ``{injector_name: kwargs}``.
+
+        One child stream is spawned from ``seed`` per *registered*
+        injector name (in sorted order) and each constructed injector
+        takes the stream matching its name, so the same seed always
+        produces the same fault sample paths regardless of how the spec
+        dict was assembled — and enabling one more injector never
+        perturbs the others' streams.
+        """
+        unknown = set(spec) - set(INJECTOR_REGISTRY)
+        if unknown:
+            raise ValueError(
+                f"unknown injector(s) {sorted(unknown)}; "
+                f"registered: {sorted(INJECTOR_REGISTRY)}"
+            )
+        registered = sorted(INJECTOR_REGISTRY)
+        children = dict(zip(registered, spawn_generators(seed, len(registered))))
+        injectors = {}
+        for name in sorted(spec):
+            kwargs = dict(spec[name] or {})
+            injectors[name] = INJECTOR_REGISTRY[name](
+                seed=children[name], **kwargs
+            )
+        return cls(injectors)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[FaultInjector]:
+        return self._injectors.get(name)
+
+    @property
+    def active(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._injectors))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._injectors
+
+    # ------------------------------------------------------------------
+    # Query API (benign defaults when an injector is absent)
+    # ------------------------------------------------------------------
+    def should_deny(self, time: float) -> bool:
+        injector = self._injectors.get("denial")
+        return injector.should_deny(time) if injector is not None else False
+
+    def cell_outcome(self, time: float) -> CellOutcome:
+        """Sample what happens to one cell: first loss, then delay, then
+        duplication (a lost cell cannot also be delayed or duplicated)."""
+        loss = self._injectors.get("cell_loss")
+        if loss is not None and loss.lose(time):
+            return CellOutcome(CellFate.LOSE)
+        delay = self._injectors.get("cell_delay")
+        if delay is not None:
+            extra = delay.sample_delay(time)
+            if extra > 0.0:
+                return CellOutcome(CellFate.DELAY, delay=extra)
+        duplication = self._injectors.get("duplication")
+        if duplication is not None and duplication.duplicate(time):
+            return CellOutcome(CellFate.DUPLICATE)
+        return DELIVERED
+
+    def hop_down(self, time: float, hop_index: int) -> bool:
+        injector = self._injectors.get("outage")
+        return (
+            injector.hop_down(time, hop_index) if injector is not None else False
+        )
+
+    def corrupt(self, workload: SlottedWorkload) -> SlottedWorkload:
+        injector = self._injectors.get("corruption")
+        return injector.corrupt(workload) if injector is not None else workload
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(active={list(self.active)})"

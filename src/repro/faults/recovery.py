@@ -1,0 +1,275 @@
+"""Source-side recovery policies for denied renegotiations.
+
+The paper's online heuristic handles a denial with "the trivial solution
+is to try again" — keep the old rate and retry at the next buffer
+threshold crossing.  Under sustained denial bursts that policy lets a
+finite RCBR buffer overflow.  This module provides principled
+alternatives in the spirit of graceful-degradation schemes for video
+resource allocation (Fricker et al., "Allocation Schemes of Resources
+with Downgrading"):
+
+* :class:`NaiveRetryPolicy` — the paper's baseline, made explicit;
+* :class:`ExponentialBackoffPolicy` — suppress requests after a denial
+  for an exponentially growing, jittered number of slots, shedding
+  signaling load during a burst;
+* :class:`DowngradeLadderPolicy` — on a denied increase, immediately walk
+  down a ladder of smaller increases, settling for "whatever bandwidth
+  remaining in the link" (Section V-B) instead of none;
+* :class:`DrainPolicy` — a panic mode: when the buffer nears capacity,
+  shed arriving bits at the source until the buffer drains, bounding
+  latency at the cost of explicit, *accounted* loss.
+
+Policies plug into :meth:`repro.core.online.OnlineScheduler.schedule` via
+the :class:`RecoveryPolicy` protocol and are selectable by name through
+:func:`make_recovery_policy`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Protocol, Sequence, Type, runtime_checkable
+
+from repro.util.rng import SeedLike, as_generator
+
+Quantizer = Callable[[float], float]
+
+
+@runtime_checkable
+class RecoveryPolicy(Protocol):
+    """What the online scheduler asks of a recovery policy.
+
+    The scheduler drives the policy once per slot and per request:
+    ``allow_request`` gates a threshold-crossing request (backoff),
+    ``ladder`` yields the rates to attempt in order for an increase
+    (graceful downgrade), ``on_grant``/``on_denial`` report outcomes, and
+    ``in_drain`` decides whether arriving bits are shed this slot.
+    """
+
+    name: str
+
+    def reset(self) -> None: ...
+
+    def allow_request(self, slot_index: int) -> bool: ...
+
+    def ladder(
+        self, candidate: float, current_rate: float, quantize: Quantizer
+    ) -> Sequence[float]: ...
+
+    def on_grant(self, slot_index: int, rate: float) -> None: ...
+
+    def on_denial(self, slot_index: int, rate: float) -> None: ...
+
+    def in_drain(
+        self, buffer_level: float, buffer_size: Optional[float]
+    ) -> bool: ...
+
+
+class BaseRecoveryPolicy:
+    """Default no-op behaviour; concrete policies override what they need."""
+
+    name = "base"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._seed = seed
+
+    def reset(self) -> None:
+        pass
+
+    def allow_request(self, slot_index: int) -> bool:
+        return True
+
+    def ladder(
+        self, candidate: float, current_rate: float, quantize: Quantizer
+    ) -> Sequence[float]:
+        return (candidate,)
+
+    def on_grant(self, slot_index: int, rate: float) -> None:
+        pass
+
+    def on_denial(self, slot_index: int, rate: float) -> None:
+        pass
+
+    def in_drain(
+        self, buffer_level: float, buffer_size: Optional[float]
+    ) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NaiveRetryPolicy(BaseRecoveryPolicy):
+    """The paper's baseline: request the full candidate, retry at the
+    next threshold crossing.  Behaviourally identical to running the
+    scheduler with no policy at all (verified by the unit tests)."""
+
+    name = "naive"
+
+
+class ExponentialBackoffPolicy(BaseRecoveryPolicy):
+    """Exponential backoff with deterministic jitter after denials.
+
+    After a denial, requests are suppressed for ``backoff`` slots, where
+    ``backoff`` starts at ``base_slots``, multiplies by ``factor`` per
+    consecutive denial up to ``max_slots``, and is stretched by a
+    uniform jitter in ``[0, jitter]`` (from the policy's own seeded
+    stream) to decorrelate retry storms across sources.  Any grant
+    resets the backoff.
+    """
+
+    name = "backoff"
+
+    def __init__(
+        self,
+        base_slots: int = 1,
+        factor: float = 2.0,
+        max_slots: int = 32,
+        jitter: float = 0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if base_slots < 1:
+            raise ValueError("base_slots must be >= 1")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if max_slots < base_slots:
+            raise ValueError("max_slots must be >= base_slots")
+        if jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        self.base_slots = int(base_slots)
+        self.factor = float(factor)
+        self.max_slots = int(max_slots)
+        self.jitter = float(jitter)
+        self.rng = as_generator(seed)
+        self._backoff = float(base_slots)
+        self._next_allowed = 0
+
+    def reset(self) -> None:
+        self._backoff = float(self.base_slots)
+        self._next_allowed = 0
+
+    def allow_request(self, slot_index: int) -> bool:
+        return slot_index >= self._next_allowed
+
+    def on_grant(self, slot_index: int, rate: float) -> None:
+        self._backoff = float(self.base_slots)
+
+    def on_denial(self, slot_index: int, rate: float) -> None:
+        stretch = 1.0 + self.jitter * float(self.rng.random())
+        self._next_allowed = slot_index + 1 + math.ceil(self._backoff * stretch)
+        self._backoff = min(float(self.max_slots), self._backoff * self.factor)
+
+
+class DowngradeLadderPolicy(BaseRecoveryPolicy):
+    """Graceful rate-downgrade ladder for denied increases.
+
+    For an increase from ``current_rate`` to ``candidate``, attempt the
+    full candidate first, then ``max_steps - 1`` evenly spaced smaller
+    increases (each re-quantised to the bandwidth grid), stopping at the
+    first grant.  A partial increase drains the buffer slower than the
+    full one but much faster than none — the "settle for whatever
+    bandwidth remaining" behaviour of Section V-B, made proactive.
+    """
+
+    name = "downgrade"
+
+    def __init__(self, max_steps: int = 4, seed: SeedLike = None) -> None:
+        super().__init__(seed)
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        self.max_steps = int(max_steps)
+
+    def ladder(
+        self, candidate: float, current_rate: float, quantize: Quantizer
+    ) -> Sequence[float]:
+        if candidate <= current_rate:
+            return (candidate,)
+        rungs = []
+        gap = candidate - current_rate
+        for step in range(self.max_steps, 0, -1):
+            rung = quantize(current_rate + gap * step / self.max_steps)
+            if rung <= current_rate:
+                break
+            if not rungs or rung < rungs[-1]:
+                rungs.append(rung)
+        return tuple(rungs) if rungs else (candidate,)
+
+
+class DrainPolicy(BaseRecoveryPolicy):
+    """Panic drain mode around an inner policy (naive by default).
+
+    When the buffer exceeds ``panic_fraction`` of its size, the source
+    sheds arriving bits (counted as ``bits_lost``) until the buffer falls
+    below ``resume_fraction`` — hysteresis so the mode does not chatter.
+    Interactive sources prefer this bounded-latency behaviour over an
+    unbounded backlog; the inner policy still governs request pacing.
+    """
+
+    name = "drain"
+
+    def __init__(
+        self,
+        panic_fraction: float = 0.95,
+        resume_fraction: float = 0.5,
+        inner: Optional[BaseRecoveryPolicy] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 < resume_fraction < panic_fraction <= 1.0:
+            raise ValueError("need 0 < resume_fraction < panic_fraction <= 1")
+        self.panic_fraction = float(panic_fraction)
+        self.resume_fraction = float(resume_fraction)
+        self.inner = inner if inner is not None else NaiveRetryPolicy()
+        self._draining = False
+
+    def reset(self) -> None:
+        self._draining = False
+        self.inner.reset()
+
+    def allow_request(self, slot_index: int) -> bool:
+        return self.inner.allow_request(slot_index)
+
+    def ladder(
+        self, candidate: float, current_rate: float, quantize: Quantizer
+    ) -> Sequence[float]:
+        return self.inner.ladder(candidate, current_rate, quantize)
+
+    def on_grant(self, slot_index: int, rate: float) -> None:
+        self.inner.on_grant(slot_index, rate)
+
+    def on_denial(self, slot_index: int, rate: float) -> None:
+        self.inner.on_denial(slot_index, rate)
+
+    def in_drain(
+        self, buffer_level: float, buffer_size: Optional[float]
+    ) -> bool:
+        if buffer_size is None:
+            return False
+        if self._draining:
+            if buffer_level <= self.resume_fraction * buffer_size:
+                self._draining = False
+        elif buffer_level >= self.panic_fraction * buffer_size:
+            self._draining = True
+        return self._draining
+
+
+RECOVERY_REGISTRY: Dict[str, Type[BaseRecoveryPolicy]] = {
+    NaiveRetryPolicy.name: NaiveRetryPolicy,
+    ExponentialBackoffPolicy.name: ExponentialBackoffPolicy,
+    DowngradeLadderPolicy.name: DowngradeLadderPolicy,
+    DrainPolicy.name: DrainPolicy,
+}
+
+
+def make_recovery_policy(
+    name: str, seed: SeedLike = None, **kwargs
+) -> BaseRecoveryPolicy:
+    """Build a registered policy by name (``seed`` feeds jittered policies)."""
+    try:
+        cls = RECOVERY_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery policy {name!r}; "
+            f"registered: {sorted(RECOVERY_REGISTRY)}"
+        ) from None
+    return cls(seed=seed, **kwargs)

@@ -58,6 +58,7 @@ class RcbrLink:
         self.request_count = 0
         self.increase_count = 0
         self.failure_count = 0
+        self.downgrade_events = 0
 
     # ------------------------------------------------------------------
     # State inspection
@@ -171,6 +172,35 @@ class RcbrLink:
     def finish(self, time: float) -> None:
         """Advance the accounting clock to ``time`` with no state change."""
         self._advance(time)
+
+    def set_capacity(self, capacity: float, time: float) -> None:
+        """Change the link capacity mid-run (e.g. a transient outage).
+
+        Shrinking capacity below the current allocation downgrades every
+        grant proportionally — graceful degradation in the spirit of
+        Fricker et al.'s downgrading allocation schemes — while demands
+        are remembered, so the deficit accrues to ``lost_bits`` and
+        restored capacity is redistributed to shortfall sources in FIFO
+        order.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._advance(time)
+        self.capacity = float(capacity)
+        allocated = self.allocated
+        if allocated > capacity + 1e-9:
+            scale = capacity / allocated
+            for source_id, grant in list(self._grants.items()):
+                reduced = grant * scale
+                self._grants[source_id] = reduced
+                if (
+                    self._demands.get(source_id, 0.0) > reduced + 1e-9
+                    and source_id not in self._shortfall_order
+                ):
+                    self._shortfall_order.append(source_id)
+            self.downgrade_events += 1
+        else:
+            self._redistribute()
 
     # ------------------------------------------------------------------
     # Internals

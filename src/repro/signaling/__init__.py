@@ -9,6 +9,7 @@ every hop is a potential point of renegotiation failure.
 from repro.signaling.messages import CellKind, RmCell, RenegotiationRequest
 from repro.signaling.switch import SwitchPort
 from repro.signaling.network import (
+    DeliveryStatus,
     PathStats,
     SignalingPath,
     PathSimulationResult,
@@ -25,6 +26,7 @@ __all__ = [
     "RmCell",
     "RenegotiationRequest",
     "SwitchPort",
+    "DeliveryStatus",
     "PathStats",
     "SignalingPath",
     "PathSimulationResult",

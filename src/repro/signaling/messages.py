@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class CellKind(enum.Enum):
@@ -42,6 +43,7 @@ class RmCell:
     issued_at: float
     denied: bool = False
     denied_at_hop: int = -1
+    retry_of: Optional[int] = None  # cell_id of the timed-out original
     cell_id: int = field(default_factory=lambda: next(_cell_ids))
 
     def deny(self, hop_index: int) -> None:

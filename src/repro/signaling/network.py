@@ -11,18 +11,39 @@ per-hop propagation delay; an increase denied at hop ``k`` rolls back the
 ``k`` upstream hops (mirroring the returning RM cell); optional RM-cell
 loss models the delta-drift problem, countered by periodic absolute
 resynchronisation (footnote 2).
+
+Hardening (beyond the paper): a path can carry a
+:class:`~repro.faults.injectors.FaultPlan` injecting cell loss, delay,
+duplication, and transient hop outages.  Requests then run under a
+per-request timeout with bounded retries — retries are *absolute*-rate
+cells, so a retry can never double-apply a delta that did land — and
+every cell is tracked in flight until it resolves, so a lost cell times
+out instead of deadlocking the source.  An explicit denial is an answer,
+not a fault, and is never retried.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.schedule import RateSchedule
 from repro.queueing.events import EventScheduler
 from repro.signaling.messages import CellKind, RenegotiationRequest, RmCell
 from repro.signaling.switch import SwitchPort
 from repro.util.rng import SeedLike, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injectors import FaultPlan
+
+
+class DeliveryStatus(enum.Enum):
+    """How one cell transmission resolved, as seen by the source."""
+
+    ACCEPTED = "accepted"  # every hop committed the request
+    DENIED = "denied"  # some hop denied; the returning cell rolled back
+    LOST = "lost"  # the cell (or its answer) never came back
 
 
 @dataclass
@@ -34,6 +55,10 @@ class PathStats:
     failures: int = 0
     cells_sent: int = 0
     cells_lost: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    duplicates: int = 0
+    outage_drops: int = 0
     failure_hops: List[int] = field(default_factory=list)
 
     @property
@@ -41,6 +66,13 @@ class PathStats:
         if self.increase_requests == 0:
             return 0.0
         return self.failures / self.increase_requests
+
+    def failure_hop_histogram(self) -> Dict[int, int]:
+        """How often each hop index was the point of denial."""
+        histogram: Dict[int, int] = {}
+        for hop in self.failure_hops:
+            histogram[hop] = histogram.get(hop, 0) + 1
+        return histogram
 
 
 class SignalingPath:
@@ -52,6 +84,9 @@ class SignalingPath:
         hop_delay: float = 0.001,
         cell_loss_probability: float = 0.0,
         seed: SeedLike = None,
+        faults: Optional["FaultPlan"] = None,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 0,
     ) -> None:
         if not ports:
             raise ValueError("a path needs at least one port")
@@ -59,11 +94,23 @@ class SignalingPath:
             raise ValueError("hop_delay must be non-negative")
         if not 0.0 <= cell_loss_probability < 1.0:
             raise ValueError("cell_loss_probability must be in [0, 1)")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.ports = list(ports)
         self.hop_delay = hop_delay
         self.cell_loss_probability = cell_loss_probability
         self.rng = as_generator(seed)
+        self.faults = faults
+        self.max_retries = int(max_retries)
+        if request_timeout is None:
+            # A source waits a bit over the signaling RTT before declaring
+            # a cell lost; floor it so zero-delay test paths still time out.
+            request_timeout = max(2.0 * self.round_trip_time, 1e-3)
+        self.request_timeout = float(request_timeout)
         self.stats = PathStats()
+        self._in_flight: Dict[int, float] = {}  # cell_id -> timeout deadline
 
     @property
     def num_hops(self) -> int:
@@ -74,24 +121,85 @@ class SignalingPath:
         """Source-to-sink-and-back signaling latency."""
         return 2.0 * self.hop_delay * self.num_hops
 
+    @property
+    def in_flight(self) -> int:
+        """Requests awaiting an answer; must be 0 between transactions
+        (anything else is a tracking leak that would strand a source)."""
+        return len(self._in_flight)
+
     # ------------------------------------------------------------------
     def send(self, cell: RmCell) -> bool:
-        """Push one RM cell through the path synchronously.
+        """Push one RM cell through the path synchronously (no retries).
 
         Returns True if every hop accepted.  On a denial, accepted
-        upstream hops are rolled back.  A lost cell (loss sampled per
-        traversal) never reaches any hop — for delta cells this leaves
-        the source and switches disagreeing, i.e. drift.
+        upstream hops are rolled back.  A lost cell never reaches any hop
+        — for delta cells this leaves the source and switches
+        disagreeing, i.e. drift.
         """
+        return self._transmit(cell, cell.issued_at) is DeliveryStatus.ACCEPTED
+
+    def _transmit(self, cell: RmCell, now: float) -> DeliveryStatus:
+        """One transmission attempt, under the fault plan if present."""
         self.stats.cells_sent += 1
-        if (
-            self.cell_loss_probability > 0.0
-            and self.rng.random() < self.cell_loss_probability
-        ):
-            self.stats.cells_lost += 1
-            return False
+        self._in_flight[cell.cell_id] = now + self.request_timeout
+        try:
+            if (
+                self.cell_loss_probability > 0.0
+                and self.rng.random() < self.cell_loss_probability
+            ):
+                self.stats.cells_lost += 1
+                return DeliveryStatus.LOST
+            delayed_past_timeout = False
+            duplicated = False
+            if self.faults is not None:
+                from repro.faults.injectors import CellFate
+
+                outcome = self.faults.cell_outcome(now)
+                if outcome.fate is CellFate.LOSE:
+                    self.stats.cells_lost += 1
+                    return DeliveryStatus.LOST
+                if outcome.fate is CellFate.DELAY:
+                    delayed_past_timeout = outcome.delay > self.request_timeout
+                elif outcome.fate is CellFate.DUPLICATE:
+                    duplicated = True
+            status = self._traverse(cell, now)
+            if duplicated and status is DeliveryStatus.ACCEPTED:
+                # The copy lands right behind the original; a duplicated
+                # delta increase over-reserves (drift) until a resync.
+                copy = RmCell(
+                    vci=cell.vci,
+                    kind=cell.kind,
+                    er=cell.er,
+                    issued_at=now,
+                    retry_of=cell.cell_id,
+                )
+                self.stats.duplicates += 1
+                self._traverse(copy, now)
+            if delayed_past_timeout:
+                # The cell did land (state above is committed) but its
+                # answer missed the source's deadline: source-side loss.
+                self.stats.cells_lost += 1
+                return DeliveryStatus.LOST
+            return status
+        finally:
+            self._in_flight.pop(cell.cell_id, None)
+
+    def _traverse(self, cell: RmCell, now: float) -> DeliveryStatus:
+        """Walk the cell hop by hop, honouring outages and denials."""
         accepted: List[SwitchPort] = []
         for hop_index, port in enumerate(self.ports):
+            arrival = now + (hop_index + 1) * self.hop_delay
+            down = not port.available_at(arrival) or (
+                self.faults is not None
+                and self.faults.hop_down(arrival, hop_index)
+            )
+            if down:
+                # Silent mid-path drop: upstream hops keep the delta they
+                # committed (drift) because no cell returns to roll them
+                # back; the source's timeout-and-absolute-retry repairs it.
+                self.stats.outage_drops += 1
+                self.stats.cells_lost += 1
+                return DeliveryStatus.LOST
             if port.process(cell):
                 accepted.append(port)
             else:
@@ -99,15 +207,44 @@ class SignalingPath:
                 for upstream in accepted:
                     upstream.rollback(cell)
                 self.stats.failure_hops.append(hop_index)
-                return False
-        return True
+                return DeliveryStatus.DENIED
+        return DeliveryStatus.ACCEPTED
 
     def renegotiate(self, request: RenegotiationRequest) -> bool:
-        """Issue a renegotiation; returns True if the new rate is granted."""
+        """Issue a renegotiation; returns True if the new rate is granted.
+
+        With ``max_retries > 0``, a transmission that times out (lost,
+        over-delayed, or eaten by an outage) is retried up to that many
+        times, each attempt one timeout later.  Retries carry the
+        *absolute* target rate (the paper's resynchronisation cell,
+        footnote 2) rather than the delta: if the original — or any
+        upstream part of it — actually landed, an absolute retry repairs
+        the drift instead of doubling the delta.  Explicit denials are
+        answers and are returned immediately.
+        """
         self.stats.requests += 1
         if request.delta > 0:
             self.stats.increase_requests += 1
-        granted = self.send(request.as_cell())
+        original = request.as_cell()
+        status = self._transmit(original, request.time)
+        now = request.time
+        attempts = 0
+        while status is DeliveryStatus.LOST and attempts < self.max_retries:
+            attempts += 1
+            now += self.request_timeout
+            self.stats.timeouts += 1
+            self.stats.retries += 1
+            retry = RmCell(
+                vci=request.vci,
+                kind=CellKind.ABSOLUTE,
+                er=request.new_rate,
+                issued_at=now,
+                retry_of=original.cell_id,
+            )
+            status = self._transmit(retry, now)
+        if status is DeliveryStatus.LOST and self.max_retries > 0:
+            self.stats.timeouts += 1  # the final, unanswered attempt
+        granted = status is DeliveryStatus.ACCEPTED
         if not granted and request.delta > 0:
             self.stats.failures += 1
         return granted

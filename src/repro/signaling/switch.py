@@ -15,7 +15,7 @@ treats them as refreshes of its aggregate from the table-less delta flow.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.signaling.messages import CellKind, RmCell
 
@@ -36,6 +36,7 @@ class SwitchPort:
         self.utilization = 0.0
         self.track_per_vci = track_per_vci
         self._vci_rates: Optional[Dict[int, float]] = {} if track_per_vci else None
+        self._outages: List[Tuple[float, float]] = []
         self.cells_processed = 0
         self.requests_denied = 0
 
@@ -48,6 +49,25 @@ class SwitchPort:
         if self._vci_rates is None:
             return None
         return self._vci_rates.get(vci)
+
+    # ------------------------------------------------------------------
+    # Transient outages
+    # ------------------------------------------------------------------
+    def schedule_outage(self, start: float, end: float) -> None:
+        """Declare the port unreachable during ``[start, end)``.
+
+        Cells arriving while a port is down are silently eaten by the
+        path (no deny cell returns), so the source only learns of the
+        failure via its request timeout.  Reservations survive an outage
+        — only the control plane is down.
+        """
+        if start < 0 or end <= start:
+            raise ValueError("need 0 <= start < end")
+        self._outages.append((float(start), float(end)))
+        self._outages.sort()
+
+    def available_at(self, time: float) -> bool:
+        return not any(start <= time < end for start, end in self._outages)
 
     # ------------------------------------------------------------------
     def process(self, cell: RmCell) -> bool:

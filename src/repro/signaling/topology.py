@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -105,14 +105,26 @@ class SignalingNetwork:
         k: int = 1,
         rate_hint: float = 0.0,
         cell_loss_probability: float = 0.0,
+        faults=None,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 0,
     ) -> SignalingPath:
-        """A :class:`SignalingPath` along the selected route."""
+        """A :class:`SignalingPath` along the selected route.
+
+        ``faults`` (a :class:`~repro.faults.injectors.FaultPlan`),
+        ``request_timeout``, and ``max_retries`` configure the hardened
+        signaling behaviour; the defaults reproduce the paper's fragile
+        fire-and-forget cells.
+        """
         route = self.select_route(source, target, k, rate_hint)
         return SignalingPath(
             self._path_ports(route),
             hop_delay=self.hop_delay,
             cell_loss_probability=cell_loss_probability,
             seed=self.rng,
+            faults=faults,
+            request_timeout=request_timeout,
+            max_retries=max_retries,
         )
 
     # ------------------------------------------------------------------
@@ -139,11 +151,21 @@ class NetworkSimulationResult:
             return 0.0
         return self.failures / self.increase_requests
 
+    def failure_hop_histogram(self) -> Dict[int, int]:
+        """Aggregate, across all calls, how often each hop index denied."""
+        histogram: Dict[int, int] = {}
+        for path in self.paths:
+            for hop, count in path.stats.failure_hop_histogram().items():
+                histogram[hop] = histogram.get(hop, 0) + count
+        return histogram
+
 
 def simulate_calls_on_network(
     network: SignalingNetwork,
     calls: Sequence[Tuple[object, object, RateSchedule]],
     k: int = 1,
+    faults=None,
+    max_retries: int = 0,
 ) -> NetworkSimulationResult:
     """Route and replay the calls concurrently on a shared clock.
 
@@ -165,7 +187,14 @@ def simulate_calls_on_network(
     # Setup in order: select route, reserve the initial rate.
     for vci, (source, target, schedule) in enumerate(calls):
         initial = float(schedule.rates[0])
-        path = network.attach(source, target, k=k, rate_hint=initial)
+        path = network.attach(
+            source,
+            target,
+            k=k,
+            rate_hint=initial,
+            faults=faults,
+            max_retries=max_retries,
+        )
         request = RenegotiationRequest(
             vci=vci, old_rate=0.0, new_rate=initial, time=0.0
         )

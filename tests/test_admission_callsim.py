@@ -133,3 +133,58 @@ class TestSimulateAdmission:
             max_intervals=6,
         )
         assert result.blocking_probability > 0.0
+
+
+class TestInjectedFaults:
+    def test_injected_denials_raise_failure_fraction(self, toy_schedule):
+        from repro.faults.injectors import FaultPlan
+
+        clean = CallLevelSimulator(
+            toy_schedule, 1e9, 0.05, AlwaysAdmit(), seed=3
+        )
+        plan = FaultPlan.from_spec({"denial": {"rate": 0.5}}, seed=0)
+        faulty = CallLevelSimulator(
+            toy_schedule, 1e9, 0.05, AlwaysAdmit(), seed=3, faults=plan
+        )
+        clean_fail = np.mean(
+            [clean.run_interval().failure_fraction for _ in range(5)]
+        )
+        faulty_fail = np.mean(
+            [faulty.run_interval().failure_fraction for _ in range(5)]
+        )
+        assert clean_fail == 0.0
+        assert faulty_fail > 0.2
+
+    def test_abandonment_frees_bandwidth(self, toy_schedule):
+        from repro.faults.injectors import FaultPlan
+
+        plan = FaultPlan.from_spec(
+            {"denial": {"enter_probability": 1.0, "exit_probability": 1e-9}},
+            seed=0,
+        )
+        simulator = CallLevelSimulator(
+            toy_schedule, 1e9, 0.05, AlwaysAdmit(), seed=4,
+            faults=plan, abandon_after=2,
+        )
+        samples = [simulator.run_interval() for _ in range(6)]
+        assert sum(sample.abandoned for sample in samples) > 0
+        # Abandoned calls left the link: no grants or streaks linger.
+        assert simulator.link.num_sources == len(simulator._call_events)
+
+    def test_abandon_after_validation(self, toy_schedule):
+        with pytest.raises(ValueError):
+            CallLevelSimulator(
+                toy_schedule, 1e9, 0.05, AlwaysAdmit(), abandon_after=0
+            )
+
+    def test_simulate_admission_forwards_faults(self, toy_schedule):
+        from repro.faults.injectors import FaultPlan
+
+        plan = FaultPlan.from_spec({"denial": {"rate": 0.5}}, seed=1)
+        result = simulate_admission(
+            toy_schedule, 1e9, 0.05, AlwaysAdmit(), seed=5,
+            min_intervals=3, max_intervals=5,
+            faults=plan, abandon_after=3,
+        )
+        assert result.failure_probability > 0.0
+        assert result.total_abandoned >= 0

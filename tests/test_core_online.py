@@ -156,3 +156,62 @@ class TestRequestDenial:
         )
         assert result.requests_denied == 3
         assert result.num_renegotiations >= 1
+
+
+class TestFiniteBuffer:
+    def step_up_workload(self):
+        rates = np.concatenate([np.full(20, 100.0), np.full(80, 2000.0)])
+        return SlottedWorkload(rates, slot_duration=1.0)
+
+    def params(self):
+        return OnlineParams(
+            granularity=100.0, low_threshold=10, high_threshold=100
+        )
+
+    def test_overflow_counts_bits_lost(self):
+        workload = self.step_up_workload()
+        result = OnlineScheduler(self.params()).schedule(
+            workload,
+            request_fn=lambda time, rate: False,  # every increase denied
+            buffer_size=500.0,
+        )
+        assert result.bits_lost > 0.0
+        assert result.max_buffer <= 500.0
+        # With every increase denied the rate stays at 100 and each
+        # steady-state slot overflows by the full deficit.
+        assert result.bits_lost == pytest.approx((2000.0 - 100.0) * 80, rel=0.05)
+
+    def test_unbounded_buffer_loses_nothing(self):
+        workload = self.step_up_workload()
+        result = OnlineScheduler(self.params()).schedule(
+            workload, request_fn=lambda time, rate: False
+        )
+        assert result.bits_lost == 0.0
+
+    def test_buffer_size_must_be_positive(self):
+        workload = self.step_up_workload()
+        scheduler = OnlineScheduler(self.params())
+        with pytest.raises(ValueError):
+            scheduler.schedule(workload, buffer_size=0.0)
+
+    def test_granted_requests_avoid_overflow(self):
+        workload = self.step_up_workload()
+        result = OnlineScheduler(self.params()).schedule(
+            workload, buffer_size=500_000.0
+        )
+        assert result.bits_lost == 0.0
+
+    def test_result_defaults_keep_legacy_constructors_working(self):
+        # Callers constructing OnlineScheduleResult without the new
+        # fields (e.g. the GoP-aware variant) still work.
+        from repro.core.online import OnlineScheduleResult
+        from repro.core.schedule import RateSchedule
+
+        schedule = RateSchedule([0.0], [100.0], duration=1.0)
+        result = OnlineScheduleResult(
+            schedule=schedule, max_buffer=0.0, final_buffer=0.0,
+            requests_made=0, requests_denied=0,
+        )
+        assert result.bits_lost == 0.0
+        assert result.drain_slots == 0
+        assert result.requests_suppressed == 0

@@ -1,0 +1,295 @@
+"""Fault injectors, recovery policies, and the chaos harness."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineParams, OnlineScheduler
+from repro.faults.harness import ChaosConfig, run_chaos_trial, soak, sweep_fault_recovery
+from repro.faults.injectors import (
+    CellFate,
+    CellLossInjector,
+    DenialBurstInjector,
+    FaultPlan,
+    INJECTOR_REGISTRY,
+    SwitchOutageInjector,
+    TraceCorruptionInjector,
+)
+from repro.faults.recovery import (
+    DowngradeLadderPolicy,
+    DrainPolicy,
+    ExponentialBackoffPolicy,
+    NaiveRetryPolicy,
+    RecoveryPolicy,
+    make_recovery_policy,
+)
+from repro.traffic.trace import SlottedWorkload
+
+
+class TestDenialBurstInjector:
+    def test_long_run_rate_matches_target(self):
+        injector = DenialBurstInjector(rate=0.2, mean_burst=5.0, seed=0)
+        assert injector.target_rate == pytest.approx(0.2)
+        for t in range(20_000):
+            injector.should_deny(float(t))
+        assert injector.observed_rate == pytest.approx(0.2, abs=0.02)
+
+    def test_denials_are_bursty(self):
+        injector = DenialBurstInjector(rate=0.2, mean_burst=20.0, seed=1)
+        outcomes = [injector.should_deny(float(t)) for t in range(20_000)]
+        # Consecutive-pair correlation far above the i.i.d. value 0.04.
+        both = sum(a and b for a, b in zip(outcomes, outcomes[1:]))
+        assert both / (len(outcomes) - 1) > 0.1
+
+    def test_explicit_probabilities(self):
+        injector = DenialBurstInjector(
+            enter_probability=0.0, exit_probability=1.0, seed=0
+        )
+        assert not any(injector.should_deny(float(t)) for t in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DenialBurstInjector(rate=1.5)
+        with pytest.raises(ValueError):
+            DenialBurstInjector(rate=0.2, enter_probability=0.1)
+        with pytest.raises(ValueError):
+            DenialBurstInjector()
+        with pytest.raises(ValueError):
+            DenialBurstInjector(rate=0.2, mean_burst=0.5)
+
+
+class TestCellInjectors:
+    def test_cell_loss_rate(self):
+        injector = CellLossInjector(probability=0.3, seed=0)
+        losses = sum(injector.lose(float(t)) for t in range(10_000))
+        assert losses / 10_000 == pytest.approx(0.3, abs=0.02)
+        assert injector.losses == losses
+
+    def test_outage_windows_cover_expected_fraction(self):
+        injector = SwitchOutageInjector(rate=0.1, mean_duration=2.0, seed=0)
+        # Expected down fraction ~ rate * duration / (1 + rate * duration).
+        down = sum(injector.hop_down(0.01 * t, 0) for t in range(500_000))
+        assert down / 500_000 == pytest.approx(1.0 / 6.0, abs=0.05)
+
+    def test_outage_hops_are_independent(self):
+        injector = SwitchOutageInjector(rate=0.5, mean_duration=1.0, seed=0)
+        down0 = [injector.hop_down(0.1 * t, 0) for t in range(2000)]
+        down1 = [injector.hop_down(0.1 * t, 1) for t in range(2000)]
+        assert down0 != down1
+
+    def test_corruption_preserves_shape_and_counts(self):
+        workload = SlottedWorkload(np.full(1000, 100.0), 1.0)
+        injector = TraceCorruptionInjector(probability=0.2, seed=0)
+        corrupted = injector.corrupt(workload)
+        assert corrupted.num_slots == workload.num_slots
+        changed = int(np.sum(corrupted.bits_per_slot != 100.0))
+        assert changed == injector.corrupted_slots
+        assert 100 < changed < 300
+        # Untouched input workload.
+        assert np.all(workload.bits_per_slot == 100.0)
+
+
+class TestFaultPlan:
+    def test_from_spec_builds_registered_injectors(self):
+        plan = FaultPlan.from_spec(
+            {"denial": {"rate": 0.2}, "cell_loss": {"probability": 0.1}},
+            seed=0,
+        )
+        assert plan.active == ("cell_loss", "denial")
+        assert "denial" in plan and "outage" not in plan
+
+    def test_unknown_injector_rejected(self):
+        with pytest.raises(ValueError, match="unknown injector"):
+            FaultPlan.from_spec({"gremlins": {}})
+
+    def test_absent_injectors_are_benign(self):
+        plan = FaultPlan.from_spec({}, seed=0)
+        assert not plan.should_deny(0.0)
+        assert plan.cell_outcome(0.0).fate is CellFate.DELIVER
+        assert not plan.hop_down(0.0, 0)
+        workload = SlottedWorkload(np.ones(10), 1.0)
+        assert plan.corrupt(workload) is workload
+
+    def test_same_seed_same_sample_path(self):
+        spec = {"denial": {"rate": 0.3}, "cell_loss": {"probability": 0.2}}
+        a = FaultPlan.from_spec(spec, seed=7)
+        b = FaultPlan.from_spec(spec, seed=7)
+        for t in range(500):
+            assert a.should_deny(float(t)) == b.should_deny(float(t))
+            assert a.cell_outcome(float(t)) == b.cell_outcome(float(t))
+
+    def test_adding_injector_does_not_perturb_others(self):
+        # The denial stream must be identical whether or not cell loss is
+        # also enabled (independent spawned child streams).
+        a = FaultPlan.from_spec({"denial": {"rate": 0.3}}, seed=7)
+        b = FaultPlan.from_spec(
+            {"denial": {"rate": 0.3}, "cell_loss": {"probability": 0.5}},
+            seed=7,
+        )
+        denials_a = [a.should_deny(float(t)) for t in range(500)]
+        denials_b = []
+        for t in range(500):
+            denials_b.append(b.should_deny(float(t)))
+            b.cell_outcome(float(t))  # interleave queries on the other stream
+        assert denials_a == denials_b
+
+    def test_registry_contains_all_injectors(self):
+        assert set(INJECTOR_REGISTRY) >= {
+            "denial", "cell_loss", "cell_delay", "duplication",
+            "outage", "corruption",
+        }
+
+
+class TestRecoveryPolicies:
+    def test_all_registered_policies_satisfy_protocol(self):
+        for name in ("naive", "backoff", "downgrade", "drain"):
+            policy = make_recovery_policy(name, seed=0)
+            assert isinstance(policy, RecoveryPolicy)
+            assert policy.name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown recovery policy"):
+            make_recovery_policy("prayer")
+
+    def test_backoff_suppresses_then_recovers(self):
+        policy = ExponentialBackoffPolicy(base_slots=2, jitter=0.0, seed=0)
+        policy.reset()
+        assert policy.allow_request(0)
+        policy.on_denial(0, 100.0)
+        assert not policy.allow_request(1)
+        assert not policy.allow_request(2)
+        assert policy.allow_request(3)  # 0 + 1 + ceil(2)
+        policy.on_denial(3, 100.0)  # doubled: next window is 4 slots
+        assert not policy.allow_request(7)
+        assert policy.allow_request(8)
+        policy.on_grant(8, 100.0)
+        policy.on_denial(9, 100.0)  # reset to base after the grant
+        assert policy.allow_request(12)
+
+    def test_backoff_caps_at_max_slots(self):
+        policy = ExponentialBackoffPolicy(
+            base_slots=1, factor=10.0, max_slots=4, jitter=0.0, seed=0
+        )
+        for slot in range(5):
+            policy.on_denial(slot * 100, 1.0)
+        policy.on_denial(1000, 1.0)
+        assert policy.allow_request(1000 + 1 + 4)
+
+    def test_downgrade_ladder_rungs(self):
+        policy = DowngradeLadderPolicy(max_steps=4)
+        quantize = OnlineScheduler(OnlineParams(granularity=100.0)).quantize
+        rungs = policy.ladder(800.0, 400.0, quantize)
+        assert rungs == (800.0, 700.0, 600.0, 500.0)
+        # Decreases pass through untouched.
+        assert policy.ladder(200.0, 400.0, quantize) == (200.0,)
+
+    def test_downgrade_ladder_collapses_on_grid(self):
+        # A gap of one granule cannot be subdivided: one rung only.
+        policy = DowngradeLadderPolicy(max_steps=4)
+        quantize = OnlineScheduler(OnlineParams(granularity=100.0)).quantize
+        assert policy.ladder(500.0, 400.0, quantize) == (500.0,)
+
+    def test_drain_hysteresis(self):
+        policy = DrainPolicy(panic_fraction=0.9, resume_fraction=0.5)
+        policy.reset()
+        assert not policy.in_drain(800.0, 1000.0)
+        assert policy.in_drain(950.0, 1000.0)  # panic
+        assert policy.in_drain(700.0, 1000.0)  # still draining
+        assert not policy.in_drain(400.0, 1000.0)  # resumed
+        assert not policy.in_drain(700.0, 1000.0)  # no chatter
+        # Without a finite buffer there is nothing to panic about.
+        assert not policy.in_drain(1e12, None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoffPolicy(base_slots=0)
+        with pytest.raises(ValueError):
+            DowngradeLadderPolicy(max_steps=0)
+        with pytest.raises(ValueError):
+            DrainPolicy(panic_fraction=0.4, resume_fraction=0.5)
+
+
+class TestNaiveEquivalence:
+    def test_naive_policy_matches_no_policy(self):
+        # The explicit baseline must reproduce the legacy code path bit
+        # for bit, including under denials.
+        rng = np.random.default_rng(42)
+        workload = SlottedWorkload(rng.uniform(0, 2e5, size=400), 1 / 24)
+        scheduler = OnlineScheduler(OnlineParams(granularity=64_000.0))
+
+        def make_request_fn():
+            deny_rng = np.random.default_rng(7)
+            return lambda time, rate: bool(deny_rng.random() > 0.3)
+
+        legacy = scheduler.schedule(
+            workload, request_fn=make_request_fn(), buffer_size=300_000.0
+        )
+        explicit = scheduler.schedule(
+            workload,
+            request_fn=make_request_fn(),
+            buffer_size=300_000.0,
+            recovery=NaiveRetryPolicy(),
+        )
+        assert np.array_equal(legacy.schedule.rates, explicit.schedule.rates)
+        assert legacy.requests_made == explicit.requests_made
+        assert legacy.requests_denied == explicit.requests_denied
+        assert legacy.bits_lost == explicit.bits_lost
+
+
+class TestChaosHarness:
+    def test_trial_replays_bit_identically(self):
+        config = ChaosConfig(
+            policy="downgrade", deny_rate=0.2, cell_loss=0.05,
+            num_slots=600, seed=3,
+        )
+        first = run_chaos_trial(config)
+        replay = run_chaos_trial(config)
+        assert first.fingerprint == replay.fingerprint
+        assert first == replay
+
+    def test_no_in_flight_leaks(self):
+        for policy in ("naive", "backoff", "downgrade", "drain"):
+            config = ChaosConfig(
+                policy=policy, deny_rate=0.3, cell_loss=0.1,
+                outage_rate=0.05, outage_duration=0.5,
+                num_slots=600, seed=1,
+            )
+            result = run_chaos_trial(config)
+            assert result.in_flight_leaks == 0
+
+    def test_fault_free_trial_is_lossless(self):
+        config = ChaosConfig(policy="naive", deny_rate=0.0, num_slots=600, seed=0)
+        result = run_chaos_trial(config)
+        assert result.bits_lost == 0.0
+        assert result.denied == 0
+        assert result.recovery_episodes == 0
+
+    def test_sweep_covers_grid(self):
+        results = sweep_fault_recovery(
+            deny_rates=(0.0, 0.2),
+            policies=("naive", "downgrade"),
+            base=ChaosConfig(num_slots=300, seed=0),
+        )
+        assert len(results) == 4
+        assert {(r.deny_rate, r.policy) for r in results} == {
+            (0.0, "naive"), (0.0, "downgrade"),
+            (0.2, "naive"), (0.2, "downgrade"),
+        }
+
+    def test_soak_varies_seed(self):
+        base = ChaosConfig(num_slots=300, deny_rate=0.2, seed=10)
+        results = soak(base, repeats=3)
+        assert [r.seed for r in results] == [10, 11, 12]
+        assert len({r.fingerprint for r in results}) == 3
+
+    def test_denial_injection_registers(self):
+        config = ChaosConfig(
+            policy="naive", deny_rate=0.4, mean_burst_slots=10.0,
+            num_slots=1200, seed=2,
+        )
+        result = run_chaos_trial(config)
+        assert result.denied > 0
+        assert result.failure_fraction > 0.0
+        assert result.recovery_episodes > 0
+        assert result.mean_time_to_recover > 0.0

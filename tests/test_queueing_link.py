@@ -136,3 +136,40 @@ class TestAccounting:
     def test_repr(self):
         link = RcbrLink(100.0)
         assert "RcbrLink" in repr(link)
+
+
+class TestCapacityChanges:
+    def test_shrink_downgrades_grants_proportionally(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 600.0, 0.0)
+        link.request("b", 300.0, 0.0)
+        link.set_capacity(450.0, 1.0)
+        assert link.grant_of("a") == pytest.approx(300.0)
+        assert link.grant_of("b") == pytest.approx(150.0)
+        assert link.allocated <= 450.0 + 1e-9
+        assert link.downgrade_events == 1
+        # Demands are remembered: the deficit accrues to lost_bits.
+        link.finish(2.0)
+        assert link.lost_bits == pytest.approx(450.0)
+
+    def test_restored_capacity_backfills_shortfall(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 600.0, 0.0)
+        link.request("b", 300.0, 0.0)
+        link.set_capacity(450.0, 1.0)
+        link.set_capacity(1000.0, 2.0)
+        assert link.grant_of("a") == pytest.approx(600.0)
+        assert link.grant_of("b") == pytest.approx(300.0)
+        assert link.total_demand == pytest.approx(900.0)
+
+    def test_growing_capacity_never_downgrades(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 600.0, 0.0)
+        link.set_capacity(2000.0, 1.0)
+        assert link.grant_of("a") == pytest.approx(600.0)
+        assert link.downgrade_events == 0
+
+    def test_capacity_must_stay_positive(self):
+        link = RcbrLink(1000.0)
+        with pytest.raises(ValueError):
+            link.set_capacity(0.0, 1.0)

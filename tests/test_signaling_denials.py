@@ -1,0 +1,213 @@
+"""Denial paths and hardened failure handling in the signaling layer.
+
+Covers the bookkeeping the happy-path tests skip: ``RmCell.deny``
+semantics, per-hop failure histograms, rollback on multi-hop denials,
+alternate-routing failure fractions, and the hardened timeout / retry /
+outage machinery layered on :class:`SignalingPath`.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.schedule import RateSchedule
+from repro.faults.injectors import FaultPlan
+from repro.signaling.messages import CellKind, RenegotiationRequest, RmCell
+from repro.signaling.network import DeliveryStatus, SignalingPath
+from repro.signaling.switch import SwitchPort
+from repro.signaling.topology import SignalingNetwork, simulate_calls_on_network
+
+
+class TestDenyBookkeeping:
+    def test_deny_marks_cell_and_er(self):
+        cell = RmCell(vci=1, kind=CellKind.DELTA, er=100.0, issued_at=0.0)
+        assert not cell.denied
+        cell.deny(3)
+        assert cell.denied
+        assert cell.denied_at_hop == 3
+
+    def test_denied_cell_rejected_by_every_downstream_hop(self):
+        cell = RmCell(vci=1, kind=CellKind.DELTA, er=100.0, issued_at=0.0)
+        cell.deny(0)
+        for port in (SwitchPort(1e9), SwitchPort(1e9)):
+            assert not port.process(cell)
+            assert port.utilization == 0.0
+
+    def test_failure_hops_record_denying_hop(self):
+        ports = [SwitchPort(1e9), SwitchPort(1e9), SwitchPort(100.0)]
+        path = SignalingPath(ports)
+        for t in range(3):
+            path.renegotiate(
+                RenegotiationRequest(
+                    vci=t, old_rate=0.0, new_rate=500.0, time=float(t)
+                )
+            )
+        assert path.stats.failure_hops == [2, 2, 2]
+        assert path.stats.failure_hop_histogram() == {2: 3}
+        assert path.stats.failure_fraction == 1.0
+
+    def test_multi_hop_denial_rolls_back_all_upstream(self):
+        ports = [SwitchPort(1e9), SwitchPort(1e9), SwitchPort(400.0), SwitchPort(1e9)]
+        path = SignalingPath(ports)
+        assert path.renegotiate(
+            RenegotiationRequest(vci=1, old_rate=0.0, new_rate=300.0, time=0.0)
+        )
+        denied = RenegotiationRequest(
+            vci=2, old_rate=0.0, new_rate=200.0, time=1.0
+        )
+        assert not path.renegotiate(denied)
+        # The two upstream hops were rolled back; the bottleneck and the
+        # never-reached hop keep only vci 1.
+        assert all(port.utilization == pytest.approx(300.0) for port in ports[:3])
+        assert ports[3].utilization == pytest.approx(300.0)
+
+    def test_denial_is_an_answer_not_retried(self):
+        ports = [SwitchPort(100.0)]
+        path = SignalingPath(ports, max_retries=5)
+        denied = RenegotiationRequest(
+            vci=1, old_rate=0.0, new_rate=500.0, time=0.0
+        )
+        assert not path.renegotiate(denied)
+        assert path.stats.retries == 0
+        assert path.stats.timeouts == 0
+        assert path.stats.cells_sent == 1
+
+
+class TestHardenedPath:
+    def test_lost_cell_times_out_and_retries_with_absolute(self):
+        plan = FaultPlan.from_spec({"cell_loss": {"probability": 0.999999}}, seed=0)
+        port = SwitchPort(1e9)
+        path = SignalingPath([port], faults=plan, max_retries=3)
+        request = RenegotiationRequest(
+            vci=1, old_rate=0.0, new_rate=500.0, time=0.0
+        )
+        assert not path.renegotiate(request)
+        assert path.stats.retries == 3
+        assert path.stats.timeouts == 4  # 3 retry waits + the final one
+        assert path.stats.cells_sent == 4
+        assert path.in_flight == 0  # no stranded requests: no deadlock
+
+    def test_retry_succeeds_after_transient_loss(self):
+        # ~50% loss: with 6 retries some attempt gets through.
+        plan = FaultPlan.from_spec({"cell_loss": {"probability": 0.5}}, seed=2)
+        port = SwitchPort(1e9)
+        path = SignalingPath([port], faults=plan, max_retries=6)
+        granted = path.renegotiate(
+            RenegotiationRequest(vci=1, old_rate=0.0, new_rate=500.0, time=0.0)
+        )
+        assert granted
+        assert port.utilization == pytest.approx(500.0)
+        assert path.in_flight == 0
+
+    def test_absolute_retry_does_not_double_apply(self):
+        # Force the *answer* to miss the deadline: the delta lands at the
+        # switch but the source times out and retries with an absolute
+        # cell.  Utilization must end at the target, not twice it.
+        plan = FaultPlan.from_spec(
+            {"cell_delay": {"probability": 0.999999, "mean_delay": 1e6}},
+            seed=0,
+        )
+        port = SwitchPort(1e9)
+        path = SignalingPath([port], faults=plan, max_retries=2)
+        path.renegotiate(
+            RenegotiationRequest(vci=1, old_rate=0.0, new_rate=500.0, time=0.0)
+        )
+        assert port.utilization == pytest.approx(500.0)
+
+    def test_outage_eats_cell_and_leaves_upstream_drift(self):
+        ports = [SwitchPort(1e9), SwitchPort(1e9)]
+        ports[1].schedule_outage(0.0, 10.0)
+        path = SignalingPath(ports, max_retries=0)
+        request = RenegotiationRequest(
+            vci=1, old_rate=0.0, new_rate=500.0, time=0.0
+        )
+        assert not path.renegotiate(request)
+        assert path.stats.outage_drops == 1
+        # Hop 0 committed before the cell died downstream: drift.
+        assert ports[0].utilization == pytest.approx(500.0)
+        assert ports[1].utilization == 0.0
+        # A later absolute resync repairs the drift.
+        assert path.resynchronize(1, 0.0, 20.0)
+        assert ports[0].utilization == 0.0
+
+    def test_retry_after_outage_window_succeeds(self):
+        port = SwitchPort(1e9)
+        port.schedule_outage(0.0, 0.003)
+        path = SignalingPath(
+            [port], hop_delay=0.001, request_timeout=0.004, max_retries=2
+        )
+        granted = path.renegotiate(
+            RenegotiationRequest(vci=1, old_rate=0.0, new_rate=500.0, time=0.0)
+        )
+        assert granted  # the first retry lands after the window
+        assert path.stats.retries == 1
+        assert port.utilization == pytest.approx(500.0)
+
+    def test_duplicated_increase_over_reserves_until_resync(self):
+        plan = FaultPlan.from_spec(
+            {"duplication": {"probability": 0.999999}}, seed=0
+        )
+        port = SwitchPort(1e9)
+        path = SignalingPath([port], faults=plan)
+        path.renegotiate(
+            RenegotiationRequest(vci=1, old_rate=0.0, new_rate=500.0, time=0.0)
+        )
+        assert path.stats.duplicates == 1
+        assert port.utilization == pytest.approx(1000.0)  # the drift
+        path.faults = None  # quiesce the fault to deliver the repair
+        assert path.resynchronize(1, 500.0, 1.0)
+        assert port.utilization == pytest.approx(500.0)
+
+    def test_send_reports_status_via_transmit(self):
+        port = SwitchPort(1e9)
+        path = SignalingPath([port])
+        cell = RmCell(vci=1, kind=CellKind.DELTA, er=100.0, issued_at=0.0)
+        assert path._transmit(cell, 0.0) is DeliveryStatus.ACCEPTED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignalingPath([SwitchPort(1.0)], request_timeout=0.0)
+        with pytest.raises(ValueError):
+            SignalingPath([SwitchPort(1.0)], max_retries=-1)
+        with pytest.raises(ValueError):
+            SwitchPort(1.0).schedule_outage(5.0, 5.0)
+
+
+class TestAlternateRoutingFailures:
+    def make_network(self, bottleneck=400.0):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", capacity=bottleneck)
+        graph.add_edge("a", "c", capacity=1e9)
+        graph.add_edge("c", "b", capacity=1e9)
+        return SignalingNetwork(graph, seed=0)
+
+    def make_calls(self, count, rate=300.0):
+        schedule = RateSchedule([0.0, 10.0], [rate, 2 * rate], duration=20.0)
+        return [("a", "b", schedule) for _ in range(count)]
+
+    def test_single_route_failure_fraction(self):
+        network = self.make_network()
+        result = simulate_calls_on_network(network, self.make_calls(3), k=1)
+        # The 400 kb/s direct link fits one call at 300; the others fail
+        # at setup and at every increase.
+        assert result.increase_requests > 0
+        assert result.failures > 0
+        assert 0.0 < result.failure_fraction <= 1.0
+        assert set(result.failure_hop_histogram()) == {0}
+
+    def test_alternate_route_lowers_failure_fraction(self):
+        calls = self.make_calls(3)
+        direct = simulate_calls_on_network(self.make_network(), calls, k=1)
+        routed = simulate_calls_on_network(self.make_network(), calls, k=2)
+        assert routed.failure_fraction < direct.failure_fraction
+
+    def test_network_faults_forwarded_to_paths(self):
+        plan = FaultPlan.from_spec({"cell_loss": {"probability": 0.999999}}, seed=0)
+        network = self.make_network()
+        result = simulate_calls_on_network(
+            network, self.make_calls(2), k=1, faults=plan, max_retries=1
+        )
+        stats = [path.stats for path in result.paths]
+        assert sum(s.cells_lost for s in stats) > 0
+        assert sum(s.retries for s in stats) > 0
+        assert all(path.in_flight == 0 for path in result.paths)
