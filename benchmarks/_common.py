@@ -9,93 +9,77 @@ scales, controlled by the ``REPRO_SCALE`` environment variable:
 * ``paper``: the full ~2-hour, 171 000-frame trace and the paper's sweep
   ranges (hours of wall-clock, like the original study).
 
-Heavy intermediates (the trace, the optimal schedules) are cached at
-module level so benchmarks share them.
+Heavy intermediates (the trace, the optimal schedules) come from
+:mod:`repro.perf`: they are memoized per process *keyed by the active
+scale* — so flipping ``REPRO_SCALE`` mid-process can never serve a stale
+trace — and persisted in the content-addressed on-disk
+:class:`~repro.perf.cache.ResultCache`, so a rerun (or a sibling worker
+process) reloads them in milliseconds.  ``REPRO_NO_CACHE=1`` disables
+the disk layer; ``REPRO_CACHE_DIR`` moves it.
 """
 
 from __future__ import annotations
 
-import functools
-import os
-from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Sequence, Tuple
 
-from repro.core import OptimalScheduler, granular_rate_levels
-from repro.traffic import generate_starwars_trace
-from repro.util.units import kbits, kbps
+from repro.perf.cache import ResultCache
+from repro.perf.sweeps import (
+    BUFFER_BITS,
+    GRANULARITY,
+    LOSS_TARGET,
+    MAX_RATE_LEVEL,
+    SWEEP_SCALES,
+    TRACE_SEED,
+    SweepScale,
+    current_scale,
+    dp_rate_levels,
+    optimal_schedule_for,
+    starwars_trace_for,
+)
 
+# Backwards-compatible aliases: the benchmarks grew up on these names.
+Scale = SweepScale
+SCALES = SWEEP_SCALES
+scale = current_scale
 
-@dataclass(frozen=True)
-class Scale:
-    name: str
-    num_frames: int
-    dp_frames_per_slot: int  # DP slot aggregation (1 = per frame)
-    smg_sources: Sequence[int]  # N values for Fig. 6
-    mbac_capacities: Sequence[float]  # link capacity / mean call rate
-    mbac_loads: Sequence[float]  # normalized offered loads
-    mbac_max_intervals: int
+__all__ = [
+    "BUFFER_BITS",
+    "GRANULARITY",
+    "LOSS_TARGET",
+    "MAX_RATE_LEVEL",
+    "SCALES",
+    "TRACE_SEED",
+    "Scale",
+    "disk_cache",
+    "dp_rate_levels",
+    "fmt",
+    "once",
+    "optimal_schedule",
+    "print_table",
+    "scale",
+    "starwars_trace",
+]
 
+#: One shared disk cache for the whole benchmark session (env-configured).
+disk_cache = ResultCache()
 
-SCALES = {
-    "small": Scale(
-        name="small",
-        num_frames=24_000,  # ~17 minutes at 24 fps
-        dp_frames_per_slot=2,
-        smg_sources=(1, 2, 4, 8, 16),
-        mbac_capacities=(6.0, 12.0),
-        mbac_loads=(0.6, 1.0),
-        mbac_max_intervals=10,
-    ),
-    "paper": Scale(
-        name="paper",
-        num_frames=171_000,  # the full two-hour movie
-        dp_frames_per_slot=2,
-        smg_sources=(1, 2, 5, 10, 20, 50, 100),
-        mbac_capacities=(5.0, 10.0, 20.0, 50.0),
-        mbac_loads=(0.3, 0.5, 0.7, 0.9, 1.1),
-        mbac_max_intervals=40,
-    ),
-}
-
-
-def scale() -> Scale:
-    name = os.environ.get("REPRO_SCALE", "small")
-    if name not in SCALES:
-        raise ValueError(
-            f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}"
-        )
-    return SCALES[name]
+# Process-local memos, keyed by everything the value depends on — unlike
+# the old module-level ``lru_cache``s, which ignored ``REPRO_SCALE`` and
+# went stale when it changed between calls.
+_trace_memo: Dict[str, object] = {}
+_schedule_memo: Dict[Tuple[str, float], object] = {}
 
 
-BUFFER_BITS = kbits(300)  # the paper's end-system buffer
-LOSS_TARGET = 1e-6  # the paper's QoS for Figs. 5-6
-GRANULARITY = kbps(64)  # the paper's Fig. 6 bandwidth granularity
-MAX_RATE_LEVEL = kbps(2400)  # the paper's top bandwidth level (IV-A)
-TRACE_SEED = 1995
-
-
-def dp_rate_levels(trace):
-    """The renegotiation rate grid: delta-spaced up to ~2.4 Mb/s.
-
-    Matches the paper's choice ("bandwidth levels chosen uniformly within
-    48 kb/s and 2.4 Mb/s" at delta granularity); the grid is widened
-    automatically if the trace's 1-second peak demands more.
-    """
-    from repro.analysis.empirical import windowed_peak_rate
-
-    top = max(MAX_RATE_LEVEL, 1.1 * windowed_peak_rate(trace, 1.0))
-    return granular_rate_levels(GRANULARITY, top)
-
-
-@functools.lru_cache(maxsize=2)
 def starwars_trace():
-    """The benchmark trace at the current scale (cached)."""
-    return generate_starwars_trace(
-        num_frames=scale().num_frames, seed=TRACE_SEED
-    )
+    """The benchmark trace at the current scale (memoized + disk-cached)."""
+    active = scale()
+    trace = _trace_memo.get(active.name)
+    if trace is None:
+        trace = starwars_trace_for(active, cache=disk_cache)
+        _trace_memo[active.name] = trace
+    return trace
 
 
-@functools.lru_cache(maxsize=4)
 def optimal_schedule(alpha: float = 6e6):
     """The trace's optimal RCBR schedule at the paper's parameters.
 
@@ -103,12 +87,13 @@ def optimal_schedule(alpha: float = 6e6):
     renegotiation interval (the default lands near the paper's ~12 s on
     the synthetic trace).
     """
-    trace = starwars_trace()
-    workload = trace.aggregate(scale().dp_frames_per_slot)
-    result = OptimalScheduler(dp_rate_levels(trace), alpha=alpha, beta=1.0).solve(
-        workload, buffer_bits=BUFFER_BITS
-    )
-    return result.schedule
+    active = scale()
+    memo_key = (active.name, float(alpha))
+    schedule = _schedule_memo.get(memo_key)
+    if schedule is None:
+        schedule = optimal_schedule_for(active, alpha=alpha, cache=disk_cache)
+        _schedule_memo[memo_key] = schedule
+    return schedule
 
 
 def print_table(title: str, headers: Sequence[str], rows) -> None:

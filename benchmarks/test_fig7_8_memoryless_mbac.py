@@ -13,12 +13,20 @@ Paper findings:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from benchmarks._common import fmt, once, optimal_schedule, print_table, scale
-from repro.admission.callsim import arrival_rate_for_load, simulate_admission
-from repro.admission.controllers import MemorylessMBAC, PerfectKnowledgeCAC
-from repro.core.schedule import empirical_rate_distribution
+from benchmarks._common import (
+    disk_cache,
+    fmt,
+    once,
+    optimal_schedule,
+    print_table,
+    scale,
+)
+from repro.perf import SweepEngine
+from repro.perf.sweeps import figs7_9_cells
 
 FAILURE_TARGET = 1e-3
 
@@ -28,54 +36,39 @@ def schedule():
     return optimal_schedule()
 
 
-def _run_point(schedule, capacity_multiple, load, controller, seed):
-    mean = schedule.average_rate()
-    capacity = capacity_multiple * mean
-    arrival_rate = arrival_rate_for_load(
-        load, capacity, mean, schedule.duration
-    )
-    return simulate_admission(
-        schedule,
-        capacity,
-        arrival_rate,
-        controller,
-        seed=seed,
-        warmup_intervals=1,
-        min_intervals=5,
-        max_intervals=scale().mbac_max_intervals,
-        failure_target=FAILURE_TARGET,
-    )
-
-
 def test_fig7_fig8_memoryless(benchmark, schedule):
     capacities = scale().mbac_capacities
     loads = scale().mbac_loads
-    levels, fractions = empirical_rate_distribution(schedule)
 
     def run():
+        # The (capacity, load, controller) cells are independent, so the
+        # grid goes through the sweep engine: REPRO_SWEEP_WORKERS fans it
+        # out, the disk cache makes figure regeneration free, and the
+        # per-cell seeds are the same historical values as the old serial
+        # loop — results are bit-identical either way.
+        cells = [
+            cell
+            for cell in figs7_9_cells(schedule, scale(), FAILURE_TARGET)
+            if cell.name.startswith("fig7_8/")
+        ]
+        engine = SweepEngine(
+            workers=int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
+            cache=disk_cache,
+            namespace="mbac",
+        )
+        values = [result.value for result in engine.run(cells)]
         rows = []
-        for capacity_multiple in capacities:
-            for load in loads:
-                seed = int(1000 * capacity_multiple + 10 * load)
-                memoryless = _run_point(
-                    schedule, capacity_multiple, load,
-                    MemorylessMBAC(FAILURE_TARGET), seed,
-                )
-                perfect = _run_point(
-                    schedule, capacity_multiple, load,
-                    PerfectKnowledgeCAC(levels, fractions, FAILURE_TARGET),
-                    seed,
-                )
-                rows.append(
-                    {
-                        "capacity": capacity_multiple,
-                        "load": load,
-                        "fail_memoryless": memoryless.failure_probability,
-                        "fail_perfect": perfect.failure_probability,
-                        "util_memoryless": memoryless.utilization,
-                        "util_perfect": perfect.utilization,
-                    }
-                )
+        for memoryless, perfect in zip(values[0::2], values[1::2]):
+            rows.append(
+                {
+                    "capacity": memoryless["capacity_multiple"],
+                    "load": memoryless["load"],
+                    "fail_memoryless": memoryless["failure_probability"],
+                    "fail_perfect": perfect["failure_probability"],
+                    "util_memoryless": memoryless["utilization"],
+                    "util_perfect": perfect["utilization"],
+                }
+            )
         return rows
 
     rows = once(benchmark, run)

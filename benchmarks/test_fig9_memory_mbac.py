@@ -14,16 +14,20 @@ Figs. 7-8 show the memoryless scheme failing:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from benchmarks._common import fmt, once, optimal_schedule, print_table, scale
-from repro.admission.callsim import arrival_rate_for_load, simulate_admission
-from repro.admission.controllers import (
-    MemoryMBAC,
-    MemorylessMBAC,
-    PerfectKnowledgeCAC,
+from benchmarks._common import (
+    disk_cache,
+    fmt,
+    once,
+    optimal_schedule,
+    print_table,
+    scale,
 )
-from repro.core.schedule import empirical_rate_distribution
+from repro.perf import SweepEngine
+from repro.perf.sweeps import figs7_9_cells
 
 FAILURE_TARGET = 1e-3
 
@@ -36,46 +40,35 @@ def schedule():
 def test_memory_mbac_robustness(benchmark, schedule):
     capacity_multiple = min(scale().mbac_capacities)  # the fragile regime
     loads = scale().mbac_loads
-    levels, fractions = empirical_rate_distribution(schedule)
-    mean = schedule.average_rate()
-    capacity = capacity_multiple * mean
 
     def run():
+        # Independent cells through the sweep engine (see the Fig. 7-8
+        # benchmark): same historical seeds, bit-identical to the old
+        # serial loop, parallel under REPRO_SWEEP_WORKERS, memoized by
+        # the shared disk cache.
+        cells = [
+            cell
+            for cell in figs7_9_cells(schedule, scale(), FAILURE_TARGET)
+            if cell.name.startswith("fig9/")
+        ]
+        engine = SweepEngine(
+            workers=int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
+            cache=disk_cache,
+            namespace="mbac",
+        )
+        values = [result.value for result in engine.run(cells)]
         rows = []
-        for load in loads:
-            arrival_rate = arrival_rate_for_load(
-                load, capacity, mean, schedule.duration
-            )
-            seed = int(10_000 + 10 * load)
-            results = {}
-            for name, controller in (
-                ("memoryless", MemorylessMBAC(FAILURE_TARGET)),
-                ("memory", MemoryMBAC(FAILURE_TARGET)),
-                (
-                    "perfect",
-                    PerfectKnowledgeCAC(levels, fractions, FAILURE_TARGET),
-                ),
-            ):
-                results[name] = simulate_admission(
-                    schedule,
-                    capacity,
-                    arrival_rate,
-                    controller,
-                    seed=seed,
-                    warmup_intervals=1,
-                    min_intervals=5,
-                    max_intervals=scale().mbac_max_intervals,
-                    failure_target=FAILURE_TARGET,
-                )
+        for index in range(0, len(values), 3):
+            memoryless, memory, perfect = values[index : index + 3]
             rows.append(
                 {
-                    "load": load,
-                    "fail_memoryless": results["memoryless"].failure_probability,
-                    "fail_memory": results["memory"].failure_probability,
-                    "fail_perfect": results["perfect"].failure_probability,
-                    "util_memoryless": results["memoryless"].utilization,
-                    "util_memory": results["memory"].utilization,
-                    "util_perfect": results["perfect"].utilization,
+                    "load": memoryless["load"],
+                    "fail_memoryless": memoryless["failure_probability"],
+                    "fail_memory": memory["failure_probability"],
+                    "fail_perfect": perfect["failure_probability"],
+                    "util_memoryless": memoryless["utilization"],
+                    "util_memory": memory["utilization"],
+                    "util_perfect": perfect["utilization"],
                 }
             )
         return rows

@@ -167,22 +167,21 @@ class CallLevelSimulator:
         call_id = next(self._ids)
         base = self.class_schedules[call_class]
         schedule = base.shifted(float(self.rng.uniform(0.0, base.duration)))
-        rates = schedule.rates
-        times = schedule.start_times
-        self._request(call_id, float(rates[0]), setup=True)
+        # A call posts one event per renegotiation, so convert the whole
+        # schedule in two batched passes instead of unboxing each rate
+        # and absolute time scalar individually.
+        rates = schedule.rates.tolist()
+        at_times = (now + schedule.start_times).tolist()
+        self._request(call_id, rates[0], setup=True)
         self.controller.on_admit(
-            call_id, float(rates[0]), now, call_class=call_class
+            call_id, rates[0], now, call_class=call_class
         )
-        events = []
-        for index in range(1, rates.size):
-            events.append(
-                self.engine.schedule_at(
-                    now + float(times[index]),
-                    self._handle_renegotiation,
-                    call_id,
-                    float(rates[index]),
-                )
-            )
+        schedule_at = self.engine.schedule_at
+        renegotiate = self._handle_renegotiation
+        events = [
+            schedule_at(at_times[index], renegotiate, call_id, rates[index])
+            for index in range(1, len(rates))
+        ]
         events.append(
             self.engine.schedule_at(
                 now + schedule.duration, self._handle_departure, call_id

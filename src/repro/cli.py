@@ -202,6 +202,210 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The sweep engine commands
+# ----------------------------------------------------------------------
+def _sweep_workers(args: argparse.Namespace) -> int:
+    import os
+
+    if args.workers is not None:
+        return args.workers
+    return int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+
+
+def _sweep_scale(args: argparse.Namespace):
+    from repro.perf.sweeps import SWEEP_SCALES, current_scale
+
+    if args.scale is not None:
+        return SWEEP_SCALES[args.scale]
+    return current_scale()
+
+
+def _sweep_cache(args: argparse.Namespace):
+    from repro.perf.cache import ResultCache
+
+    return ResultCache(
+        root=args.cache_dir, enabled=False if args.no_cache else None
+    )
+
+
+def _sweep_cells(name: str, scale, cache, recorder, loss_target: float):
+    """Build the cell list for one sweep family (shared with ``bench``)."""
+    from repro.perf.sweeps import (
+        BUFFER_BITS,
+        GRANULARITY,
+        figs7_9_cells,
+        optimal_schedule_for,
+        smg_cells,
+        starwars_trace_for,
+        tradeoff_cells,
+    )
+
+    if name == "mbac":
+        schedule = optimal_schedule_for(scale, cache=cache, recorder=recorder)
+        return figs7_9_cells(schedule, scale)
+    if name == "smg":
+        trace = starwars_trace_for(scale, cache=cache, recorder=recorder)
+        schedule = optimal_schedule_for(scale, cache=cache, recorder=recorder)
+        return smg_cells(
+            trace, schedule, scale.smg_sources, BUFFER_BITS, loss_target
+        )
+    if name == "tradeoff":
+        trace = starwars_trace_for(scale, cache=cache, recorder=recorder)
+        return tradeoff_cells(
+            trace,
+            alphas=(2e5, 1e6, 6e6, 3e7),
+            deltas=(kbps(25), kbps(50), kbps(100), kbps(400)),
+            buffer_bits=BUFFER_BITS,
+            granularity=GRANULARITY,
+            frames_per_slot=scale.dp_frames_per_slot,
+        )
+    raise SystemExit(f"unknown sweep {name}")  # pragma: no cover
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep {mbac,smg,tradeoff}``: one figure grid, engine-run."""
+    import time
+
+    from repro.perf import BenchRecorder, SweepEngine
+
+    workers = _sweep_workers(args)
+    scale = _sweep_scale(args)
+    cache = _sweep_cache(args)
+    recorder = BenchRecorder(
+        context={
+            "sweep": args.sweep_name,
+            "scale": scale.name,
+            "workers": workers,
+            "cache": cache.stats()["root"] if cache.enabled else None,
+        }
+    )
+    start = time.perf_counter()
+    cells = _sweep_cells(
+        args.sweep_name, scale, cache, recorder, args.loss_target
+    )
+    engine = SweepEngine(
+        workers=workers, cache=cache, recorder=recorder,
+        namespace=args.sweep_name,
+    )
+    results = engine.run(cells)
+    elapsed = time.perf_counter() - start
+
+    for result in results:
+        tag = "cached" if result.cached else f"{result.seconds:6.2f}s"
+        print(f"  [{tag:>7}] {result.name}")
+        for key, value in sorted(result.value.items()):
+            if isinstance(value, float):
+                print(f"            {key} = {value:.6g}")
+    summary = recorder.summary()
+    print(
+        f"{args.sweep_name}: {len(results)} cells in {elapsed:.2f}s "
+        f"(workers={workers}, cache hits {summary['cache_hits']}/"
+        f"{summary['records']})"
+    )
+    if args.out:
+        recorder.write(args.out)
+        print(f"bench records written to {args.out}")
+    return 0
+
+
+def cmd_sweep_bench(args: argparse.Namespace) -> int:
+    """``repro sweep bench``: the before/after perf demonstration.
+
+    Runs the MBAC figure sweep (Figs. 7-9 cells plus the trace and DP
+    intermediates) three ways — serial with no cache, engine-cold
+    (populating a fresh cache), engine-warm (all hits) — checks the
+    three produce identical values, and writes ``BENCH_sweeps.json``
+    including the recorded seed baseline and the resulting speedups.
+    """
+    import json
+    import shutil
+    import tempfile
+    import time
+
+    from repro.perf import BenchRecorder, ResultCache, SweepEngine
+    from repro.perf.recorder import BENCH_SCHEMA
+
+    workers = _sweep_workers(args)
+    scale = _sweep_scale(args)
+
+    def run_leg(label: str, cache, leg_workers: int):
+        recorder = BenchRecorder(
+            context={"leg": label, "workers": leg_workers}
+        )
+        start = time.perf_counter()
+        cells = _sweep_cells("mbac", scale, cache, recorder, args.loss_target)
+        engine = SweepEngine(
+            workers=leg_workers, cache=cache, recorder=recorder,
+            namespace="mbac",
+        )
+        results = engine.run(cells)
+        elapsed = time.perf_counter() - start
+        values = [result.value for result in results]
+        summary = recorder.summary()
+        print(
+            f"  {label}: {elapsed:7.2f}s  "
+            f"(cache hits {summary['cache_hits']}/{summary['records']})"
+        )
+        return {
+            "label": label,
+            "workers": leg_workers,
+            "wall_seconds": round(elapsed, 3),
+            "cache_hits": summary["cache_hits"],
+            "records": recorder.records,
+        }, values
+
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        print(f"sweep bench at scale={scale.name}, workers={workers}:")
+        serial, serial_values = run_leg(
+            "serial-no-cache", ResultCache(root=cache_root, enabled=False), 1
+        )
+        cold, cold_values = run_leg(
+            "engine-cold", ResultCache(root=cache_root), workers
+        )
+        warm, warm_values = run_leg(
+            "engine-warm", ResultCache(root=cache_root), workers
+        )
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    identical = serial_values == cold_values == warm_values
+    print(f"  serial/cold/warm results identical: {identical}")
+    if not identical:
+        raise SystemExit("engine legs disagree with the serial reference")
+
+    baseline = None
+    if args.baseline and Path(args.baseline).exists():
+        baseline = json.loads(Path(args.baseline).read_text())
+
+    def speedup(reference: Optional[float], seconds: float):
+        if reference is None or seconds <= 0:
+            return None
+        return round(reference / seconds, 2)
+
+    reference = baseline.get("total_seconds") if baseline else None
+    report = {
+        "schema": BENCH_SCHEMA,
+        "scale": scale.name,
+        "workers": workers,
+        "baseline": baseline,
+        "legs": [serial, cold, warm],
+        "results_identical": identical,
+        "speedups_vs_baseline": {
+            "serial_no_cache": speedup(reference, serial["wall_seconds"]),
+            "engine_cold": speedup(reference, cold["wall_seconds"]),
+            "engine_warm": speedup(reference, warm["wall_seconds"]),
+        },
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench report written to {args.out}")
+    if reference is not None:
+        for key, value in report["speedups_vs_baseline"].items():
+            print(f"  {key}: {value}x vs baseline {reference:.2f}s")
+    return 0
+
+
 def cmd_fit(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     model = fit_starwars_model(trace, num_classes=args.classes)
@@ -285,6 +489,59 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=1995)
     experiment.add_argument("--loss-target", type=float, default=1e-3)
     experiment.set_defaults(handler=cmd_experiment)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a figure grid through the parallel sweep engine",
+    )
+    sweep_commands = sweep.add_subparsers(dest="sweep_name", required=True)
+
+    def add_sweep_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes (default: $REPRO_SWEEP_WORKERS or 1)",
+        )
+        sub.add_argument(
+            "--scale", choices=("small", "paper"), default=None,
+            help="experiment scale (default: $REPRO_SCALE or small)",
+        )
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="compute everything; read and write no cache entries",
+        )
+        sub.add_argument(
+            "--cache-dir", default=None,
+            help="cache root (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro-rcbr)",
+        )
+        sub.add_argument("--loss-target", type=float, default=1e-3)
+
+    for sweep_name, sweep_help in (
+        ("mbac", "the Figs. 7-9 admission-control grid"),
+        ("smg", "the Fig. 6 multiplexing-gain cells (scenarios b, c)"),
+        ("tradeoff", "the Fig. 2 alpha/delta tradeoff cells"),
+    ):
+        sub = sweep_commands.add_parser(sweep_name, help=sweep_help)
+        add_sweep_options(sub)
+        sub.add_argument(
+            "--out", default=None, help="also write bench records JSON here"
+        )
+        sub.set_defaults(handler=cmd_sweep)
+
+    bench = sweep_commands.add_parser(
+        "bench",
+        help="before/after perf report: serial vs engine-cold vs engine-warm",
+    )
+    add_sweep_options(bench)
+    bench.add_argument(
+        "--out", default="BENCH_sweeps.json",
+        help="report path (default: BENCH_sweeps.json)",
+    )
+    bench.add_argument(
+        "--baseline", default="benchmarks/seed_baseline.json",
+        help="recorded pre-engine serial baseline to compare against",
+    )
+    bench.set_defaults(handler=cmd_sweep_bench)
 
     return parser
 

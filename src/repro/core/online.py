@@ -132,6 +132,8 @@ class OnlineScheduler:
         params = self.params
         if buffer_size is not None and buffer_size <= 0:
             raise ValueError("buffer_size must be positive")
+        # Python floats iterate measurably faster through the tight slot
+        # loop than numpy scalars, so unbox the arrivals once up front.
         arrivals = workload.bits_per_slot.tolist()
         slot = workload.slot_duration
         time_constant = params.time_constant_slots * slot
@@ -143,8 +145,16 @@ class OnlineScheduler:
                 raise ValueError("initial_rate must be non-negative")
             current_rate = initial_rate
 
+        if recovery is None and request_fn is None and buffer_size is None:
+            return self._schedule_fast(workload, arrivals, current_rate, name)
+
         if recovery is not None:
             recovery.reset()
+
+        # Hot-loop locals: attribute lookups cost per slot.
+        high = params.high_threshold
+        low = params.low_threshold
+        quantize = self.quantize
 
         estimate = current_rate
         buffer_level = 0.0
@@ -181,10 +191,10 @@ class OnlineScheduler:
                 params.ar_coefficient * estimate
                 + (1.0 - params.ar_coefficient) * incoming_rate
             )
-            candidate = self.quantize(estimate + buffer_level / time_constant)
+            candidate = quantize(estimate + buffer_level / time_constant)
 
-            wants_up = buffer_level > params.high_threshold and candidate > current_rate
-            wants_down = buffer_level < params.low_threshold and candidate < current_rate
+            wants_up = buffer_level > high and candidate > current_rate
+            wants_down = buffer_level < low and candidate < current_rate
             if wants_up or wants_down:
                 if recovery is None:
                     requests += 1
@@ -229,4 +239,69 @@ class OnlineScheduler:
             bits_lost=bits_lost,
             drain_slots=drain_slots,
             requests_suppressed=suppressed,
+        )
+
+    def _schedule_fast(
+        self,
+        workload: SlottedWorkload,
+        arrivals: list,
+        current_rate: float,
+        name: str,
+    ) -> OnlineScheduleResult:
+        """The no-faults loop: every request granted, infinite buffer.
+
+        This covers the Fig. 2 heuristic sweep and the per-source
+        schedules behind every MBAC cell, so it is the hottest Python
+        loop in the repo.  It is the general loop with the
+        recovery/request/overflow branches removed, every parameter in
+        a local, and the quantiser inlined; each arithmetic expression
+        is kept textually identical to the general path (and to
+        :meth:`quantize`), so both paths produce bit-identical floats.
+        """
+        params = self.params
+        slot = workload.slot_duration
+        time_constant = params.time_constant_slots * slot
+        eta = params.ar_coefficient
+        complement = 1.0 - params.ar_coefficient
+        delta = params.granularity
+        max_rate = params.max_rate
+        high = params.high_threshold
+        low = params.low_threshold
+        ceil = math.ceil
+
+        estimate = current_rate
+        buffer_level = 0.0
+        max_buffer = 0.0
+        requests = 0
+        slot_rates: list = []
+        record_rate = slot_rates.append
+
+        for amount in arrivals:
+            record_rate(current_rate)
+            buffer_level = max(
+                0.0, buffer_level + amount - current_rate * slot
+            )
+            if buffer_level > max_buffer:
+                max_buffer = buffer_level
+            incoming_rate = amount / slot
+            estimate = eta * estimate + complement * incoming_rate
+            rate_estimate = estimate + buffer_level / time_constant
+            candidate = ceil(max(0.0, rate_estimate) / delta - 1e-12) * delta
+            if max_rate is not None and candidate > max_rate:
+                candidate = max_rate
+            if (buffer_level > high and candidate > current_rate) or (
+                buffer_level < low and candidate < current_rate
+            ):
+                requests += 1
+                current_rate = candidate
+
+        schedule = RateSchedule.from_slot_rates(
+            slot_rates, slot, name=name or f"ar1({workload.name})"
+        )
+        return OnlineScheduleResult(
+            schedule=schedule,
+            max_buffer=max_buffer,
+            final_buffer=buffer_level,
+            requests_made=requests,
+            requests_denied=0,
         )

@@ -19,7 +19,6 @@ the "prune across nodes" refinement of footnote 3.
 
 from __future__ import annotations
 
-from array import array
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -31,6 +30,41 @@ from repro.traffic.trace import SlottedWorkload
 
 class InfeasibleScheduleError(ValueError):
     """No feasible schedule exists (rate set or buffer too small)."""
+
+
+class _Int64Store:
+    """Append-only node store backed by a preallocated ``int64`` array.
+
+    Replaces the old ``array("l")`` stores, which were 32-bit on LLP64
+    ABIs and would overflow for long traces crossed with wide rate grids;
+    batch ``extend`` by slice assignment also avoids the per-slot
+    ``ndarray.tolist()`` round-trip.  Capacity grows geometrically.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._data = np.empty(max(1, capacity), dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def extend(self, values: np.ndarray) -> None:
+        needed = self._size + values.size
+        if needed > self._data.size:
+            capacity = self._data.size
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : needed] = values
+        self._size = needed
+
+    def view(self) -> np.ndarray:
+        """The filled prefix (a view, not a copy)."""
+        return self._data[: self._size]
 
 
 def uniform_rate_levels(
@@ -142,9 +176,9 @@ class OptimalScheduler:
         step_costs = self.beta * self.rate_levels
         num_levels = self.rate_levels.size
 
-        # Append-only node store for backtracking: parent id and rate index.
-        parent_store = array("l")
-        rate_store = array("l")
+        # Append-only node stores for backtracking: parent id and rate index.
+        parent_store = _Int64Store()
+        rate_store = _Int64Store()
         nodes_expanded = 0
         max_frontier = 0
 
@@ -154,7 +188,7 @@ class OptimalScheduler:
         frontier_rate: Optional[np.ndarray] = None
         frontier_id: Optional[np.ndarray] = None
 
-        level_index = np.arange(num_levels)
+        level_index = np.arange(num_levels, dtype=np.int64)
 
         for slot in range(num_slots):
             a_t = arrivals[slot]
@@ -209,25 +243,22 @@ class OptimalScheduler:
                 cand_parent = np.concatenate([same_parent, cross_parent])
 
             feasible = cand_q <= bound + 1e-9
-            if not np.any(feasible):
+            num_feasible = int(np.count_nonzero(feasible))
+            if num_feasible == 0:
                 raise InfeasibleScheduleError(
                     f"no feasible rate assignment at slot {slot}: arrivals "
                     f"{a_t:.0f} bits exceed max drain plus occupancy bound "
                     f"{bound:.0f} bits; widen the rate set or the buffer"
                 )
-            cand_q = cand_q[feasible]
-            cand_w = cand_w[feasible]
-            cand_rate = cand_rate[feasible]
-            cand_parent = cand_parent[feasible]
-            nodes_expanded += cand_q.size
+            nodes_expanded += num_feasible
 
             keep_q, keep_w, keep_rate, keep_parent = self._prune(
-                cand_q, cand_w, cand_rate, cand_parent
+                cand_q, cand_w, cand_rate, cand_parent, feasible
             )
 
             base_id = len(parent_store)
-            parent_store.extend(keep_parent.tolist())
-            rate_store.extend(keep_rate.tolist())
+            parent_store.extend(keep_parent)
+            rate_store.extend(keep_rate)
             frontier_q = keep_q
             frontier_w = keep_w
             frontier_rate = keep_rate
@@ -237,7 +268,10 @@ class OptimalScheduler:
         best = int(np.argmin(frontier_w))
         total_cost = float(frontier_w[best])
         slot_rates = self._backtrack(
-            int(frontier_id[best]), parent_store, rate_store, num_slots
+            int(frontier_id[best]),
+            parent_store.view(),
+            rate_store.view(),
+            num_slots,
         )
         schedule = RateSchedule.from_slot_rates(
             self.rate_levels[slot_rates],
@@ -276,25 +310,56 @@ class OptimalScheduler:
             bounds = np.minimum(bounds, window)
         return bounds
 
-    def _prune(self, q, w, rate, parent):
-        """Within-rate Pareto pruning plus the cross-rate alpha rule."""
-        # Sort by (rate, q, w) so each rate forms one contiguous block in
-        # which a running minimum of w identifies the Pareto frontier.
+    def _prune(self, q, w, rate, parent, valid):
+        """Feasibility, within-rate Pareto, and cross-rate alpha pruning.
+
+        The feasibility mask (``valid``) and the within-rate Pareto
+        mask are computed against the *full* candidate arrays and
+        resolved with one shared gather, saving a fancy-indexing pass
+        per slot.  Fusing them is exact: an infeasible node has q
+        strictly above the slot bound, hence strictly above every
+        feasible q, so it sorts after all feasible nodes and never
+        enters a running minimum a feasible node sees.  The alpha rule
+        then runs on the much smaller surviving set.
+        """
+        size = q.size
+        # Within-rate mask: sort by (rate, q, w) so each rate forms one
+        # contiguous block in which a running minimum of w identifies
+        # the Pareto frontier: a node is kept iff it strictly improves
+        # the running minimum (same-rate nodes with q' >= q and w' >= w
+        # are dominated).  The per-block running minimum is one
+        # vectorised pass: map w to dense ranks (ties share a rank, so
+        # all comparisons stay exact), then offset each block so every
+        # entry of an *earlier* block is strictly larger than any entry
+        # of a later one — a single global cumulative minimum then
+        # restarts at each block.
         order = np.lexsort((w, q, rate))
-        q, w, rate, parent = q[order], w[order], rate[order], parent[order]
-        keep = np.zeros(q.size, dtype=bool)
-        block_starts = np.flatnonzero(np.diff(rate)) + 1
-        block_bounds = np.concatenate([[0], block_starts, [q.size]])
-        for lo, hi in zip(block_bounds[:-1], block_bounds[1:]):
-            block_w = w[lo:hi]
-            running = np.minimum.accumulate(block_w)
-            first = np.empty(hi - lo, dtype=bool)
-            first[0] = True
-            # Keep a node iff it strictly improves the running minimum:
-            # same-rate nodes with q' >= q and w' >= w are dominated.
-            first[1:] = block_w[1:] < running[:-1]
-            keep[lo:hi] = first
-        q, w, rate, parent = q[keep], w[keep], rate[keep], parent[keep]
+        rate_sorted = rate[order]
+        rank_order = np.argsort(w, kind="stable")
+        w_ascending = w[rank_order]
+        ascents = np.empty(size, dtype=np.int64)
+        ascents[0] = 0
+        ascents[1:] = w_ascending[1:] != w_ascending[:-1]
+        np.cumsum(ascents, out=ascents)
+        rank = np.empty(size, dtype=np.int64)
+        rank[rank_order] = ascents
+        new_block = np.empty(size, dtype=bool)
+        new_block[0] = True
+        np.not_equal(rate_sorted[1:], rate_sorted[:-1], out=new_block[1:])
+        segment = np.cumsum(new_block) - 1
+        num_segments = int(segment[-1]) + 1
+        stride = np.int64(ascents[-1]) + 2  # exceeds every rank
+        shifted = rank[order] + (num_segments - segment) * stride
+        running = np.minimum.accumulate(shifted)
+        keep_sorted = np.empty(size, dtype=bool)
+        keep_sorted[0] = True
+        np.less(shifted[1:], running[:-1], out=keep_sorted[1:])
+        keep_sorted &= valid[order]
+        # One gather resolves both masks, in (rate, q, w) order — the
+        # order the unfused pipeline produced — so downstream
+        # tie-breaks are unchanged.
+        selected = order[keep_sorted]
+        q, w, rate, parent = q[selected], w[selected], rate[selected], parent[selected]
 
         if self.alpha > 0.0 and q.size > 1:
             # Cross-rate rule (Lemma 1): dominated if some node has
@@ -311,13 +376,20 @@ class OptimalScheduler:
         return q, w, rate, parent
 
     @staticmethod
-    def _backtrack(node_id: int, parents: array, rates: array, num_slots: int):
-        """Recover the per-slot rate indices by walking parent pointers."""
+    def _backtrack(
+        node_id: int, parents: np.ndarray, rates: np.ndarray, num_slots: int
+    ):
+        """Recover the per-slot rate indices by walking parent pointers.
+
+        The walk touches ``num_slots`` of the potentially millions of
+        stored nodes, so it indexes the stores directly rather than
+        materialising Python lists.
+        """
         indices = np.empty(num_slots, dtype=np.int64)
         current = node_id
         for slot in range(num_slots - 1, -1, -1):
             indices[slot] = rates[current]
-            current = parents[current]
+            current = int(parents[current])
         if current != -1:
             raise AssertionError("backtrack did not terminate at the root")
         return indices

@@ -7,25 +7,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.admission.callsim import arrival_rate_for_load, simulate_admission
-from repro.admission.controllers import (
-    MemoryMBAC,
-    MemorylessMBAC,
-    PerfectKnowledgeCAC,
-)
 from repro.analysis.empirical import sigma_rho_for_loss, windowed_peak_rate
-from repro.core import (
-    OnlineParams,
-    OnlineScheduler,
-    OptimalScheduler,
-    granular_rate_levels,
-)
-from repro.core.schedule import RateSchedule, empirical_rate_distribution
-from repro.queueing.mux import (
-    scenario_a_rate,
-    scenario_b_min_rate,
-    scenario_c_min_rate,
-)
+from repro.core import OptimalScheduler, granular_rate_levels
+from repro.core.schedule import RateSchedule
+from repro.perf.cache import ResultCache
+from repro.perf.engine import SweepEngine
+from repro.perf.recorder import BenchRecorder
+from repro.perf.sweeps import mbac_grid_cells, smg_cells, tradeoff_cells
+from repro.queueing.mux import scenario_a_rate
 from repro.traffic.trace import FrameTrace
 from repro.util.rng import SeedLike
 from repro.util.units import kbits, kbps
@@ -86,39 +75,37 @@ def run_tradeoff(
     buffer_bits: float = DEFAULT_BUFFER,
     granularity: float = DEFAULT_GRANULARITY,
     frames_per_slot: int = 2,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    recorder: Optional[BenchRecorder] = None,
 ) -> TradeoffResult:
-    """Fig. 2: sweep the OPT cost ratio and the heuristic granularity."""
+    """Fig. 2: sweep the OPT cost ratio and the heuristic granularity.
+
+    Each alpha (DP solve) and each delta (heuristic run) is an
+    independent cell of a :class:`~repro.perf.engine.SweepEngine` sweep:
+    ``workers`` fans them out, ``cache`` memoizes them on disk, and
+    ``recorder`` collects per-cell timings.  The serial defaults
+    reproduce the historical results exactly.
+    """
+    cells = tradeoff_cells(
+        trace, alphas, deltas, buffer_bits, granularity, frames_per_slot
+    )
+    engine = SweepEngine(
+        workers=workers, cache=cache, recorder=recorder, namespace="tradeoff"
+    )
+    values = [cell_result.value for cell_result in engine.run(cells)]
     result = TradeoffResult()
-    workload = trace.aggregate(frames_per_slot)
-    levels = rate_levels_for(trace, granularity)
-    mean = trace.mean_rate
-    for alpha in alphas:
-        schedule = (
-            OptimalScheduler(levels, alpha=alpha)
-            .solve(workload, buffer_bits=buffer_bits)
-            .schedule
+    for value in values:
+        point = TradeoffPoint(
+            parameter=value["parameter"],
+            mean_interval=value["mean_interval"],
+            efficiency=value["efficiency"],
+            max_buffer=value["max_buffer"],
         )
-        result.optimal.append(
-            TradeoffPoint(
-                parameter=alpha,
-                mean_interval=schedule.mean_renegotiation_interval(),
-                efficiency=schedule.bandwidth_efficiency(mean),
-                max_buffer=schedule.max_buffer(workload),
-            )
-        )
-    frame_workload = trace.as_workload()
-    for delta in deltas:
-        outcome = OnlineScheduler(OnlineParams(granularity=delta)).schedule(
-            frame_workload
-        )
-        result.heuristic.append(
-            TradeoffPoint(
-                parameter=delta,
-                mean_interval=outcome.schedule.mean_renegotiation_interval(),
-                efficiency=outcome.schedule.bandwidth_efficiency(mean),
-                max_buffer=outcome.max_buffer,
-            )
-        )
+        if "nodes_expanded" in value:
+            result.optimal.append(point)
+        else:
+            result.heuristic.append(point)
     return result
 
 
@@ -176,27 +163,34 @@ def run_smg(
     loss_target: float = 1e-6,
     buffer_bits: float = DEFAULT_BUFFER,
     seed: SeedLike = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    recorder: Optional[BenchRecorder] = None,
 ) -> SmgResult:
-    """Fig. 6: per-stream capacity under scenarios (a), (b), (c)."""
+    """Fig. 6: per-stream capacity under scenarios (a), (b), (c).
+
+    The per-source-count cells run through the sweep engine with the
+    historical per-index seeds, so serial and parallel runs match the
+    old serial loop bit for bit; scenario (a) is N-independent and
+    computed once inline.
+    """
     workload = trace.as_workload()
     cbr = scenario_a_rate(workload, buffer_bits, loss_target)
-    points = []
-    for index, count in enumerate(source_counts):
-        shared = scenario_b_min_rate(
-            trace, count, buffer_bits, loss_target,
-            seed=(seed, 2 * index),
+    cells = smg_cells(
+        trace, schedule, source_counts, buffer_bits, loss_target, seed=seed
+    )
+    engine = SweepEngine(
+        workers=workers, cache=cache, recorder=recorder, namespace="smg"
+    )
+    points = [
+        SmgPoint(
+            num_sources=cell_result.value["num_sources"],
+            cbr_rate=cbr,
+            shared_rate=cell_result.value["shared_rate"],
+            rcbr_rate=cell_result.value["rcbr_rate"],
         )
-        rcbr = scenario_c_min_rate(
-            schedule, count, loss_target, seed=(seed, 2 * index + 1)
-        )
-        points.append(
-            SmgPoint(
-                num_sources=count,
-                cbr_rate=cbr,
-                shared_rate=shared,
-                rcbr_rate=rcbr,
-            )
-        )
+        for cell_result in engine.run(cells)
+    ]
     return SmgResult(
         points=points,
         mean_rate=trace.mean_rate,
@@ -235,47 +229,40 @@ def run_mbac_comparison(
     seed_base: int = 10_000,
     min_intervals: int = 5,
     max_intervals: int = 10,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    recorder: Optional[BenchRecorder] = None,
 ) -> MbacResult:
-    """Figs. 7-8 and the memory fix: failure probability and utilization."""
-    levels, fractions = empirical_rate_distribution(schedule)
-    mean = schedule.average_rate()
+    """Figs. 7-8 and the memory fix: failure probability and utilization.
 
-    def make_controller(name: str):
-        if name == "memoryless":
-            return MemorylessMBAC(failure_target)
-        if name == "memory":
-            return MemoryMBAC(failure_target)
-        if name == "perfect":
-            return PerfectKnowledgeCAC(levels, fractions, failure_target)
-        raise ValueError(f"unknown controller {name!r}")
-
-    points = []
-    for capacity_multiple in capacity_multiples:
-        capacity = capacity_multiple * mean
-        for load in loads:
-            arrival_rate = arrival_rate_for_load(
-                load, capacity, mean, schedule.duration
-            )
-            seed = seed_base + int(100 * capacity_multiple + 10 * load)
-            for name in controllers:
-                outcome = simulate_admission(
-                    schedule,
-                    capacity,
-                    arrival_rate,
-                    make_controller(name),
-                    seed=seed,
-                    min_intervals=min_intervals,
-                    max_intervals=max_intervals,
-                    failure_target=failure_target,
-                )
-                points.append(
-                    MbacPoint(
-                        controller=name,
-                        capacity_multiple=capacity_multiple,
-                        load=load,
-                        failure_probability=outcome.failure_probability,
-                        utilization=outcome.utilization,
-                        blocking_probability=outcome.blocking_probability,
-                    )
-                )
+    The (capacity, load, controller) grid runs through the sweep
+    engine; per-point seeds follow the historical
+    ``seed_base + int(100 * capacity + 10 * load)`` scheme (shared by
+    every controller at a point), so any worker count reproduces the
+    old serial loop exactly.
+    """
+    cells = mbac_grid_cells(
+        schedule,
+        capacity_multiples,
+        loads,
+        controllers,
+        seed_base=seed_base,
+        failure_target=failure_target,
+        min_intervals=min_intervals,
+        max_intervals=max_intervals,
+    )
+    engine = SweepEngine(
+        workers=workers, cache=cache, recorder=recorder, namespace="mbac"
+    )
+    points = [
+        MbacPoint(
+            controller=cell_result.value["controller"],
+            capacity_multiple=cell_result.value["capacity_multiple"],
+            load=cell_result.value["load"],
+            failure_probability=cell_result.value["failure_probability"],
+            utilization=cell_result.value["utilization"],
+            blocking_probability=cell_result.value["blocking_probability"],
+        )
+        for cell_result in engine.run(cells)
+    ]
     return MbacResult(points=points, failure_target=failure_target)

@@ -1,0 +1,54 @@
+"""Performance subsystem: parallel sweeps, result caching, bench records.
+
+The paper's figures are parameter sweeps, and regenerating one at
+``REPRO_SCALE=paper`` costs hours if every cell runs serially and every
+heavy intermediate is recomputed.  This package makes regeneration cheap:
+
+* :class:`SweepEngine` fans independent sweep cells out over a process
+  pool with deterministic per-cell ``SeedSequence`` children, so serial
+  and parallel runs are bit-identical;
+* :class:`ResultCache` is a content-addressed on-disk memo (key = hash
+  of workload fingerprint + solver/controller parameters + code
+  version) shared between worker processes and across runs;
+* :class:`BenchRecorder` timestamps every cell and writes
+  ``BENCH_sweeps.json``, the repo's perf trajectory;
+* :mod:`repro.perf.sweeps` defines the concrete cells of the paper's
+  grids (Figs. 2, 6, 7-9) plus the cached trace/DP-schedule builders.
+"""
+
+from repro.perf.cache import CACHE_SCHEMA, ResultCache, fingerprint
+from repro.perf.engine import CellResult, SweepCell, SweepEngine
+from repro.perf.recorder import BENCH_SCHEMA, BenchRecorder
+from repro.perf.sweeps import (
+    SWEEP_SCALES,
+    SweepScale,
+    current_scale,
+    figs7_9_cells,
+    mbac_cell,
+    mbac_grid_cells,
+    optimal_schedule_for,
+    smg_cells,
+    starwars_trace_for,
+    tradeoff_cells,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "fingerprint",
+    "CellResult",
+    "SweepCell",
+    "SweepEngine",
+    "BENCH_SCHEMA",
+    "BenchRecorder",
+    "SWEEP_SCALES",
+    "SweepScale",
+    "current_scale",
+    "figs7_9_cells",
+    "mbac_cell",
+    "mbac_grid_cells",
+    "optimal_schedule_for",
+    "smg_cells",
+    "starwars_trace_for",
+    "tradeoff_cells",
+]

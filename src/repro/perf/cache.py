@@ -1,0 +1,251 @@
+"""Content-addressed on-disk result cache.
+
+Parameter sweeps recompute the same expensive intermediates over and over
+— the synthetic Star Wars trace, optimal DP schedules, MBAC interval
+samples.  This module memoizes them on disk, keyed by a collision-
+resistant *fingerprint* of everything that determines the value:
+
+    key = sha256(code version || namespace || canonical(payload))
+
+so a cached entry can never be served for different inputs, a different
+scale, or a different code version.  Values are pickled into
+``<root>/<key[:2]>/<key>.pkl`` with atomic replace, which makes the
+cache safe to share between the worker processes of a sweep and across
+independent runs.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — overrides the default root
+  (``~/.cache/repro-rcbr``);
+* ``REPRO_NO_CACHE=1`` — disables reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import shutil
+import struct
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple, Union
+
+import numpy as np
+
+#: Bump when the canonical encoding or the on-disk layout changes.
+CACHE_SCHEMA = 1
+
+_DISABLE_VALUES = {"1", "true", "yes", "on"}
+
+
+def _default_code_version() -> str:
+    try:
+        from repro import __version__
+    except Exception:  # pragma: no cover - circular-import fallback
+        __version__ = "unknown"
+    return f"{__version__}+schema{CACHE_SCHEMA}"
+
+
+# ----------------------------------------------------------------------
+# Canonical fingerprinting
+# ----------------------------------------------------------------------
+def _update(digest, obj: Any) -> None:
+    """Feed a canonical, type-tagged encoding of ``obj`` into ``digest``.
+
+    Supported: ``None``, bools, ints, floats, strings, bytes, numpy
+    scalars and arrays, tuples/lists, dicts (order-insensitive),
+    dataclasses (public fields), and any object exposing either a
+    ``cache_fingerprint()`` or a ``to_dict()`` method (which covers
+    :class:`~repro.core.schedule.RateSchedule`).
+    """
+    if obj is None:
+        digest.update(b"N")
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        digest.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        encoded = str(int(obj)).encode()
+        digest.update(b"I" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(obj, (float, np.floating)):
+        digest.update(b"F" + struct.pack("<d", float(obj)))
+    elif isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        digest.update(b"S" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(obj, (bytes, bytearray)):
+        digest.update(b"Y" + str(len(obj)).encode() + b":" + bytes(obj))
+    elif isinstance(obj, np.ndarray):
+        array = np.ascontiguousarray(obj)
+        digest.update(
+            b"A" + array.dtype.str.encode() + repr(array.shape).encode()
+        )
+        digest.update(array.tobytes())
+    elif isinstance(obj, (tuple, list)):
+        digest.update(b"L" + str(len(obj)).encode() + b":")
+        for item in obj:
+            _update(digest, item)
+    elif isinstance(obj, dict):
+        digest.update(b"D" + str(len(obj)).encode() + b":")
+        for key in sorted(obj, key=repr):
+            _update(digest, key)
+            _update(digest, obj[key])
+    elif hasattr(obj, "cache_fingerprint") and callable(obj.cache_fingerprint):
+        digest.update(b"O" + type(obj).__qualname__.encode() + b":")
+        _update(digest, obj.cache_fingerprint())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        digest.update(b"C" + type(obj).__qualname__.encode() + b":")
+        for field in dataclasses.fields(obj):
+            if field.name.startswith("_"):
+                continue
+            _update(digest, field.name)
+            _update(digest, getattr(obj, field.name))
+    elif hasattr(obj, "to_dict") and callable(obj.to_dict):
+        digest.update(b"T" + type(obj).__qualname__.encode() + b":")
+        _update(digest, obj.to_dict())
+    else:
+        raise TypeError(
+            f"cannot fingerprint object of type {type(obj).__qualname__}; "
+            "pass primitives, arrays, dataclasses, or objects with "
+            "cache_fingerprint()/to_dict()"
+        )
+
+
+def fingerprint(obj: Any) -> str:
+    """Hex sha256 of the canonical encoding of ``obj``."""
+    digest = hashlib.sha256()
+    _update(digest, obj)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """A content-addressed pickle store with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily).  Defaults to
+        ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-rcbr``.
+    enabled:
+        Explicit on/off switch; defaults to on unless ``REPRO_NO_CACHE``
+        is set.  A disabled cache computes everything and writes nothing.
+    code_version:
+        Folded into every key so entries from older code never leak into
+        newer runs.  Defaults to the package version plus the schema.
+    """
+
+    def __init__(
+        self,
+        root: Union[None, str, Path] = None,
+        enabled: Optional[bool] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        if enabled is None:
+            flag = os.environ.get("REPRO_NO_CACHE", "").strip().lower()
+            enabled = flag not in _DISABLE_VALUES
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro-rcbr"
+            )
+        self.root = Path(root).expanduser()
+        self.enabled = bool(enabled)
+        self.code_version = code_version or _default_code_version()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def key(self, namespace: str, payload: Any) -> str:
+        """The content-addressed key for ``payload`` under ``namespace``."""
+        return fingerprint((self.code_version, namespace, payload))
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; a corrupt or unreadable entry counts as a miss."""
+        if not self.enabled:
+            return False, None
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated write from a crashed process, unpicklable blob, …
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Atomically persist ``value``; returns False if it cannot be."""
+        if not self.enabled:
+            return False
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        self.writes += 1
+        return True
+
+    def memoize(
+        self, namespace: str, payload: Any, fn: Callable[[], Any]
+    ) -> Any:
+        """``fn()``, memoized under ``key(namespace, payload)``."""
+        if not self.enabled:
+            return fn()
+        key = self.key(namespace, payload)
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = fn()
+        self.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Remove every cached entry (the directory itself survives)."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, enabled={self.enabled}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

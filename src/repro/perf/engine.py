@@ -1,0 +1,210 @@
+"""The parallel sweep engine.
+
+A sweep is a list of independent *cells* — (capacity, load, controller)
+points of the MBAC grid, alpha values of the Fig. 2 curve, source counts
+of Fig. 6.  The engine fans cells out over a ``ProcessPoolExecutor``,
+memoizes them through a :class:`~repro.perf.cache.ResultCache`, and
+records per-cell wall-clock in a
+:class:`~repro.perf.recorder.BenchRecorder`.
+
+Determinism contract: a cell that asks for a seed (``seed_arg``) gets a
+``numpy.random.SeedSequence`` child derived *only* from the engine's
+``base_seed`` and the cell's position in the sweep —
+``SeedSequence(base_seed, spawn_key=(index,))`` — never from worker
+identity, scheduling order, or cache state.  Serial (``workers=1``) and
+parallel runs of the same sweep therefore produce bit-identical results,
+and a cache-warm rerun returns exactly the values a cold run computed.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.perf.cache import ResultCache
+from repro.perf.recorder import BenchRecorder
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work.
+
+    Parameters
+    ----------
+    name:
+        Display/record label, e.g. ``"mbac/cap6/load1/memoryless"``.
+    fn:
+        A **module-level** callable (it must pickle for the process
+        pool) invoked as ``fn(**kwargs)``.
+    kwargs:
+        Keyword arguments; every value must pickle.
+    cache_payload:
+        Everything that determines the result, for the cache key; the
+        common choice is the ``kwargs`` dict itself.  ``None`` disables
+        caching for this cell.
+    seed_arg:
+        Name of a keyword argument to fill with the cell's deterministic
+        ``SeedSequence`` child.  Leave ``None`` when ``kwargs`` already
+        carries an explicit seed.
+    meta:
+        Static metadata copied into the cell's bench record.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    cache_payload: Any = None
+    seed_arg: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """A cell's value plus how it was obtained."""
+
+    name: str
+    value: Any
+    seconds: float
+    cached: bool
+
+
+def _execute_cell(fn: Callable[..., Any], kwargs: Dict[str, Any]):
+    """Run one cell (in a worker or inline) and time it."""
+    start = time.perf_counter()
+    value = fn(**kwargs)
+    return value, time.perf_counter() - start
+
+
+class SweepEngine:
+    """Run sweep cells — serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` runs everything inline (no pool, no
+        pickling), which is also the fully deterministic reference the
+        parallel path is tested against.
+    cache:
+        Optional :class:`ResultCache`; cells with a ``cache_payload``
+        are looked up before any work is scheduled and stored after.
+    recorder:
+        Optional :class:`BenchRecorder` receiving one record per cell.
+    base_seed:
+        Root of the per-cell ``SeedSequence`` derivation.
+    namespace:
+        Cache namespace, so unrelated sweeps never share keys.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        recorder: Optional[BenchRecorder] = None,
+        base_seed: int = 0,
+        namespace: str = "sweep",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self.cache = cache
+        self.recorder = recorder
+        self.base_seed = int(base_seed)
+        self.namespace = namespace
+
+    # ------------------------------------------------------------------
+    def _cell_kwargs(self, cell: SweepCell, index: int) -> Dict[str, Any]:
+        if cell.seed_arg is None:
+            return cell.kwargs
+        kwargs = dict(cell.kwargs)
+        kwargs[cell.seed_arg] = np.random.SeedSequence(
+            self.base_seed, spawn_key=(index,)
+        )
+        return kwargs
+
+    def _cache_key(self, cell: SweepCell, index: int) -> Optional[str]:
+        if self.cache is None or not self.cache.enabled:
+            return None
+        if cell.cache_payload is None:
+            return None
+        payload = (
+            cell.name,
+            cell.cache_payload,
+            ("seed", self.base_seed, index) if cell.seed_arg else None,
+        )
+        return self.cache.key(self.namespace, payload)
+
+    def _record(self, cell: SweepCell, seconds: float, cached: bool) -> None:
+        if self.recorder is not None:
+            self.recorder.add(
+                cell.name,
+                seconds,
+                cached=cached,
+                workers=self.workers,
+                **cell.meta,
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[SweepCell]) -> List[CellResult]:
+        """Run every cell; results come back in input order."""
+        cells = list(cells)
+        results: List[Optional[CellResult]] = [None] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        pending: List[int] = []
+
+        for index, cell in enumerate(cells):
+            key = self._cache_key(cell, index)
+            keys[index] = key
+            if key is not None:
+                start = time.perf_counter()
+                hit, value = self.cache.get(key)
+                if hit:
+                    elapsed = time.perf_counter() - start
+                    results[index] = CellResult(
+                        cell.name, value, elapsed, cached=True
+                    )
+                    self._record(cell, elapsed, cached=True)
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                for index in pending:
+                    cell = cells[index]
+                    value, seconds = _execute_cell(
+                        cell.fn, self._cell_kwargs(cell, index)
+                    )
+                    self._finish(cells, results, keys, index, value, seconds)
+            else:
+                self._run_pool(cells, results, keys, pending)
+
+        return [result for result in results if result is not None]
+
+    def _finish(self, cells, results, keys, index, value, seconds) -> None:
+        cell = cells[index]
+        if keys[index] is not None:
+            self.cache.put(keys[index], value)
+        results[index] = CellResult(cell.name, value, seconds, cached=False)
+        self._record(cell, seconds, cached=False)
+
+    def _run_pool(self, cells, results, keys, pending) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_cell,
+                    cells[index].fn,
+                    self._cell_kwargs(cells[index], index),
+                ): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    value, seconds = future.result()
+                    self._finish(cells, results, keys, index, value, seconds)

@@ -1,0 +1,82 @@
+"""Per-cell timing records for the sweep benchmarks.
+
+A :class:`BenchRecorder` collects one record per unit of work — a sweep
+cell, a DP solve, a trace generation — with its wall-clock cost, whether
+it was served from the result cache, and any extra metadata the caller
+wants to keep (nodes expanded, interval counts, …).  ``write()`` emits
+the ``BENCH_sweeps.json`` format consumed by CI and by humans comparing
+perf trajectories across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Format version of the emitted JSON.
+BENCH_SCHEMA = 1
+
+
+class BenchRecorder:
+    """Accumulates ``(name, seconds, cached, **meta)`` records."""
+
+    def __init__(self, context: Optional[Dict[str, Any]] = None) -> None:
+        self.context: Dict[str, Any] = dict(context or {})
+        self.records: List[Dict[str, Any]] = []
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    def add(
+        self, name: str, seconds: float, cached: bool = False, **meta: Any
+    ) -> None:
+        record: Dict[str, Any] = {
+            "name": name,
+            "seconds": round(float(seconds), 6),
+            "cached": bool(cached),
+        }
+        for key, value in meta.items():
+            if value is not None:
+                record[key] = value
+        self.records.append(record)
+
+    @contextmanager
+    def time(self, name: str, **meta: Any):
+        """Context manager timing a block as one record."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start, **meta)
+
+    # ------------------------------------------------------------------
+    def total_seconds(self) -> float:
+        return float(sum(record["seconds"] for record in self.records))
+
+    def summary(self) -> Dict[str, Any]:
+        cached = sum(1 for record in self.records if record["cached"])
+        return {
+            "records": len(self.records),
+            "cache_hits": cached,
+            "cache_misses": len(self.records) - cached,
+            "total_seconds": round(self.total_seconds(), 6),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "context": self.context,
+            "summary": self.summary(),
+            "records": self.records,
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the records as pretty-printed JSON."""
+        Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,516 @@
+"""Concrete sweep definitions for the paper's figure grids.
+
+This module is the bridge between the generic engine and the paper: it
+owns the experiment *scales* (``REPRO_SCALE``), the cached builders for
+the heavy shared intermediates (the synthetic Star Wars trace and its
+optimal DP schedule), and picklable cell functions for the MBAC grid
+(Figs. 7-9), the multiplexing-gain study (Fig. 6), and the tradeoff
+curve (Fig. 2).  ``benchmarks/_common.py``, the experiment runners, and
+``repro sweep`` are all consumers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.perf.cache import ResultCache
+from repro.perf.engine import SweepCell
+from repro.perf.recorder import BenchRecorder
+from repro.util.units import kbits, kbps
+
+# ----------------------------------------------------------------------
+# Scales (the REPRO_SCALE contract, shared with benchmarks/_common.py)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepScale:
+    """One experiment scale: trace length plus the paper's sweep ranges."""
+
+    name: str
+    num_frames: int
+    dp_frames_per_slot: int  # DP slot aggregation (1 = per frame)
+    smg_sources: Sequence[int]  # N values for Fig. 6
+    mbac_capacities: Sequence[float]  # link capacity / mean call rate
+    mbac_loads: Sequence[float]  # normalized offered loads
+    mbac_max_intervals: int
+
+
+SWEEP_SCALES = {
+    "small": SweepScale(
+        name="small",
+        num_frames=24_000,  # ~17 minutes at 24 fps
+        dp_frames_per_slot=2,
+        smg_sources=(1, 2, 4, 8, 16),
+        mbac_capacities=(6.0, 12.0),
+        mbac_loads=(0.6, 1.0),
+        mbac_max_intervals=10,
+    ),
+    "paper": SweepScale(
+        name="paper",
+        num_frames=171_000,  # the full two-hour movie
+        dp_frames_per_slot=2,
+        smg_sources=(1, 2, 5, 10, 20, 50, 100),
+        mbac_capacities=(5.0, 10.0, 20.0, 50.0),
+        mbac_loads=(0.3, 0.5, 0.7, 0.9, 1.1),
+        mbac_max_intervals=40,
+    ),
+}
+
+
+def current_scale() -> SweepScale:
+    """The scale selected by ``REPRO_SCALE`` (default ``small``).
+
+    Read on every call — never cached at module level — so changing the
+    environment variable mid-process takes effect immediately.
+    """
+    name = os.environ.get("REPRO_SCALE", "small")
+    if name not in SWEEP_SCALES:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(SWEEP_SCALES)}, got {name!r}"
+        )
+    return SWEEP_SCALES[name]
+
+
+# The paper's fixed parameters (Sections IV-VI).
+TRACE_SEED = 1995
+BUFFER_BITS = kbits(300)  # the paper's end-system buffer
+LOSS_TARGET = 1e-6  # the paper's QoS for Figs. 5-6
+GRANULARITY = kbps(64)  # the paper's Fig. 6 bandwidth granularity
+MAX_RATE_LEVEL = kbps(2400)  # the paper's top bandwidth level (IV-A)
+MBAC_FAILURE_TARGET = 1e-3  # Section VI's renegotiation-failure QoS
+DEFAULT_DP_ALPHA = 6e6  # lands near the paper's ~12 s interval
+
+
+# ----------------------------------------------------------------------
+# Cached heavy intermediates
+# ----------------------------------------------------------------------
+def dp_rate_levels(trace, granularity: float = GRANULARITY) -> np.ndarray:
+    """The renegotiation rate grid: delta-spaced up to ~2.4 Mb/s.
+
+    Matches the paper's choice ("bandwidth levels chosen uniformly within
+    48 kb/s and 2.4 Mb/s" at delta granularity); the grid is widened
+    automatically if the trace's 1-second peak demands more.
+    """
+    from repro.analysis.empirical import windowed_peak_rate
+    from repro.core import granular_rate_levels
+
+    top = max(MAX_RATE_LEVEL, 1.1 * windowed_peak_rate(trace, 1.0))
+    return granular_rate_levels(granularity, top)
+
+
+def starwars_trace_for(
+    scale: SweepScale,
+    seed: int = TRACE_SEED,
+    cache: Optional[ResultCache] = None,
+    recorder: Optional[BenchRecorder] = None,
+):
+    """The benchmark trace at ``scale``, via the on-disk cache."""
+    from repro.traffic import generate_starwars_trace
+
+    def build():
+        return generate_starwars_trace(num_frames=scale.num_frames, seed=seed)
+
+    payload = {
+        "scale": scale.name,
+        "num_frames": scale.num_frames,
+        "seed": seed,
+    }
+    start = time.perf_counter()
+    if cache is None:
+        trace = build()
+        cached = False
+    else:
+        key = cache.key("starwars_trace", payload)
+        cached, trace = cache.get(key)
+        if not cached:
+            trace = build()
+            cache.put(key, trace)
+    if recorder is not None:
+        recorder.add(
+            f"trace/starwars/{scale.name}",
+            time.perf_counter() - start,
+            cached=cached,
+        )
+    return trace
+
+
+def optimal_schedule_for(
+    scale: SweepScale,
+    alpha: float = DEFAULT_DP_ALPHA,
+    buffer_bits: float = BUFFER_BITS,
+    granularity: float = GRANULARITY,
+    cache: Optional[ResultCache] = None,
+    recorder: Optional[BenchRecorder] = None,
+):
+    """The trace's optimal RCBR schedule at the paper's parameters.
+
+    The DP is by far the most expensive intermediate of the sweeps, so
+    both the result *and* its search diagnostics are cached; a warm run
+    reloads in milliseconds and still reports ``nodes_expanded``.
+    """
+    from repro.core import OptimalScheduler
+
+    trace = starwars_trace_for(scale, cache=cache, recorder=recorder)
+
+    def build() -> Dict[str, Any]:
+        workload = trace.aggregate(scale.dp_frames_per_slot)
+        result = OptimalScheduler(
+            dp_rate_levels(trace), alpha=alpha, beta=1.0
+        ).solve(workload, buffer_bits=buffer_bits)
+        return {
+            "schedule": result.schedule,
+            "nodes_expanded": result.nodes_expanded,
+            "max_frontier": result.max_frontier,
+            "total_cost": result.total_cost,
+        }
+
+    payload = {
+        "scale": scale.name,
+        "num_frames": scale.num_frames,
+        "trace_seed": TRACE_SEED,
+        "dp_frames_per_slot": scale.dp_frames_per_slot,
+        "alpha": alpha,
+        "buffer_bits": buffer_bits,
+        "granularity": granularity,
+        "max_rate_level": MAX_RATE_LEVEL,
+    }
+    start = time.perf_counter()
+    if cache is None:
+        entry = build()
+        cached = False
+    else:
+        key = cache.key("optimal_schedule", payload)
+        cached, entry = cache.get(key)
+        if not cached:
+            entry = build()
+            cache.put(key, entry)
+    if recorder is not None:
+        recorder.add(
+            f"dp/optimal_schedule/{scale.name}/alpha{alpha:g}",
+            time.perf_counter() - start,
+            cached=cached,
+            nodes_expanded=entry["nodes_expanded"],
+            max_frontier=entry["max_frontier"],
+        )
+    return entry["schedule"]
+
+
+# ----------------------------------------------------------------------
+# MBAC cells (Figs. 7-9)
+# ----------------------------------------------------------------------
+def make_mbac_controller(name: str, schedule, failure_target: float):
+    """Build a Section VI admission controller by name."""
+    from repro.admission.controllers import (
+        MemoryMBAC,
+        MemorylessMBAC,
+        PerfectKnowledgeCAC,
+    )
+    from repro.core.schedule import empirical_rate_distribution
+
+    if name == "memoryless":
+        return MemorylessMBAC(failure_target)
+    if name == "memory":
+        return MemoryMBAC(failure_target)
+    if name == "perfect":
+        levels, fractions = empirical_rate_distribution(schedule)
+        return PerfectKnowledgeCAC(levels, fractions, failure_target)
+    raise ValueError(f"unknown controller {name!r}")
+
+
+def mbac_cell(
+    schedule,
+    capacity_multiple: float,
+    load: float,
+    controller: str,
+    seed,
+    failure_target: float = MBAC_FAILURE_TARGET,
+    warmup_intervals: int = 1,
+    min_intervals: int = 5,
+    max_intervals: int = 10,
+) -> Dict[str, Any]:
+    """One (capacity, load, controller) point of the Section VI study."""
+    from repro.admission.callsim import (
+        arrival_rate_for_load,
+        simulate_admission,
+    )
+
+    mean = schedule.average_rate()
+    capacity = capacity_multiple * mean
+    arrival_rate = arrival_rate_for_load(
+        load, capacity, mean, schedule.duration
+    )
+    result = simulate_admission(
+        schedule,
+        capacity,
+        arrival_rate,
+        make_mbac_controller(controller, schedule, failure_target),
+        seed=seed,
+        warmup_intervals=warmup_intervals,
+        min_intervals=min_intervals,
+        max_intervals=max_intervals,
+        failure_target=failure_target,
+    )
+    return {
+        "controller": controller,
+        "capacity_multiple": capacity_multiple,
+        "load": load,
+        "failure_probability": result.failure_probability,
+        "utilization": result.utilization,
+        "blocking_probability": result.blocking_probability,
+        "num_intervals": result.num_intervals,
+    }
+
+
+def _mbac_sweep_cell(prefix: str, kwargs: Dict[str, Any]) -> SweepCell:
+    name = (
+        f"{prefix}/cap{kwargs['capacity_multiple']:g}"
+        f"/load{kwargs['load']:g}/{kwargs['controller']}"
+    )
+    return SweepCell(
+        name=name, fn=mbac_cell, kwargs=kwargs, cache_payload=kwargs
+    )
+
+
+def mbac_grid_cells(
+    schedule,
+    capacity_multiples: Sequence[float],
+    loads: Sequence[float],
+    controllers: Sequence[str],
+    seed_base: int = 10_000,
+    failure_target: float = MBAC_FAILURE_TARGET,
+    min_intervals: int = 5,
+    max_intervals: int = 10,
+    prefix: str = "mbac",
+) -> List[SweepCell]:
+    """The runner grid: every (capacity, load, controller) combination.
+
+    Seeds follow the historical runner scheme — one seed per
+    (capacity, load) shared by all controllers at that point — so the
+    engine reproduces :func:`repro.experiments.run_mbac_comparison`'s
+    serial results exactly.
+    """
+    cells = []
+    for capacity_multiple in capacity_multiples:
+        for load in loads:
+            seed = seed_base + int(100 * capacity_multiple + 10 * load)
+            for controller in controllers:
+                cells.append(
+                    _mbac_sweep_cell(
+                        prefix,
+                        dict(
+                            schedule=schedule,
+                            capacity_multiple=capacity_multiple,
+                            load=load,
+                            controller=controller,
+                            seed=seed,
+                            failure_target=failure_target,
+                            min_intervals=min_intervals,
+                            max_intervals=max_intervals,
+                        ),
+                    )
+                )
+    return cells
+
+
+def figs7_9_cells(
+    schedule,
+    scale: SweepScale,
+    failure_target: float = MBAC_FAILURE_TARGET,
+) -> List[SweepCell]:
+    """The canonical Figs. 7-9 sweep at ``scale``.
+
+    Fig. 7/8 cells cover the full (capacity, load) grid with the
+    memoryless and perfect-knowledge controllers; Fig. 9 cells revisit
+    the smallest (most fragile) capacity with the memory scheme added.
+    Seeds match the benchmark suite's historical values.
+    """
+    cells = []
+    for capacity_multiple in scale.mbac_capacities:
+        for load in scale.mbac_loads:
+            seed = int(1000 * capacity_multiple + 10 * load)
+            for controller in ("memoryless", "perfect"):
+                cells.append(
+                    _mbac_sweep_cell(
+                        "fig7_8",
+                        dict(
+                            schedule=schedule,
+                            capacity_multiple=capacity_multiple,
+                            load=load,
+                            controller=controller,
+                            seed=seed,
+                            failure_target=failure_target,
+                            min_intervals=5,
+                            max_intervals=scale.mbac_max_intervals,
+                        ),
+                    )
+                )
+    fragile = min(scale.mbac_capacities)
+    for load in scale.mbac_loads:
+        seed = int(10_000 + 10 * load)
+        for controller in ("memoryless", "memory", "perfect"):
+            cells.append(
+                _mbac_sweep_cell(
+                    "fig9",
+                    dict(
+                        schedule=schedule,
+                        capacity_multiple=fragile,
+                        load=load,
+                        controller=controller,
+                        seed=seed,
+                        failure_target=failure_target,
+                        min_intervals=5,
+                        max_intervals=scale.mbac_max_intervals,
+                    ),
+                )
+            )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# SMG cells (Fig. 6)
+# ----------------------------------------------------------------------
+def smg_cell(
+    trace,
+    schedule,
+    num_sources: int,
+    buffer_bits: float,
+    loss_target: float,
+    seed_shared,
+    seed_rcbr,
+) -> Dict[str, Any]:
+    """One source-count point of the Fig. 6 study (scenarios b and c)."""
+    from repro.queueing.mux import scenario_b_min_rate, scenario_c_min_rate
+
+    shared = scenario_b_min_rate(
+        trace, num_sources, buffer_bits, loss_target, seed=seed_shared
+    )
+    rcbr = scenario_c_min_rate(
+        schedule, num_sources, loss_target, seed=seed_rcbr
+    )
+    return {
+        "num_sources": num_sources,
+        "shared_rate": shared,
+        "rcbr_rate": rcbr,
+    }
+
+
+def smg_cells(
+    trace,
+    schedule,
+    source_counts: Sequence[int],
+    buffer_bits: float,
+    loss_target: float,
+    seed=0,
+) -> List[SweepCell]:
+    """One cell per source count, with the runner's historical seeds."""
+    cells = []
+    for index, count in enumerate(source_counts):
+        kwargs = dict(
+            trace=trace,
+            schedule=schedule,
+            num_sources=count,
+            buffer_bits=buffer_bits,
+            loss_target=loss_target,
+            seed_shared=(seed, 2 * index),
+            seed_rcbr=(seed, 2 * index + 1),
+        )
+        cells.append(
+            SweepCell(
+                name=f"smg/n{count}",
+                fn=smg_cell,
+                kwargs=kwargs,
+                cache_payload=kwargs,
+            )
+        )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Tradeoff cells (Fig. 2)
+# ----------------------------------------------------------------------
+def tradeoff_opt_cell(
+    workload, levels: np.ndarray, alpha: float, buffer_bits: float,
+    mean_rate: float,
+) -> Dict[str, Any]:
+    """One alpha point of the OPT curve."""
+    from repro.core import OptimalScheduler
+
+    result = OptimalScheduler(levels, alpha=alpha).solve(
+        workload, buffer_bits=buffer_bits
+    )
+    schedule = result.schedule
+    return {
+        "parameter": alpha,
+        "mean_interval": schedule.mean_renegotiation_interval(),
+        "efficiency": schedule.bandwidth_efficiency(mean_rate),
+        "max_buffer": schedule.max_buffer(workload),
+        "nodes_expanded": result.nodes_expanded,
+    }
+
+
+def tradeoff_heuristic_cell(
+    workload, delta: float, mean_rate: float
+) -> Dict[str, Any]:
+    """One delta point of the AR(1) heuristic curve."""
+    from repro.core import OnlineParams, OnlineScheduler
+
+    outcome = OnlineScheduler(OnlineParams(granularity=delta)).schedule(
+        workload
+    )
+    return {
+        "parameter": delta,
+        "mean_interval": outcome.schedule.mean_renegotiation_interval(),
+        "efficiency": outcome.schedule.bandwidth_efficiency(mean_rate),
+        "max_buffer": outcome.max_buffer,
+    }
+
+
+def tradeoff_cells(
+    trace,
+    alphas: Sequence[float],
+    deltas: Sequence[float],
+    buffer_bits: float,
+    granularity: float,
+    frames_per_slot: int,
+) -> List[SweepCell]:
+    """DP cells for each alpha, heuristic cells for each delta."""
+    workload = trace.aggregate(frames_per_slot)
+    frame_workload = trace.as_workload()
+    levels = dp_rate_levels(trace, granularity)
+    mean = trace.mean_rate
+    cells = []
+    for alpha in alphas:
+        kwargs = dict(
+            workload=workload,
+            levels=levels,
+            alpha=alpha,
+            buffer_bits=buffer_bits,
+            mean_rate=mean,
+        )
+        cells.append(
+            SweepCell(
+                name=f"tradeoff/opt/alpha{alpha:g}",
+                fn=tradeoff_opt_cell,
+                kwargs=kwargs,
+                cache_payload=kwargs,
+            )
+        )
+    for delta in deltas:
+        kwargs = dict(
+            workload=frame_workload, delta=delta, mean_rate=mean
+        )
+        cells.append(
+            SweepCell(
+                name=f"tradeoff/ar1/delta{delta:g}",
+                fn=tradeoff_heuristic_cell,
+                kwargs=kwargs,
+                cache_payload=kwargs,
+            )
+        )
+    return cells

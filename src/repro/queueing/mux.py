@@ -115,12 +115,24 @@ def aggregate_demand(
         if abs(schedule.duration - duration) > 1e-9:
             raise ValueError("all schedules must have the same duration")
     times = np.concatenate([s.start_times for s in schedules])
-    deltas = np.concatenate([schedule_step_events(s)[1] for s in schedules])
+    rates = np.concatenate([s.rates for s in schedules])
+    # Demand deltas of every schedule in one batched pass: within a
+    # schedule the delta is the rate difference, and at each schedule's
+    # first event it is the initial rate itself, so take the global
+    # difference and then overwrite the per-schedule start positions.
+    deltas = np.empty_like(rates)
+    deltas[0] = rates[0]
+    np.subtract(rates[1:], rates[:-1], out=deltas[1:])
+    sizes = [s.start_times.size for s in schedules]
+    starts = np.cumsum([0] + sizes[:-1])
+    deltas[starts] = rates[starts]
     order = np.argsort(times, kind="stable")
     times = times[order]
     demand = np.cumsum(deltas[order])
     # Collapse simultaneous events so each breakpoint appears once.
-    keep = np.concatenate([np.diff(times) > 0, [True]])
+    keep = np.empty(times.size, dtype=bool)
+    keep[-1] = True
+    np.greater(times[1:], times[:-1], out=keep[:-1])
     return times[keep], demand[keep], duration
 
 
@@ -138,8 +150,10 @@ def rcbr_overflow_bits(
     if capacity <= 0:
         raise ValueError("capacity must be positive")
     times, demand, duration = aggregate_demand(schedules)
-    widths = np.diff(np.concatenate([times, [duration]]))
-    excess = np.clip(demand - capacity, 0.0, None)
+    widths = np.empty_like(times)
+    np.subtract(times[1:], times[:-1], out=widths[:-1])
+    widths[-1] = duration - times[-1]
+    excess = np.maximum(demand - capacity, 0.0)
     lost = float((excess * widths).sum())
     offered = float((demand * widths).sum())
     return lost, offered

@@ -215,3 +215,73 @@ class TestFiniteBuffer:
         assert result.bits_lost == 0.0
         assert result.drain_slots == 0
         assert result.requests_suppressed == 0
+
+
+class TestFastPathEquivalence:
+    """The no-faults fast path must match the general loop bit for bit.
+
+    ``schedule()`` dispatches to ``_schedule_fast`` when there is no
+    recovery policy, no request_fn and no finite buffer; passing an
+    always-granting ``request_fn`` forces the general loop with the same
+    semantics, so every float of the two results must be *exactly*
+    equal — the Fig. 2 curve and the MBAC per-source schedules depend
+    on the paths being interchangeable.
+    """
+
+    def random_workload(self, seed, num_slots=400):
+        rng = np.random.default_rng(seed)
+        # Bursty, AR-correlated arrivals so both threshold branches and
+        # the zero-clamp in the quantiser get exercised.
+        base = rng.gamma(shape=2.0, scale=40_000.0, size=num_slots)
+        burst = (rng.random(num_slots) < 0.05) * rng.uniform(
+            5e5, 2e6, size=num_slots
+        )
+        return SlottedWorkload(base + burst, slot_duration=1.0 / 24.0)
+
+    @staticmethod
+    def assert_bit_identical(fast, general):
+        assert fast.max_buffer == general.max_buffer
+        assert fast.final_buffer == general.final_buffer
+        assert fast.requests_made == general.requests_made
+        assert fast.requests_denied == general.requests_denied == 0
+        assert np.array_equal(
+            fast.schedule.rates, general.schedule.rates
+        )
+        assert np.array_equal(
+            fast.schedule.start_times, general.schedule.start_times
+        )
+        assert fast.schedule.duration == general.schedule.duration
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_general_loop(self, seed):
+        scheduler = OnlineScheduler(OnlineParams(granularity=64_000.0))
+        workload = self.random_workload(seed)
+        fast = scheduler.schedule(workload)
+        general = scheduler.schedule(workload, request_fn=lambda *_: True)
+        self.assert_bit_identical(fast, general)
+
+    def test_matches_with_max_rate_cap(self):
+        params = OnlineParams(granularity=64_000.0, max_rate=600_000.0)
+        scheduler = OnlineScheduler(params)
+        workload = self.random_workload(3)
+        fast = scheduler.schedule(workload)
+        general = scheduler.schedule(workload, request_fn=lambda *_: True)
+        self.assert_bit_identical(fast, general)
+        assert fast.schedule.rates.max() <= 600_000.0
+
+    def test_matches_with_explicit_initial_rate(self):
+        scheduler = OnlineScheduler(OnlineParams(granularity=25_000.0))
+        workload = self.random_workload(4)
+        fast = scheduler.schedule(workload, initial_rate=100_000.0)
+        general = scheduler.schedule(
+            workload, initial_rate=100_000.0, request_fn=lambda *_: True
+        )
+        self.assert_bit_identical(fast, general)
+
+    def test_fast_path_handles_idle_source(self):
+        workload = SlottedWorkload(np.zeros(50), slot_duration=1.0)
+        result = OnlineScheduler(
+            OnlineParams(granularity=1000.0)
+        ).schedule(workload)
+        assert result.schedule.average_rate() == 0.0
+        assert result.max_buffer == 0.0

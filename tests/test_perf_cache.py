@@ -1,0 +1,156 @@
+"""The content-addressed result cache (repro.perf.cache)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.perf.cache import ResultCache, fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class _Point:
+    x: float
+    y: float
+    label: str = "p"
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        obj = {"a": 1, "b": (2.0, "three", None, True)}
+        assert fingerprint(obj) == fingerprint(obj)
+
+    def test_type_tags_distinguish_lookalikes(self):
+        # 1, 1.0, True and "1" all repr/compare similarly but must hash
+        # apart — a cache hit across them would be a silent wrong answer.
+        prints = {fingerprint(v) for v in (1, 1.0, True, "1", b"1")}
+        assert len(prints) == 5
+
+    def test_dict_is_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_list_is_order_sensitive(self):
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+
+    def test_nested_containers(self):
+        a = {"cells": [(1, 2.0), (3, 4.0)], "meta": {"n": 2}}
+        b = {"cells": [(1, 2.0), (3, 4.5)], "meta": {"n": 2}}
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_numpy_arrays_hash_by_content_and_dtype(self):
+        x = np.arange(6, dtype=np.float64)
+        assert fingerprint(x) == fingerprint(x.copy())
+        assert fingerprint(x) != fingerprint(x.astype(np.float32))
+        assert fingerprint(x) != fingerprint(x.reshape(2, 3))
+        y = x.copy()
+        y[3] = -1.0
+        assert fingerprint(x) != fingerprint(y)
+
+    def test_non_contiguous_array_equals_contiguous_copy(self):
+        x = np.arange(10, dtype=float)
+        assert fingerprint(x[::2]) == fingerprint(x[::2].copy())
+
+    def test_dataclasses_hash_by_field(self):
+        assert fingerprint(_Point(1.0, 2.0)) == fingerprint(_Point(1.0, 2.0))
+        assert fingerprint(_Point(1.0, 2.0)) != fingerprint(_Point(1.0, 3.0))
+
+    def test_rate_schedule_fingerprints_via_to_dict(self):
+        from repro.core.schedule import RateSchedule
+
+        a = RateSchedule([0.0, 5.0], [100.0, 200.0], duration=10.0)
+        b = RateSchedule([0.0, 5.0], [100.0, 250.0], duration=10.0)
+        assert fingerprint(a) == fingerprint(
+            RateSchedule([0.0, 5.0], [100.0, 200.0], duration=10.0)
+        )
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        key = cache.key("ns", {"alpha": 6e6})
+        hit, value = cache.get(key)
+        assert not hit and value is None
+        assert cache.put(key, {"answer": 42})
+        hit, value = cache.get(key)
+        assert hit and value == {"answer": 42}
+        assert cache.stats() == {
+            "root": str(tmp_path),
+            "enabled": True,
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+        }
+
+    def test_key_depends_on_namespace_payload_and_code_version(self, tmp_path):
+        cache = ResultCache(root=tmp_path, code_version="v1")
+        other = ResultCache(root=tmp_path, code_version="v2")
+        payload = {"n": 3}
+        assert cache.key("a", payload) != cache.key("b", payload)
+        assert cache.key("a", payload) != cache.key("a", {"n": 4})
+        # Entries written by older code must never satisfy newer runs.
+        assert cache.key("a", payload) != other.key("a", payload)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        key = cache.key("ns", "payload")
+        cache.put(key, [1, 2, 3])
+        path = cache.path_for(key)
+        path.write_bytes(b"not a pickle")  # crashed-writer debris
+        hit, value = cache.get(key)
+        assert not hit and value is None
+        assert not path.exists()
+        # The entry is recomputable afterwards.
+        assert cache.put(key, [1, 2, 3])
+        assert cache.get(key) == (True, [1, 2, 3])
+
+    def test_disabled_cache_never_reads_or_writes(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=False)
+        key = cache.key("ns", "payload")
+        assert not cache.put(key, "value")
+        assert cache.get(key) == (False, None)
+        assert list(tmp_path.iterdir()) == []
+        calls = []
+        assert cache.memoize("ns", "payload", lambda: calls.append(1) or "v") == "v"
+        assert cache.memoize("ns", "payload", lambda: calls.append(1) or "v") == "v"
+        assert len(calls) == 2  # recomputed every time, nothing persisted
+
+    def test_memoize_computes_once(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=True)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.arange(4)
+
+        first = cache.memoize("ns", {"k": 1}, build)
+        second = cache.memoize("ns", {"k": 1}, build)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first, second)
+        assert cache.hits == 1 and cache.misses == 1 and cache.writes == 1
+        # A different payload is a different entry.
+        cache.memoize("ns", {"k": 2}, build)
+        assert len(calls) == 2
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "store", enabled=True)
+        key = cache.key("ns", 1)
+        cache.put(key, "value")
+        cache.clear()
+        assert cache.get(key) == (False, None)
+        assert cache.stats()["writes"] == 0
+
+    def test_env_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache()
+        assert cache.root == tmp_path / "env-root"
+        assert not cache.enabled
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        assert ResultCache().enabled

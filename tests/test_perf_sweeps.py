@@ -1,0 +1,122 @@
+"""Sweep scales, cached intermediates, and the REPRO_SCALE contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import benchmarks._common as common
+from repro.perf.cache import ResultCache
+from repro.perf.recorder import BenchRecorder
+from repro.perf.sweeps import (
+    SWEEP_SCALES,
+    SweepScale,
+    current_scale,
+    optimal_schedule_for,
+    starwars_trace_for,
+)
+
+
+def tiny_scale(name: str, num_frames: int) -> SweepScale:
+    return SweepScale(
+        name=name,
+        num_frames=num_frames,
+        dp_frames_per_slot=2,
+        smg_sources=(1,),
+        mbac_capacities=(6.0,),
+        mbac_loads=(0.6,),
+        mbac_max_intervals=2,
+    )
+
+
+class TestCurrentScale:
+    def test_defaults_to_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale() is SWEEP_SCALES["small"]
+
+    def test_reads_environment_on_every_call(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale().name == "paper"
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert current_scale().name == "small"
+
+    def test_unknown_scale_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            current_scale()
+
+
+class TestCachedIntermediates:
+    def test_trace_disk_cache_roundtrip(self, tmp_path):
+        scale = tiny_scale("tiny-trace", 480)
+        cache = ResultCache(root=tmp_path, enabled=True)
+        cold = starwars_trace_for(scale, cache=cache)
+        warm = starwars_trace_for(scale, cache=cache)
+        assert cache.hits == 1 and cache.writes == 1
+        np.testing.assert_array_equal(cold.frame_bits, warm.frame_bits)
+        # A different scale is a different entry, not a stale hit.
+        other = starwars_trace_for(tiny_scale("tiny-trace-2", 960), cache=cache)
+        assert other.num_frames == 960
+
+    def test_optimal_schedule_warm_reload_is_identical(self, tmp_path):
+        scale = tiny_scale("tiny-dp", 480)
+        cache = ResultCache(root=tmp_path, enabled=True)
+        cold_recorder = BenchRecorder()
+        cold = optimal_schedule_for(
+            scale, alpha=2e5, cache=cache, recorder=cold_recorder
+        )
+        warm_recorder = BenchRecorder()
+        warm = optimal_schedule_for(
+            scale, alpha=2e5, cache=cache, recorder=warm_recorder
+        )
+        assert not any(r["cached"] for r in cold_recorder.records)
+        assert all(r["cached"] for r in warm_recorder.records)
+        np.testing.assert_array_equal(cold.rates, warm.rates)
+        np.testing.assert_array_equal(cold.start_times, warm.start_times)
+        # The warm record still carries the DP diagnostics.
+        assert any("nodes_expanded" in r for r in warm_recorder.records)
+
+
+class TestBenchmarksCommonStaleness:
+    """Regression: the old module-level ``lru_cache``s ignored REPRO_SCALE.
+
+    Flipping the environment variable mid-process kept serving the first
+    scale's trace and schedule.  The scale-keyed memos must track the
+    active scale, while still memoizing within a scale.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _tiny_scales(self, monkeypatch):
+        monkeypatch.setitem(SWEEP_SCALES, "tiny-a", tiny_scale("tiny-a", 480))
+        monkeypatch.setitem(SWEEP_SCALES, "tiny-b", tiny_scale("tiny-b", 960))
+        # Fresh memos and no disk layer: the test exercises the
+        # in-process staleness behaviour in isolation.
+        monkeypatch.setattr(common, "disk_cache", ResultCache(enabled=False))
+        monkeypatch.setattr(common, "_trace_memo", {})
+        monkeypatch.setattr(common, "_schedule_memo", {})
+
+    def test_trace_tracks_scale_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny-a")
+        trace_a = common.starwars_trace()
+        assert trace_a.num_frames == 480
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny-b")
+        trace_b = common.starwars_trace()
+        assert trace_b.num_frames == 960  # the lru_cache served 480 here
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny-a")
+        assert common.starwars_trace() is trace_a  # memoized, not rebuilt
+
+    def test_schedule_tracks_scale_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny-a")
+        schedule_a = common.optimal_schedule(alpha=2e5)
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny-b")
+        schedule_b = common.optimal_schedule(alpha=2e5)
+        assert schedule_b.duration == pytest.approx(2 * schedule_a.duration)
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny-a")
+        assert common.optimal_schedule(alpha=2e5) is schedule_a
+        # Different alphas are distinct memo entries within a scale.
+        other = common.optimal_schedule(alpha=3e7)
+        assert other is not schedule_a
