@@ -264,10 +264,11 @@ def _sweep_cells(name: str, scale, cache, recorder, loss_target: float):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """``repro sweep {mbac,smg,tradeoff}``: one figure grid, engine-run."""
+    """``repro sweep {mbac,smg,tradeoff}``: one figure grid, supervised."""
+    import json
     import time
 
-    from repro.perf import BenchRecorder, SweepEngine
+    from repro.perf import BenchRecorder, SupervisedSweepEngine, SupervisorPolicy
 
     workers = _sweep_workers(args)
     scale = _sweep_scale(args)
@@ -280,17 +281,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "cache": cache.stats()["root"] if cache.enabled else None,
         }
     )
+    journal = args.journal
+    if journal is None and args.resume:
+        journal = f"sweep-{args.sweep_name}.journal.jsonl"
+    policy = SupervisorPolicy(
+        timeout=args.timeout, max_attempts=args.retries + 1
+    )
     start = time.perf_counter()
     cells = _sweep_cells(
         args.sweep_name, scale, cache, recorder, args.loss_target
     )
-    engine = SweepEngine(
+    engine = SupervisedSweepEngine(
         workers=workers, cache=cache, recorder=recorder,
-        namespace=args.sweep_name,
+        namespace=args.sweep_name, policy=policy,
+        journal_path=journal, resume=args.resume,
     )
-    results = engine.run(cells)
+    run = engine.run_supervised(cells)
+    results, report = run.results, run.report
     elapsed = time.perf_counter() - start
 
+    for cell_report in report.cells:
+        if cell_report.status == "quarantined":
+            print(f"  [ FAILED] {cell_report.name}: {cell_report.error} "
+                  f"({cell_report.attempts} attempts)")
     for result in results:
         tag = "cached" if result.cached else f"{result.seconds:6.2f}s"
         print(f"  [{tag:>7}] {result.name}")
@@ -298,15 +311,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             if isinstance(value, float):
                 print(f"            {key} = {value:.6g}")
     summary = recorder.summary()
+    counts = report.counts()
     print(
         f"{args.sweep_name}: {len(results)} cells in {elapsed:.2f}s "
         f"(workers={workers}, cache hits {summary['cache_hits']}/"
         f"{summary['records']})"
     )
+    print(
+        "supervision: "
+        + ", ".join(f"{status}={count}" for status, count
+                    in sorted(counts.items()))
+        + (f", pool rebuilds={report.pool_rebuilds}"
+           if report.pool_rebuilds else "")
+        + (", degraded to serial" if report.degraded_to_serial else "")
+        + (", stale journal recomputed" if report.stale_journal else "")
+    )
+    if journal:
+        print(f"journal: {journal}")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"sweep report written to {args.report}")
     if args.out:
         recorder.write(args.out)
         print(f"bench records written to {args.out}")
-    return 0
+    return 1 if report.quarantined else 0
 
 
 def cmd_sweep_bench(args: argparse.Namespace) -> int:
@@ -403,6 +433,45 @@ def cmd_sweep_bench(args: argparse.Namespace) -> int:
     if reference is not None:
         for key, value in report["speedups_vs_baseline"].items():
             print(f"  {key}: {value}x vs baseline {reference:.2f}s")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: one seeded trial of the faulted renegotiation
+    pipeline, with the signaling timeout/retry knobs on the command line
+    instead of hard-coded in :class:`ChaosConfig`."""
+    from repro.faults.harness import ChaosConfig, run_chaos_trial
+
+    config = ChaosConfig(
+        policy=args.policy,
+        deny_rate=args.deny_rate,
+        cell_loss=args.cell_loss,
+        num_slots=args.slots,
+        num_hops=args.hops,
+        max_retries=args.retries,
+        request_timeout=args.timeout,
+        retry_backoff=args.retry_backoff,
+        retry_jitter=args.retry_jitter,
+        seed=args.seed,
+    )
+    result = run_chaos_trial(config)
+    print(f"chaos trial (policy={result.policy}, seed={result.seed}):")
+    print(f"  offered:          {format_bits(result.offered_bits)}")
+    print(f"  bits lost:        {format_bits(result.bits_lost)} "
+          f"({result.loss_fraction:.4%})")
+    print(f"  requests:         {result.requests} "
+          f"(denied {result.denied}, suppressed {result.suppressed})")
+    print(f"  failure fraction: {result.failure_fraction:.4%}")
+    print(f"  signaling:        {result.cells_sent} cells, "
+          f"{result.cells_lost} lost, {result.retries} retries, "
+          f"{result.timeouts} timeouts")
+    print(f"  recovery:         {result.recovery_episodes} episodes, "
+          f"mean {result.mean_time_to_recover:.2f}s, "
+          f"max {result.max_time_to_recover:.2f}s")
+    print(f"  fingerprint:      {result.fingerprint}")
+    if result.in_flight_leaks:
+        print(f"  WARNING: {result.in_flight_leaks} requests leaked in flight")
+        return 1
     return 0
 
 
@@ -526,6 +595,29 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--out", default=None, help="also write bench records JSON here"
         )
+        sub.add_argument(
+            "--timeout", type=float, default=None,
+            help="per-cell wall-clock timeout in seconds "
+                 "(enforced with workers > 1)",
+        )
+        sub.add_argument(
+            "--retries", type=int, default=2,
+            help="retry attempts per failed/hung cell before quarantine "
+                 "(default 2)",
+        )
+        sub.add_argument(
+            "--journal", default=None,
+            help="append completed cells to this crash-safe JSONL journal",
+        )
+        sub.add_argument(
+            "--resume", action="store_true",
+            help="skip cells already completed in the journal "
+                 "(default journal: sweep-<name>.journal.jsonl)",
+        )
+        sub.add_argument(
+            "--report", default=None,
+            help="write the per-cell supervision report JSON here",
+        )
         sub.set_defaults(handler=cmd_sweep)
 
     bench = sweep_commands.add_parser(
@@ -542,6 +634,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="recorded pre-engine serial baseline to compare against",
     )
     bench.set_defaults(handler=cmd_sweep_bench)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run one seeded chaos trial of the faulted renegotiation "
+             "pipeline",
+    )
+    chaos.add_argument(
+        "--policy", default="backoff",
+        choices=("naive", "backoff", "downgrade", "drain"),
+        help="recovery policy name (default: backoff)",
+    )
+    chaos.add_argument("--deny-rate", type=float, default=0.2)
+    chaos.add_argument("--cell-loss", type=float, default=0.0)
+    chaos.add_argument("--slots", type=int, default=2000)
+    chaos.add_argument("--hops", type=int, default=3)
+    chaos.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request signaling timeout in seconds "
+             "(default: twice the path RTT)",
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=2,
+        help="absolute-cell retries per lost request (default 2)",
+    )
+    chaos.add_argument(
+        "--retry-backoff", type=float, default=1.0,
+        help="retry-interval growth factor (default 1 = fixed interval)",
+    )
+    chaos.add_argument(
+        "--retry-jitter", type=float, default=0.0,
+        help="random per-retry stretch in [0, 1), seeded (default 0)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(handler=cmd_chaos)
 
     return parser
 

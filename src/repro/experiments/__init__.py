@@ -12,6 +12,7 @@ traces, from scripts or the CLI (``python -m repro experiment ...``).
 """
 
 from repro.experiments.runners import (
+    make_sweep_engine,
     TradeoffPoint,
     TradeoffResult,
     run_tradeoff,
@@ -26,6 +27,7 @@ from repro.experiments.runners import (
 )
 
 __all__ = [
+    "make_sweep_engine",
     "TradeoffPoint",
     "TradeoffResult",
     "run_tradeoff",

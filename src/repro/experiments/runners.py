@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -13,6 +14,7 @@ from repro.core.schedule import RateSchedule
 from repro.perf.cache import ResultCache
 from repro.perf.engine import SweepEngine
 from repro.perf.recorder import BenchRecorder
+from repro.perf.supervise import SupervisedSweepEngine, SupervisorPolicy
 from repro.perf.sweeps import mbac_grid_cells, smg_cells, tradeoff_cells
 from repro.queueing.mux import scenario_a_rate
 from repro.traffic.trace import FrameTrace
@@ -21,6 +23,37 @@ from repro.util.units import kbits, kbps
 
 DEFAULT_BUFFER = kbits(300)
 DEFAULT_GRANULARITY = kbps(64)
+
+
+def make_sweep_engine(
+    workers: int,
+    cache: Optional[ResultCache],
+    recorder: Optional[BenchRecorder],
+    namespace: str,
+    policy: Optional[SupervisorPolicy] = None,
+    journal: Union[None, str, Path] = None,
+    resume: bool = False,
+) -> SweepEngine:
+    """The engine for a runner: plain, or supervised when asked.
+
+    A runner with no supervision arguments keeps the exact PR 2 engine;
+    any of ``policy``/``journal``/``resume`` upgrades it to a
+    :class:`SupervisedSweepEngine`, whose happy path is bit-identical.
+    """
+    if policy is None and journal is None and not resume:
+        return SweepEngine(
+            workers=workers, cache=cache, recorder=recorder,
+            namespace=namespace,
+        )
+    return SupervisedSweepEngine(
+        workers=workers,
+        cache=cache,
+        recorder=recorder,
+        namespace=namespace,
+        policy=policy,
+        journal_path=journal,
+        resume=resume,
+    )
 
 
 def rate_levels_for(trace: FrameTrace, granularity: float) -> np.ndarray:
@@ -78,6 +111,9 @@ def run_tradeoff(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     recorder: Optional[BenchRecorder] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    journal: Union[None, str, Path] = None,
+    resume: bool = False,
 ) -> TradeoffResult:
     """Fig. 2: sweep the OPT cost ratio and the heuristic granularity.
 
@@ -85,13 +121,16 @@ def run_tradeoff(
     independent cell of a :class:`~repro.perf.engine.SweepEngine` sweep:
     ``workers`` fans them out, ``cache`` memoizes them on disk, and
     ``recorder`` collects per-cell timings.  The serial defaults
-    reproduce the historical results exactly.
+    reproduce the historical results exactly; ``policy``/``journal``/
+    ``resume`` run the sweep supervised (retries, quarantine,
+    checkpoint/resume) without changing any surviving value.
     """
     cells = tradeoff_cells(
         trace, alphas, deltas, buffer_bits, granularity, frames_per_slot
     )
-    engine = SweepEngine(
-        workers=workers, cache=cache, recorder=recorder, namespace="tradeoff"
+    engine = make_sweep_engine(
+        workers, cache, recorder, "tradeoff",
+        policy=policy, journal=journal, resume=resume,
     )
     values = [cell_result.value for cell_result in engine.run(cells)]
     result = TradeoffResult()
@@ -166,6 +205,9 @@ def run_smg(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     recorder: Optional[BenchRecorder] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    journal: Union[None, str, Path] = None,
+    resume: bool = False,
 ) -> SmgResult:
     """Fig. 6: per-stream capacity under scenarios (a), (b), (c).
 
@@ -179,8 +221,9 @@ def run_smg(
     cells = smg_cells(
         trace, schedule, source_counts, buffer_bits, loss_target, seed=seed
     )
-    engine = SweepEngine(
-        workers=workers, cache=cache, recorder=recorder, namespace="smg"
+    engine = make_sweep_engine(
+        workers, cache, recorder, "smg",
+        policy=policy, journal=journal, resume=resume,
     )
     points = [
         SmgPoint(
@@ -232,6 +275,9 @@ def run_mbac_comparison(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     recorder: Optional[BenchRecorder] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    journal: Union[None, str, Path] = None,
+    resume: bool = False,
 ) -> MbacResult:
     """Figs. 7-8 and the memory fix: failure probability and utilization.
 
@@ -251,8 +297,9 @@ def run_mbac_comparison(
         min_intervals=min_intervals,
         max_intervals=max_intervals,
     )
-    engine = SweepEngine(
-        workers=workers, cache=cache, recorder=recorder, namespace="mbac"
+    engine = make_sweep_engine(
+        workers, cache, recorder, "mbac",
+        policy=policy, journal=journal, resume=resume,
     )
     points = [
         MbacPoint(

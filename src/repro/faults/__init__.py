@@ -35,6 +35,11 @@ from repro.faults.recovery import (
 from repro.faults.harness import (
     ChaosConfig,
     ChaosResult,
+    ChaosWorkerError,
+    UnpicklableChaosError,
+    WorkerFault,
+    chaos_sweep_cells,
+    faulted_cell_fn,
     run_chaos_trial,
     soak,
     sweep_fault_recovery,
@@ -63,6 +68,11 @@ __all__ = [
     "make_recovery_policy",
     "ChaosConfig",
     "ChaosResult",
+    "ChaosWorkerError",
+    "UnpicklableChaosError",
+    "WorkerFault",
+    "chaos_sweep_cells",
+    "faulted_cell_fn",
     "run_chaos_trial",
     "soak",
     "sweep_fault_recovery",

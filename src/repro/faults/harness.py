@@ -56,6 +56,9 @@ class ChaosConfig:
     granularity: float = 64_000.0
     buffer_bits: float = 300_000.0  # the paper's 300 kb end-system buffer
     max_retries: int = 2
+    request_timeout: Optional[float] = None  # None: the path's RTT default
+    retry_backoff: float = 1.0  # retry-interval growth factor
+    retry_jitter: float = 0.0  # extra random stretch per retry, [0, 1)
     seed: int = 0
 
     def fault_spec(self) -> Dict[str, Dict[str, object]]:
@@ -125,7 +128,11 @@ def run_chaos_trial(config: ChaosConfig) -> ChaosResult:
     bit-identical schedule and loss accounting, attested by
     ``fingerprint``.
     """
-    trace_rng, fault_rng, policy_rng = spawn_generators(config.seed, 3)
+    # Four streams from one seed; SeedSequence spawning is prefix-stable,
+    # so adding the retry stream left the first three untouched.
+    trace_rng, fault_rng, policy_rng, retry_rng = spawn_generators(
+        config.seed, 4
+    )
     trace = generate_starwars_trace(
         num_frames=config.num_slots, seed=trace_rng, name="chaos"
     )
@@ -136,7 +143,15 @@ def run_chaos_trial(config: ChaosConfig) -> ChaosResult:
         SwitchPort(config.port_capacity, name=f"hop{i}")
         for i in range(config.num_hops)
     ]
-    path = SignalingPath(ports, faults=plan, max_retries=config.max_retries)
+    path = SignalingPath(
+        ports,
+        faults=plan,
+        max_retries=config.max_retries,
+        request_timeout=config.request_timeout,
+        retry_backoff=config.retry_backoff,
+        retry_jitter=config.retry_jitter,
+        retry_seed=retry_rng,
+    )
     policy = make_recovery_policy(
         config.policy, seed=policy_rng, **dict(config.policy_kwargs)
     )
@@ -248,3 +263,140 @@ def soak(
         run_chaos_trial(replace(base, seed=base.seed + i * seed_stride))
         for i in range(repeats)
     ]
+
+
+# ----------------------------------------------------------------------
+# Worker-level chaos for the supervised sweep runtime
+# ----------------------------------------------------------------------
+# The injectors above attack the *simulated* network; these attack the
+# *experiment runtime* itself — the worker processes of a
+# ``repro.perf`` sweep — so the supervisor's recovery paths (timeout,
+# pool rebuild, quarantine, serial degrade) are exercised deliberately.
+# Fault firing is tracked in one attempt-counter file per cell (retries
+# of a cell are sequential, so no locking is needed), which works
+# identically in-process and across pool workers.
+
+
+class ChaosWorkerError(RuntimeError):
+    """The deliberate exception a poisoned sweep cell raises."""
+
+
+class UnpicklableChaosError(RuntimeError):
+    """An exception the worker cannot send back over the result queue.
+
+    ``ProcessPoolExecutor`` pickles exceptions to return them; this one
+    refuses, modelling cells that die with exotic exception payloads.
+    """
+
+    def __reduce__(self):
+        raise TypeError("UnpicklableChaosError deliberately will not pickle")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One cell's sabotage: what to do, and for how many attempts.
+
+    ``times`` is how many attempts fault before the cell behaves
+    (``-1`` = every attempt, i.e. a permanently poisoned cell).
+    """
+
+    kind: str  # "kill" | "hang" | "raise" | "raise-unpicklable"
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "hang", "raise", "raise-unpicklable"):
+            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+
+
+def _bump_attempt_counter(marker_path: str) -> int:
+    """Increment and return this cell's attempt number (1-based)."""
+    import os
+
+    try:
+        with open(marker_path, "r", encoding="utf-8") as handle:
+            attempt = int(handle.read().strip() or 0) + 1
+    except (OSError, ValueError):
+        attempt = 1
+    tmp = f"{marker_path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(str(attempt))
+    os.replace(tmp, marker_path)
+    return attempt
+
+
+def faulted_cell_fn(
+    inner_fn,
+    inner_kwargs: Dict[str, object],
+    fault_kind: str,
+    fault_times: int,
+    hang_seconds: float,
+    marker_path: str,
+    **injected,
+):
+    """Module-level (picklable) wrapper that sabotages early attempts.
+
+    ``injected`` carries anything the engine adds at submit time — in
+    particular the cell's ``seed_arg`` SeedSequence — and is merged over
+    ``inner_kwargs``, so the wrapped cell sees exactly the arguments the
+    bare cell would.
+    """
+    import os
+    import time as _time
+
+    attempt = _bump_attempt_counter(marker_path)
+    if fault_times < 0 or attempt <= fault_times:
+        if fault_kind == "kill":
+            os._exit(1)  # no cleanup: models OOM-killer / SIGKILL
+        if fault_kind == "hang":
+            _time.sleep(hang_seconds)
+        if fault_kind == "raise":
+            raise ChaosWorkerError(
+                f"injected failure on attempt {attempt}"
+            )
+        if fault_kind == "raise-unpicklable":
+            raise UnpicklableChaosError()
+    kwargs = dict(inner_kwargs)
+    kwargs.update(injected)
+    return inner_fn(**kwargs)
+
+
+def chaos_sweep_cells(cells, faults, marker_dir) -> list:
+    """Wrap sweep cells so the ones named in ``faults`` misbehave.
+
+    ``faults`` maps cell index -> :class:`WorkerFault`; every other cell
+    passes through untouched.  Wrapped cells keep their name and
+    ``seed_arg`` (so the engine's deterministic seeding is preserved)
+    but drop their cache payload — a sabotaged attempt must never be
+    memoized.
+    """
+    from pathlib import Path
+
+    from repro.perf.engine import SweepCell
+
+    marker_dir = Path(marker_dir)
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    wrapped = []
+    for index, cell in enumerate(cells):
+        fault = faults.get(index)
+        if fault is None:
+            wrapped.append(cell)
+            continue
+        wrapped.append(
+            SweepCell(
+                name=cell.name,
+                fn=faulted_cell_fn,
+                kwargs={
+                    "inner_fn": cell.fn,
+                    "inner_kwargs": cell.kwargs,
+                    "fault_kind": fault.kind,
+                    "fault_times": fault.times,
+                    "hang_seconds": fault.hang_seconds,
+                    "marker_path": str(marker_dir / f"cell-{index}.attempts"),
+                },
+                cache_payload=None,
+                seed_arg=cell.seed_arg,
+                meta=cell.meta,
+            )
+        )
+    return wrapped

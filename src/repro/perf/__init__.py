@@ -12,13 +12,31 @@ heavy intermediate is recomputed.  This package makes regeneration cheap:
   version) shared between worker processes and across runs;
 * :class:`BenchRecorder` timestamps every cell and writes
   ``BENCH_sweeps.json``, the repo's perf trajectory;
+* :class:`SupervisedSweepEngine` wraps the engine with per-cell
+  timeouts, bounded jittered retries, pool-death recovery with
+  quarantine and serial degrade, and crash-safe checkpoint/resume
+  through a :class:`SweepJournal` — without ever changing a surviving
+  cell's bits;
 * :mod:`repro.perf.sweeps` defines the concrete cells of the paper's
   grids (Figs. 2, 6, 7-9) plus the cached trace/DP-schedule builders.
 """
 
 from repro.perf.cache import CACHE_SCHEMA, ResultCache, fingerprint
 from repro.perf.engine import CellResult, SweepCell, SweepEngine
+from repro.perf.journal import (
+    JOURNAL_SCHEMA,
+    JournalEntry,
+    SweepJournal,
+    sweep_fingerprint,
+)
 from repro.perf.recorder import BENCH_SCHEMA, BenchRecorder
+from repro.perf.supervise import (
+    CellReport,
+    SupervisedRun,
+    SupervisedSweepEngine,
+    SupervisorPolicy,
+    SweepReport,
+)
 from repro.perf.sweeps import (
     SWEEP_SCALES,
     SweepScale,
@@ -41,6 +59,15 @@ __all__ = [
     "SweepEngine",
     "BENCH_SCHEMA",
     "BenchRecorder",
+    "JOURNAL_SCHEMA",
+    "JournalEntry",
+    "SweepJournal",
+    "sweep_fingerprint",
+    "CellReport",
+    "SupervisedRun",
+    "SupervisedSweepEngine",
+    "SupervisorPolicy",
+    "SweepReport",
     "SWEEP_SCALES",
     "SweepScale",
     "current_scale",

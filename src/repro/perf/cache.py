@@ -169,8 +169,10 @@ class ResultCache:
         if not self.enabled:
             return False, None
         path = self.path_for(key)
+        stat: Optional[os.stat_result] = None
         try:
             with path.open("rb") as handle:
+                stat = os.fstat(handle.fileno())
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
@@ -178,13 +180,29 @@ class ResultCache:
         except Exception:
             # Truncated write from a crashed process, unpicklable blob, …
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._remove_corrupt(path, stat)
             return False, None
         self.hits += 1
         return True, value
+
+    @staticmethod
+    def _remove_corrupt(path: Path, stat: Optional[os.stat_result]) -> None:
+        """Best-effort removal of the *exact* corrupt entry just read.
+
+        Two processes can observe the same corrupt blob; the first to
+        recompute replaces it atomically with a good value.  Unlinking
+        blindly would let the second reader delete that fresh entry (or
+        raise ``FileNotFoundError`` if the first already removed it), so
+        the removal is guarded: only unlink while the path still refers
+        to the inode the corrupt bytes came from, and treat every race
+        outcome — already gone, already replaced — as a silent miss.
+        """
+        try:
+            if stat is not None and path.stat().st_ino != stat.st_ino:
+                return  # replaced by a fresh (presumably good) write
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
 
     def put(self, key: str, value: Any) -> bool:
         """Atomically persist ``value``; returns False if it cannot be."""

@@ -79,6 +79,25 @@ def _execute_cell(fn: Callable[..., Any], kwargs: Dict[str, Any]):
     return value, time.perf_counter() - start
 
 
+def abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down *now*: drop queued work, reap workers.
+
+    Used on Ctrl-C (so a big sweep exits promptly instead of draining
+    its queue) and by the supervisor when it declares a pool dead or
+    hung.  Workers still running are terminated — the only way to
+    reclaim a truly hung child — which is safe because every cell is
+    side-effect-free by the engine's contract and any lost cell is
+    either re-raised to the caller or resubmitted by the supervisor.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-reaped worker
+            pass
+
+
 class SweepEngine:
     """Run sweep cells — serially or across worker processes.
 
@@ -192,7 +211,8 @@ class SweepEngine:
 
     def _run_pool(self, cells, results, keys, pending) -> None:
         max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        try:
             futures = {
                 pool.submit(
                     _execute_cell,
@@ -208,3 +228,10 @@ class SweepEngine:
                     index = futures[future]
                     value, seconds = future.result()
                     self._finish(cells, results, keys, index, value, seconds)
+        except BaseException:
+            # Ctrl-C (or a poisoned cell) must not drain the queue:
+            # cancel everything pending and exit promptly.
+            abandon_pool(pool)
+            raise
+        else:
+            pool.shutdown(wait=True)

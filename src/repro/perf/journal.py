@@ -1,0 +1,193 @@
+"""Crash-safe sweep journal: append-only JSONL of completed cells.
+
+A multi-hour sweep that dies at cell 180 of 200 should not restart from
+zero.  The journal records every completed cell as one JSON line — value
+pickled and base64-wrapped so arbitrary cell results survive the round
+trip — appended atomically (one ``write`` of a full line, flushed and
+fsync'd) so a crash can at worst truncate the final line, never corrupt
+an earlier one.  The header line carries a *sweep fingerprint* (hash of
+code version, namespace, base seed, and every cell's name + cache
+payload); a ``--resume`` run only trusts a journal whose fingerprint
+matches the sweep it is about to run, so edited parameters or new code
+force a recompute instead of silently reusing stale results.
+
+Determinism: resuming never changes values.  A resumed cell's recorded
+value is byte-for-byte what the original run computed, and cells that do
+re-run reuse their exact ``SeedSequence(base_seed, spawn_key=(index,))``
+derivation, so a kill-and-resume sweep is bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+#: Bump when the line format changes; mismatched journals are stale.
+JOURNAL_SCHEMA = 1
+
+
+def sweep_fingerprint(
+    namespace: str,
+    base_seed: int,
+    cells: Sequence[Any],
+    code_version: Optional[str] = None,
+) -> str:
+    """Fingerprint of everything that determines a sweep's results.
+
+    Built from the cache's canonical encoding over the code version, the
+    engine namespace and base seed, and each cell's ``(name, payload
+    fingerprint)``.  A cell whose payload cannot be fingerprinted (or is
+    ``None``) contributes its name alone — resume then relies on the
+    name and index staying stable, the same contract the result cache
+    already imposes.
+    """
+    from repro.perf.cache import _default_code_version, fingerprint
+
+    items = []
+    for cell in cells:
+        payload = getattr(cell, "cache_payload", None)
+        if payload is None:
+            payload_fp = None
+        else:
+            try:
+                payload_fp = fingerprint(payload)
+            except TypeError:
+                payload_fp = None
+        items.append((cell.name, payload_fp))
+    return fingerprint(
+        (code_version or _default_code_version(), namespace,
+         int(base_seed), items)
+    )
+
+
+def encode_value(value: Any) -> str:
+    """Pickle ``value`` into a JSON-safe base64 string."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_value(blob: str) -> Any:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One completed cell as recorded on disk."""
+
+    index: int
+    name: str
+    value: Any
+    seconds: float
+    attempts: int
+    status: str
+
+
+class SweepJournal:
+    """Append-only record of a sweep's completed cells.
+
+    Single-writer: only the supervising process appends (workers return
+    results to it), so appends need no locking — just atomicity against
+    crashes, which one flushed-and-fsync'd ``write`` per line provides.
+    """
+
+    def __init__(self, path: Union[str, Path], fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = str(fingerprint)
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def reset(self) -> None:
+        """Start a fresh journal: atomically write just the header."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps(
+            {
+                "kind": "header",
+                "schema": JOURNAL_SCHEMA,
+                "fingerprint": self.fingerprint,
+            },
+            sort_keys=True,
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=".journal-", suffix=".tmp"
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(header + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, self.path)
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably append one completed cell."""
+        line = json.dumps(
+            {
+                "kind": "cell",
+                "index": int(entry.index),
+                "name": entry.name,
+                "value": encode_value(entry.value),
+                "seconds": round(float(entry.seconds), 6),
+                "attempts": int(entry.attempts),
+                "status": entry.status,
+            },
+            sort_keys=True,
+        )
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    def load(self) -> Optional[Dict[int, JournalEntry]]:
+        """Completed entries by index, or ``None`` if the journal cannot
+        be trusted (missing, unreadable, wrong schema, or a fingerprint
+        that no longer matches this sweep).
+
+        A truncated or garbled trailing line — the signature of a crash
+        mid-append — is skipped silently; every line before it is intact
+        by construction.
+        """
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return None
+        if not lines:
+            return None
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return None
+        if (
+            header.get("kind") != "header"
+            or header.get("schema") != JOURNAL_SCHEMA
+            or header.get("fingerprint") != self.fingerprint
+        ):
+            return None
+        entries: Dict[int, JournalEntry] = {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                if record.get("kind") != "cell":
+                    continue
+                entry = JournalEntry(
+                    index=int(record["index"]),
+                    name=str(record["name"]),
+                    value=decode_value(record["value"]),
+                    seconds=float(record["seconds"]),
+                    attempts=int(record["attempts"]),
+                    status=str(record["status"]),
+                )
+            except (KeyError, ValueError, TypeError, json.JSONDecodeError,
+                    pickle.UnpicklingError, EOFError):
+                continue  # torn tail line from a crash mid-append
+            entries[entry.index] = entry
+        return entries

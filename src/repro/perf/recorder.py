@@ -26,6 +26,7 @@ class BenchRecorder:
     def __init__(self, context: Optional[Dict[str, Any]] = None) -> None:
         self.context: Dict[str, Any] = dict(context or {})
         self.records: List[Dict[str, Any]] = []
+        self.sweep_report: Optional[Dict[str, Any]] = None
         self._started = time.time()
 
     # ------------------------------------------------------------------
@@ -41,6 +42,15 @@ class BenchRecorder:
             if value is not None:
                 record[key] = value
         self.records.append(record)
+
+    def attach_report(self, report: Dict[str, Any]) -> None:
+        """Attach a supervised sweep's :class:`SweepReport` dict.
+
+        Emitted under ``"sweep_report"`` in :meth:`as_dict`, so bench
+        artifacts carry the retry/timeout/quarantine story of the run
+        that produced them.
+        """
+        self.sweep_report = dict(report)
 
     @contextmanager
     def time(self, name: str, **meta: Any):
@@ -65,12 +75,15 @@ class BenchRecorder:
         }
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema": BENCH_SCHEMA,
             "context": self.context,
             "summary": self.summary(),
             "records": self.records,
         }
+        if self.sweep_report is not None:
+            payload["sweep_report"] = self.sweep_report
+        return payload
 
     def write(self, path: Union[str, Path]) -> None:
         """Write the records as pretty-printed JSON."""

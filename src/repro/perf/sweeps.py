@@ -273,7 +273,11 @@ def _mbac_sweep_cell(prefix: str, kwargs: Dict[str, Any]) -> SweepCell:
         f"/load{kwargs['load']:g}/{kwargs['controller']}"
     )
     return SweepCell(
-        name=name, fn=mbac_cell, kwargs=kwargs, cache_payload=kwargs
+        name=name,
+        fn=mbac_cell,
+        kwargs=kwargs,
+        cache_payload=kwargs,
+        meta={"figure": prefix},
     )
 
 
@@ -426,6 +430,7 @@ def smg_cells(
                 fn=smg_cell,
                 kwargs=kwargs,
                 cache_payload=kwargs,
+                meta={"figure": "fig6"},
             )
         )
     return cells
@@ -499,6 +504,7 @@ def tradeoff_cells(
                 fn=tradeoff_opt_cell,
                 kwargs=kwargs,
                 cache_payload=kwargs,
+                meta={"figure": "fig2"},
             )
         )
     for delta in deltas:
@@ -511,6 +517,7 @@ def tradeoff_cells(
                 fn=tradeoff_heuristic_cell,
                 kwargs=kwargs,
                 cache_payload=kwargs,
+                meta={"figure": "fig2"},
             )
         )
     return cells

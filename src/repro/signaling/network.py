@@ -87,6 +87,9 @@ class SignalingPath:
         faults: Optional["FaultPlan"] = None,
         request_timeout: Optional[float] = None,
         max_retries: int = 0,
+        retry_backoff: float = 1.0,
+        retry_jitter: float = 0.0,
+        retry_seed: SeedLike = None,
     ) -> None:
         if not ports:
             raise ValueError("a path needs at least one port")
@@ -98,12 +101,22 @@ class SignalingPath:
             raise ValueError("request_timeout must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if not 0.0 <= retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
         self.ports = list(ports)
         self.hop_delay = hop_delay
         self.cell_loss_probability = cell_loss_probability
         self.rng = as_generator(seed)
         self.faults = faults
         self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_jitter = float(retry_jitter)
+        # Jitter draws come from a dedicated stream, never from the
+        # cell-loss ``rng``: enabling jitter must not perturb the loss
+        # sample path, and a seeded stream keeps retry timing replayable.
+        self._retry_rng = as_generator(retry_seed)
         if request_timeout is None:
             # A source waits a bit over the signaling RTT before declaring
             # a cell lost; floor it so zero-delay test paths still time out.
@@ -215,7 +228,11 @@ class SignalingPath:
 
         With ``max_retries > 0``, a transmission that times out (lost,
         over-delayed, or eaten by an outage) is retried up to that many
-        times, each attempt one timeout later.  Retries carry the
+        times.  Attempt ``k`` waits ``timeout * retry_backoff**(k-1)``,
+        optionally stretched by up to ``retry_jitter`` (drawn from the
+        dedicated seeded retry stream) so synchronized sources do not
+        re-collide — the defaults (backoff 1, jitter 0) reproduce the
+        historical fixed-interval retry bit for bit.  Retries carry the
         *absolute* target rate (the paper's resynchronisation cell,
         footnote 2) rather than the delta: if the original — or any
         upstream part of it — actually landed, an absolute retry repairs
@@ -231,7 +248,14 @@ class SignalingPath:
         attempts = 0
         while status is DeliveryStatus.LOST and attempts < self.max_retries:
             attempts += 1
-            now += self.request_timeout
+            delay = self.request_timeout * (
+                self.retry_backoff ** (attempts - 1)
+            )
+            if self.retry_jitter > 0.0:
+                delay *= 1.0 + self.retry_jitter * float(
+                    self._retry_rng.random()
+                )
+            now += delay
             self.stats.timeouts += 1
             self.stats.retries += 1
             retry = RmCell(

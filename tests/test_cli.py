@@ -139,3 +139,58 @@ class TestExperiment:
                      "--seed", "2", "--loss-target", "1e-2"]) == 0
         out = capsys.readouterr().out
         assert "CBR" in out and "RCBR" in out
+
+
+class TestChaos:
+    def test_chaos_trial_runs(self, capsys):
+        assert main(["chaos", "--policy", "downgrade", "--deny-rate", "0.2",
+                     "--cell-loss", "0.05", "--slots", "600",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos trial (policy=downgrade, seed=3):" in out
+        assert "fingerprint:" in out
+
+    def test_chaos_retry_knobs(self, capsys):
+        assert main(["chaos", "--policy", "backoff", "--deny-rate", "0.2",
+                     "--cell-loss", "0.1", "--slots", "600",
+                     "--timeout", "0.05", "--retries", "3",
+                     "--retry-backoff", "2.0", "--retry-jitter", "0.3",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "retries" in out
+
+    def test_chaos_is_reproducible(self, capsys):
+        main(["chaos", "--slots", "600", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["chaos", "--slots", "600", "--seed", "9"])
+        assert capsys.readouterr().out == first
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--policy", "frobnicate", "--slots", "600"])
+
+
+class TestSupervisionFlags:
+    """The sweep subcommands expose the supervision knobs."""
+
+    def test_sweep_parsers_accept_supervision_flags(self, tmp_path):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for name in ("mbac", "smg", "tradeoff"):
+            args = parser.parse_args([
+                "sweep", name, "--timeout", "120", "--retries", "3",
+                "--journal", str(tmp_path / "j.jsonl"), "--resume",
+                "--report", str(tmp_path / "report.json"),
+            ])
+            assert args.timeout == 120.0
+            assert args.retries == 3
+            assert args.resume
+            assert args.journal.endswith("j.jsonl")
+            assert args.report.endswith("report.json")
+
+    def test_bench_has_no_supervision_flags(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "bench", "--resume"])

@@ -293,3 +293,116 @@ class TestChaosHarness:
         assert result.failure_fraction > 0.0
         assert result.recovery_episodes > 0
         assert result.mean_time_to_recover > 0.0
+
+
+# ----------------------------------------------------------------------
+# Worker chaos: the sweep-cell sabotage used by the supervision tests
+# ----------------------------------------------------------------------
+def _plain_cell(seed=None, scale=1.0):
+    return {"scale": scale, "seeded": seed is not None}
+
+
+class TestWorkerChaos:
+    def test_worker_fault_validation(self):
+        from repro.faults.harness import WorkerFault
+
+        with pytest.raises(ValueError):
+            WorkerFault(kind="segfault")
+        for kind in ("kill", "hang", "raise", "raise-unpicklable"):
+            WorkerFault(kind=kind)
+
+    def test_unpicklable_error_refuses_to_pickle(self):
+        import pickle
+
+        from repro.faults.harness import UnpicklableChaosError
+
+        with pytest.raises(TypeError):
+            pickle.dumps(UnpicklableChaosError())
+
+    def test_faulted_cell_raises_then_recovers(self, tmp_path):
+        from repro.faults.harness import ChaosWorkerError, faulted_cell_fn
+
+        marker = str(tmp_path / "cell.attempts")
+        kwargs = dict(
+            inner_fn=_plain_cell,
+            inner_kwargs={"scale": 2.0},
+            fault_kind="raise",
+            fault_times=2,
+            hang_seconds=0.0,
+            marker_path=marker,
+        )
+        with pytest.raises(ChaosWorkerError):
+            faulted_cell_fn(**kwargs)
+        with pytest.raises(ChaosWorkerError):
+            faulted_cell_fn(**kwargs)
+        # Third attempt behaves, and injected kwargs win over inner ones.
+        assert faulted_cell_fn(**kwargs, seed=np.random.SeedSequence(0)) == {
+            "scale": 2.0, "seeded": True,
+        }
+
+    def test_permanent_fault_never_recovers(self, tmp_path):
+        from repro.faults.harness import ChaosWorkerError, faulted_cell_fn
+
+        marker = str(tmp_path / "cell.attempts")
+        for _ in range(5):
+            with pytest.raises(ChaosWorkerError):
+                faulted_cell_fn(
+                    inner_fn=_plain_cell,
+                    inner_kwargs={},
+                    fault_kind="raise",
+                    fault_times=-1,
+                    hang_seconds=0.0,
+                    marker_path=marker,
+                )
+
+    def test_chaos_sweep_cells_wraps_only_faulted(self, tmp_path):
+        from repro.faults.harness import WorkerFault, chaos_sweep_cells
+        from repro.perf.engine import SweepCell
+
+        cells = [
+            SweepCell(
+                name=f"c/{index}",
+                fn=_plain_cell,
+                kwargs={"scale": float(index)},
+                cache_payload={"scale": float(index)},
+                seed_arg="seed",
+                meta={"figure": "fig0"},
+            )
+            for index in range(3)
+        ]
+        wrapped = chaos_sweep_cells(
+            cells, {1: WorkerFault("raise", times=1)}, tmp_path / "markers"
+        )
+        assert wrapped[0] is cells[0] and wrapped[2] is cells[2]
+        sabotaged = wrapped[1]
+        assert sabotaged.name == "c/1"
+        assert sabotaged.seed_arg == "seed"  # deterministic seeding kept
+        assert sabotaged.meta == {"figure": "fig0"}
+        assert sabotaged.cache_payload is None  # never memoize sabotage
+        assert sabotaged.kwargs["inner_fn"] is _plain_cell
+        assert sabotaged.kwargs["inner_kwargs"] == {"scale": 1.0}
+
+    def test_chaos_config_retry_knobs_replay_bit_identically(self):
+        config = ChaosConfig(
+            policy="backoff", deny_rate=0.2, cell_loss=0.1,
+            num_slots=600, max_retries=3, request_timeout=0.05,
+            retry_backoff=2.0, retry_jitter=0.3, seed=5,
+        )
+        first = run_chaos_trial(config)
+        assert first == run_chaos_trial(config)
+        assert first.retries > 0
+
+    def test_retry_knobs_leave_other_streams_untouched(self):
+        # Adding backoff/jitter must not change the trace or fault
+        # sample paths: losses differ only through timing, so the
+        # offered traffic is identical.
+        base = ChaosConfig(
+            policy="naive", deny_rate=0.2, cell_loss=0.1,
+            num_slots=600, seed=5,
+        )
+        jittered = dataclasses.replace(
+            base, retry_backoff=2.0, retry_jitter=0.5
+        )
+        assert run_chaos_trial(base).offered_bits == run_chaos_trial(
+            jittered
+        ).offered_bits

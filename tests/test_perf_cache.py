@@ -110,6 +110,65 @@ class TestResultCache:
         assert cache.put(key, [1, 2, 3])
         assert cache.get(key) == (True, [1, 2, 3])
 
+    def test_concurrent_corrupt_removal_is_silent(self, tmp_path):
+        # Two readers hit the same corrupt blob and both try to remove
+        # it; the loser of the unlink race must not raise, just miss.
+        import threading
+
+        cache = ResultCache(root=tmp_path, enabled=True)
+        key = cache.key("ns", "payload")
+        cache.put(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"not a pickle")
+
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def reader():
+            barrier.wait()
+            try:
+                for _ in range(20):
+                    hit, value = cache.get(key)
+                    assert not hit and value is None
+            except BaseException as exc:  # noqa: BLE001 - collect, don't die
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not cache.path_for(key).exists()
+
+    def test_corrupt_removal_spares_a_replaced_entry(self, tmp_path):
+        # Reader A reads corrupt bytes; before it unlinks, writer B
+        # atomically replaces the entry with a good value.  A's removal
+        # must notice the new inode and leave the fresh entry alone.
+        import os
+
+        cache = ResultCache(root=tmp_path, enabled=True)
+        key = cache.key("ns", "payload")
+        cache.put(key, "stale")
+        path = cache.path_for(key)
+        path.write_bytes(b"not a pickle")
+        with path.open("rb") as handle:
+            corrupt_stat = os.fstat(handle.fileno())
+        assert cache.put(key, "fresh")  # os.replace -> new inode
+        ResultCache._remove_corrupt(path, corrupt_stat)
+        assert cache.get(key) == (True, "fresh")
+
+    def test_corrupt_removal_tolerates_already_gone(self, tmp_path):
+        import os
+
+        cache = ResultCache(root=tmp_path, enabled=True)
+        key = cache.key("ns", "payload")
+        cache.put(key, "value")
+        path = cache.path_for(key)
+        with path.open("rb") as handle:
+            stat = os.fstat(handle.fileno())
+        path.unlink()
+        ResultCache._remove_corrupt(path, stat)  # must not raise
+
     def test_disabled_cache_never_reads_or_writes(self, tmp_path):
         cache = ResultCache(root=tmp_path, enabled=False)
         key = cache.key("ns", "payload")

@@ -41,6 +41,18 @@ def logging_cell(value, log_path):
     return 2 * value
 
 
+def interrupting_cell(value, log_path, interrupt_on):
+    """A logging cell that models Ctrl-C arriving inside one worker."""
+    if value == interrupt_on:
+        raise KeyboardInterrupt
+    import time as _time
+
+    _time.sleep(0.05)
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    return value
+
+
 def _draw_cells(count):
     return [
         SweepCell(
@@ -152,6 +164,32 @@ class TestSweepEngine:
         )
         assert not second[0].cached
         assert second[0].value != first[0].value
+
+    def test_keyboard_interrupt_cancels_pending_futures(self, tmp_path):
+        # Ctrl-C in one worker must abort the sweep promptly instead of
+        # draining the remaining queue: the engine cancels every pending
+        # future and terminates the pool.  The pool may have prefetched
+        # a couple of cells, but nowhere near the full sweep.
+        log_path = tmp_path / "computed.log"
+        total = 12
+        cells = [
+            SweepCell(
+                name=f"int/{v}",
+                fn=interrupting_cell,
+                kwargs={
+                    "value": v,
+                    "log_path": str(log_path),
+                    "interrupt_on": 0,
+                },
+            )
+            for v in range(total)
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            SweepEngine(workers=2).run(cells)
+        ran = (
+            log_path.read_text().splitlines() if log_path.exists() else []
+        )
+        assert len(ran) < total
 
     def test_recorder_gets_one_record_per_cell(self, tmp_path):
         recorder = BenchRecorder(context={"suite": "unit"})

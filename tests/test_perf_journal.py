@@ -1,0 +1,159 @@
+"""The crash-safe sweep journal (repro.perf.journal).
+
+Load-bearing claims: appends are durable one-line records that survive a
+torn tail (crash mid-append); a journal is only trusted when its header
+fingerprint matches the sweep about to run; and values round-trip
+byte-for-byte through the base64-pickle encoding.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.perf.engine import SweepCell
+from repro.perf.journal import (
+    JOURNAL_SCHEMA,
+    JournalEntry,
+    SweepJournal,
+    decode_value,
+    encode_value,
+    sweep_fingerprint,
+)
+
+
+def _noop():
+    return None
+
+
+def _cells(count=3, payload=True):
+    return [
+        SweepCell(
+            name=f"cell/{index}",
+            fn=_noop,
+            cache_payload={"index": index} if payload else None,
+        )
+        for index in range(count)
+    ]
+
+
+class TestValueEncoding:
+    def test_roundtrip_arbitrary_values(self):
+        for value in (
+            {"a": 1, "b": [1.5, None]},
+            np.arange(4.0),
+            ("tuple", 2),
+        ):
+            decoded = decode_value(encode_value(value))
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(decoded, value)
+            else:
+                assert decoded == value
+
+    def test_encoding_is_json_safe(self):
+        blob = encode_value({"x": np.float64(1.25)})
+        assert json.dumps(blob)  # plain ASCII string
+
+
+class TestSweepFingerprint:
+    def test_deterministic(self):
+        cells = _cells()
+        assert sweep_fingerprint("ns", 7, cells) == sweep_fingerprint(
+            "ns", 7, _cells()
+        )
+
+    def test_sensitive_to_namespace_seed_and_cells(self):
+        cells = _cells()
+        base = sweep_fingerprint("ns", 7, cells)
+        assert sweep_fingerprint("other", 7, cells) != base
+        assert sweep_fingerprint("ns", 8, cells) != base
+        assert sweep_fingerprint("ns", 7, _cells(count=2)) != base
+        renamed = [
+            SweepCell(name="renamed", fn=_noop, cache_payload={"index": 0})
+        ] + cells[1:]
+        assert sweep_fingerprint("ns", 7, renamed) != base
+
+    def test_payload_free_cells_fingerprint_by_name(self):
+        assert sweep_fingerprint(
+            "ns", 0, _cells(payload=False)
+        ) == sweep_fingerprint("ns", 0, _cells(payload=False))
+
+
+class TestSweepJournal:
+    def _journal(self, tmp_path, fingerprint="fp"):
+        return SweepJournal(tmp_path / "sweep.journal.jsonl", fingerprint)
+
+    def test_reset_then_load_is_empty(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.reset()
+        assert journal.load() == {}
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.reset()
+        journal.append(
+            JournalEntry(0, "cell/0", {"value": 1.5}, 0.25, 1, "ok")
+        )
+        journal.append(
+            JournalEntry(2, "cell/2", [1, 2, 3], 0.5, 2, "retried")
+        )
+        entries = journal.load()
+        assert sorted(entries) == [0, 2]
+        assert entries[0].value == {"value": 1.5}
+        assert entries[0].status == "ok"
+        assert entries[2].attempts == 2
+        assert entries[2].value == [1, 2, 3]
+
+    def test_missing_journal_loads_none(self, tmp_path):
+        assert self._journal(tmp_path).load() is None
+
+    def test_mismatched_fingerprint_is_stale(self, tmp_path):
+        journal = self._journal(tmp_path, "old-code")
+        journal.reset()
+        journal.append(JournalEntry(0, "cell/0", 1, 0.1, 1, "ok"))
+        assert self._journal(tmp_path, "new-code").load() is None
+
+    def test_wrong_schema_is_stale(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "header",
+                    "schema": JOURNAL_SCHEMA + 1,
+                    "fingerprint": "fp",
+                }
+            )
+            + "\n"
+        )
+        assert SweepJournal(path, "fp").load() is None
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.reset()
+        journal.append(JournalEntry(0, "cell/0", "good", 0.1, 1, "ok"))
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "cell", "index": 1, "nam')  # crash here
+        entries = journal.load()
+        assert sorted(entries) == [0]
+        assert entries[0].value == "good"
+
+    def test_reset_discards_previous_entries(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.reset()
+        journal.append(JournalEntry(0, "cell/0", 1, 0.1, 1, "ok"))
+        journal.reset()
+        assert journal.load() == {}
+
+    def test_later_entry_for_same_index_wins(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.reset()
+        journal.append(JournalEntry(0, "cell/0", "first", 0.1, 1, "ok"))
+        journal.append(JournalEntry(0, "cell/0", "second", 0.2, 2, "retried"))
+        assert journal.load()[0].value == "second"
+
+    def test_garbage_file_is_stale_not_fatal(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        path.write_text("this is not json\n")
+        assert SweepJournal(path, "fp").load() is None

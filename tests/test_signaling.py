@@ -135,6 +135,101 @@ class TestSignalingPath:
             SignalingPath([SwitchPort(1.0)], hop_delay=-1.0)
         with pytest.raises(ValueError):
             SignalingPath([SwitchPort(1.0)], cell_loss_probability=1.0)
+        with pytest.raises(ValueError):
+            SignalingPath([SwitchPort(1.0)], retry_backoff=0.5)
+        with pytest.raises(ValueError):
+            SignalingPath([SwitchPort(1.0)], retry_jitter=1.0)
+        with pytest.raises(ValueError):
+            SignalingPath([SwitchPort(1.0)], retry_jitter=-0.1)
+        with pytest.raises(ValueError):
+            SignalingPath([SwitchPort(1.0)], request_timeout=0.0)
+
+
+class _TransmitRecorder(SignalingPath):
+    """Records each attempt's issue time; every transmission is lost."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.issue_times = []
+
+    def _transmit(self, cell, time):
+        self.issue_times.append(time)
+        status = super()._transmit(cell, time)
+        assert self.stats.cells_lost >= 1  # loss prob ~1: always lost
+        return status
+
+
+class TestRetryBackoff:
+    """The jittered exponential retry schedule (lost-cell retries)."""
+
+    def _retry_path(self, **kwargs):
+        kwargs.setdefault("cell_loss_probability", 1.0 - 1e-12)
+        kwargs.setdefault("request_timeout", 1.0)
+        kwargs.setdefault("max_retries", 3)
+        kwargs.setdefault("seed", 0)
+        return _TransmitRecorder([SwitchPort(1e9)], **kwargs)
+
+    def _request(self):
+        return RenegotiationRequest(
+            vci=1, old_rate=0.0, new_rate=500.0, time=0.0
+        )
+
+    def test_default_is_fixed_interval(self):
+        path = self._retry_path()
+        assert not path.renegotiate(self._request())
+        assert path.issue_times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_backoff_grows_geometrically(self):
+        path = self._retry_path(retry_backoff=2.0)
+        assert not path.renegotiate(self._request())
+        # Waits of 1, 2, 4 timeouts between attempts.
+        assert path.issue_times == [0.0, 1.0, 3.0, 7.0]
+
+    def test_jitter_stretches_within_bounds(self):
+        path = self._retry_path(retry_backoff=2.0, retry_jitter=0.5)
+        assert not path.renegotiate(self._request())
+        bare = [0.0, 1.0, 3.0, 7.0]
+        gaps = np.diff(path.issue_times)
+        for gap, base in zip(gaps, [1.0, 2.0, 4.0]):
+            assert base <= gap <= base * 1.5
+        assert path.issue_times != bare  # jitter actually moved something
+
+    def test_jitter_is_deterministic_in_the_retry_seed(self):
+        first = self._retry_path(retry_backoff=2.0, retry_jitter=0.5,
+                                 retry_seed=42)
+        second = self._retry_path(retry_backoff=2.0, retry_jitter=0.5,
+                                  retry_seed=42)
+        other = self._retry_path(retry_backoff=2.0, retry_jitter=0.5,
+                                 retry_seed=43)
+        for path in (first, second, other):
+            path.renegotiate(self._request())
+        assert first.issue_times == second.issue_times
+        assert first.issue_times != other.issue_times
+
+    def test_retry_stream_does_not_perturb_loss_stream(self):
+        # Turning jitter on must not change which cells get lost: the
+        # jitter draws come from a dedicated stream, not the loss rng.
+        plain = SignalingPath(
+            [SwitchPort(1e9)], cell_loss_probability=0.5, seed=7,
+            max_retries=2,
+        )
+        jittered = SignalingPath(
+            [SwitchPort(1e9)], cell_loss_probability=0.5, seed=7,
+            max_retries=2, retry_backoff=2.0, retry_jitter=0.9,
+            retry_seed=123,
+        )
+        for path in (plain, jittered):
+            for index in range(30):
+                path.renegotiate(
+                    RenegotiationRequest(
+                        vci=1,
+                        old_rate=float(index),
+                        new_rate=float(index + 1),
+                        time=float(index) * 100.0,
+                    )
+                )
+        assert jittered.stats.cells_lost == plain.stats.cells_lost
+        assert jittered.stats.failures == plain.stats.failures
 
 
 class TestScheduleReplay:
