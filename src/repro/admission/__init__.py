@@ -17,6 +17,7 @@ from repro.admission.controllers import (
 )
 from repro.admission.callsim import (
     IntervalSample,
+    CallCounters,
     CallSimResult,
     CallLevelSimulator,
     simulate_admission,
@@ -31,6 +32,7 @@ __all__ = [
     "MemoryMBAC",
     "HeterogeneousKnowledgeCAC",
     "IntervalSample",
+    "CallCounters",
     "CallSimResult",
     "CallLevelSimulator",
     "simulate_admission",

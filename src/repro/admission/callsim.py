@@ -46,6 +46,55 @@ class IntervalSample:
     abandoned: int = 0  # calls that departed early under sustained denials
 
 
+@dataclass(frozen=True)
+class CallCounters:
+    """Whole-run, per-call lifetime and denial accounting.
+
+    Interval samples (the paper's measurement unit) only keep ratios, so
+    absolute call counts were lost after :meth:`CallLevelSimulator.run_interval`.
+    The server runtime (:mod:`repro.server`) reports these same counters in
+    its snapshots, and the two must agree on definitions:
+
+    * ``arrivals = blocked + admitted`` (every arrival is decided once);
+    * ``departed = completed + abandoned`` (every departure has one cause);
+    * ``admitted - departed`` is the number of calls still in the system;
+    * ``total_call_seconds`` sums the lifetimes of *departed* calls only.
+    """
+
+    arrivals: int = 0
+    blocked: int = 0
+    admitted: int = 0
+    departed: int = 0
+    completed: int = 0
+    abandoned: int = 0
+    increase_attempts: int = 0
+    increase_denials: int = 0
+    injected_denials: int = 0
+    total_call_seconds: float = 0.0
+
+    @property
+    def active(self) -> int:
+        """Calls admitted and not yet departed."""
+        return self.admitted - self.departed
+
+    @property
+    def blocking_fraction(self) -> float:
+        return self.blocked / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def denial_fraction(self) -> float:
+        if self.increase_attempts == 0:
+            return 0.0
+        return self.increase_denials / self.increase_attempts
+
+    @property
+    def mean_lifetime(self) -> float:
+        """Mean lifetime in seconds of the calls that departed."""
+        if self.departed == 0:
+            return 0.0
+        return self.total_call_seconds / self.departed
+
+
 @dataclass
 class CallSimResult:
     """Aggregated call-level simulation output."""
@@ -53,6 +102,7 @@ class CallSimResult:
     samples: List[IntervalSample] = field(default_factory=list)
     failure_interval: Optional[ConfidenceInterval] = None
     utilization_interval: Optional[ConfidenceInterval] = None
+    counters: Optional[CallCounters] = None
 
     @property
     def failure_probability(self) -> float:
@@ -136,14 +186,18 @@ class CallLevelSimulator:
         self._call_events: dict = {}
         self._denial_streak: dict = {}
 
-        # Interval-local counters.
+        # Cumulative counters (interval samples take deltas of these).
         self._arrivals = 0
         self._blocked = 0
+        self._admitted = 0
+        self._departed = 0
         self._increase_attempts = 0
         self._increase_failures = 0
         self._abandoned = 0
         self._injected_denials = 0
         self._allocated_mark = 0.0
+        self._admit_time: dict = {}
+        self._call_seconds = 0.0
 
         self._schedule_next_arrival()
 
@@ -173,6 +227,8 @@ class CallLevelSimulator:
         rates = schedule.rates.tolist()
         at_times = (now + schedule.start_times).tolist()
         self._request(call_id, rates[0], setup=True)
+        self._admitted += 1
+        self._admit_time[call_id] = now
         self.controller.on_admit(
             call_id, rates[0], now, call_class=call_class
         )
@@ -197,6 +253,10 @@ class CallLevelSimulator:
     def _handle_departure(self, call_id) -> None:
         self._call_events.pop(call_id, None)
         self._denial_streak.pop(call_id, None)
+        admitted_at = self._admit_time.pop(call_id, None)
+        if admitted_at is not None:
+            self._departed += 1
+            self._call_seconds += self.engine.now - admitted_at
         self.link.release(call_id, self.engine.now)
         self.controller.on_departure(call_id, self.engine.now)
 
@@ -240,6 +300,21 @@ class CallLevelSimulator:
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------
+    def counters(self) -> CallCounters:
+        """Whole-run call accounting (see :class:`CallCounters`)."""
+        return CallCounters(
+            arrivals=self._arrivals,
+            blocked=self._blocked,
+            admitted=self._admitted,
+            departed=self._departed,
+            completed=self._departed - self._abandoned,
+            abandoned=self._abandoned,
+            increase_attempts=self._increase_attempts,
+            increase_denials=self._increase_failures,
+            injected_denials=self._injected_denials,
+            total_call_seconds=self._call_seconds,
+        )
+
     def run_interval(self, interval_seconds: Optional[float] = None) -> IntervalSample:
         """Advance one measurement interval and return its sample."""
         if interval_seconds is None:
@@ -331,6 +406,7 @@ def simulate_admission(
     result.utilization_interval = mean_confidence_interval(
         utilization_stopper.stats
     )
+    result.counters = simulator.counters()
     return result
 
 

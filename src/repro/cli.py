@@ -31,6 +31,7 @@ from repro.core import (
     granular_rate_levels,
 )
 from repro.core.schedule import RateSchedule, empirical_rate_distribution
+from repro.server.config import CONTROLLER_NAMES
 from repro.traffic import FrameTrace, fit_starwars_model, generate_starwars_trace
 from repro.util.units import format_bits, format_rate, kbits, kbps
 
@@ -475,6 +476,107 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the long-lived event-driven RCBR gateway.
+
+    Builds a :class:`~repro.server.RcbrGateway` over a synthesized (or
+    loaded) trace and serves open-loop arrivals through the configured
+    admission controller for ``--duration`` simulated seconds, printing
+    the final accounting.  ``--bench`` instead times the vectorized
+    service loop on a preloaded fleet and writes ``BENCH_server.json``.
+    """
+    import json
+
+    from repro.faults.injectors import FaultPlan
+    from repro.server import RcbrGateway, ServerConfig, run_server_benchmark
+
+    if args.bench:
+        result = run_server_benchmark(
+            num_calls=args.bench_calls,
+            epochs=args.bench_epochs,
+            warmup_epochs=args.bench_warmup,
+            seed=args.seed,
+            out=args.out,
+        )
+        print(f"server benchmark ({result['num_calls']} concurrent calls):")
+        print(f"  simulated:       {result['simulated_seconds']:.2f} s in "
+              f"{result['run_seconds']:.2f} s wall "
+              f"({result['epochs']} epochs)")
+        print(f"  realtime factor: {result['realtime_factor']:.3f}x")
+        print(f"  throughput:      "
+              f"{result['call_epochs_per_second']:,.0f} call-epochs/s")
+        print(f"  utilization:     {result['mean_utilization']:.3f}")
+        print(f"  fingerprint:     {result['fingerprint']}")
+        print(f"bench records written to {args.out}")
+        if result["realtime_factor"] < 1.0:
+            print("  WARNING: gateway fell behind real time on this host")
+        return 0
+
+    trace = (
+        _load_trace(args.trace)
+        if args.trace
+        else generate_starwars_trace(
+            num_frames=args.frames, seed=args.trace_seed
+        )
+    )
+    workload = trace.as_workload()
+    capacity = (
+        kbps(args.capacity_kbps)
+        if args.capacity_kbps is not None
+        else args.capacity_multiple * workload.mean_rate
+    )
+    config = ServerConfig(
+        capacity=capacity,
+        load=args.load,
+        controller=args.controller,
+        failure_target=args.failure_target,
+        granularity=kbps(args.granularity_kbps),
+        buffer_bits=kbits(args.buffer_kbits) if args.buffer_kbits else None,
+        mean_holding=args.mean_holding,
+        abandon_after=args.abandon_after,
+        num_hops=args.hops,
+        request_timeout=args.timeout,
+        max_retries=args.retries,
+        initial_calls=args.initial_calls,
+        seed=args.seed,
+    )
+    faults = None
+    if args.fault_plan:
+        if args.fault_plan.lstrip().startswith("{"):
+            faults = FaultPlan.from_json(args.fault_plan, seed=args.fault_seed)
+        else:
+            faults = FaultPlan.from_file(args.fault_plan, seed=args.fault_seed)
+
+    gateway = RcbrGateway(workload, config, faults=faults)
+    report = gateway.run(args.duration, snapshot_every=args.snapshot_every)
+    final = report.final
+    print(f"RCBR gateway (controller={config.controller}, "
+          f"seed={config.seed}):")
+    print(f"  capacity:        {format_rate(capacity)} "
+          f"({capacity / workload.mean_rate:.1f}x call mean)")
+    print(f"  served:          {report.duration:.1f} s "
+          f"({report.epochs} epochs), peak {report.peak_active} calls")
+    print(f"  calls:           {final.arrivals} arrivals "
+          f"({final.blocked} blocked), {final.departed} departed "
+          f"({final.abandoned} abandoned), {final.active_calls} active")
+    print(f"  renegotiations:  {final.reneg_requests} requests, "
+          f"{final.reneg_denied} denied "
+          f"({final.injected_denials} injected)")
+    print(f"  signaling:       {final.cells_sent} cells, "
+          f"{final.cells_lost} lost, {final.retries} retries, "
+          f"{final.timeouts} timeouts")
+    print(f"  utilization:     {report.mean_utilization:.3f} mean")
+    print(f"  bits lost:       {format_bits(final.bits_lost_overflow)} "
+          f"overflow, {format_bits(final.bits_lost_link)} link")
+    print(f"  fingerprint:     {report.fingerprint}")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"server report written to {args.report}")
+    return 0
+
+
 def cmd_fit(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     model = fit_starwars_model(trace, num_classes=args.classes)
@@ -668,6 +770,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.set_defaults(handler=cmd_chaos)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived event-driven RCBR service gateway",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=30.0,
+        help="simulated seconds to serve (default 30)",
+    )
+    serve.add_argument(
+        "--load", type=float, default=0.8,
+        help="normalized offered load (0 = only --initial-calls)",
+    )
+    serve.add_argument(
+        "--controller", choices=CONTROLLER_NAMES, default="always",
+        help="admission controller (default: always)",
+    )
+    serve.add_argument(
+        "--capacity-kbps", type=float, default=None,
+        help="bottleneck capacity "
+             "(default: --capacity-multiple x call mean)",
+    )
+    serve.add_argument(
+        "--capacity-multiple", type=float, default=40.0,
+        help="capacity as a multiple of the per-call mean rate "
+             "(default 40)",
+    )
+    serve.add_argument("--failure-target", type=float, default=1e-3)
+    serve.add_argument("--granularity-kbps", type=float, default=64.0)
+    serve.add_argument(
+        "--buffer-kbits", type=float, default=300.0,
+        help="per-call playout buffer (0 = infinite)",
+    )
+    serve.add_argument("--trace", help="trace file (default: synthesize)")
+    serve.add_argument("--frames", type=int, default=2_400)
+    serve.add_argument("--trace-seed", type=int, default=1995)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="determinism seed for arrivals/calls/faults")
+    serve.add_argument(
+        "--mean-holding", type=float, default=None,
+        help="mean call holding time in seconds "
+             "(default: one workload duration)",
+    )
+    serve.add_argument(
+        "--abandon-after", type=int, default=None,
+        help="tear a call down after this many consecutive denied "
+             "renegotiations",
+    )
+    serve.add_argument("--hops", type=int, default=1)
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request signaling timeout in seconds "
+             "(default: twice the path RTT)",
+    )
+    serve.add_argument("--retries", type=int, default=2)
+    serve.add_argument(
+        "--initial-calls", type=int, default=0,
+        help="calls preloaded at t=0 before open-loop arrivals start",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None,
+        help="fault-plan spec: a JSON file path, or an inline JSON "
+             'object like \'{"denial": {"rate": 0.2}}\'',
+    )
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument(
+        "--snapshot-every", type=float, default=None,
+        help="periodic ServerSnapshot interval in simulated seconds",
+    )
+    serve.add_argument(
+        "--report", default=None,
+        help="write the full ServerReport JSON here",
+    )
+    serve.add_argument(
+        "--bench", action="store_true",
+        help="time the vectorized service loop on a preloaded fleet "
+             "instead of serving open-loop arrivals",
+    )
+    serve.add_argument("--bench-calls", type=int, default=50_000)
+    serve.add_argument("--bench-epochs", type=int, default=48)
+    serve.add_argument("--bench-warmup", type=int, default=48)
+    serve.add_argument(
+        "--out", default="BENCH_server.json",
+        help="bench records path with --bench (default: BENCH_server.json)",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     return parser
 

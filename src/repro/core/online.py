@@ -37,6 +37,12 @@ from repro.traffic.trace import SlottedWorkload
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> core)
     from repro.faults.recovery import RecoveryPolicy
 
+#: Guard subtracted before ``ceil`` in eq. 7's quantiser so an estimate
+#: sitting exactly on a grid line is not bumped to the next level by float
+#: dust.  Shared with the vectorized fleet stepper (``repro.server``),
+#: which must quantize bit-identically to this scalar path.
+QUANTIZE_EPSILON = 1e-12
+
 
 @dataclass(frozen=True)
 class OnlineParams:
@@ -98,7 +104,10 @@ class OnlineScheduler:
     def quantize(self, rate_estimate: float) -> float:
         """eq. 7: round the estimate *up* to the granularity grid."""
         delta = self.params.granularity
-        quantized = math.ceil(max(0.0, rate_estimate) / delta - 1e-12) * delta
+        quantized = (
+            math.ceil(max(0.0, rate_estimate) / delta - QUANTIZE_EPSILON)
+            * delta
+        )
         if self.params.max_rate is not None:
             quantized = min(quantized, self.params.max_rate)
         return quantized
@@ -286,7 +295,10 @@ class OnlineScheduler:
             incoming_rate = amount / slot
             estimate = eta * estimate + complement * incoming_rate
             rate_estimate = estimate + buffer_level / time_constant
-            candidate = ceil(max(0.0, rate_estimate) / delta - 1e-12) * delta
+            candidate = (
+                ceil(max(0.0, rate_estimate) / delta - QUANTIZE_EPSILON)
+                * delta
+            )
             if max_rate is not None and candidate > max_rate:
                 candidate = max_rate
             if (buffer_level > high and candidate > current_rate) or (

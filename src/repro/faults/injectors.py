@@ -360,6 +360,33 @@ class FaultPlan:
             )
         return cls(injectors)
 
+    @classmethod
+    def from_json(cls, text: str, seed: SeedLike = None) -> "FaultPlan":
+        """Build a plan from a JSON ``{injector_name: kwargs}`` document.
+
+        This is the on-disk form consumed by ``repro serve --fault-plan``:
+        the same spec dict :meth:`from_spec` takes, serialized, e.g. ::
+
+            {"denial": {"rate": 0.2}, "outage": {"rate": 0.02,
+                                                 "mean_duration": 5.0}}
+        """
+        import json
+
+        spec = json.loads(text)
+        if not isinstance(spec, dict):
+            raise ValueError(
+                "a fault plan must be a JSON object of "
+                "{injector_name: kwargs}"
+            )
+        return cls.from_spec(spec, seed=seed)
+
+    @classmethod
+    def from_file(cls, path, seed: SeedLike = None) -> "FaultPlan":
+        """Load a JSON fault-plan spec from ``path`` (see :meth:`from_json`)."""
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text(encoding="utf-8"), seed=seed)
+
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[FaultInjector]:
         return self._injectors.get(name)

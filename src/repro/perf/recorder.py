@@ -43,6 +43,17 @@ class BenchRecorder:
                 record[key] = value
         self.records.append(record)
 
+    def annotate(self, **context: Any) -> None:
+        """Merge key/value pairs into the recorder's context.
+
+        Lets a benchmark stamp derived results (a realtime factor, a
+        throughput figure) onto the artifact after the timed runs, without
+        rebuilding the recorder.
+        """
+        for key, value in context.items():
+            if value is not None:
+                self.context[key] = value
+
     def attach_report(self, report: Dict[str, Any]) -> None:
         """Attach a supervised sweep's :class:`SweepReport` dict.
 

@@ -34,7 +34,10 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.sequence) < (other.time, other.sequence)
+        # Hot path of every heap op; avoid building comparison tuples.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"

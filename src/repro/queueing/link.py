@@ -51,6 +51,10 @@ class RcbrLink:
         self.capacity = float(capacity)
         self._grants: Dict[object, float] = {}
         self._demands: Dict[object, float] = {}
+        # Running sum of ``_grants`` maintained incrementally: the server
+        # gateway advances the accounting clock on every renegotiation of
+        # a 50k-call fleet, so ``allocated`` must be O(1), not a dict sum.
+        self._allocated_total = 0.0
         self._shortfall_order: List[object] = []
         self._clock = 0.0
         self._allocated_integral = 0.0  # bit-seconds of reserved bandwidth
@@ -66,7 +70,9 @@ class RcbrLink:
     @property
     def allocated(self) -> float:
         """Total granted bandwidth right now."""
-        return sum(self._grants.values())
+        if not self._grants:
+            return 0.0
+        return max(0.0, self._allocated_total)
 
     @property
     def spare(self) -> float:
@@ -164,7 +170,10 @@ class RcbrLink:
     def release(self, source_id, time: float) -> None:
         """Tear down the source, freeing its bandwidth."""
         self._advance(time)
-        self._grants.pop(source_id, None)
+        self._allocated_total -= self._grants.pop(source_id, 0.0)
+        if not self._grants:
+            # Empty link: snap away any accumulated float dust.
+            self._allocated_total = 0.0
         self._demands.pop(source_id, None)
         self._clear_shortfall(source_id)
         self._redistribute()
@@ -190,14 +199,17 @@ class RcbrLink:
         allocated = self.allocated
         if allocated > capacity + 1e-9:
             scale = capacity / allocated
+            total = 0.0
             for source_id, grant in list(self._grants.items()):
                 reduced = grant * scale
                 self._grants[source_id] = reduced
+                total += reduced
                 if (
                     self._demands.get(source_id, 0.0) > reduced + 1e-9
                     and source_id not in self._shortfall_order
                 ):
                     self._shortfall_order.append(source_id)
+            self._allocated_total = total
             self.downgrade_events += 1
         else:
             self._redistribute()
@@ -206,10 +218,13 @@ class RcbrLink:
     # Internals
     # ------------------------------------------------------------------
     def _set_grant(self, source_id, rate: float) -> None:
+        old = self._grants.get(source_id, 0.0)
         if rate <= 0.0 and self._demands.get(source_id, 0.0) <= 0.0:
             self._grants[source_id] = 0.0
+            self._allocated_total += 0.0 - old
         else:
             self._grants[source_id] = rate
+            self._allocated_total += rate - old
 
     def _clear_shortfall(self, source_id) -> None:
         if source_id in self._shortfall_order:
@@ -225,6 +240,7 @@ class RcbrLink:
             missing = self._demands[source_id] - self._grants[source_id]
             topup = min(missing, spare)
             self._grants[source_id] += topup
+            self._allocated_total += topup
             spare -= topup
             if self._grants[source_id] >= self._demands[source_id] - 1e-9:
                 satisfied.append(source_id)

@@ -1,0 +1,34 @@
+"""The RCBR service runtime: an event-driven gateway at production scale.
+
+Everything before this package simulates one experiment at a time; this
+package runs RCBR as a *service*: an open-loop call arrival process, an
+admission controller at the door, a vectorized fleet of online schedulers
+(50k+ concurrent calls stepped per epoch with whole-array numpy), RM-cell
+renegotiation over a fault-injectable signaling path, and a shared link
+whose integrals yield the utilization/loss story of the paper — all under
+a deterministic seed with periodic snapshots and a replay fingerprint.
+"""
+
+from repro.server.config import CONTROLLER_NAMES, ServerConfig, build_controller
+from repro.server.fleet import CallFleet, EpochStep
+from repro.server.gateway import RcbrGateway, serve
+from repro.server.stats import (
+    ServerReport,
+    ServerSnapshot,
+    snapshot_fingerprint,
+)
+from repro.server.bench import run_server_benchmark
+
+__all__ = [
+    "CONTROLLER_NAMES",
+    "ServerConfig",
+    "build_controller",
+    "CallFleet",
+    "EpochStep",
+    "RcbrGateway",
+    "serve",
+    "ServerReport",
+    "ServerSnapshot",
+    "snapshot_fingerprint",
+    "run_server_benchmark",
+]

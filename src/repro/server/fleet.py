@@ -1,0 +1,254 @@
+"""The vectorized call fleet: batch-stepping every active call per epoch.
+
+The gateway's hot path.  A fleet holds the per-call state of all active
+calls in structure-of-arrays form (numpy float64/int64/bool columns) and
+advances *every* call through one slot of the AR(1) + dual-threshold
+heuristic (:mod:`repro.core.online`, eqs. 6-8) with a fixed number of
+whole-array operations — one gather of the slot's arrivals, one buffer
+update, one AR(1) update, one quantization, one threshold test — and no
+per-call Python loop.  50k concurrent calls step in well under a
+millisecond, which is what makes a real-time gateway on one core
+possible.
+
+Bit-identical contract: every arithmetic expression is kept textually
+parallel to :meth:`repro.core.online.OnlineScheduler.schedule` (same
+operation order, same ``QUANTIZE_EPSILON`` guard), so a fleet of one call
+produces exactly the float sequence the scalar scheduler produces on the
+same shifted workload.  ``tests/test_server_fleet.py`` locks this in.
+
+Each call's traffic is a circular shift of one shared base workload — the
+paper's Section VI construction ("each call is a randomly shifted version
+of a Star Wars RCBR schedule"), applied at the arrival-process level so
+the per-epoch gather is a single fancy-index into the shared array.
+Inactive pool slots carry exact zeros everywhere; multiplying the
+gathered arrivals by the activity mask keeps them at zero through every
+update, so no post-step masking is needed and whole-array reductions
+(total buffered bits, total reserved rate) are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.online import OnlineParams, QUANTIZE_EPSILON
+from repro.traffic.trace import SlottedWorkload
+
+
+@dataclass(frozen=True)
+class EpochStep:
+    """What one vectorized step produced: who wants to renegotiate.
+
+    ``slots`` are pool-slot indices in ascending order (deterministic);
+    ``candidates`` the quantized eq.-7 target rate of each.  Calls with a
+    renegotiation already in flight are excluded — a source waits for the
+    answer to its outstanding RM cell before signaling again.
+    """
+
+    tick: int
+    slots: np.ndarray
+    candidates: np.ndarray
+
+    @property
+    def num_requests(self) -> int:
+        return int(self.slots.size)
+
+
+class CallFleet:
+    """Structure-of-arrays pool of active calls over one shared workload."""
+
+    def __init__(
+        self,
+        workload: SlottedWorkload,
+        params: OnlineParams,
+        buffer_size: Optional[float] = None,
+        initial_capacity: int = 256,
+    ) -> None:
+        if buffer_size is not None and buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        self.workload = workload
+        self.params = params
+        self.buffer_size = buffer_size
+        self._bits = workload.bits_per_slot  # read-only shared base
+        self._num_base_slots = int(self._bits.size)
+        self._slot = workload.slot_duration
+        self._time_constant = params.time_constant_slots * self._slot
+
+        capacity = int(initial_capacity)
+        self._capacity = capacity
+        self.active = np.zeros(capacity, dtype=bool)
+        self.shift = np.zeros(capacity, dtype=np.int64)
+        self.rate = np.zeros(capacity, dtype=np.float64)
+        self.estimate = np.zeros(capacity, dtype=np.float64)
+        self.buffer = np.zeros(capacity, dtype=np.float64)
+        self.pending = np.zeros(capacity, dtype=bool)
+        self.streak = np.zeros(capacity, dtype=np.int64)
+        self.call_id = np.full(capacity, -1, dtype=np.int64)
+        # LIFO free list ordered so the first admissions take slots 0, 1, …
+        self._free = list(range(capacity - 1, -1, -1))
+
+        self.num_active = 0
+        self.peak_active = 0
+        self.bits_lost = 0.0  # playout-buffer overflow, cumulative
+        self.epochs_stepped = 0
+        self.call_epochs_stepped = 0
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Allocated pool slots (grows by doubling)."""
+        return self._capacity
+
+    def _grow(self) -> None:
+        old = self._capacity
+        new = old * 2
+        for name in ("active", "shift", "rate", "estimate", "buffer",
+                     "pending", "streak", "call_id"):
+            column = getattr(self, name)
+            grown = np.zeros(new, dtype=column.dtype)
+            grown[:old] = column
+            setattr(self, name, grown)
+        self.call_id[old:] = -1
+        self._free.extend(range(new - 1, old - 1, -1))
+        self._capacity = new
+
+    def quantize(self, rate_estimate: float) -> float:
+        """Scalar eq.-7 quantizer, bit-identical to the vectorized one."""
+        delta = self.params.granularity
+        quantized = (
+            math.ceil(max(0.0, rate_estimate) / delta - QUANTIZE_EPSILON)
+            * delta
+        )
+        if self.params.max_rate is not None:
+            quantized = min(quantized, self.params.max_rate)
+        return quantized
+
+    def admit(self, call_id: int, shift: int) -> "tuple[int, float]":
+        """Add a call whose arrivals start ``shift`` base slots in.
+
+        Returns ``(pool_slot, initial_rate)`` where the initial rate is
+        the first slot's arrival rate quantized to the grid — the causal
+        setup-time choice the scalar scheduler makes.
+        """
+        if not 0 <= shift < self._num_base_slots:
+            raise ValueError(f"shift must be in [0, {self._num_base_slots})")
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        initial_rate = self.quantize(self._bits[shift] / self._slot)
+        self.active[slot] = True
+        self.shift[slot] = shift
+        self.rate[slot] = initial_rate
+        self.estimate[slot] = initial_rate
+        self.buffer[slot] = 0.0
+        self.pending[slot] = False
+        self.streak[slot] = 0
+        self.call_id[slot] = call_id
+        self.num_active += 1
+        if self.num_active > self.peak_active:
+            self.peak_active = self.num_active
+        return slot, initial_rate
+
+    def remove(self, slot: int) -> None:
+        """Release a pool slot, zeroing its state exactly."""
+        if not self.active[slot]:
+            raise ValueError(f"slot {slot} is not active")
+        self.active[slot] = False
+        self.shift[slot] = 0
+        self.rate[slot] = 0.0
+        self.estimate[slot] = 0.0
+        self.buffer[slot] = 0.0
+        self.pending[slot] = False
+        self.streak[slot] = 0
+        self.call_id[slot] = -1
+        self.num_active -= 1
+        self._free.append(slot)
+
+    def set_rate(self, slot: int, rate: float) -> None:
+        self.rate[slot] = rate
+
+    # ------------------------------------------------------------------
+    # The vectorized epoch step
+    # ------------------------------------------------------------------
+    def step(self, tick: int) -> EpochStep:
+        """Advance every active call through base slot ``tick``.
+
+        One AR(1) update, one threshold test, one quantization across the
+        whole fleet.  Returns the calls whose buffer crossed a threshold
+        in the matching direction (eq. 8) and are free to signal.
+        """
+        params = self.params
+        slot = self._slot
+        active = self.active
+        rate = self.rate
+        buffer_level = self.buffer
+
+        # Gather this epoch's arrivals: base_bits[(shift + tick) % L],
+        # zeroed for inactive slots so their state stays exactly 0.
+        index = self.shift + (tick % self._num_base_slots)
+        np.subtract(
+            index, self._num_base_slots, out=index,
+            where=index >= self._num_base_slots,
+        )
+        amount = self._bits[index] * active
+
+        # buffer = max(0, (buffer + amount) - rate * slot) — the adds and
+        # subtracts associate exactly as in the scalar loop — then
+        # finite-buffer overflow accounting.
+        buffer_level += amount
+        buffer_level -= rate * slot
+        np.maximum(buffer_level, 0.0, out=buffer_level)
+        if self.buffer_size is not None:
+            excess = buffer_level - self.buffer_size
+            np.maximum(excess, 0.0, out=excess)
+            lost = float(excess.sum())
+            if lost > 0.0:
+                self.bits_lost += lost
+                np.minimum(buffer_level, self.buffer_size, out=buffer_level)
+
+        # eq. 6: AR(1) estimate plus the additive q/T flush correction.
+        incoming_rate = amount / slot
+        estimate = self.estimate
+        estimate *= params.ar_coefficient
+        estimate += (1.0 - params.ar_coefficient) * incoming_rate
+
+        # eq. 7: quantize up to the grid (shared epsilon guard).
+        delta = params.granularity
+        candidate = estimate + buffer_level / self._time_constant
+        np.maximum(candidate, 0.0, out=candidate)
+        candidate /= delta
+        candidate -= QUANTIZE_EPSILON
+        np.ceil(candidate, out=candidate)
+        candidate *= delta
+        if params.max_rate is not None:
+            np.minimum(candidate, params.max_rate, out=candidate)
+
+        # eq. 8: signal only when the buffer crossed in the direction of
+        # the rate change, the call is active, and no cell is in flight.
+        wants = (buffer_level > params.high_threshold) & (candidate > rate)
+        wants |= (buffer_level < params.low_threshold) & (candidate < rate)
+        wants &= active
+        wants &= ~self.pending
+
+        self.epochs_stepped += 1
+        self.call_epochs_stepped += self.num_active
+        slots = np.flatnonzero(wants)
+        return EpochStep(
+            tick=tick, slots=slots, candidates=candidate[slots]
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-fleet observables (exact: inactive slots are exact zeros)
+    # ------------------------------------------------------------------
+    def total_buffered_bits(self) -> float:
+        return float(self.buffer.sum())
+
+    def total_reserved_rate(self) -> float:
+        return float(self.rate.sum())

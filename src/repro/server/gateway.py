@@ -1,0 +1,445 @@
+"""The RCBR gateway: an event-driven service runtime over one link.
+
+This ties the whole library together as a long-lived service loop.  An
+open-loop Poisson load generator offers calls to an admission controller
+(:mod:`repro.admission.controllers`); each admitted call joins the
+vectorized :class:`~repro.server.fleet.CallFleet` and runs the causal
+AR(1) heuristic against its own circularly-shifted copy of the base
+workload; threshold crossings become RM cells on a
+:class:`~repro.signaling.network.SignalingPath` (where a
+:class:`~repro.faults.injectors.FaultPlan` can lose, delay, duplicate, or
+outage them); granted rates are reserved on a shared
+:class:`~repro.queueing.link.RcbrLink` whose integrals yield utilization
+and bits lost.
+
+The loop is a hybrid: per-epoch vector stepping for the data plane (one
+numpy pass over all active calls per slot — the 50k-call hot path) and a
+conventional event heap for the control plane (arrivals, departures,
+abandonments, renegotiation round-trips).  Event ordering per epoch
+``k``::
+
+    1. drain the heap up to t = k * slot   (arrivals, departures, and
+       renegotiation completions whose round trip ended by t)
+    2. vector-step every active call through base slot k
+    3. issue this epoch's renegotiations with request time (k+1) * slot;
+       their outcomes apply at (k+1) * slot + path RTT via the heap
+
+so with zero hop delay an answer lands before the next step and the
+fleet reproduces the scalar :class:`~repro.core.online.OnlineScheduler`
+exactly (rates take effect the following slot, as in the paper).
+
+Dual bandwidth authority, by design: call setup/teardown provision the
+switch ports directly (admission is the CAC's decision, not the ER fast
+path's — and it mirrors :mod:`repro.admission.callsim`, which models no
+setup signaling), while renegotiations travel the path under faults.
+Lost decreases, duplicated increases, and partial outage commits
+therefore leave the *ports* over-reserving relative to the *link* — the
+paper's drift story — and the bottleneck port being conservative
+guarantees any path-granted increase also fits on the link
+(``link_shortfalls`` counts violations of that invariant, expected 0).
+
+Determinism contract: a fixed config seed spawns the arrival-process,
+call-property, cell-loss, and retry-jitter streams; the event heap is
+FIFO-stable; renegotiation issue order is ascending pool-slot order.
+Same seed (and same fault plan seed) ⇒ bit-identical snapshot stream,
+enforced via :func:`~repro.server.stats.snapshot_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.admission.callsim import arrival_rate_for_load
+from repro.admission.controllers import AdmissionController
+from repro.faults.injectors import FaultPlan
+from repro.queueing.events import Event, EventScheduler
+from repro.queueing.link import RcbrLink
+from repro.server.config import ServerConfig, build_controller
+from repro.server.fleet import CallFleet
+from repro.server.stats import (
+    ServerReport,
+    ServerSnapshot,
+    snapshot_fingerprint,
+)
+from repro.signaling.messages import RenegotiationRequest
+from repro.signaling.network import SignalingPath
+from repro.signaling.switch import SwitchPort
+from repro.traffic.trace import SlottedWorkload
+from repro.util.rng import spawn_generators
+
+#: Tolerance when comparing epoch boundaries against snapshot deadlines.
+_TIME_EPSILON = 1e-9
+
+EpochHook = Callable[[int, "RcbrGateway"], None]
+
+
+class RcbrGateway:
+    """A long-lived RCBR service instance over one bottleneck link."""
+
+    def __init__(
+        self,
+        workload: SlottedWorkload,
+        config: ServerConfig,
+        controller: Optional[AdmissionController] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.workload = workload
+        self.config = config
+        self.faults = faults
+        self.params = config.resolve_online_params()
+        self.controller = (
+            controller
+            if controller is not None
+            else build_controller(config, workload, self.params)
+        )
+
+        self.engine = EventScheduler()
+        self.fleet = CallFleet(
+            workload,
+            self.params,
+            buffer_size=config.buffer_bits,
+            initial_capacity=max(256, config.initial_calls),
+        )
+        self.link = RcbrLink(config.capacity)
+        # The last port is the bottleneck (capacity == link capacity);
+        # upstream hops get headroom so the bottleneck stays binding.
+        ports: List[SwitchPort] = [
+            SwitchPort(
+                config.capacity * config.upstream_headroom,
+                name=f"hop{index}",
+            )
+            for index in range(config.num_hops - 1)
+        ]
+        ports.append(SwitchPort(config.capacity, name="bottleneck"))
+        self.ports = ports
+
+        (
+            self._arrival_rng,
+            self._call_rng,
+            path_rng,
+            retry_rng,
+        ) = spawn_generators(config.seed, 4)
+        self.path = SignalingPath(
+            ports,
+            hop_delay=config.hop_delay,
+            seed=path_rng,
+            faults=faults,
+            request_timeout=config.request_timeout,
+            max_retries=config.max_retries,
+            retry_backoff=config.retry_backoff,
+            retry_jitter=config.retry_jitter,
+            retry_seed=retry_rng,
+        )
+
+        self.mean_holding = (
+            config.mean_holding
+            if config.mean_holding is not None
+            else workload.duration
+        )
+        self.arrival_rate = (
+            0.0
+            if config.load <= 0
+            else arrival_rate_for_load(
+                config.load,
+                config.capacity,
+                workload.mean_rate,
+                self.mean_holding,
+            )
+        )
+
+        self._call_ids = itertools.count()
+        self._departure_events: Dict[int, Event] = {}
+
+        # Cumulative counters (snapshot definitions match
+        # repro.admission.callsim.CallCounters).
+        self.arrivals = 0
+        self.blocked = 0
+        self.admitted = 0
+        self.departed = 0
+        self.abandoned = 0
+        self.setup_shortfalls = 0
+        self.reneg_requests = 0
+        self.reneg_denied = 0
+        self.injected_denials = 0
+        self.link_shortfalls = 0
+
+        self.snapshots: List[ServerSnapshot] = []
+        self._last_snapshot_time = 0.0
+        self._last_allocated_bit_seconds = 0.0
+        self._last_reneg_requests = 0
+
+        self._next_tick = 0
+        self._preloaded = False
+
+    # ------------------------------------------------------------------
+    # Call lifecycle
+    # ------------------------------------------------------------------
+    def _admit_call(self, now: float) -> Optional[int]:
+        """Offer one call; returns its id if admitted, None if blocked."""
+        self.arrivals += 1
+        if not self.controller.admit(self.config.capacity, now):
+            self.blocked += 1
+            return None
+        call_id = next(self._call_ids)
+        shift = int(self._call_rng.integers(self.workload.num_slots))
+        holding = float(self._call_rng.exponential(self.mean_holding))
+        slot, initial_rate = self.fleet.admit(call_id, shift)
+        outcome = self.link.request(call_id, initial_rate, now)
+        if outcome.failed:
+            self.setup_shortfalls += 1
+        granted = outcome.granted_rate
+        self.fleet.set_rate(slot, granted)
+        for port in self.ports:
+            port.provision(call_id, granted)
+        self.controller.on_admit(call_id, granted, now)
+        self.admitted += 1
+        self._departure_events[call_id] = self.engine.schedule_at(
+            now + holding, self._handle_departure, slot, call_id
+        )
+        return call_id
+
+    def _handle_arrival(self) -> None:
+        self._admit_call(self.engine.now)
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        if self.arrival_rate <= 0:
+            return
+        gap = float(self._arrival_rng.exponential(1.0 / self.arrival_rate))
+        self.engine.schedule_in(gap, self._handle_arrival)
+
+    def _handle_departure(self, slot: int, call_id: int) -> None:
+        if self.fleet.call_id[slot] != call_id:
+            return  # stale event: the call already left this pool slot
+        now = self.engine.now
+        self.link.release(call_id, now)
+        self.path.release(call_id)
+        self.controller.on_departure(call_id, now)
+        self.fleet.remove(slot)
+        self._departure_events.pop(call_id, None)
+        self.departed += 1
+
+    def _abandon(self, slot: int, call_id: int) -> None:
+        """The user gives up after too many consecutive denials."""
+        event = self._departure_events.get(call_id)
+        if event is not None:
+            event.cancel()
+        self.abandoned += 1
+        self._handle_departure(slot, call_id)
+
+    # ------------------------------------------------------------------
+    # Renegotiation round trips
+    # ------------------------------------------------------------------
+    def _issue(
+        self, slot: int, call_id: int, new_rate: float, time: float
+    ) -> None:
+        old_rate = float(self.fleet.rate[slot])
+        increase = new_rate > old_rate
+        self.fleet.pending[slot] = True
+        self.reneg_requests += 1
+        if (
+            increase
+            and self.faults is not None
+            and self.faults.should_deny(time)
+        ):
+            self.injected_denials += 1
+            granted = False
+        else:
+            granted = self.path.renegotiate(
+                RenegotiationRequest(
+                    vci=call_id,
+                    old_rate=old_rate,
+                    new_rate=new_rate,
+                    time=time,
+                )
+            )
+        # A lost decrease still applies at the source (it believes the new
+        # rate), leaving the network over-reserving until resync — drift.
+        apply = granted or not increase
+        self.engine.schedule_at(
+            time + self.path.round_trip_time,
+            self._complete,
+            slot,
+            call_id,
+            new_rate,
+            granted,
+            apply,
+        )
+
+    def _complete(
+        self,
+        slot: int,
+        call_id: int,
+        new_rate: float,
+        granted: bool,
+        apply: bool,
+    ) -> None:
+        if self.fleet.call_id[slot] != call_id:
+            return  # the call departed while its cell was in flight
+        self.fleet.pending[slot] = False
+        now = self.engine.now
+        if apply:
+            outcome = self.link.request(call_id, new_rate, now)
+            if outcome.failed:
+                self.link_shortfalls += 1
+            self.fleet.set_rate(slot, outcome.granted_rate)
+            self.controller.on_reservation(call_id, outcome.granted_rate, now)
+            self.fleet.streak[slot] = 0
+            return
+        self.reneg_denied += 1
+        streak = int(self.fleet.streak[slot]) + 1
+        self.fleet.streak[slot] = streak
+        if (
+            self.config.abandon_after is not None
+            and streak >= self.config.abandon_after
+        ):
+            self._abandon(slot, call_id)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _take_snapshot(self, time: float) -> ServerSnapshot:
+        self.link.finish(time)
+        window = time - self._last_snapshot_time
+        allocated_delta = (
+            self.link.allocated_bit_seconds - self._last_allocated_bit_seconds
+        )
+        requests_delta = self.reneg_requests - self._last_reneg_requests
+        if window > 0:
+            utilization = allocated_delta / (self.config.capacity * window)
+            renegotiation_rate = requests_delta / window
+        else:
+            utilization = 0.0
+            renegotiation_rate = 0.0
+        stats = self.path.stats
+        snapshot = ServerSnapshot(
+            time=time,
+            active_calls=self.fleet.num_active,
+            arrivals=self.arrivals,
+            blocked=self.blocked,
+            admitted=self.admitted,
+            departed=self.departed,
+            completed=self.departed - self.abandoned,
+            abandoned=self.abandoned,
+            reneg_requests=self.reneg_requests,
+            reneg_denied=self.reneg_denied,
+            injected_denials=self.injected_denials,
+            link_shortfalls=self.link_shortfalls,
+            cells_sent=stats.cells_sent,
+            cells_lost=stats.cells_lost,
+            retries=stats.retries,
+            timeouts=stats.timeouts,
+            signaling_failure_fraction=stats.failure_fraction,
+            bits_lost_overflow=self.fleet.bits_lost,
+            bits_lost_link=self.link.lost_bits,
+            utilization=utilization,
+            renegotiation_rate=renegotiation_rate,
+            buffer_bits=self.fleet.total_buffered_bits(),
+            reserved_rate=self.fleet.total_reserved_rate(),
+        )
+        self.snapshots.append(snapshot)
+        self._last_snapshot_time = time
+        self._last_allocated_bit_seconds = self.link.allocated_bit_seconds
+        self._last_reneg_requests = self.reneg_requests
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # The service loop
+    # ------------------------------------------------------------------
+    def preload(self) -> None:
+        """Admit the configured initial fleet and arm the arrival process.
+
+        Idempotent; :meth:`run` calls it automatically on first use.  The
+        throughput benchmark calls it explicitly so fleet construction is
+        not charged against the timed steady-state serving loop.
+        """
+        if self._preloaded:
+            return
+        self._preloaded = True
+        for _ in range(self.config.initial_calls):
+            self._admit_call(0.0)
+        self._schedule_next_arrival()
+
+    def run(
+        self,
+        duration: float,
+        snapshot_every: Optional[float] = None,
+        epoch_hook: Optional[EpochHook] = None,
+    ) -> ServerReport:
+        """Serve for ``duration`` more simulated seconds and report.
+
+        ``duration`` is rounded up to whole epochs (slot durations).
+        ``run`` is resumable: calling it again continues the same service
+        from where the previous call stopped, with counters, snapshots,
+        and the fingerprint accumulating — which is how a warm-up period
+        is excluded from benchmark timing.
+
+        ``snapshot_every`` emits a :class:`ServerSnapshot` at that period
+        (rounded to epoch boundaries); the final snapshot at the end of
+        the run is always taken.  ``epoch_hook(tick, gateway)`` runs after
+        the heap drain and before the vector step of each epoch — test
+        observability, not a public extension point.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if snapshot_every is not None and snapshot_every <= 0:
+            raise ValueError("snapshot_every must be positive")
+        slot = self.workload.slot_duration
+        epochs = int(math.ceil(duration / slot - _TIME_EPSILON))
+        start_tick = self._next_tick
+        end_time = (start_tick + epochs) * slot
+
+        self.preload()
+
+        next_snapshot = (
+            self._last_snapshot_time + snapshot_every
+            if snapshot_every is not None
+            else math.inf
+        )
+        for tick in range(start_tick, start_tick + epochs):
+            now = tick * slot
+            self.engine.run(until=now)
+            while now >= next_snapshot - _TIME_EPSILON:
+                self._take_snapshot(now)
+                next_snapshot += snapshot_every  # type: ignore[operator]
+            if epoch_hook is not None:
+                epoch_hook(tick, self)
+            step = self.fleet.step(tick)
+            if step.num_requests:
+                end_of_slot = (tick + 1) * slot
+                call_ids = self.fleet.call_id[step.slots]
+                for slot_index, call_id, candidate in zip(
+                    step.slots.tolist(),
+                    call_ids.tolist(),
+                    step.candidates.tolist(),
+                ):
+                    self._issue(slot_index, call_id, candidate, end_of_slot)
+        self._next_tick = start_tick + epochs
+
+        self.engine.run(until=end_time)
+        final = self._take_snapshot(end_time)
+        return ServerReport(
+            config=self.config.to_dict(),
+            duration=epochs * slot,
+            epochs=epochs,
+            final=final,
+            snapshots=list(self.snapshots),
+            fingerprint=snapshot_fingerprint(self.snapshots),
+            peak_active=self.fleet.peak_active,
+            call_epochs_stepped=self.fleet.call_epochs_stepped,
+            mean_utilization=self.link.mean_utilization(end_time),
+        )
+
+
+def serve(
+    workload: SlottedWorkload,
+    config: ServerConfig,
+    duration: float,
+    snapshot_every: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+) -> ServerReport:
+    """One-shot convenience wrapper: build a gateway and run it."""
+    gateway = RcbrGateway(workload, config, faults=faults)
+    return gateway.run(duration, snapshot_every=snapshot_every)

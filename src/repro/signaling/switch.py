@@ -67,9 +67,27 @@ class SwitchPort:
         self._outages.sort()
 
     def available_at(self, time: float) -> bool:
+        if not self._outages:  # the common case, on every cell of every hop
+            return True
         return not any(start <= time < end for start, end in self._outages)
 
     # ------------------------------------------------------------------
+    def provision(self, vci: int, rate: float) -> None:
+        """Install a connection's setup reservation directly.
+
+        Call setup is the admission controller's decision, not the ER
+        fast path's, so provisioning bypasses the capacity check: the
+        port simply accounts the reserved rate so that subsequent delta
+        cells see the true aggregate utilization.  A CAC that over-admits
+        leaves the port above capacity, and every increase is then denied
+        until departures bring the aggregate back down — which is exactly
+        the back-pressure the renegotiation failure statistics measure.
+        """
+        if rate < 0:
+            raise ValueError("rates must be non-negative")
+        self.utilization += rate
+        self._bump_vci(vci, rate)
+
     def process(self, cell: RmCell) -> bool:
         """Apply one RM cell; returns True if this hop accepted it.
 

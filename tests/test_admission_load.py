@@ -1,0 +1,180 @@
+"""Sustained-load admission behaviour: offered-load plumbing, blocking
+monotonicity, heterogeneous mixes, and the memory-vs-memoryless
+robustness ordering (Fig. 9 at smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.admission.callsim import (
+    CallLevelSimulator,
+    arrival_rate_for_load,
+    simulate_admission,
+)
+from repro.admission.controllers import (
+    HeterogeneousKnowledgeCAC,
+    MemoryMBAC,
+    MemorylessMBAC,
+    PerfectKnowledgeCAC,
+)
+from repro.core.schedule import RateSchedule, empirical_rate_distribution
+
+
+def two_level_schedule(low, high, period=10.0, cycles=10):
+    times = np.arange(2 * cycles) * period
+    rates = np.where(np.arange(2 * cycles) % 2 == 0, low, high)
+    return RateSchedule(times, rates, duration=2 * cycles * period)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    """Starts low: arrivals during the low phase look cheap to a
+    memoryless snapshot, the paper's fragility trigger."""
+    return two_level_schedule(100.0, 300.0)
+
+
+class TestArrivalRateForLoad:
+    def test_round_trips_the_offered_load_identity(self):
+        capacity, mean_rate, holding = 10_000.0, 200.0, 120.0
+        for load in (0.25, 1.0, 2.5):
+            lam = arrival_rate_for_load(load, capacity, mean_rate, holding)
+            assert lam * holding * mean_rate / capacity == pytest.approx(load)
+
+    def test_monotone_in_load_and_inverse_in_holding(self):
+        lams = [
+            arrival_rate_for_load(load, 1e6, 500.0, 60.0)
+            for load in (0.2, 0.8, 1.6)
+        ]
+        assert lams == sorted(lams)
+        assert lams[0] < lams[1] < lams[2]
+        slow = arrival_rate_for_load(0.8, 1e6, 500.0, 600.0)
+        assert slow == pytest.approx(lams[1] / 10.0)
+
+    @pytest.mark.parametrize(
+        "load,capacity,rate,holding",
+        [(0.0, 1.0, 1.0, 1.0), (-1.0, 1.0, 1.0, 1.0), (1.0, 0.0, 1.0, 1.0),
+         (1.0, 1.0, 0.0, 1.0), (1.0, 1.0, 1.0, 0.0)],
+    )
+    def test_validation(self, load, capacity, rate, holding):
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(load, capacity, rate, holding)
+
+
+class TestBlockingMonotoneInLoad:
+    def test_well_separated_loads_order_blocking(self, schedule):
+        """More offered load to the same CAC cap => more blocking."""
+        capacity = 1_000.0
+        levels, fractions = empirical_rate_distribution(schedule)
+        holding = schedule.duration
+
+        def blocking(load):
+            controller = PerfectKnowledgeCAC(levels, fractions, 1e-2)
+            lam = arrival_rate_for_load(
+                load, capacity, schedule.average_rate(), holding
+            )
+            simulator = CallLevelSimulator(
+                schedule, capacity, lam, controller, seed=1995
+            )
+            for _ in range(6):
+                simulator.run_interval()
+            return simulator.counters()
+
+        light, medium, heavy = (
+            blocking(load) for load in (0.3, 0.9, 1.8)
+        )
+        assert light.arrivals < medium.arrivals < heavy.arrivals
+        assert (
+            light.blocking_fraction
+            <= medium.blocking_fraction
+            <= heavy.blocking_fraction
+        )
+        assert heavy.blocking_fraction > light.blocking_fraction
+
+
+class TestHeterogeneousMixUnderLoad:
+    def test_mixture_counters_stay_consistent(self, schedule):
+        heavy = two_level_schedule(300.0, 900.0)
+        marginals = [
+            empirical_rate_distribution(schedule),
+            empirical_rate_distribution(heavy),
+        ]
+        controller = HeterogeneousKnowledgeCAC(marginals, failure_target=1e-2)
+        simulator = CallLevelSimulator(
+            [schedule, heavy],
+            capacity=3_000.0,
+            arrival_rate=0.15,
+            controller=controller,
+            seed=7,
+            class_weights=[3.0, 1.0],
+        )
+        for _ in range(8):
+            sample = simulator.run_interval()
+            assert 0.0 <= sample.utilization <= 1.0 + 1e-9
+        counters = simulator.counters()
+        assert counters.arrivals == counters.blocked + counters.admitted
+        assert counters.departed == counters.completed + counters.abandoned
+        assert counters.active == sum(controller.class_counts())
+        assert counters.arrivals > 0
+        assert counters.admitted > 0
+        # The mixture CAC must actually constrain the heavy class.
+        assert counters.blocked > 0
+
+    def test_class_weights_skew_the_mix(self, schedule):
+        heavy = two_level_schedule(300.0, 900.0)
+        marginals = [
+            empirical_rate_distribution(schedule),
+            empirical_rate_distribution(heavy),
+        ]
+
+        def final_counts(weights):
+            controller = HeterogeneousKnowledgeCAC(
+                marginals, failure_target=0.5
+            )
+            simulator = CallLevelSimulator(
+                [schedule, heavy],
+                capacity=50_000.0,
+                arrival_rate=0.3,
+                controller=controller,
+                seed=21,
+                class_weights=weights,
+            )
+            for _ in range(4):
+                simulator.run_interval()
+            return controller.class_counts()
+
+        light_heavy = final_counts([9.0, 1.0])
+        assert light_heavy[0] > light_heavy[1]
+
+
+class TestMemoryBeatsMemoryless:
+    def test_memory_is_no_less_robust_at_smoke_scale(self, schedule):
+        """Fig. 9's ordering: with history the MBAC respects the failure
+        target where the snapshot scheme over-admits."""
+        capacity = 1_200.0
+        target = 1e-2
+        lam = arrival_rate_for_load(
+            1.2, capacity, schedule.average_rate(), schedule.duration
+        )
+
+        def failure(controller):
+            result = simulate_admission(
+                schedule,
+                capacity,
+                lam,
+                controller,
+                seed=1995,
+                warmup_intervals=1,
+                min_intervals=6,
+                max_intervals=10,
+            )
+            return result
+
+        memoryless = failure(MemorylessMBAC(failure_target=target))
+        memory = failure(MemoryMBAC(failure_target=target))
+        assert (
+            memory.failure_probability <= memoryless.failure_probability
+        )
+        # Both keep their books straight while doing it.
+        for result in (memory, memoryless):
+            counters = result.counters
+            assert counters.arrivals == counters.blocked + counters.admitted
+            assert counters.departed == counters.completed + counters.abandoned

@@ -170,6 +170,68 @@ class TestChaos:
             main(["chaos", "--policy", "frobnicate", "--slots", "600"])
 
 
+class TestServe:
+    def test_serve_prints_accounting(self, capsys):
+        assert main(["serve", "--duration", "5", "--frames", "400",
+                     "--load", "0.8", "--initial-calls", "6",
+                     "--capacity-multiple", "30", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RCBR gateway (controller=always, seed=3):" in out
+        assert "renegotiations:" in out
+        assert "fingerprint:" in out
+
+    def test_serve_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "server.json"
+        assert main(["serve", "--duration", "4", "--frames", "400",
+                     "--initial-calls", "5", "--snapshot-every", "1",
+                     "--controller", "memoryless",
+                     "--report", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["config"]["controller"] == "memoryless"
+        assert len(payload["snapshots"]) == 4
+        assert payload["fingerprint"]
+
+    def test_serve_inline_fault_plan(self, capsys):
+        assert main(["serve", "--duration", "4", "--frames", "400",
+                     "--initial-calls", "8", "--capacity-multiple", "20",
+                     "--fault-plan", '{"denial": {"rate": 0.4}}',
+                     "--fault-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "injected" in out
+
+    def test_serve_fault_plan_file(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"cell_loss": {"probability": 0.1}}')
+        assert main(["serve", "--duration", "4", "--frames", "400",
+                     "--initial-calls", "8",
+                     "--fault-plan", str(plan)]) == 0
+        assert "signaling:" in capsys.readouterr().out
+
+    def test_serve_is_reproducible(self, capsys):
+        argv = ["serve", "--duration", "4", "--frames", "400",
+                "--initial-calls", "6", "--seed", "5"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_serve_bench_writes_records(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_server.json"
+        assert main(["serve", "--bench", "--bench-calls", "100",
+                     "--bench-epochs", "3", "--bench-warmup", "2",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "server benchmark (100 concurrent calls):" in text
+        assert "realtime factor:" in text
+        payload = json.loads(out.read_text())
+        assert payload["context"]["realtime_factor"] > 0
+        assert any(r["name"] == "server/run" for r in payload["records"])
+
+    def test_serve_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--controller", "frobnicate"])
+
+
 class TestSupervisionFlags:
     """The sweep subcommands expose the supervision knobs."""
 

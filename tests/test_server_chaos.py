@@ -1,0 +1,133 @@
+"""Chaos smoke: the gateway under a fault plan with a mid-run outage.
+
+Satellite of the server PR: run the service through injected denial
+bursts plus a switch outage window in the middle of the run, and assert
+three things — liveness (snapshots keep flowing at their cadence),
+denial-accounting consistency, and bit-identical replay from the same
+seeds.
+"""
+
+import pytest
+
+from repro.faults.injectors import FaultPlan
+from repro.server import RcbrGateway, ServerConfig
+from repro.traffic.starwars import generate_starwars_trace
+
+FAULT_SPEC = {
+    "denial": {"rate": 0.3, "mean_burst": 4.0},
+    "cell_loss": {"probability": 0.05},
+}
+FAULT_SEED = 77
+OUTAGE = (4.0, 6.0)  # the bottleneck hop goes dark mid-run
+DURATION = 10.0
+SNAPSHOT_EVERY = 1.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_starwars_trace(num_frames=400, seed=1995).as_workload()
+
+
+def run_chaos(workload, abandon_after=None):
+    config = ServerConfig(
+        capacity=30 * workload.mean_rate,
+        load=0.8,
+        controller="always",
+        seed=13,
+        initial_calls=12,
+        abandon_after=abandon_after,
+        max_retries=1,
+    )
+    faults = FaultPlan.from_spec(FAULT_SPEC, seed=FAULT_SEED)
+    gateway = RcbrGateway(workload, config, faults=faults)
+    gateway.ports[-1].schedule_outage(*OUTAGE)
+    report = gateway.run(DURATION, snapshot_every=SNAPSHOT_EVERY)
+    return gateway, report
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    return run_chaos(
+        generate_starwars_trace(num_frames=400, seed=1995).as_workload()
+    )
+
+
+class TestLiveness:
+    def test_snapshots_keep_flowing_through_the_outage(self, chaos):
+        _, report = chaos
+        assert len(report.snapshots) == int(DURATION / SNAPSHOT_EVERY)
+        times = [snapshot.time for snapshot in report.snapshots]
+        assert times == sorted(times)
+        # Snapshots emitted inside the outage window too, not just around it.
+        inside = [t for t in times if OUTAGE[0] < t <= OUTAGE[1]]
+        assert inside
+
+    def test_faults_actually_fired(self, chaos):
+        gateway, report = chaos
+        stats = gateway.path.stats
+        assert stats.outage_drops > 0  # cells eaten by the dark switch
+        assert stats.cells_lost > 0
+        assert stats.timeouts > 0
+        assert report.final.injected_denials > 0
+
+    def test_service_survives(self, chaos):
+        _, report = chaos
+        final = report.final
+        assert final.active_calls > 0
+        assert final.reneg_requests > 0
+        # The gateway kept serving after the outage: renegotiations in the
+        # post-outage window.
+        after = [s for s in report.snapshots if s.time > OUTAGE[1]]
+        assert after
+        assert after[-1].reneg_requests > max(
+            s.reneg_requests for s in report.snapshots if s.time <= OUTAGE[1]
+        )
+
+
+class TestDenialAccounting:
+    def test_denial_consistency(self, chaos):
+        gateway, report = chaos
+        final = report.final
+        assert final.arrivals == final.blocked + final.admitted
+        assert final.departed == final.completed + final.abandoned
+        assert final.active_calls == final.admitted - final.departed
+        assert final.injected_denials <= final.reneg_denied
+        assert final.reneg_denied <= final.reneg_requests
+        # Injected denials never reach the wire; everything else does.
+        assert (
+            gateway.path.stats.requests
+            == final.reneg_requests - final.injected_denials
+        )
+        assert 0.0 <= final.signaling_failure_fraction <= 1.0
+
+    def test_abandonment_under_sustained_denials(self, workload):
+        _, report = run_chaos(workload, abandon_after=1)
+        final = report.final
+        assert final.abandoned > 0
+        assert final.departed == final.completed + final.abandoned
+
+
+class TestReplay:
+    def test_bit_identical_replay(self, workload):
+        first = run_chaos(workload)[1]
+        second = run_chaos(workload)[1]
+        assert first.fingerprint == second.fingerprint
+        assert [s.canonical() for s in first.snapshots] == [
+            s.canonical() for s in second.snapshots
+        ]
+
+    def test_different_fault_seed_diverges(self, workload):
+        config = ServerConfig(
+            capacity=30 * workload.mean_rate,
+            load=0.8,
+            controller="always",
+            seed=13,
+            initial_calls=12,
+        )
+
+        def fingerprint(fault_seed):
+            faults = FaultPlan.from_spec(FAULT_SPEC, seed=fault_seed)
+            gateway = RcbrGateway(workload, config, faults=faults)
+            return gateway.run(DURATION, snapshot_every=SNAPSHOT_EVERY).fingerprint
+
+        assert fingerprint(1) != fingerprint(2)

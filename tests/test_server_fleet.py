@@ -1,0 +1,170 @@
+"""The vectorized call fleet must be bit-identical to the scalar scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineParams, OnlineScheduler
+from repro.core.schedule import RateSchedule
+from repro.server.fleet import CallFleet
+from repro.traffic.starwars import generate_starwars_trace
+from repro.traffic.trace import SlottedWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_starwars_trace(num_frames=600, seed=1995).as_workload()
+
+
+@pytest.fixture(scope="module")
+def params():
+    return OnlineParams(granularity=64_000.0)
+
+
+def shifted(workload: SlottedWorkload, shift: int) -> SlottedWorkload:
+    """The scalar view of a fleet call admitted at ``shift``."""
+    return SlottedWorkload(
+        bits_per_slot=np.roll(workload.bits_per_slot, -shift),
+        slot_duration=workload.slot_duration,
+        name=f"{workload.name}<<{shift}",
+    )
+
+
+def drive(fleet: CallFleet, slot: int, epochs: int):
+    """Run one call the way the gateway does with every request granted:
+    the candidate applies before the next epoch's step."""
+    rates = []
+    requests = 0
+    for tick in range(epochs):
+        rates.append(float(fleet.rate[slot]))
+        step = fleet.step(tick)
+        for slot_index, candidate in zip(
+            step.slots.tolist(), step.candidates.tolist()
+        ):
+            fleet.set_rate(slot_index, candidate)
+            requests += 1
+    return rates, requests
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("shift", [0, 1, 137, 599])
+    def test_matches_scalar_scheduler(self, workload, params, shift):
+        scalar = OnlineScheduler(params).schedule(shifted(workload, shift))
+
+        fleet = CallFleet(workload, params)
+        slot, initial_rate = fleet.admit(0, shift)
+        rates, requests = drive(fleet, slot, workload.num_slots)
+
+        vector = RateSchedule.from_slot_rates(rates, workload.slot_duration)
+        assert np.array_equal(vector.start_times, scalar.schedule.start_times)
+        assert np.array_equal(vector.rates, scalar.schedule.rates)
+        assert requests == scalar.requests_made
+        assert float(fleet.buffer[slot]) == scalar.final_buffer
+
+    def test_matches_scalar_with_finite_buffer(self, workload, params):
+        buffer_bits = 300_000.0
+        scalar = OnlineScheduler(params).schedule(
+            shifted(workload, 41), buffer_size=buffer_bits
+        )
+
+        fleet = CallFleet(workload, params, buffer_size=buffer_bits)
+        slot, _ = fleet.admit(0, 41)
+        rates, _ = drive(fleet, slot, workload.num_slots)
+
+        vector = RateSchedule.from_slot_rates(rates, workload.slot_duration)
+        assert np.array_equal(vector.rates, scalar.schedule.rates)
+        assert fleet.bits_lost == scalar.bits_lost
+        assert float(fleet.buffer[slot]) == scalar.final_buffer
+
+    def test_quantize_matches_scalar(self, workload, params):
+        fleet = CallFleet(workload, params)
+        scheduler = OnlineScheduler(params)
+        rng = np.random.default_rng(7)
+        for estimate in rng.uniform(0.0, 8e6, size=200):
+            assert fleet.quantize(float(estimate)) == scheduler.quantize(
+                float(estimate)
+            )
+        # The epsilon guard: exactly-on-grid values stay on their level.
+        assert fleet.quantize(params.granularity * 3) == params.granularity * 3
+
+    def test_many_calls_step_like_isolated_calls(self, workload, params):
+        """Fleet-mates must not perturb each other's float streams."""
+        shifts = [3, 250, 461]
+        alone = {}
+        for shift in shifts:
+            fleet = CallFleet(workload, params)
+            slot, _ = fleet.admit(0, shift)
+            alone[shift] = drive(fleet, slot, 200)[0]
+
+        together = CallFleet(workload, params)
+        slots = {
+            shift: together.admit(call_id, shift)[0]
+            for call_id, shift in enumerate(shifts)
+        }
+        recorded = {shift: [] for shift in shifts}
+        for tick in range(200):
+            for shift in shifts:
+                recorded[shift].append(float(together.rate[slots[shift]]))
+            step = together.step(tick)
+            for slot_index, candidate in zip(
+                step.slots.tolist(), step.candidates.tolist()
+            ):
+                together.set_rate(slot_index, candidate)
+        for shift in shifts:
+            assert recorded[shift] == alone[shift]
+
+
+class TestPoolManagement:
+    def test_growth_preserves_state(self, workload, params):
+        fleet = CallFleet(workload, params, initial_capacity=2)
+        slots = [fleet.admit(call_id, call_id)[0] for call_id in range(5)]
+        assert fleet.capacity >= 5
+        assert fleet.num_active == 5
+        assert [int(fleet.call_id[slot]) for slot in slots] == list(range(5))
+        step = fleet.step(0)  # grown arrays must still step cleanly
+        assert step.slots.size <= 5
+
+    def test_remove_and_reuse(self, workload, params):
+        fleet = CallFleet(workload, params, initial_capacity=4)
+        slot_a = fleet.admit(10, 0)[0]
+        slot_b = fleet.admit(11, 1)[0]
+        fleet.remove(slot_a)
+        assert fleet.num_active == 1
+        assert int(fleet.call_id[slot_a]) == -1
+        # LIFO free list: the freed slot is reused first.
+        assert fleet.admit(12, 2)[0] == slot_a
+        with pytest.raises(ValueError):
+            fleet.remove(slot_a + slot_b + 2)  # never-admitted slot
+
+    def test_inactive_slots_stay_exactly_zero(self, workload, params):
+        fleet = CallFleet(workload, params, initial_capacity=8)
+        slot, _ = fleet.admit(0, 5)
+        for tick in range(50):
+            fleet.step(tick)
+        fleet.remove(slot)
+        for tick in range(50, 120):
+            step = fleet.step(tick)
+            assert step.num_requests == 0
+        assert fleet.total_buffered_bits() == 0.0
+        assert fleet.total_reserved_rate() == 0.0
+        assert not fleet.active.any()
+        assert float(np.abs(fleet.estimate).sum()) == 0.0
+
+    def test_validation(self, workload, params):
+        with pytest.raises(ValueError):
+            CallFleet(workload, params, buffer_size=0.0)
+        with pytest.raises(ValueError):
+            CallFleet(workload, params, initial_capacity=0)
+        fleet = CallFleet(workload, params)
+        with pytest.raises(ValueError):
+            fleet.admit(0, workload.num_slots)
+
+    def test_counters(self, workload, params):
+        fleet = CallFleet(workload, params)
+        fleet.admit(0, 0)
+        fleet.admit(1, 9)
+        fleet.step(0)
+        fleet.remove(0)
+        fleet.step(1)
+        assert fleet.epochs_stepped == 2
+        assert fleet.call_epochs_stepped == 3  # 2 active, then 1
+        assert fleet.peak_active == 2
