@@ -32,7 +32,13 @@ from repro.core import (
 )
 from repro.core.schedule import RateSchedule, empirical_rate_distribution
 from repro.server.config import CONTROLLER_NAMES
-from repro.traffic import FrameTrace, fit_starwars_model, generate_starwars_trace
+from repro.traffic import (
+    FrameTrace,
+    SOURCE_NAMES,
+    fit_starwars_model,
+    generate_starwars_trace,
+    make_source,
+)
 from repro.util.units import format_bits, format_rate, kbits, kbps
 
 
@@ -520,10 +526,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     )
     workload = trace.as_workload()
+    source = None
+    if args.source:
+        # Build the calibrated source here (the registry needs the target
+        # mean rate); the gateway samples its base workload from it on
+        # the seeded sampling stream.
+        source = make_source(
+            args.source,
+            mean_rate=kbps(args.source_mean_kbps),
+            workload=workload if args.source == "trace" else None,
+        )
+        nominal_mean = (
+            workload.mean_rate
+            if args.source == "trace"
+            else kbps(args.source_mean_kbps)
+        )
+    else:
+        nominal_mean = workload.mean_rate
     capacity = (
         kbps(args.capacity_kbps)
         if args.capacity_kbps is not None
-        else args.capacity_multiple * workload.mean_rate
+        else args.capacity_multiple * nominal_mean
     )
     config = ServerConfig(
         capacity=capacity,
@@ -539,6 +562,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         initial_calls=args.initial_calls,
         seed=args.seed,
+        source=args.source or None,
+        source_slots=args.source_slots,
     )
     faults = None
     if args.fault_plan:
@@ -547,13 +572,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         else:
             faults = FaultPlan.from_file(args.fault_plan, seed=args.fault_seed)
 
-    gateway = RcbrGateway(workload, config, faults=faults)
+    gateway = RcbrGateway(workload, config, faults=faults, source=source)
     report = gateway.run(args.duration, snapshot_every=args.snapshot_every)
     final = report.final
     print(f"RCBR gateway (controller={config.controller}, "
-          f"seed={config.seed}):")
+          f"source={gateway.workload.name}, seed={config.seed}):")
     print(f"  capacity:        {format_rate(capacity)} "
-          f"({capacity / workload.mean_rate:.1f}x call mean)")
+          f"({capacity / gateway.workload.mean_rate:.1f}x call mean)")
     print(f"  served:          {report.duration:.1f} s "
           f"({report.epochs} epochs), peak {report.peak_active} calls")
     print(f"  calls:           {final.arrivals} arrivals "
@@ -806,6 +831,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", help="trace file (default: synthesize)")
     serve.add_argument("--frames", type=int, default=2_400)
     serve.add_argument("--trace-seed", type=int, default=1995)
+    serve.add_argument(
+        "--source", choices=SOURCE_NAMES, default=None,
+        help="sample the base workload from this traffic model instead "
+             "of using the trace directly ('trace' plays the trace back "
+             "through the source path)",
+    )
+    serve.add_argument(
+        "--source-mean-kbps", type=float, default=374.0,
+        help="target stationary mean rate for synthetic --source models "
+             "(default 374, the Star Wars mean)",
+    )
+    serve.add_argument(
+        "--source-slots", type=int, default=2_400,
+        help="slots to sample from --source (default 2400)",
+    )
     serve.add_argument("--seed", type=int, default=0,
                        help="determinism seed for arrivals/calls/faults")
     serve.add_argument(

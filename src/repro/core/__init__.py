@@ -4,7 +4,10 @@ This package is the paper's primary contribution:
 
 * :class:`RateSchedule` — the stepwise-CBR renegotiation schedule;
 * :class:`OptimalScheduler` — the Viterbi-like offline optimum (IV-A);
-* :class:`OnlineScheduler` — the causal AR(1) heuristic (IV-B);
+* :class:`RenegotiationKernel` — the one batched implementation of the
+  AR(1)/quantise/threshold step (eqs. 6-8) every consumer drives;
+* :class:`OnlineScheduler` — the causal AR(1) heuristic (IV-B), a fleet
+  of one over the kernel;
 * :func:`simulate_rcbr_link` / :class:`OnlineRcbrSource` — the service
   façade joining sources to a renegotiated link (III).
 """
@@ -21,6 +24,11 @@ from repro.core.optimal import (
     InfeasibleScheduleError,
     uniform_rate_levels,
     granular_rate_levels,
+)
+from repro.core.kernel import (
+    KernelState,
+    RenegotiationKernel,
+    QUANTIZE_EPSILON,
 )
 from repro.core.online import OnlineParams, OnlineScheduler, OnlineScheduleResult
 from repro.core.smoothing import SmoothingResult, optimal_smoothing
@@ -42,6 +50,9 @@ __all__ = [
     "InfeasibleScheduleError",
     "uniform_rate_levels",
     "granular_rate_levels",
+    "KernelState",
+    "RenegotiationKernel",
+    "QUANTIZE_EPSILON",
     "OnlineParams",
     "OnlineScheduler",
     "OnlineScheduleResult",

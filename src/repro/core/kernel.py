@@ -1,0 +1,276 @@
+"""The batched renegotiation kernel: the one implementation of eqs. 6-8.
+
+Every consumer of the paper's causal AR(1) + dual-threshold heuristic —
+the scalar :class:`~repro.core.online.OnlineScheduler` (a fleet of one),
+the vectorized :class:`~repro.server.fleet.CallFleet` (the gateway's
+50k-call hot path), and through them every sweep cell and benchmark —
+drives this kernel.  It owns, in exactly one place:
+
+* the **AR(1) estimator** with the additive ``q/T`` flush-term
+  correction (eq. 6)::
+
+      r_hat(t) = eta * r_hat(t-1) + (1 - eta) * x(t)
+      candidate = quantize(r_hat(t) + q(t) / T)
+
+  (the flush term is applied on top of the recursion rather than fed
+  back into it, which would inflate its steady-state contribution by
+  ``1/(1 - eta)`` and grossly over-allocate);
+* the **eq.-7 quantiser** — round the estimate *up* to the bandwidth
+  granularity grid, guarded by :data:`QUANTIZE_EPSILON` — in both its
+  scalar (:func:`quantize`) and whole-array (inside :meth:`step`) forms;
+* the **eq.-8 threshold test** — signal only when the buffer crossed a
+  threshold in the direction of the rate change::
+
+      wants = (q > B_h and r_new > r) or (q < B_l and r_new < r)
+
+* finite-buffer **overflow accounting** (``bits_lost``) and the
+  panic-**drain** semantics used by the recovery policies
+  (:mod:`repro.faults.recovery`): a draining call sheds the slot's
+  arrivals at the source (counted as lost) while the buffer keeps
+  draining, and the AR(1) estimator still sees the true incoming rate.
+
+The kernel performs one *slot* of the heuristic for a whole
+structure-of-arrays state block per call: one buffer update, one AR(1)
+update, one quantization, one threshold test, each a fixed number of
+whole-array numpy operations with no per-call Python loop.  Bit-identity
+is part of the contract: a batch of one stepped slot-by-slot produces
+exactly the float sequence the pre-refactor scalar scheduler produced
+(``tests/test_core_kernel.py`` locks this against a frozen golden
+reference), and calls in a batch never perturb each other's streams.
+
+What the kernel does *not* do is grant rates: it reports who wants to
+renegotiate and at what quantized candidate, and the caller — scalar
+scheduler, gateway, fault harness — decides what is granted, applying
+recovery policies, signaling-path outcomes, or fault injections before
+writing the new rate back into :attr:`KernelState.rate`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (core.online imports us)
+    from repro.core.online import OnlineParams
+
+#: Guard subtracted before ``ceil`` in eq. 7's quantiser so an estimate
+#: sitting exactly on a grid line is not bumped to the next level by
+#: float dust.  This module is the constant's single home; the legacy
+#: ``repro.core.online.QUANTIZE_EPSILON`` and
+#: ``repro.server.fleet.QUANTIZE_EPSILON`` names are deprecated
+#: re-exports of this value.
+QUANTIZE_EPSILON = 1e-12
+
+
+def quantize(
+    rate_estimate: float,
+    granularity: float,
+    max_rate: Optional[float] = None,
+) -> float:
+    """eq. 7, scalar form: round the estimate *up* to the granularity grid.
+
+    Bit-identical to the whole-array quantiser inside
+    :meth:`RenegotiationKernel.step` (same :data:`QUANTIZE_EPSILON`
+    guard, same operation order); ``tests/test_core_kernel.py`` checks
+    the two agree float-for-float.
+    """
+    quantized = (
+        math.ceil(max(0.0, rate_estimate) / granularity - QUANTIZE_EPSILON)
+        * granularity
+    )
+    if max_rate is not None:
+        quantized = min(quantized, max_rate)
+    return quantized
+
+
+class KernelState:
+    """Structure-of-arrays per-call state advanced by the kernel.
+
+    Three float64 columns — the currently reserved ``rate``, the AR(1)
+    ``estimate``, and the playout ``buffer`` occupancy in bits — plus the
+    cumulative ``bits_lost`` accounting (finite-buffer overflow and
+    drain-shed arrivals).  Unused pool slots must hold exact zeros in
+    every column; a zero row steps to a zero row, so whole-array
+    reductions over the block stay exact and no post-step masking is
+    needed.  Scratch arrays for the step's intermediates live here too,
+    so steady-state stepping allocates nothing.
+    """
+
+    __slots__ = (
+        "rate",
+        "estimate",
+        "buffer",
+        "bits_lost",
+        "_candidate",
+        "_scratch",
+        "_wants",
+        "_wants_down",
+        "_cmp",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.rate = np.zeros(capacity)
+        self.estimate = np.zeros(capacity)
+        self.buffer = np.zeros(capacity)
+        self.bits_lost = 0.0
+        self._candidate = np.empty(capacity)
+        self._scratch = np.empty(capacity)
+        self._wants = np.empty(capacity, dtype=bool)
+        self._wants_down = np.empty(capacity, dtype=bool)
+        self._cmp = np.empty(capacity, dtype=bool)
+
+    @property
+    def capacity(self) -> int:
+        return int(self.rate.size)
+
+    def grow(self, new_capacity: int) -> None:
+        """Reallocate to ``new_capacity`` slots, zero-filling the tail."""
+        if new_capacity < self.capacity:
+            raise ValueError("KernelState can only grow")
+        for name in ("rate", "estimate", "buffer"):
+            column = getattr(self, name)
+            grown = np.zeros(new_capacity)
+            grown[: column.size] = column
+            setattr(self, name, grown)
+        self._candidate = np.empty(new_capacity)
+        self._scratch = np.empty(new_capacity)
+        self._wants = np.empty(new_capacity, dtype=bool)
+        self._wants_down = np.empty(new_capacity, dtype=bool)
+        self._cmp = np.empty(new_capacity, dtype=bool)
+
+    def clear_slot(self, index: int) -> None:
+        """Return one slot to the exact-zero resting state."""
+        self.rate[index] = 0.0
+        self.estimate[index] = 0.0
+        self.buffer[index] = 0.0
+
+
+class RenegotiationKernel:
+    """One vectorized slot-step of the heuristic over a state block."""
+
+    def __init__(
+        self,
+        params: "OnlineParams",
+        slot_duration: float,
+        buffer_size: Optional[float] = None,
+    ) -> None:
+        if slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        if buffer_size is not None and buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        self.params = params
+        self.slot_duration = float(slot_duration)
+        self.buffer_size = buffer_size
+        #: T in seconds: the flush term adds the bandwidth needed to
+        #: empty the current buffer within this horizon.
+        self.time_constant = params.time_constant_slots * self.slot_duration
+
+    def new_state(self, capacity: int = 1) -> KernelState:
+        return KernelState(capacity)
+
+    def quantize(self, rate_estimate: float) -> float:
+        """Scalar eq.-7 quantiser with this kernel's grid and cap."""
+        return quantize(
+            rate_estimate, self.params.granularity, self.params.max_rate
+        )
+
+    def initial_rate(self, first_slot_bits: float) -> float:
+        """The causal setup-time rate: the first slot's rate, quantised.
+
+        Causal schedulers cannot peek at the mean; the paper's setup
+        choice is the opening slot's arrival rate rounded to the grid.
+        """
+        return self.quantize(first_slot_bits / self.slot_duration)
+
+    def step(
+        self,
+        state: KernelState,
+        arrivals: np.ndarray,
+        drain: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance every call in ``state`` through one slot of arrivals.
+
+        ``arrivals`` holds bits arriving this slot per pool slot, already
+        gathered and masked by the caller (inactive slots must carry
+        exact zeros).  ``drain``, if given, is a boolean mask of calls in
+        panic-drain mode: their arrivals are shed at the source (counted
+        in ``state.bits_lost``) while the buffer keeps draining, but the
+        AR(1) estimator still sees the true incoming rate.
+
+        Returns ``(wants, candidates)``: the raw eq.-8 crossing mask and
+        the full quantised eq.-7 candidate array.  Both are views of
+        state-owned scratch, valid until the next ``step`` call; the
+        caller layers its own eligibility masks (active calls, requests
+        already in flight) on top and writes granted rates back into
+        ``state.rate``.  The state block is updated in place and
+        ``state.bits_lost`` accumulates overflow plus drain-shed bits.
+        """
+        params = self.params
+        rate = state.rate
+        buffer_level = state.buffer
+        estimate = state.estimate
+        candidate = state._candidate
+        scratch = state._scratch
+        wants = state._wants
+        wants_down = state._wants_down
+        compare = state._cmp
+
+        # Buffer update: q = max(0, (q + a) - r * slot), the adds and
+        # subtracts associating exactly as in the original scalar loop.
+        # A draining call adds nothing (its arrivals are shed and
+        # counted lost) and keeps serving its backlog.
+        if drain is None:
+            np.add(buffer_level, arrivals, out=buffer_level)
+        else:
+            np.multiply(arrivals, drain, out=scratch)
+            shed = float(scratch.sum())
+            state.bits_lost += shed
+            np.subtract(arrivals, scratch, out=scratch)
+            np.add(buffer_level, scratch, out=buffer_level)
+        np.multiply(rate, self.slot_duration, out=scratch)
+        np.subtract(buffer_level, scratch, out=buffer_level)
+        np.maximum(buffer_level, 0.0, out=buffer_level)
+
+        # Finite-buffer overflow: bits beyond the playout buffer are
+        # lost, not queued (drained calls only shrank, so they clamp to
+        # a no-op exactly as the scalar loop's branch structure did).
+        if self.buffer_size is not None:
+            np.subtract(buffer_level, self.buffer_size, out=scratch)
+            np.maximum(scratch, 0.0, out=scratch)
+            lost = float(scratch.sum())
+            if lost > 0.0:
+                state.bits_lost += lost
+                np.minimum(
+                    buffer_level, self.buffer_size, out=buffer_level
+                )
+
+        # eq. 6: the AR(1) update on the true incoming rate.
+        np.divide(arrivals, self.slot_duration, out=scratch)
+        np.multiply(estimate, params.ar_coefficient, out=estimate)
+        scratch *= 1.0 - params.ar_coefficient
+        np.add(estimate, scratch, out=estimate)
+
+        # eq. 7: flush-term correction, then quantise up to the grid.
+        np.divide(buffer_level, self.time_constant, out=candidate)
+        np.add(estimate, candidate, out=candidate)
+        np.maximum(candidate, 0.0, out=candidate)
+        candidate /= params.granularity
+        candidate -= QUANTIZE_EPSILON
+        np.ceil(candidate, out=candidate)
+        candidate *= params.granularity
+        if params.max_rate is not None:
+            np.minimum(candidate, params.max_rate, out=candidate)
+
+        # eq. 8: a crossing counts only in the direction of the change.
+        np.greater(buffer_level, params.high_threshold, out=wants)
+        np.greater(candidate, rate, out=compare)
+        wants &= compare
+        np.less(buffer_level, params.low_threshold, out=wants_down)
+        np.less(candidate, rate, out=compare)
+        wants_down &= compare
+        wants |= wants_down
+        return wants, candidate

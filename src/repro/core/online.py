@@ -9,14 +9,19 @@ thresholds.  Per slot (eq. 6)::
 where ``x(t)`` is the incoming rate during the slot, ``q(t)`` the buffer
 occupancy at the slot's end, and ``T`` a time constant; the ``q/T`` term
 "adds the bandwidth necessary to flush the current buffer content within
-T".  We apply the flush term as an additive correction on top of the
-AR(1) state (rather than feeding it back into the recursion, which would
-inflate its steady-state contribution by ``1/(1 - eta)`` and grossly
-over-allocate).  The candidate rate is the estimate quantised up to the bandwidth
+T".  The candidate rate is the estimate quantised up to the bandwidth
 granularity ``delta`` (eq. 7), and a renegotiation is issued only when the
 buffer crosses a threshold in the matching direction (eq. 8)::
 
     request r_new  if  (q > B_h and r_new > r) or (q < B_l and r_new < r)
+
+The arithmetic of eqs. 6-8 lives in exactly one place — the batched
+:class:`repro.core.kernel.RenegotiationKernel` — and this module's
+:class:`OnlineScheduler` is a *fleet of one* driving that kernel
+slot-by-slot: it owns the signaling-side control flow (initial-rate
+setup, grant/denial via ``request_fn``, recovery-policy gating/ladders,
+the drain mask) and leaves every float of the estimator/quantiser/
+threshold step to the kernel.
 
 Fig. 2's heuristic curve uses B_l = 10 kb, B_h = 150 kb, T = 5 frames and
 sweeps delta from 25 to 400 kb/s.  The AR coefficient ``eta`` is not
@@ -25,23 +30,33 @@ stated in the paper; it defaults to 0.9 and is exposed as a parameter.
 
 from __future__ import annotations
 
-import math
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from repro.core import kernel as _kernel
+from repro.core.kernel import RenegotiationKernel
 from repro.core.schedule import RateSchedule
 from repro.traffic.trace import SlottedWorkload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> core)
     from repro.faults.recovery import RecoveryPolicy
 
-#: Guard subtracted before ``ceil`` in eq. 7's quantiser so an estimate
-#: sitting exactly on a grid line is not bumped to the next level by float
-#: dust.  Shared with the vectorized fleet stepper (``repro.server``),
-#: which must quantize bit-identically to this scalar path.
-QUANTIZE_EPSILON = 1e-12
+
+def __getattr__(name: str):
+    # Deprecated re-export: the quantiser guard moved to its single home
+    # in repro.core.kernel alongside the rest of the eq.-7 arithmetic.
+    if name == "QUANTIZE_EPSILON":
+        warnings.warn(
+            "repro.core.online.QUANTIZE_EPSILON is deprecated; import it "
+            "from repro.core.kernel",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _kernel.QUANTIZE_EPSILON
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -102,15 +117,10 @@ class OnlineScheduler:
         self.params = params
 
     def quantize(self, rate_estimate: float) -> float:
-        """eq. 7: round the estimate *up* to the granularity grid."""
-        delta = self.params.granularity
-        quantized = (
-            math.ceil(max(0.0, rate_estimate) / delta - QUANTIZE_EPSILON)
-            * delta
+        """eq. 7 on this scheduler's grid (see :func:`repro.core.kernel.quantize`)."""
+        return _kernel.quantize(
+            rate_estimate, self.params.granularity, self.params.max_rate
         )
-        if self.params.max_rate is not None:
-            quantized = min(quantized, self.params.max_rate)
-        return quantized
 
     def schedule(
         self,
@@ -137,74 +147,67 @@ class OnlineScheduler:
         ``recovery`` (see :mod:`repro.faults.recovery`) replaces the naive
         retry with request gating, a downgrade ladder of fallback rates,
         and an optional panic-drain mode.
+
+        The per-slot arithmetic is one batch-of-1 kernel step; this
+        method only records rates and decides what each eq.-8 crossing
+        is allowed to request.
         """
-        params = self.params
-        if buffer_size is not None and buffer_size <= 0:
-            raise ValueError("buffer_size must be positive")
-        # Python floats iterate measurably faster through the tight slot
-        # loop than numpy scalars, so unbox the arrivals once up front.
-        arrivals = workload.bits_per_slot.tolist()
         slot = workload.slot_duration
-        time_constant = params.time_constant_slots * slot
+        kernel = RenegotiationKernel(
+            self.params, slot, buffer_size=buffer_size
+        )
+        # Python floats iterate measurably faster through the slot loop
+        # than numpy scalars, so unbox the arrivals once up front.
+        arrivals = workload.bits_per_slot.tolist()
 
         if initial_rate is None:
-            current_rate = self.quantize(arrivals[0] / slot)
+            current_rate = kernel.initial_rate(arrivals[0])
         else:
             if initial_rate < 0:
                 raise ValueError("initial_rate must be non-negative")
             current_rate = initial_rate
 
-        if recovery is None and request_fn is None and buffer_size is None:
-            return self._schedule_fast(workload, arrivals, current_rate, name)
-
         if recovery is not None:
             recovery.reset()
 
-        # Hot-loop locals: attribute lookups cost per slot.
-        high = params.high_threshold
-        low = params.low_threshold
-        quantize = self.quantize
+        # The fleet of one: a single-slot state block plus reusable
+        # one-element arrival/drain blocks fed to the kernel per slot.
+        state = kernel.new_state(1)
+        state.rate[0] = current_rate
+        state.estimate[0] = current_rate
+        arrival_block = np.empty(1)
+        drain_block = (
+            np.empty(1, dtype=bool) if recovery is not None else None
+        )
+        rate_column = state.rate
+        buffer_column = state.buffer
 
-        estimate = current_rate
-        buffer_level = 0.0
         max_buffer = 0.0
         requests = 0
         denied = 0
         suppressed = 0
-        bits_lost = 0.0
         drain_slots = 0
         slot_rates = np.empty(workload.num_slots)
 
         for index, amount in enumerate(arrivals):
             slot_rates[index] = current_rate
-            if recovery is not None and recovery.in_drain(
-                buffer_level, buffer_size
-            ):
-                # Panic mode: shed the slot's arrivals at the source and
-                # keep serving the backlog until the buffer drains.
-                bits_lost += amount
-                drain_slots += 1
-                buffer_level = max(0.0, buffer_level - current_rate * slot)
-            else:
-                buffer_level = max(
-                    0.0, buffer_level + amount - current_rate * slot
+            arrival_block[0] = amount
+            if drain_block is not None:
+                draining = recovery.in_drain(
+                    float(buffer_column[0]), buffer_size
                 )
-                if buffer_size is not None and buffer_level > buffer_size:
-                    bits_lost += buffer_level - buffer_size
-                    buffer_level = buffer_size
+                drain_block[0] = draining
+                if draining:
+                    drain_slots += 1
+            wants, candidates = kernel.step(
+                state, arrival_block, drain_block
+            )
+            buffer_level = float(buffer_column[0])
             if buffer_level > max_buffer:
                 max_buffer = buffer_level
 
-            incoming_rate = amount / slot
-            estimate = (
-                params.ar_coefficient * estimate
-                + (1.0 - params.ar_coefficient) * incoming_rate
-            )
-            candidate = quantize(estimate + buffer_level / time_constant)
-
-            wants_up = buffer_level > high and candidate > current_rate
-            wants_down = buffer_level < low and candidate < current_rate
-            if wants_up or wants_down:
+            if wants[0]:
+                candidate = float(candidates[0])
                 if recovery is None:
                     requests += 1
                     granted = True
@@ -214,14 +217,17 @@ class OnlineScheduler:
                         )
                     if granted:
                         current_rate = candidate
+                        rate_column[0] = candidate
                     else:
                         denied += 1
                 elif not recovery.allow_request(index):
                     suppressed += 1
                 else:
+                    # eq. 8 fired in exactly one direction; the ladder
+                    # applies only to upward requests.
                     rungs = (
                         recovery.ladder(candidate, current_rate, self.quantize)
-                        if wants_up
+                        if candidate > current_rate
                         else (candidate,)
                     )
                     for rung in rungs:
@@ -231,6 +237,7 @@ class OnlineScheduler:
                             granted = bool(request_fn((index + 1) * slot, rung))
                         if granted:
                             current_rate = rung
+                            rate_column[0] = rung
                             recovery.on_grant(index, rung)
                             break
                         denied += 1
@@ -242,78 +249,10 @@ class OnlineScheduler:
         return OnlineScheduleResult(
             schedule=schedule,
             max_buffer=max_buffer,
-            final_buffer=buffer_level,
+            final_buffer=float(buffer_column[0]),
             requests_made=requests,
             requests_denied=denied,
-            bits_lost=bits_lost,
+            bits_lost=state.bits_lost,
             drain_slots=drain_slots,
             requests_suppressed=suppressed,
-        )
-
-    def _schedule_fast(
-        self,
-        workload: SlottedWorkload,
-        arrivals: list,
-        current_rate: float,
-        name: str,
-    ) -> OnlineScheduleResult:
-        """The no-faults loop: every request granted, infinite buffer.
-
-        This covers the Fig. 2 heuristic sweep and the per-source
-        schedules behind every MBAC cell, so it is the hottest Python
-        loop in the repo.  It is the general loop with the
-        recovery/request/overflow branches removed, every parameter in
-        a local, and the quantiser inlined; each arithmetic expression
-        is kept textually identical to the general path (and to
-        :meth:`quantize`), so both paths produce bit-identical floats.
-        """
-        params = self.params
-        slot = workload.slot_duration
-        time_constant = params.time_constant_slots * slot
-        eta = params.ar_coefficient
-        complement = 1.0 - params.ar_coefficient
-        delta = params.granularity
-        max_rate = params.max_rate
-        high = params.high_threshold
-        low = params.low_threshold
-        ceil = math.ceil
-
-        estimate = current_rate
-        buffer_level = 0.0
-        max_buffer = 0.0
-        requests = 0
-        slot_rates: list = []
-        record_rate = slot_rates.append
-
-        for amount in arrivals:
-            record_rate(current_rate)
-            buffer_level = max(
-                0.0, buffer_level + amount - current_rate * slot
-            )
-            if buffer_level > max_buffer:
-                max_buffer = buffer_level
-            incoming_rate = amount / slot
-            estimate = eta * estimate + complement * incoming_rate
-            rate_estimate = estimate + buffer_level / time_constant
-            candidate = (
-                ceil(max(0.0, rate_estimate) / delta - QUANTIZE_EPSILON)
-                * delta
-            )
-            if max_rate is not None and candidate > max_rate:
-                candidate = max_rate
-            if (buffer_level > high and candidate > current_rate) or (
-                buffer_level < low and candidate < current_rate
-            ):
-                requests += 1
-                current_rate = candidate
-
-        schedule = RateSchedule.from_slot_rates(
-            slot_rates, slot, name=name or f"ar1({workload.name})"
-        )
-        return OnlineScheduleResult(
-            schedule=schedule,
-            max_buffer=max_buffer,
-            final_buffer=buffer_level,
-            requests_made=requests,
-            requests_denied=0,
         )

@@ -21,12 +21,12 @@ a drop-in replacement for :class:`repro.core.online.OnlineScheduler` —
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core import kernel as _kernel
 from repro.core.online import OnlineParams, OnlineScheduleResult
 from repro.core.schedule import RateSchedule
 from repro.traffic.trace import SlottedWorkload
@@ -66,13 +66,11 @@ class GopAwareOnlineScheduler:
         self.params = params
 
     def quantize(self, rate_estimate: float) -> float:
-        """eq. 7: round up to the granularity grid (same as the base)."""
+        """eq. 7 on the base grid (see :func:`repro.core.kernel.quantize`)."""
         base = self.params.base
-        delta = base.granularity
-        quantized = math.ceil(max(0.0, rate_estimate) / delta - 1e-12) * delta
-        if base.max_rate is not None:
-            quantized = min(quantized, base.max_rate)
-        return quantized
+        return _kernel.quantize(
+            rate_estimate, base.granularity, base.max_rate
+        )
 
     def schedule(
         self,

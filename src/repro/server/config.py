@@ -23,6 +23,7 @@ from repro.admission.controllers import (
 )
 from repro.core.online import OnlineParams, OnlineScheduler
 from repro.core.schedule import empirical_rate_distribution
+from repro.traffic.sources import SOURCE_NAMES
 from repro.traffic.trace import SlottedWorkload
 from repro.util.units import kbits, kbps
 
@@ -44,6 +45,12 @@ class ServerConfig:
     stream; ``None`` disables abandonment.  ``upstream_headroom``
     over-provisions the non-bottleneck hops of a multi-hop path by that
     factor, keeping the bottleneck port the binding constraint.
+
+    ``source`` names a :mod:`repro.traffic.sources` traffic model for the
+    gateway to sample its base workload from (``None`` = use the workload
+    handed to the gateway directly); ``source_slots`` is how many slots
+    to sample.  The sample is drawn from a dedicated stream spawned from
+    ``seed``, so sourced runs inherit the same determinism contract.
     """
 
     capacity: float
@@ -64,6 +71,8 @@ class ServerConfig:
     retry_jitter: float = 0.0
     initial_calls: int = 0
     seed: int = 0
+    source: Optional[str] = None
+    source_slots: int = 2400
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -93,6 +102,13 @@ class ServerConfig:
             raise ValueError("upstream_headroom must be >= 1")
         if self.initial_calls < 0:
             raise ValueError("initial_calls must be non-negative")
+        if self.source is not None and self.source not in SOURCE_NAMES:
+            raise ValueError(
+                f"unknown source {self.source!r}; "
+                f"expected one of {SOURCE_NAMES}"
+            )
+        if self.source_slots < 1:
+            raise ValueError("source_slots must be >= 1")
 
     def resolve_online_params(self) -> OnlineParams:
         """The heuristic's parameters, capped at the link capacity."""
@@ -122,6 +138,8 @@ class ServerConfig:
             "retry_jitter": self.retry_jitter,
             "initial_calls": self.initial_calls,
             "seed": self.seed,
+            "source": self.source,
+            "source_slots": self.source_slots,
         }
 
 

@@ -1,20 +1,22 @@
 """The vectorized call fleet: batch-stepping every active call per epoch.
 
-The gateway's hot path.  A fleet holds the per-call state of all active
-calls in structure-of-arrays form (numpy float64/int64/bool columns) and
-advances *every* call through one slot of the AR(1) + dual-threshold
-heuristic (:mod:`repro.core.online`, eqs. 6-8) with a fixed number of
-whole-array operations — one gather of the slot's arrivals, one buffer
-update, one AR(1) update, one quantization, one threshold test — and no
-per-call Python loop.  50k concurrent calls step in well under a
-millisecond, which is what makes a real-time gateway on one core
-possible.
+The gateway's hot path.  A fleet is a thin adapter between the gateway's
+call-pool bookkeeping and the batched renegotiation kernel
+(:mod:`repro.core.kernel`): it owns admission (pool slots, LIFO free
+list, growth by doubling), the per-call traffic shifts, the in-flight
+``pending`` mask, and per-epoch arrival gathering — while the per-slot
+arithmetic of eqs. 6-8 (buffer update, AR(1) estimate, eq.-7
+quantisation, eq.-8 threshold test) is one
+:meth:`~repro.core.kernel.RenegotiationKernel.step` over the kernel's
+structure-of-arrays state block.  50k concurrent calls step in well
+under a millisecond, which is what makes a real-time gateway on one
+core possible.
 
-Bit-identical contract: every arithmetic expression is kept textually
-parallel to :meth:`repro.core.online.OnlineScheduler.schedule` (same
-operation order, same ``QUANTIZE_EPSILON`` guard), so a fleet of one call
-produces exactly the float sequence the scalar scheduler produces on the
-same shifted workload.  ``tests/test_server_fleet.py`` locks this in.
+Bit-identical contract: the kernel is the *same* implementation the
+scalar :class:`repro.core.online.OnlineScheduler` drives as a fleet of
+one, so a fleet of one call produces exactly the float sequence the
+scalar scheduler produces on the same shifted workload.
+``tests/test_server_fleet.py`` locks this in.
 
 Each call's traffic is a circular shift of one shared base workload — the
 paper's Section VI construction ("each call is a randomly shifted version
@@ -22,20 +24,36 @@ of a Star Wars RCBR schedule"), applied at the arrival-process level so
 the per-epoch gather is a single fancy-index into the shared array.
 Inactive pool slots carry exact zeros everywhere; multiplying the
 gathered arrivals by the activity mask keeps them at zero through every
-update, so no post-step masking is needed and whole-array reductions
-(total buffered bits, total reserved rate) are exact.
+kernel step, so no post-step masking is needed and whole-array
+reductions (total buffered bits, total reserved rate) are exact.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.core.online import OnlineParams, QUANTIZE_EPSILON
+from repro.core import kernel as _kernel
+from repro.core.kernel import RenegotiationKernel
+from repro.core.online import OnlineParams
 from repro.traffic.trace import SlottedWorkload
+
+
+def __getattr__(name: str):
+    # Deprecated re-export: the quantiser guard moved to its single home
+    # in repro.core.kernel alongside the rest of the eq.-7 arithmetic.
+    if name == "QUANTIZE_EPSILON":
+        warnings.warn(
+            "repro.server.fleet.QUANTIZE_EPSILON is deprecated; import it "
+            "from repro.core.kernel",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _kernel.QUANTIZE_EPSILON
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -67,8 +85,6 @@ class CallFleet:
         buffer_size: Optional[float] = None,
         initial_capacity: int = 256,
     ) -> None:
-        if buffer_size is not None and buffer_size <= 0:
-            raise ValueError("buffer_size must be positive")
         if initial_capacity < 1:
             raise ValueError("initial_capacity must be >= 1")
         self.workload = workload
@@ -77,15 +93,15 @@ class CallFleet:
         self._bits = workload.bits_per_slot  # read-only shared base
         self._num_base_slots = int(self._bits.size)
         self._slot = workload.slot_duration
-        self._time_constant = params.time_constant_slots * self._slot
+        self._kernel = RenegotiationKernel(
+            params, workload.slot_duration, buffer_size=buffer_size
+        )
 
         capacity = int(initial_capacity)
         self._capacity = capacity
+        self._state = self._kernel.new_state(capacity)
         self.active = np.zeros(capacity, dtype=bool)
         self.shift = np.zeros(capacity, dtype=np.int64)
-        self.rate = np.zeros(capacity, dtype=np.float64)
-        self.estimate = np.zeros(capacity, dtype=np.float64)
-        self.buffer = np.zeros(capacity, dtype=np.float64)
         self.pending = np.zeros(capacity, dtype=bool)
         self.streak = np.zeros(capacity, dtype=np.int64)
         self.call_id = np.full(capacity, -1, dtype=np.int64)
@@ -94,9 +110,31 @@ class CallFleet:
 
         self.num_active = 0
         self.peak_active = 0
-        self.bits_lost = 0.0  # playout-buffer overflow, cumulative
         self.epochs_stepped = 0
         self.call_epochs_stepped = 0
+
+    # ------------------------------------------------------------------
+    # Kernel-owned state, exposed as the fleet's columns
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> np.ndarray:
+        """Per-slot reserved rate (kernel state column)."""
+        return self._state.rate
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """Per-slot AR(1) estimate (kernel state column)."""
+        return self._state.estimate
+
+    @property
+    def buffer(self) -> np.ndarray:
+        """Per-slot playout-buffer occupancy in bits (kernel state column)."""
+        return self._state.buffer
+
+    @property
+    def bits_lost(self) -> float:
+        """Cumulative playout-buffer overflow, accounted by the kernel."""
+        return self._state.bits_lost
 
     # ------------------------------------------------------------------
     # Pool management
@@ -109,8 +147,8 @@ class CallFleet:
     def _grow(self) -> None:
         old = self._capacity
         new = old * 2
-        for name in ("active", "shift", "rate", "estimate", "buffer",
-                     "pending", "streak", "call_id"):
+        self._state.grow(new)
+        for name in ("active", "shift", "pending", "streak", "call_id"):
             column = getattr(self, name)
             grown = np.zeros(new, dtype=column.dtype)
             grown[:old] = column
@@ -120,15 +158,8 @@ class CallFleet:
         self._capacity = new
 
     def quantize(self, rate_estimate: float) -> float:
-        """Scalar eq.-7 quantizer, bit-identical to the vectorized one."""
-        delta = self.params.granularity
-        quantized = (
-            math.ceil(max(0.0, rate_estimate) / delta - QUANTIZE_EPSILON)
-            * delta
-        )
-        if self.params.max_rate is not None:
-            quantized = min(quantized, self.params.max_rate)
-        return quantized
+        """eq. 7 on this fleet's grid (see :func:`repro.core.kernel.quantize`)."""
+        return self._kernel.quantize(rate_estimate)
 
     def admit(self, call_id: int, shift: int) -> "tuple[int, float]":
         """Add a call whose arrivals start ``shift`` base slots in.
@@ -142,12 +173,12 @@ class CallFleet:
         if not self._free:
             self._grow()
         slot = self._free.pop()
-        initial_rate = self.quantize(self._bits[shift] / self._slot)
+        initial_rate = self._kernel.initial_rate(float(self._bits[shift]))
         self.active[slot] = True
         self.shift[slot] = shift
-        self.rate[slot] = initial_rate
-        self.estimate[slot] = initial_rate
-        self.buffer[slot] = 0.0
+        self._state.rate[slot] = initial_rate
+        self._state.estimate[slot] = initial_rate
+        self._state.buffer[slot] = 0.0
         self.pending[slot] = False
         self.streak[slot] = 0
         self.call_id[slot] = call_id
@@ -162,9 +193,7 @@ class CallFleet:
             raise ValueError(f"slot {slot} is not active")
         self.active[slot] = False
         self.shift[slot] = 0
-        self.rate[slot] = 0.0
-        self.estimate[slot] = 0.0
-        self.buffer[slot] = 0.0
+        self._state.clear_slot(slot)
         self.pending[slot] = False
         self.streak[slot] = 0
         self.call_id[slot] = -1
@@ -172,7 +201,7 @@ class CallFleet:
         self._free.append(slot)
 
     def set_rate(self, slot: int, rate: float) -> None:
-        self.rate[slot] = rate
+        self._state.rate[slot] = rate
 
     # ------------------------------------------------------------------
     # The vectorized epoch step
@@ -180,15 +209,11 @@ class CallFleet:
     def step(self, tick: int) -> EpochStep:
         """Advance every active call through base slot ``tick``.
 
-        One AR(1) update, one threshold test, one quantization across the
-        whole fleet.  Returns the calls whose buffer crossed a threshold
-        in the matching direction (eq. 8) and are free to signal.
+        One kernel batch step across the whole fleet.  Returns the calls
+        whose buffer crossed a threshold in the matching direction
+        (eq. 8) and are free to signal.
         """
-        params = self.params
-        slot = self._slot
         active = self.active
-        rate = self.rate
-        buffer_level = self.buffer
 
         # Gather this epoch's arrivals: base_bits[(shift + tick) % L],
         # zeroed for inactive slots so their state stays exactly 0.
@@ -199,41 +224,10 @@ class CallFleet:
         )
         amount = self._bits[index] * active
 
-        # buffer = max(0, (buffer + amount) - rate * slot) — the adds and
-        # subtracts associate exactly as in the scalar loop — then
-        # finite-buffer overflow accounting.
-        buffer_level += amount
-        buffer_level -= rate * slot
-        np.maximum(buffer_level, 0.0, out=buffer_level)
-        if self.buffer_size is not None:
-            excess = buffer_level - self.buffer_size
-            np.maximum(excess, 0.0, out=excess)
-            lost = float(excess.sum())
-            if lost > 0.0:
-                self.bits_lost += lost
-                np.minimum(buffer_level, self.buffer_size, out=buffer_level)
+        wants, candidate = self._kernel.step(self._state, amount)
 
-        # eq. 6: AR(1) estimate plus the additive q/T flush correction.
-        incoming_rate = amount / slot
-        estimate = self.estimate
-        estimate *= params.ar_coefficient
-        estimate += (1.0 - params.ar_coefficient) * incoming_rate
-
-        # eq. 7: quantize up to the grid (shared epsilon guard).
-        delta = params.granularity
-        candidate = estimate + buffer_level / self._time_constant
-        np.maximum(candidate, 0.0, out=candidate)
-        candidate /= delta
-        candidate -= QUANTIZE_EPSILON
-        np.ceil(candidate, out=candidate)
-        candidate *= delta
-        if params.max_rate is not None:
-            np.minimum(candidate, params.max_rate, out=candidate)
-
-        # eq. 8: signal only when the buffer crossed in the direction of
-        # the rate change, the call is active, and no cell is in flight.
-        wants = (buffer_level > params.high_threshold) & (candidate > rate)
-        wants |= (buffer_level < params.low_threshold) & (candidate < rate)
+        # Eligibility on top of the raw eq.-8 crossings: the call must be
+        # active and must not have a renegotiation cell already in flight.
         wants &= active
         wants &= ~self.pending
 

@@ -38,11 +38,19 @@ paper's drift story — and the bottleneck port being conservative
 guarantees any path-granted increase also fits on the link
 (``link_shortfalls`` counts violations of that invariant, expected 0).
 
+The base workload can be handed in directly or sampled from any
+:class:`~repro.traffic.sources.TrafficSource` (``config.source`` names a
+registry model; a ``source`` instance overrides it), so the runtime can
+carry Star-Wars-like, Markov, multi-timescale, on/off, or trace-playback
+fleets through one code path.
+
 Determinism contract: a fixed config seed spawns the arrival-process,
-call-property, cell-loss, and retry-jitter streams; the event heap is
-FIFO-stable; renegotiation issue order is ascending pool-slot order.
-Same seed (and same fault plan seed) ⇒ bit-identical snapshot stream,
-enforced via :func:`~repro.server.stats.snapshot_fingerprint`.
+call-property, cell-loss, retry-jitter, and workload-sampling streams
+(the fifth is appended, so seeded runs predating it are unchanged); the
+event heap is FIFO-stable; renegotiation issue order is ascending
+pool-slot order.  Same seed (and same fault plan seed) ⇒ bit-identical
+snapshot stream, enforced via
+:func:`~repro.server.stats.snapshot_fingerprint`.
 """
 
 from __future__ import annotations
@@ -66,6 +74,7 @@ from repro.server.stats import (
 from repro.signaling.messages import RenegotiationRequest
 from repro.signaling.network import SignalingPath
 from repro.signaling.switch import SwitchPort
+from repro.traffic.sources import TrafficSource, make_source
 from repro.traffic.trace import SlottedWorkload
 from repro.util.rng import spawn_generators
 
@@ -80,11 +89,35 @@ class RcbrGateway:
 
     def __init__(
         self,
-        workload: SlottedWorkload,
+        workload: Optional[SlottedWorkload],
         config: ServerConfig,
         controller: Optional[AdmissionController] = None,
         faults: Optional[FaultPlan] = None,
+        source: Optional[TrafficSource] = None,
     ) -> None:
+        (
+            self._arrival_rng,
+            self._call_rng,
+            path_rng,
+            retry_rng,
+            source_rng,
+        ) = spawn_generators(config.seed, 5)
+
+        # Resolve the base workload: an explicit TrafficSource instance
+        # wins, then a registry name in config.source (sampled on the
+        # dedicated stream so runs stay seed-deterministic), then the
+        # workload handed in directly.
+        if source is None and config.source is not None:
+            source = make_source(config.source, workload=workload)
+        self.source = source
+        if source is not None:
+            workload = source.sample_workload(
+                config.source_slots, seed=source_rng
+            )
+        if workload is None:
+            raise ValueError(
+                "RcbrGateway needs a workload or a traffic source"
+            )
         self.workload = workload
         self.config = config
         self.faults = faults
@@ -115,12 +148,6 @@ class RcbrGateway:
         ports.append(SwitchPort(config.capacity, name="bottleneck"))
         self.ports = ports
 
-        (
-            self._arrival_rng,
-            self._call_rng,
-            path_rng,
-            retry_rng,
-        ) = spawn_generators(config.seed, 4)
         self.path = SignalingPath(
             ports,
             hop_delay=config.hop_delay,
@@ -434,12 +461,13 @@ class RcbrGateway:
 
 
 def serve(
-    workload: SlottedWorkload,
+    workload: Optional[SlottedWorkload],
     config: ServerConfig,
     duration: float,
     snapshot_every: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
+    source: Optional[TrafficSource] = None,
 ) -> ServerReport:
     """One-shot convenience wrapper: build a gateway and run it."""
-    gateway = RcbrGateway(workload, config, faults=faults)
+    gateway = RcbrGateway(workload, config, faults=faults, source=source)
     return gateway.run(duration, snapshot_every=snapshot_every)

@@ -7,6 +7,8 @@ This package provides every workload the paper's experiments consume:
   (fast subchains + rare scene transitions, Fig. 4);
 * :func:`generate_starwars_trace` — a synthetic stand-in for the MPEG-1
   Star Wars trace, calibrated to its published statistics;
+* :class:`TrafficSource` / :func:`make_source` — the pluggable source
+  protocol and registry the service runtime samples workloads from;
 * :class:`PoissonArrivals` — call arrivals for the Section VI experiments.
 """
 
@@ -29,6 +31,12 @@ from repro.traffic.starwars import (
     STAR_WARS_MEAN_RATE,
     STAR_WARS_FPS,
     STAR_WARS_NUM_FRAMES,
+)
+from repro.traffic.sources import (
+    SOURCE_NAMES,
+    TrafficSource,
+    TraceSource,
+    make_source,
 )
 from repro.traffic.arrivals import PoissonArrivals, offered_load
 from repro.traffic.fit import (
@@ -60,6 +68,10 @@ __all__ = [
     "STAR_WARS_MEAN_RATE",
     "STAR_WARS_FPS",
     "STAR_WARS_NUM_FRAMES",
+    "SOURCE_NAMES",
+    "TrafficSource",
+    "TraceSource",
+    "make_source",
     "PoissonArrivals",
     "offered_load",
     "SceneSegmentation",

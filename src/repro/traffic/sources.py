@@ -1,0 +1,177 @@
+"""The pluggable traffic-source protocol and the named source registry.
+
+Everything that can feed the service runtime — the synthetic Star Wars
+generator, Markov-modulated sources (single- and multi-timescale), the
+on/off model, and recorded trace playback — implements one small
+protocol, :class:`TrafficSource`:
+
+* ``name`` and ``slot_duration`` describe the source;
+* ``sample_workload(num_slots, seed)`` draws a
+  :class:`~repro.traffic.trace.SlottedWorkload` of per-slot arrivals.
+
+**Seeding contract**: ``sample_workload`` with the same ``(num_slots,
+seed)`` must return a bit-identical ``bits_per_slot`` array on every
+call, on every platform — the same contract every seeded component in
+this repo honors, and what makes gateway runs over sampled workloads
+replayable.  Deterministic sources (trace playback) simply ignore the
+seed.  ``tests/test_traffic_sources.py`` checks every implementation.
+
+The registry (:data:`SOURCE_NAMES` / :func:`make_source`) maps the CLI's
+``repro serve --source`` names to calibrated instances: each synthetic
+source is scaled so its stationary mean rate equals the requested
+``mean_rate`` exactly, so link capacities sized as a multiple of the
+nominal mean stay meaningful across source families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.traffic.markov import (
+    MarkovChain,
+    MarkovModulatedSource,
+    fig4_example,
+)
+from repro.traffic.onoff import onoff_source
+from repro.traffic.starwars import STAR_WARS_MEAN_RATE, StarWarsModel
+from repro.traffic.trace import SlottedWorkload
+from repro.util.rng import SeedLike
+
+#: Names accepted by :func:`make_source` (and ``repro serve --source``).
+SOURCE_NAMES = ("starwars", "markov", "multiscale", "onoff", "trace")
+
+
+@runtime_checkable
+class TrafficSource(Protocol):
+    """Anything that can generate per-slot arrivals for the runtime.
+
+    Implementations: :class:`~repro.traffic.starwars.StarWarsModel`,
+    :class:`~repro.traffic.markov.MarkovModulatedSource` (which the
+    on/off model returns), :class:`~repro.traffic.markov.MultiTimescaleMarkovSource`,
+    and :class:`TraceSource`.
+    """
+
+    @property
+    def name(self) -> str:
+        """Human-readable label carried into the sampled workload."""
+
+    @property
+    def slot_duration(self) -> float:
+        """Seconds per arrival slot."""
+
+    def sample_workload(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> SlottedWorkload:
+        """Draw ``num_slots`` of arrivals; same seed => bit-identical."""
+
+
+@dataclass(frozen=True)
+class TraceSource:
+    """Deterministic playback of a recorded workload.
+
+    ``sample_workload`` replays the recorded slots, cycling when more
+    slots are requested than were recorded.  The seed is ignored — the
+    strongest possible reading of the seeding contract.
+    """
+
+    workload: SlottedWorkload
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    @property
+    def slot_duration(self) -> float:
+        return self.workload.slot_duration
+
+    def sample_workload(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> SlottedWorkload:
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        base = self.workload.bits_per_slot
+        if num_slots <= base.size:
+            bits = base[:num_slots].copy()
+        else:
+            repeats = -(-num_slots // base.size)  # ceil division
+            bits = np.tile(base, repeats)[:num_slots]
+        return SlottedWorkload(
+            bits, self.workload.slot_duration, name=self.workload.name
+        )
+
+
+def _scene_markov_source(
+    mean_rate: float, slot_duration: float
+) -> MarkovModulatedSource:
+    """A quiet/normal/burst birth-death chain calibrated to ``mean_rate``.
+
+    Sticky states give scene-length dwell times (tens of slots); the
+    rate multipliers are scaled so the stationary mean is exactly the
+    requested one (rates are linear in the scale, the stationary
+    distribution is not affected by it).
+    """
+    matrix = np.array(
+        [
+            [0.96, 0.04, 0.00],
+            [0.03, 0.94, 0.03],
+            [0.00, 0.05, 0.95],
+        ]
+    )
+    chain = MarkovChain(matrix)
+    multipliers = np.array([0.4, 1.0, 3.2])
+    stationary_mean = float(chain.stationary_distribution() @ multipliers)
+    rates = multipliers * (mean_rate / stationary_mean)
+    return MarkovModulatedSource(chain, rates, slot_duration, name="markov")
+
+
+def make_source(
+    name: str,
+    *,
+    mean_rate: float = STAR_WARS_MEAN_RATE,
+    slot_duration: float = 1.0 / 24.0,
+    workload: Optional[SlottedWorkload] = None,
+) -> TrafficSource:
+    """Build a calibrated :class:`TrafficSource` by registry name.
+
+    ``mean_rate`` is the target stationary mean in bits/s (synthetic
+    sources are scaled to hit it exactly); ``workload`` is required by —
+    and only consumed by — the ``"trace"`` playback source, which keeps
+    its own slot duration.
+    """
+    if name not in SOURCE_NAMES:
+        raise ValueError(
+            f"unknown source {name!r}; choose from {', '.join(SOURCE_NAMES)}"
+        )
+    if mean_rate <= 0:
+        raise ValueError("mean_rate must be positive")
+    if slot_duration <= 0:
+        raise ValueError("slot_duration must be positive")
+    if name == "trace":
+        if workload is None:
+            raise ValueError("the trace source needs a workload to play back")
+        return TraceSource(workload)
+    if name == "starwars":
+        return StarWarsModel(
+            mean_rate=mean_rate, frames_per_second=1.0 / slot_duration
+        )
+    if name == "markov":
+        return _scene_markov_source(mean_rate, slot_duration)
+    if name == "onoff":
+        # A 25%-activity burst source: ON one slot in four at 4x the
+        # mean, with scene-length dwell times.
+        return onoff_source(
+            peak_rate=4.0 * mean_rate,
+            mean_on_slots=12.0,
+            mean_off_slots=36.0,
+            slot_duration=slot_duration,
+        )
+    # "multiscale": rates are linear in base_rate, so one probe
+    # construction measures the mean and a second lands it exactly.
+    probe = fig4_example(slot_duration=slot_duration, base_rate=mean_rate)
+    scale = mean_rate / probe.mean_rate()
+    return fig4_example(
+        slot_duration=slot_duration, base_rate=mean_rate * scale
+    )

@@ -34,7 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.traffic.mpeg import GopStructure
-from repro.traffic.trace import FrameTrace
+from repro.traffic.trace import FrameTrace, SlottedWorkload
 from repro.util.rng import SeedLike, as_generator
 from repro.util.units import kbps
 
@@ -108,6 +108,27 @@ class StarWarsModel:
             raise ValueError("AR coefficient must be in [0, 1)")
         if self.max_frame_multiplier is not None and self.max_frame_multiplier <= 1.0:
             raise ValueError("max_frame_multiplier must exceed 1")
+
+    # ------------------------------------------------------------------
+    # TrafficSource protocol (repro.traffic.sources)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Label the sampled workloads carry (protocol member)."""
+        return "starwars-like"
+
+    @property
+    def slot_duration(self) -> float:
+        """Seconds per frame slot (protocol member)."""
+        return 1.0 / self.frames_per_second
+
+    def sample_workload(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> "SlottedWorkload":
+        """Draw ``num_slots`` frames of arrivals (one slot per frame)."""
+        return self.generate(
+            num_frames=num_slots, seed=seed, name=self.name
+        ).as_workload()
 
     # ------------------------------------------------------------------
     def _scene_probabilities(self) -> np.ndarray:

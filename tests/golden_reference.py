@@ -1,0 +1,168 @@
+"""The frozen pre-refactor scalar renegotiation loop — the golden oracle.
+
+This is the general-path body of ``OnlineScheduler.schedule`` exactly as
+it stood before the batched kernel extraction (commit e820b7f), kept
+verbatim so the kernel-vs-golden regression tests compare today's
+:mod:`repro.core.kernel` against the historical float-for-float
+behavior rather than against itself.  The old dedicated fast path
+(``_schedule_fast``) was itself proven bit-identical to this loop by the
+pre-refactor equivalence tests, so this single oracle covers both
+deleted implementations.
+
+Do not "fix" or modernize this file: its value is that it does not
+change.  (The repo-wide duplication guard that bans reimplementing the
+AR(1)/quantiser arithmetic outside ``repro.core.kernel`` deliberately
+scans ``src/`` only.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.online import OnlineParams
+from repro.traffic.trace import SlottedWorkload
+
+GOLDEN_QUANTIZE_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class GoldenResult:
+    """The pre-refactor result fields, minus the RateSchedule wrapper."""
+
+    slot_rates: np.ndarray
+    max_buffer: float
+    final_buffer: float
+    requests_made: int
+    requests_denied: int
+    bits_lost: float
+    drain_slots: int
+    requests_suppressed: int
+
+
+def golden_quantize(
+    params: OnlineParams, rate_estimate: float
+) -> float:
+    delta = params.granularity
+    quantized = (
+        math.ceil(max(0.0, rate_estimate) / delta - GOLDEN_QUANTIZE_EPSILON)
+        * delta
+    )
+    if params.max_rate is not None:
+        quantized = min(quantized, params.max_rate)
+    return quantized
+
+
+def golden_schedule(
+    params: OnlineParams,
+    workload: SlottedWorkload,
+    initial_rate: Optional[float] = None,
+    request_fn: Optional[Callable[[float, float], bool]] = None,
+    buffer_size: Optional[float] = None,
+    recovery=None,
+) -> GoldenResult:
+    """The pre-refactor general scalar loop, verbatim."""
+    if buffer_size is not None and buffer_size <= 0:
+        raise ValueError("buffer_size must be positive")
+    arrivals = workload.bits_per_slot.tolist()
+    slot = workload.slot_duration
+    time_constant = params.time_constant_slots * slot
+
+    def quantize(rate_estimate: float) -> float:
+        return golden_quantize(params, rate_estimate)
+
+    if initial_rate is None:
+        current_rate = quantize(arrivals[0] / slot)
+    else:
+        if initial_rate < 0:
+            raise ValueError("initial_rate must be non-negative")
+        current_rate = initial_rate
+
+    if recovery is not None:
+        recovery.reset()
+
+    high = params.high_threshold
+    low = params.low_threshold
+
+    estimate = current_rate
+    buffer_level = 0.0
+    max_buffer = 0.0
+    requests = 0
+    denied = 0
+    suppressed = 0
+    bits_lost = 0.0
+    drain_slots = 0
+    slot_rates = np.empty(workload.num_slots)
+
+    for index, amount in enumerate(arrivals):
+        slot_rates[index] = current_rate
+        if recovery is not None and recovery.in_drain(
+            buffer_level, buffer_size
+        ):
+            bits_lost += amount
+            drain_slots += 1
+            buffer_level = max(0.0, buffer_level - current_rate * slot)
+        else:
+            buffer_level = max(
+                0.0, buffer_level + amount - current_rate * slot
+            )
+            if buffer_size is not None and buffer_level > buffer_size:
+                bits_lost += buffer_level - buffer_size
+                buffer_level = buffer_size
+        if buffer_level > max_buffer:
+            max_buffer = buffer_level
+
+        incoming_rate = amount / slot
+        estimate = (
+            params.ar_coefficient * estimate
+            + (1.0 - params.ar_coefficient) * incoming_rate
+        )
+        candidate = quantize(estimate + buffer_level / time_constant)
+
+        wants_up = buffer_level > high and candidate > current_rate
+        wants_down = buffer_level < low and candidate < current_rate
+        if wants_up or wants_down:
+            if recovery is None:
+                requests += 1
+                granted = True
+                if request_fn is not None:
+                    granted = bool(
+                        request_fn((index + 1) * slot, candidate)
+                    )
+                if granted:
+                    current_rate = candidate
+                else:
+                    denied += 1
+            elif not recovery.allow_request(index):
+                suppressed += 1
+            else:
+                rungs = (
+                    recovery.ladder(candidate, current_rate, quantize)
+                    if wants_up
+                    else (candidate,)
+                )
+                for rung in rungs:
+                    requests += 1
+                    granted = True
+                    if request_fn is not None:
+                        granted = bool(request_fn((index + 1) * slot, rung))
+                    if granted:
+                        current_rate = rung
+                        recovery.on_grant(index, rung)
+                        break
+                    denied += 1
+                    recovery.on_denial(index, rung)
+
+    return GoldenResult(
+        slot_rates=slot_rates,
+        max_buffer=max_buffer,
+        final_buffer=buffer_level,
+        requests_made=requests,
+        requests_denied=denied,
+        bits_lost=bits_lost,
+        drain_slots=drain_slots,
+        requests_suppressed=suppressed,
+    )

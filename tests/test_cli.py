@@ -176,7 +176,8 @@ class TestServe:
                      "--load", "0.8", "--initial-calls", "6",
                      "--capacity-multiple", "30", "--seed", "3"]) == 0
         out = capsys.readouterr().out
-        assert "RCBR gateway (controller=always, seed=3):" in out
+        assert ("RCBR gateway (controller=always, "
+                "source=starwars-like, seed=3):") in out
         assert "renegotiations:" in out
         assert "fingerprint:" in out
 
@@ -230,6 +231,41 @@ class TestServe:
     def test_serve_rejects_unknown_controller(self):
         with pytest.raises(SystemExit):
             main(["serve", "--controller", "frobnicate"])
+
+
+class TestServeSource:
+    """`repro serve --source` runs the gateway off a sampled model."""
+
+    @pytest.mark.parametrize(
+        "source", ["starwars", "markov", "multiscale", "onoff"]
+    )
+    def test_synthetic_sources_smoke(self, source, capsys):
+        assert main(["serve", "--source", source, "--source-slots", "300",
+                     "--duration", "4", "--load", "0.6",
+                     "--initial-calls", "4", "--capacity-multiple", "30",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "source=" in out
+        assert "renegotiations:" in out
+        assert "fingerprint:" in out
+
+    def test_trace_source_replays_file(self, trace_file, capsys):
+        assert main(["serve", "--source", "trace", "--trace", trace_file,
+                     "--source-slots", "300", "--duration", "4",
+                     "--initial-calls", "4"]) == 0
+        assert "fingerprint:" in capsys.readouterr().out
+
+    def test_source_runs_are_reproducible(self, capsys):
+        argv = ["serve", "--source", "markov", "--source-slots", "240",
+                "--duration", "4", "--initial-calls", "4", "--seed", "6"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--source", "fractal"])
 
 
 class TestSupervisionFlags:

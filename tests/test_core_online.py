@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.online import OnlineParams, OnlineScheduler
 from repro.traffic.trace import SlottedWorkload
+from tests.golden_reference import golden_schedule
 
 
 def constant_workload(rate, num_slots=100, slot=1.0):
@@ -217,15 +218,15 @@ class TestFiniteBuffer:
         assert result.requests_suppressed == 0
 
 
-class TestFastPathEquivalence:
-    """The no-faults fast path must match the general loop bit for bit.
+class TestKernelVsGolden:
+    """The kernel-backed scheduler must match the pre-refactor floats.
 
-    ``schedule()`` dispatches to ``_schedule_fast`` when there is no
-    recovery policy, no request_fn and no finite buffer; passing an
-    always-granting ``request_fn`` forces the general loop with the same
-    semantics, so every float of the two results must be *exactly*
-    equal — the Fig. 2 curve and the MBAC per-source schedules depend
-    on the paths being interchangeable.
+    ``schedule()`` now drives :class:`repro.core.kernel.RenegotiationKernel`
+    slot by slot (the old scalar loop and the dedicated ``_schedule_fast``
+    path are both gone); these regressions replay the frozen pre-refactor
+    loop from :mod:`tests.golden_reference` and require every float of
+    the two results to be *exactly* equal — the Fig. 2 curve and the
+    MBAC per-source schedules depend on the kernel being a drop-in.
     """
 
     def random_workload(self, seed, num_slots=400):
@@ -239,46 +240,73 @@ class TestFastPathEquivalence:
         return SlottedWorkload(base + burst, slot_duration=1.0 / 24.0)
 
     @staticmethod
-    def assert_bit_identical(fast, general):
-        assert fast.max_buffer == general.max_buffer
-        assert fast.final_buffer == general.final_buffer
-        assert fast.requests_made == general.requests_made
-        assert fast.requests_denied == general.requests_denied == 0
-        assert np.array_equal(
-            fast.schedule.rates, general.schedule.rates
+    def assert_bit_identical(result, golden, slot_duration=1.0 / 24.0):
+        from repro.core.schedule import RateSchedule
+
+        expected = RateSchedule.from_slot_rates(
+            golden.slot_rates, slot_duration
         )
+        assert result.max_buffer == golden.max_buffer
+        assert result.final_buffer == golden.final_buffer
+        assert result.requests_made == golden.requests_made
+        assert result.requests_denied == golden.requests_denied
+        assert result.bits_lost == golden.bits_lost
+        assert np.array_equal(result.schedule.rates, expected.rates)
         assert np.array_equal(
-            fast.schedule.start_times, general.schedule.start_times
+            result.schedule.start_times, expected.start_times
         )
-        assert fast.schedule.duration == general.schedule.duration
+        assert result.schedule.duration == expected.duration
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_matches_general_loop(self, seed):
-        scheduler = OnlineScheduler(OnlineParams(granularity=64_000.0))
+    def test_matches_golden_loop(self, seed):
+        params = OnlineParams(granularity=64_000.0)
         workload = self.random_workload(seed)
-        fast = scheduler.schedule(workload)
-        general = scheduler.schedule(workload, request_fn=lambda *_: True)
-        self.assert_bit_identical(fast, general)
+        result = OnlineScheduler(params).schedule(workload)
+        golden = golden_schedule(params, workload)
+        self.assert_bit_identical(result, golden)
 
     def test_matches_with_max_rate_cap(self):
         params = OnlineParams(granularity=64_000.0, max_rate=600_000.0)
-        scheduler = OnlineScheduler(params)
         workload = self.random_workload(3)
-        fast = scheduler.schedule(workload)
-        general = scheduler.schedule(workload, request_fn=lambda *_: True)
-        self.assert_bit_identical(fast, general)
-        assert fast.schedule.rates.max() <= 600_000.0
+        result = OnlineScheduler(params).schedule(workload)
+        golden = golden_schedule(params, workload)
+        self.assert_bit_identical(result, golden)
+        assert result.schedule.rates.max() <= 600_000.0
 
     def test_matches_with_explicit_initial_rate(self):
-        scheduler = OnlineScheduler(OnlineParams(granularity=25_000.0))
+        params = OnlineParams(granularity=25_000.0)
         workload = self.random_workload(4)
-        fast = scheduler.schedule(workload, initial_rate=100_000.0)
-        general = scheduler.schedule(
-            workload, initial_rate=100_000.0, request_fn=lambda *_: True
+        result = OnlineScheduler(params).schedule(
+            workload, initial_rate=100_000.0
         )
-        self.assert_bit_identical(fast, general)
+        golden = golden_schedule(params, workload, initial_rate=100_000.0)
+        self.assert_bit_identical(result, golden)
 
-    def test_fast_path_handles_idle_source(self):
+    def test_matches_with_denials_and_finite_buffer(self):
+        params = OnlineParams(granularity=64_000.0)
+        workload = self.random_workload(5)
+
+        def deny_every_third():
+            count = [0]
+
+            def fn(time, rate):
+                count[0] += 1
+                return count[0] % 3 != 0
+
+            return fn
+
+        result = OnlineScheduler(params).schedule(
+            workload, request_fn=deny_every_third(), buffer_size=200_000.0
+        )
+        golden = golden_schedule(
+            params,
+            workload,
+            request_fn=deny_every_third(),
+            buffer_size=200_000.0,
+        )
+        self.assert_bit_identical(result, golden)
+
+    def test_kernel_handles_idle_source(self):
         workload = SlottedWorkload(np.zeros(50), slot_duration=1.0)
         result = OnlineScheduler(
             OnlineParams(granularity=1000.0)

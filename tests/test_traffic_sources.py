@@ -1,0 +1,186 @@
+"""The TrafficSource protocol, registry, and seeding contract."""
+
+import numpy as np
+import pytest
+
+from repro.server import RcbrGateway, ServerConfig
+from repro.traffic import (
+    SOURCE_NAMES,
+    TraceSource,
+    TrafficSource,
+    make_source,
+)
+from repro.traffic.starwars import STAR_WARS_MEAN_RATE, StarWarsModel
+from repro.traffic.trace import SlottedWorkload
+
+
+@pytest.fixture
+def trace_workload():
+    rng = np.random.default_rng(3)
+    return SlottedWorkload(
+        rng.uniform(1e4, 1e5, size=60), 1.0 / 24.0, name="recorded"
+    )
+
+
+def build(name, trace_workload=None, **kwargs):
+    if name == "trace":
+        kwargs.setdefault("workload", trace_workload)
+    return make_source(name, **kwargs)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("name", SOURCE_NAMES)
+    def test_every_registry_source_satisfies_protocol(
+        self, name, trace_workload
+    ):
+        source = build(name, trace_workload)
+        assert isinstance(source, TrafficSource)
+        assert isinstance(source.name, str) and source.name
+        assert source.slot_duration > 0
+
+    def test_protocol_is_structural(self):
+        # Any object with the right surface counts; no registration.
+        class Custom:
+            name = "custom"
+            slot_duration = 0.5
+
+            def sample_workload(self, num_slots, seed=None):
+                return SlottedWorkload(np.ones(num_slots), 0.5)
+
+        assert isinstance(Custom(), TrafficSource)
+        assert not isinstance(object(), TrafficSource)
+
+    def test_starwars_model_is_a_source(self):
+        model = StarWarsModel(mean_rate=STAR_WARS_MEAN_RATE)
+        assert isinstance(model, TrafficSource)
+        workload = model.sample_workload(48, seed=7)
+        assert workload.num_slots == 48
+        assert workload.slot_duration == model.slot_duration
+
+
+class TestSeedingContract:
+    @pytest.mark.parametrize("name", SOURCE_NAMES)
+    def test_same_seed_bit_identical(self, name, trace_workload):
+        source = build(name, trace_workload)
+        first = source.sample_workload(200, seed=42)
+        second = source.sample_workload(200, seed=42)
+        assert np.array_equal(first.bits_per_slot, second.bits_per_slot)
+        assert first.slot_duration == second.slot_duration
+
+    @pytest.mark.parametrize(
+        "name", [n for n in SOURCE_NAMES if n != "trace"]
+    )
+    def test_different_seeds_diverge(self, name):
+        source = build(name)
+        first = source.sample_workload(200, seed=1)
+        second = source.sample_workload(200, seed=2)
+        assert not np.array_equal(first.bits_per_slot, second.bits_per_slot)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in SOURCE_NAMES if n != "trace"]
+    )
+    def test_calibrated_to_requested_mean(self, name):
+        source = build(name, mean_rate=500_000.0)
+        sample = source.sample_workload(40_000, seed=9)
+        # Long-run sample mean approaches the calibrated stationary mean.
+        assert sample.mean_rate == pytest.approx(500_000.0, rel=0.15)
+
+
+class TestTraceSource:
+    def test_prefix_when_shorter(self, trace_workload):
+        source = TraceSource(trace_workload)
+        sample = source.sample_workload(20)
+        assert np.array_equal(
+            sample.bits_per_slot, trace_workload.bits_per_slot[:20]
+        )
+
+    def test_cycles_when_longer(self, trace_workload):
+        source = TraceSource(trace_workload)
+        base = trace_workload.bits_per_slot
+        sample = source.sample_workload(base.size * 2 + 7)
+        assert np.array_equal(sample.bits_per_slot[: base.size], base)
+        assert np.array_equal(
+            sample.bits_per_slot[base.size : 2 * base.size], base
+        )
+        assert np.array_equal(sample.bits_per_slot[-7:], base[:7])
+
+    def test_seed_is_ignored(self, trace_workload):
+        source = TraceSource(trace_workload)
+        assert np.array_equal(
+            source.sample_workload(30, seed=1).bits_per_slot,
+            source.sample_workload(30, seed=999).bits_per_slot,
+        )
+
+    def test_rejects_empty_request(self, trace_workload):
+        with pytest.raises(ValueError):
+            TraceSource(trace_workload).sample_workload(0)
+
+
+class TestMakeSource:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown source"):
+            make_source("fractal")
+
+    def test_trace_needs_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            make_source("trace")
+
+    def test_bad_mean_rate_and_slot(self):
+        with pytest.raises(ValueError):
+            make_source("markov", mean_rate=0.0)
+        with pytest.raises(ValueError):
+            make_source("markov", slot_duration=0.0)
+
+
+class TestGatewayIntegration:
+    def serve_from_source(self, name, seed=5):
+        config = ServerConfig(
+            capacity=30 * STAR_WARS_MEAN_RATE,
+            load=0.6,
+            seed=seed,
+            initial_calls=4,
+            source=name,
+            source_slots=240,
+        )
+        gateway = RcbrGateway(None, config)
+        return gateway, gateway.run(4.0, snapshot_every=1.0)
+
+    @pytest.mark.parametrize("name", ["markov", "onoff"])
+    def test_gateway_samples_workload_from_source(self, name):
+        gateway, report = self.serve_from_source(name)
+        assert gateway.source is not None
+        assert gateway.workload.num_slots == 240
+        assert report.final.arrivals > 0
+
+    def test_same_seed_same_fingerprint(self):
+        _, first = self.serve_from_source("markov", seed=8)
+        _, second = self.serve_from_source("markov", seed=8)
+        assert first.fingerprint == second.fingerprint
+
+    def test_different_seed_different_workload(self):
+        one, _ = self.serve_from_source("markov", seed=1)
+        two, _ = self.serve_from_source("markov", seed=2)
+        assert not np.array_equal(
+            one.workload.bits_per_slot, two.workload.bits_per_slot
+        )
+
+    def test_explicit_source_instance_wins(self, trace_workload):
+        config = ServerConfig(
+            capacity=30 * STAR_WARS_MEAN_RATE, seed=5, initial_calls=2
+        )
+        gateway = RcbrGateway(
+            None, config, source=TraceSource(trace_workload)
+        )
+        assert gateway.source.name == "recorded"
+        assert gateway.workload.name == "recorded"
+
+    def test_gateway_requires_workload_or_source(self):
+        config = ServerConfig(capacity=1e6)
+        with pytest.raises(ValueError, match="workload or a traffic source"):
+            RcbrGateway(None, config)
+
+    def test_config_rejects_unknown_source(self):
+        with pytest.raises(ValueError, match="unknown source"):
+            ServerConfig(capacity=1e6, source="fractal")
+        with pytest.raises(ValueError, match="source_slots"):
+            ServerConfig(capacity=1e6, source="markov", source_slots=0)
