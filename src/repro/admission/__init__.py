@@ -23,6 +23,7 @@ from repro.admission.callsim import (
     simulate_admission,
     arrival_rate_for_load,
 )
+from repro.admission.offered import OfferedLoadAccountant
 
 __all__ = [
     "AdmissionController",
@@ -37,4 +38,5 @@ __all__ = [
     "CallLevelSimulator",
     "simulate_admission",
     "arrival_rate_for_load",
+    "OfferedLoadAccountant",
 ]

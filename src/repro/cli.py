@@ -31,6 +31,7 @@ from repro.core import (
     granular_rate_levels,
 )
 from repro.core.schedule import RateSchedule, empirical_rate_distribution
+from repro.overload.policies import OVERLOAD_POLICY_NAMES
 from repro.server.config import CONTROLLER_NAMES
 from repro.traffic import (
     FrameTrace,
@@ -56,6 +57,16 @@ def _save_trace(trace: FrameTrace, path: str) -> None:
         trace.save(path)
     else:
         trace.save_text(path)
+
+
+def _parse_float_list(spec: Optional[str], flag: str) -> Optional[tuple]:
+    """Parse a comma-separated float list CLI value (None passes through)."""
+    if spec is None:
+        return None
+    try:
+        return tuple(float(item) for item in spec.split(","))
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated numbers: {spec!r}")
 
 
 # ----------------------------------------------------------------------
@@ -243,11 +254,14 @@ def _sweep_cells(name: str, scale, cache, recorder, loss_target: float):
         GRANULARITY,
         figs7_9_cells,
         optimal_schedule_for,
+        overload_cells,
         smg_cells,
         starwars_trace_for,
         tradeoff_cells,
     )
 
+    if name == "overload":
+        return overload_cells(scale=scale)
     if name == "mbac":
         schedule = optimal_schedule_for(scale, cache=cache, recorder=recorder)
         return figs7_9_cells(schedule, scale)
@@ -270,8 +284,24 @@ def _sweep_cells(name: str, scale, cache, recorder, loss_target: float):
     raise SystemExit(f"unknown sweep {name}")  # pragma: no cover
 
 
+def _print_overload_table(rows) -> None:
+    """The block/downgrade/sacrifice comparison, one line per cell."""
+    print("overload comparison (per offered load):")
+    print(f"  {'load':>5} {'policy':>10} {'blocking':>9} "
+          f"{'bits lost':>12} {'downgraded':>12} {'fairness':>9}")
+    for row in sorted(rows, key=lambda r: (r["load"], r["policy"])):
+        print(
+            f"  {row['load']:>5g} {row['policy']:>10} "
+            f"{row['blocking_probability']:>9.4f} "
+            f"{format_bits(row['bits_lost']):>12} "
+            f"{format_bits(row['bits_downgraded']):>12} "
+            f"{row['class_fairness']:>9.3f}"
+        )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """``repro sweep {mbac,smg,tradeoff}``: one figure grid, supervised."""
+    """``repro sweep {mbac,smg,tradeoff,overload}``: one figure grid,
+    supervised."""
     import json
     import time
 
@@ -317,6 +347,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for key, value in sorted(result.value.items()):
             if isinstance(value, float):
                 print(f"            {key} = {value:.6g}")
+    if args.sweep_name == "overload":
+        _print_overload_table([result.value for result in results])
     summary = recorder.summary()
     counts = report.counts()
     print(
@@ -564,6 +596,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         source=args.source or None,
         source_slots=args.source_slots,
+        overload_policy=args.overload_policy,
+        overload_enter=args.overload_enter,
+        overload_exit=args.overload_exit,
+        overload_dwell=args.overload_dwell,
+        overload_classes=args.overload_classes,
+        class_weights=_parse_float_list(
+            args.class_weights, "--class-weights"
+        ),
+        **(
+            {
+                "downgrade_ladder": _parse_float_list(
+                    args.downgrade_ladder, "--downgrade-ladder"
+                )
+            }
+            if args.downgrade_ladder
+            else {}
+        ),
+        sacrifice_queue=args.sacrifice_queue,
+        sacrifice_max_per_epoch=args.sacrifice_max_per_epoch,
     )
     faults = None
     if args.fault_plan:
@@ -593,6 +644,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"  utilization:     {report.mean_utilization:.3f} mean")
     print(f"  bits lost:       {format_bits(final.bits_lost_overflow)} "
           f"overflow, {format_bits(final.bits_lost_link)} link")
+    if report.overload is not None:
+        section = report.overload
+        print(f"  overload plane:  policy={section['policy']}, "
+              f"{section['entries']} entries, "
+              f"{section['epochs_overloaded']} epochs overloaded")
+        print(f"  class treatment: fairness {section['class_fairness']:.3f}, "
+              f"{format_bits(section['bits_downgraded'])} downgraded, "
+              f"active per class {section['class_active']}")
     print(f"  fingerprint:     {report.fingerprint}")
     if args.report:
         Path(args.report).write_text(
@@ -716,6 +775,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("mbac", "the Figs. 7-9 admission-control grid"),
         ("smg", "the Fig. 6 multiplexing-gain cells (scenarios b, c)"),
         ("tradeoff", "the Fig. 2 alpha/delta tradeoff cells"),
+        ("overload", "the block/downgrade/sacrifice overload-plane "
+                     "comparison under saturation"),
     ):
         sub = sweep_commands.add_parser(sweep_name, help=sweep_help)
         add_sweep_options(sub)
@@ -868,6 +929,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--initial-calls", type=int, default=0,
         help="calls preloaded at t=0 before open-loop arrivals start",
+    )
+    serve.add_argument(
+        "--overload-policy", choices=OVERLOAD_POLICY_NAMES, default="block",
+        help="link-level overload control policy (default: block — "
+             "admission blocking only, no control plane)",
+    )
+    serve.add_argument(
+        "--overload-enter", type=float, default=0.95,
+        help="pressure threshold to enter overload (default 0.95)",
+    )
+    serve.add_argument(
+        "--overload-exit", type=float, default=0.85,
+        help="pressure threshold to leave overload (default 0.85)",
+    )
+    serve.add_argument(
+        "--overload-dwell", type=int, default=8,
+        help="consecutive epochs a threshold must hold (default 8)",
+    )
+    serve.add_argument(
+        "--overload-classes", type=int, default=3,
+        help="service classes for arriving calls (default 3; class 0 "
+             "is the most protected)",
+    )
+    serve.add_argument(
+        "--class-weights", default=None,
+        help="comma-separated class draw weights (default: uniform)",
+    )
+    serve.add_argument(
+        "--downgrade-ladder", default=None,
+        help="comma-separated resolution ladder starting at 1.0 "
+             "(default 1.0,0.75,0.5,0.35)",
+    )
+    serve.add_argument(
+        "--sacrifice-queue", type=int, default=64,
+        help="readmission queue depth for the sacrifice policy "
+             "(default 64)",
+    )
+    serve.add_argument(
+        "--sacrifice-max-per-epoch", type=int, default=2,
+        help="eviction budget per overloaded epoch (default 2)",
     )
     serve.add_argument(
         "--fault-plan", default=None,

@@ -103,6 +103,7 @@ class KernelState:
         "estimate",
         "buffer",
         "bits_lost",
+        "bits_downgraded",
         "_candidate",
         "_scratch",
         "_wants",
@@ -117,6 +118,7 @@ class KernelState:
         self.estimate = np.zeros(capacity)
         self.buffer = np.zeros(capacity)
         self.bits_lost = 0.0
+        self.bits_downgraded = 0.0
         self._candidate = np.empty(capacity)
         self._scratch = np.empty(capacity)
         self._wants = np.empty(capacity, dtype=bool)
@@ -191,6 +193,7 @@ class RenegotiationKernel:
         state: KernelState,
         arrivals: np.ndarray,
         drain: Optional[np.ndarray] = None,
+        downgrade: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance every call in ``state`` through one slot of arrivals.
 
@@ -200,6 +203,19 @@ class RenegotiationKernel:
         panic-drain mode: their arrivals are shed at the source (counted
         in ``state.bits_lost``) while the buffer keeps draining, but the
         AR(1) estimator still sees the true incoming rate.
+
+        ``downgrade``, if given, is a per-slot array of resolution scale
+        factors in ``(0, 1]`` (1.0 = full resolution).  The overload
+        control plane uses it to walk classes of calls down a resolution
+        ladder: a downgraded source re-encodes at lower fidelity, so its
+        arrivals shrink *before* the buffer update and the AR(1)
+        estimator tracks the reduced rate — unlike ``drain``, which
+        sheds at the source while the estimator still sees the true
+        rate.  The bits removed by downgrading are controlled, policy-
+        requested shedding and accumulate in ``state.bits_downgraded``,
+        separate from the uncontrolled overflow/drain losses in
+        ``state.bits_lost``.  ``downgrade=None`` performs zero extra
+        array operations, keeping the undowngraded path bit-identical.
 
         Returns ``(wants, candidates)``: the raw eq.-8 crossing mask and
         the full quantised eq.-7 candidate array.  Both are views of
@@ -218,6 +234,16 @@ class RenegotiationKernel:
         wants = state._wants
         wants_down = state._wants_down
         compare = state._cmp
+
+        # Resolution downgrade: the source encodes at a fraction of full
+        # fidelity, so every consumer below (buffer, estimator, drain)
+        # sees the reduced arrivals.  ``_candidate`` is free scratch
+        # until eq. 7 overwrites it, well after the last read of
+        # ``arrivals``.
+        if downgrade is not None:
+            np.multiply(arrivals, downgrade, out=candidate)
+            state.bits_downgraded += float(arrivals.sum() - candidate.sum())
+            arrivals = candidate
 
         # Buffer update: q = max(0, (q + a) - r * slot), the adds and
         # subtracts associating exactly as in the original scalar loop.

@@ -34,6 +34,38 @@ from repro.util.rng import SeedLike, as_generator
 Quantizer = Callable[[float], float]
 
 
+def downgrade_rungs(
+    candidate: float,
+    current_rate: float,
+    quantize: Quantizer,
+    max_steps: int,
+) -> "tuple[float, ...]":
+    """The graceful-downgrade ladder between two rates.
+
+    For an increase from ``current_rate`` to ``candidate``: the full
+    candidate first, then up to ``max_steps - 1`` evenly spaced smaller
+    increases, each re-quantised to the bandwidth grid, deduplicated,
+    and cut off once a rung stops being an increase.  Shared by the
+    source-side :class:`DowngradeLadderPolicy` (which tries the rungs
+    against a denied increase) and the link-level overload plane in
+    :mod:`repro.overload` (which walks whole classes of calls down the
+    same kind of ladder).
+    """
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    if candidate <= current_rate:
+        return (candidate,)
+    rungs: "list[float]" = []
+    gap = candidate - current_rate
+    for step in range(max_steps, 0, -1):
+        rung = quantize(current_rate + gap * step / max_steps)
+        if rung <= current_rate:
+            break
+        if not rungs or rung < rungs[-1]:
+            rungs.append(rung)
+    return tuple(rungs) if rungs else (candidate,)
+
+
 @runtime_checkable
 class RecoveryPolicy(Protocol):
     """What the online scheduler asks of a recovery policy.
@@ -182,17 +214,7 @@ class DowngradeLadderPolicy(BaseRecoveryPolicy):
     def ladder(
         self, candidate: float, current_rate: float, quantize: Quantizer
     ) -> Sequence[float]:
-        if candidate <= current_rate:
-            return (candidate,)
-        rungs = []
-        gap = candidate - current_rate
-        for step in range(self.max_steps, 0, -1):
-            rung = quantize(current_rate + gap * step / self.max_steps)
-            if rung <= current_rate:
-                break
-            if not rungs or rung < rungs[-1]:
-                rungs.append(rung)
-        return tuple(rungs) if rungs else (candidate,)
+        return downgrade_rungs(candidate, current_rate, quantize, self.max_steps)
 
 
 class DrainPolicy(BaseRecoveryPolicy):

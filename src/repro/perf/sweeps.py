@@ -39,6 +39,10 @@ class SweepScale:
     mbac_capacities: Sequence[float]  # link capacity / mean call rate
     mbac_loads: Sequence[float]  # normalized offered loads
     mbac_max_intervals: int
+    # Overload-plane comparison (policy x load grid).
+    overload_loads: Sequence[float] = (1.3, 1.5)
+    overload_duration: float = 60.0
+    overload_frames: int = 400
 
 
 SWEEP_SCALES = {
@@ -50,6 +54,9 @@ SWEEP_SCALES = {
         mbac_capacities=(6.0, 12.0),
         mbac_loads=(0.6, 1.0),
         mbac_max_intervals=10,
+        overload_loads=(1.3, 1.5),
+        overload_duration=60.0,
+        overload_frames=400,
     ),
     "paper": SweepScale(
         name="paper",
@@ -59,6 +66,9 @@ SWEEP_SCALES = {
         mbac_capacities=(5.0, 10.0, 20.0, 50.0),
         mbac_loads=(0.3, 0.5, 0.7, 0.9, 1.1),
         mbac_max_intervals=40,
+        overload_loads=(1.1, 1.3, 1.5, 1.8),
+        overload_duration=180.0,
+        overload_frames=1200,
     ),
 }
 
@@ -433,6 +443,115 @@ def smg_cells(
                 meta={"figure": "fig6"},
             )
         )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Overload-plane cells (block vs downgrade vs sacrifice under saturation)
+# ----------------------------------------------------------------------
+
+#: The saturation regime of the comparison: always-admit at the door so
+#: the *plane* is the only overload control, and a link sized well below
+#: the offered load so pressure sits above the enter threshold.
+OVERLOAD_SEED = 13
+OVERLOAD_CAPACITY_MULTIPLE = 20.0  # link capacity / workload mean rate
+OVERLOAD_INITIAL_CALLS = 25
+
+
+def overload_cell(
+    policy: str,
+    load: float,
+    seed: int = OVERLOAD_SEED,
+    duration: float = 60.0,
+    snapshot_every: float = 5.0,
+    num_frames: int = 400,
+    capacity_multiple: float = OVERLOAD_CAPACITY_MULTIPLE,
+    initial_calls: int = OVERLOAD_INITIAL_CALLS,
+) -> Dict[str, Any]:
+    """One (policy, load) point of the overload-control comparison.
+
+    Serves a saturated always-admit gateway (offered load ``load`` times
+    a link sized at ``capacity_multiple`` mean rates) under the named
+    overload policy and reports the quantities the comparison is judged
+    on: blocking probability, total bits lost (buffer overflow + link
+    drain), controlled bits shed by downgrade, per-class Jain fairness,
+    and the run's determinism fingerprint.
+    """
+    from repro.server import ServerConfig, serve
+    from repro.traffic import generate_starwars_trace
+
+    workload = generate_starwars_trace(
+        num_frames=num_frames, seed=TRACE_SEED
+    ).as_workload()
+    config = ServerConfig(
+        capacity=capacity_multiple * workload.mean_rate,
+        load=load,
+        controller="always",
+        overload_policy=policy,
+        initial_calls=initial_calls,
+        seed=seed,
+    )
+    report = serve(
+        workload, config, duration=duration, snapshot_every=snapshot_every
+    )
+    final = report.final
+    overload = report.overload or {}
+    return {
+        "policy": policy,
+        "load": load,
+        "arrivals": final.arrivals,
+        "blocking_probability": (
+            final.blocked / final.arrivals if final.arrivals else 0.0
+        ),
+        "bits_lost": final.bits_lost_overflow + final.bits_lost_link,
+        "bits_downgraded": overload.get("bits_downgraded", 0.0),
+        "class_fairness": overload.get("class_fairness", 1.0),
+        "class_blocking": overload.get("class_blocking"),
+        "abandoned": final.abandoned,
+        "mean_utilization": report.mean_utilization,
+        "fingerprint": report.fingerprint,
+    }
+
+
+def overload_cells(
+    loads: Optional[Sequence[float]] = None,
+    policies: Optional[Sequence[str]] = None,
+    scale: Optional[SweepScale] = None,
+    seed: int = OVERLOAD_SEED,
+) -> List[SweepCell]:
+    """The policy x load comparison grid at ``scale``.
+
+    All policies at a given load share one seed, so block, downgrade,
+    and sacrifice see identical arrival/holding/class draws and the
+    bits-lost comparison is paired, not merely distributional.
+    """
+    from repro.overload import OVERLOAD_POLICY_NAMES
+
+    if scale is None:
+        scale = current_scale()
+    if loads is None:
+        loads = scale.overload_loads
+    if policies is None:
+        policies = OVERLOAD_POLICY_NAMES
+    cells = []
+    for load in loads:
+        for policy in policies:
+            kwargs = dict(
+                policy=policy,
+                load=load,
+                seed=seed,
+                duration=scale.overload_duration,
+                num_frames=scale.overload_frames,
+            )
+            cells.append(
+                SweepCell(
+                    name=f"overload/{policy}/load{load:g}",
+                    fn=overload_cell,
+                    kwargs=kwargs,
+                    cache_payload=kwargs,
+                    meta={"figure": "overload"},
+                )
+            )
     return cells
 
 

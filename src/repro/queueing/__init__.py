@@ -6,7 +6,9 @@ with grant/deny renegotiation semantics, and the three Fig. 3 scenarios.
 """
 
 from repro.queueing.fluid import (
+    DowngradeFluidResult,
     FluidQueueResult,
+    simulate_downgrade_fluid,
     simulate_fluid_queue,
     required_buffer,
     loss_fraction_for_rate,
@@ -34,7 +36,9 @@ from repro.queueing.mux import (
 )
 
 __all__ = [
+    "DowngradeFluidResult",
     "FluidQueueResult",
+    "simulate_downgrade_fluid",
     "simulate_fluid_queue",
     "required_buffer",
     "loss_fraction_for_rate",

@@ -168,6 +168,175 @@ def min_rate_for_loss(
     return binary_search_min_feasible(feasible, mean, peak, tolerance)
 
 
+@dataclass(frozen=True)
+class DowngradeFluidResult:
+    """Trajectory and steady state of the downgrade-ladder fluid model."""
+
+    times: np.ndarray           # (T,) seconds
+    occupancy: np.ndarray       # (T, C) calls in service per class
+    pressure: np.ndarray        # (T,) demand / capacity
+    levels: np.ndarray          # (T, C) ladder level per class
+    steady_occupancy: np.ndarray  # (C,) tail-averaged occupancies
+    steady_levels: np.ndarray     # (C,) final ladder levels
+    admitted_fraction: float      # tail-averaged admission duty cycle
+
+    @property
+    def steady_pressure(self) -> float:
+        tail = self.pressure[int(0.75 * self.pressure.size):]
+        return float(tail.mean()) if tail.size else 0.0
+
+
+def simulate_downgrade_fluid(
+    arrival_rates: Sequence[float],
+    mean_holding: float,
+    call_bandwidth: float,
+    capacity: float,
+    ladder: Sequence[float] = (1.0, 0.75, 0.5, 0.35),
+    enter: float = 0.95,
+    exit_: float = 0.85,
+    dwell: float = 8.0,
+    admit_threshold: float = 1.0,
+    demand_overshoot: float = 1.0,
+    dt: float = 0.05,
+    duration: float = 200.0,
+    tail_fraction: float = 0.25,
+) -> DowngradeFluidResult:
+    """Fluid-ODE approximation of the overload plane's downgrade ladder.
+
+    The independent check the simulator is validated against (the
+    fluid/ODE congestion-model line of PAPERS.md): each service class
+    ``c`` is a fluid of calls with Poisson arrival rate ``lambda_c``
+    (calls/s), exponential holding ``mean_holding``, and per-call
+    bandwidth ``call_bandwidth * ladder[level_c]``::
+
+        dn_c/dt = lambda_c * a(t) - n_c / mean_holding
+
+    where ``a(t)`` is the admission duty cycle of a utilization-gated
+    controller: admissions flow freely while bandwidth demand
+    ``sum_c n_c b f_c`` sits below ``admit_threshold * capacity`` and
+    are throttled to hold the demand at the gate once it binds (the
+    fluid limit of admit-if-it-fits).  Ladder levels follow the *same*
+    hysteresis semantics as :class:`repro.overload.plane
+    .OverloadControlPlane` with :class:`~repro.overload.policies
+    .DowngradePolicy`, with ``dwell`` in seconds: pressure at or above
+    ``enter`` for ``dwell`` continuous seconds enters overload and
+    escalates the lowest-priority class one rung per dwell; pressure at
+    or below ``exit_`` for ``dwell`` seconds leaves it, restoring
+    premium classes first.  Forward-Euler integration on ``dt``;
+    steady state is the mean over the last ``tail_fraction`` of the
+    horizon.
+
+    ``demand_overshoot`` scales the *pressure* signal (not the carried
+    bits) above the carried rate, modelling the gateway's renegotiation
+    demand under sustained denial: the kernel's eq.-6 estimate carries a
+    buffer-flush catch-up term and the dual-threshold scheme re-requests
+    with quantization headroom, so the demand the link records sits well
+    above ``n * b * f`` while a deficit persists (empirically ~3x in the
+    saturated always-admit regime; see EXPERIMENTS.md).  The admission
+    gate still acts on carried bandwidth, mirroring reservation-based
+    admission control.
+    """
+    rates = np.asarray(arrival_rates, dtype=float)
+    if rates.ndim != 1 or rates.size == 0 or np.any(rates < 0):
+        raise ValueError("arrival_rates must be non-negative and 1-D")
+    if mean_holding <= 0 or call_bandwidth <= 0 or capacity <= 0:
+        raise ValueError("holding, bandwidth, and capacity must be positive")
+    factors = np.asarray(ladder, dtype=float)
+    if factors.size < 2 or factors[0] != 1.0 or np.any(np.diff(factors) >= 0):
+        raise ValueError("ladder must start at 1.0 and strictly decrease")
+    if not 0.0 < exit_ < enter:
+        raise ValueError("need 0 < exit_ < enter")
+    if dwell <= 0 or dt <= 0 or duration <= dt:
+        raise ValueError("dwell, dt, and duration must be positive")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    if demand_overshoot < 1.0:
+        raise ValueError("demand_overshoot must be >= 1")
+
+    num_classes = rates.size
+    floor = factors.size - 1
+    steps = int(math.ceil(duration / dt))
+    times = np.arange(steps) * dt
+    occupancy = np.zeros((steps, num_classes))
+    pressure_trace = np.zeros(steps)
+    level_trace = np.zeros((steps, num_classes), dtype=np.int64)
+
+    n = np.zeros(num_classes)
+    levels = np.zeros(num_classes, dtype=np.int64)
+    overloaded = False
+    above = below = 0.0
+    since_action = math.inf
+    admitted_time = 0.0
+
+    for index in range(steps):
+        f = factors[levels]
+        demand = float((n * f).sum()) * call_bandwidth
+        pressure = demand_overshoot * demand / capacity
+
+        # The plane's two-threshold + dwell hysteresis, in continuous time.
+        if not overloaded:
+            above = above + dt if pressure >= enter else 0.0
+            if above >= dwell:
+                overloaded = True
+                above = 0.0
+                since_action = math.inf  # escalate immediately on entry
+        else:
+            below = below + dt if pressure <= exit_ else 0.0
+            if below >= dwell:
+                overloaded = False
+                below = 0.0
+                since_action = 0.0
+        since_action += dt
+        if overloaded and since_action >= dwell:
+            for call_class in range(num_classes - 1, -1, -1):
+                if levels[call_class] < floor:
+                    levels[call_class] += 1
+                    since_action = 0.0
+                    break
+        elif not overloaded and levels.any() and since_action >= dwell:
+            for call_class in range(num_classes):
+                if levels[call_class] > 0:
+                    levels[call_class] -= 1
+                    since_action = 0.0
+                    break
+
+        # Euler step with the admission gate: scale the inflow back so
+        # post-step demand cannot exceed the gate (fluid limit of
+        # admit-if-it-fits; alpha is the instantaneous duty cycle).
+        f = factors[levels]
+        inflow = rates * dt
+        outflow = n * (dt / mean_holding)
+        trial = n + inflow - outflow
+        trial_demand = float((trial * f).sum()) * call_bandwidth
+        alpha = 1.0
+        gate = admit_threshold * capacity
+        if trial_demand > gate:
+            inflow_demand = float((inflow * f).sum()) * call_bandwidth
+            if inflow_demand > 0.0:
+                alpha = max(
+                    0.0, 1.0 - (trial_demand - gate) / inflow_demand
+                )
+            else:
+                alpha = 0.0
+        n = np.maximum(0.0, n + alpha * inflow - outflow)
+        admitted_time += alpha * dt
+
+        occupancy[index] = n
+        pressure_trace[index] = pressure
+        level_trace[index] = levels
+
+    tail_start = int((1.0 - tail_fraction) * steps)
+    return DowngradeFluidResult(
+        times=times,
+        occupancy=occupancy,
+        pressure=pressure_trace,
+        levels=level_trace,
+        steady_occupancy=occupancy[tail_start:].mean(axis=0),
+        steady_levels=level_trace[-1].copy(),
+        admitted_fraction=admitted_time / (steps * dt),
+    )
+
+
 def sigma_rho_curve(
     workload: SlottedWorkload,
     rates: Sequence[float],

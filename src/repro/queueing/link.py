@@ -22,6 +22,7 @@ renegotiation failures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -51,10 +52,13 @@ class RcbrLink:
         self.capacity = float(capacity)
         self._grants: Dict[object, float] = {}
         self._demands: Dict[object, float] = {}
-        # Running sum of ``_grants`` maintained incrementally: the server
-        # gateway advances the accounting clock on every renegotiation of
-        # a 50k-call fleet, so ``allocated`` must be O(1), not a dict sum.
+        # Running sums of ``_grants`` and ``_demands`` maintained
+        # incrementally: the server gateway advances the accounting clock
+        # on every renegotiation of a 50k-call fleet and the overload
+        # control plane polls demand pressure every epoch, so both
+        # ``allocated`` and ``total_demand`` must be O(1), not dict sums.
         self._allocated_total = 0.0
+        self._demand_total = 0.0
         self._shortfall_order: List[object] = []
         self._clock = 0.0
         self._allocated_integral = 0.0  # bit-seconds of reserved bandwidth
@@ -84,7 +88,9 @@ class RcbrLink:
 
     @property
     def total_demand(self) -> float:
-        return sum(self._demands.values())
+        if not self._demands:
+            return 0.0
+        return max(0.0, self._demand_total)
 
     def grant_of(self, source_id) -> float:
         return self._grants.get(source_id, 0.0)
@@ -148,6 +154,7 @@ class RcbrLink:
         self._advance(time)
         old_grant = self._grants.get(source_id, 0.0)
         self.request_count += 1
+        self._demand_total += new_rate - self._demands.get(source_id, 0.0)
         self._demands[source_id] = new_rate
         if new_rate <= old_grant:
             # Decrease (or no-op): always granted in full, frees capacity.
@@ -174,7 +181,9 @@ class RcbrLink:
         if not self._grants:
             # Empty link: snap away any accumulated float dust.
             self._allocated_total = 0.0
-        self._demands.pop(source_id, None)
+        self._demand_total -= self._demands.pop(source_id, 0.0)
+        if not self._demands:
+            self._demand_total = 0.0
         self._clear_shortfall(source_id)
         self._redistribute()
 
@@ -196,20 +205,36 @@ class RcbrLink:
             raise ValueError("capacity must be positive")
         self._advance(time)
         self.capacity = float(capacity)
-        allocated = self.allocated
-        if allocated > capacity + 1e-9:
-            scale = capacity / allocated
-            total = 0.0
-            for source_id, grant in list(self._grants.items()):
-                reduced = grant * scale
-                self._grants[source_id] = reduced
-                total += reduced
+        # Scale against the *exact* grant sum, not the incrementally
+        # maintained running total: the running total drifts by float
+        # accumulation over many requests, and ``sum(g * scale)`` rounds
+        # per-term, so scaling alone can leave the link a few ULPs
+        # over-committed.  Any residual overshoot is clamped off the
+        # largest grants so ``allocated <= capacity`` holds exactly and
+        # the shed bandwidth accrues to ``lost_bits`` via the shortfall
+        # integral (demands are remembered).
+        exact_allocated = math.fsum(self._grants.values())
+        if exact_allocated > capacity + 1e-9:
+            scale = capacity / exact_allocated
+            for source_id, grant in self._grants.items():
+                self._grants[source_id] = grant * scale
+            excess = math.fsum(self._grants.values()) - capacity
+            if excess > 0.0:
+                for source_id in sorted(
+                    self._grants, key=self._grants.get, reverse=True
+                ):
+                    shave = min(excess, self._grants[source_id])
+                    self._grants[source_id] -= shave
+                    excess -= shave
+                    if excess <= 0.0:
+                        break
+            for source_id, grant in self._grants.items():
                 if (
-                    self._demands.get(source_id, 0.0) > reduced + 1e-9
+                    self._demands.get(source_id, 0.0) > grant + 1e-9
                     and source_id not in self._shortfall_order
                 ):
                     self._shortfall_order.append(source_id)
-            self._allocated_total = total
+            self._allocated_total = math.fsum(self._grants.values())
             self.downgrade_events += 1
         else:
             self._redistribute()

@@ -7,8 +7,12 @@ admission controller at the door, a vectorized fleet of online schedulers
 renegotiation over a fault-injectable signaling path, and a shared link
 whose integrals yield the utilization/loss story of the paper — all under
 a deterministic seed with periodic snapshots and a replay fingerprint.
+Under sustained saturation the optional link-level overload control
+plane (:mod:`repro.overload`) downgrades or sacrifices calls instead of
+only blocking at the door.
 """
 
+from repro.overload import OVERLOAD_POLICY_NAMES
 from repro.server.config import CONTROLLER_NAMES, ServerConfig, build_controller
 from repro.server.fleet import CallFleet, EpochStep
 from repro.server.gateway import RcbrGateway, serve
@@ -21,6 +25,7 @@ from repro.server.bench import run_server_benchmark
 
 __all__ = [
     "CONTROLLER_NAMES",
+    "OVERLOAD_POLICY_NAMES",
     "ServerConfig",
     "build_controller",
     "CallFleet",

@@ -12,7 +12,7 @@ derive the perfect-knowledge marginal when asked for it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.admission.controllers import (
     AdmissionController,
@@ -23,6 +23,7 @@ from repro.admission.controllers import (
 )
 from repro.core.online import OnlineParams, OnlineScheduler
 from repro.core.schedule import empirical_rate_distribution
+from repro.overload.policies import OVERLOAD_POLICY_NAMES
 from repro.traffic.sources import SOURCE_NAMES
 from repro.traffic.trace import SlottedWorkload
 from repro.util.units import kbits, kbps
@@ -51,6 +52,22 @@ class ServerConfig:
     handed to the gateway directly); ``source_slots`` is how many slots
     to sample.  The sample is drawn from a dedicated stream spawned from
     ``seed``, so sourced runs inherit the same determinism contract.
+
+    The ``overload_*`` knobs configure the link-level overload control
+    plane (:mod:`repro.overload`).  ``overload_policy`` selects block
+    (the baseline — no plane is even instantiated, so the snapshot
+    stream stays byte-identical to pre-overload builds), downgrade, or
+    sacrifice.  ``overload_enter``/``overload_exit`` are the hysteresis
+    pressure thresholds (fractions of link capacity; exit must be
+    strictly below enter) and ``overload_dwell`` the number of
+    consecutive epochs a threshold must hold before the plane changes
+    state.  Arriving calls are assigned one of ``overload_classes``
+    service classes (class 0 is the most protected), drawn from a
+    dedicated seeded stream with probabilities proportional to
+    ``class_weights`` (``None`` = uniform).  ``downgrade_ladder`` is
+    the resolution ladder walked by the downgrade policy;
+    ``sacrifice_queue``/``sacrifice_max_per_epoch`` bound the sacrifice
+    policy's requeue depth and per-epoch eviction budget.
     """
 
     capacity: float
@@ -73,6 +90,15 @@ class ServerConfig:
     seed: int = 0
     source: Optional[str] = None
     source_slots: int = 2400
+    overload_policy: str = "block"
+    overload_enter: float = 0.95
+    overload_exit: float = 0.85
+    overload_dwell: int = 8
+    overload_classes: int = 3
+    class_weights: Optional[Tuple[float, ...]] = None
+    downgrade_ladder: Tuple[float, ...] = (1.0, 0.75, 0.5, 0.35)
+    sacrifice_queue: int = 64
+    sacrifice_max_per_epoch: int = 2
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -109,6 +135,39 @@ class ServerConfig:
             )
         if self.source_slots < 1:
             raise ValueError("source_slots must be >= 1")
+        if self.overload_policy not in OVERLOAD_POLICY_NAMES:
+            raise ValueError(
+                f"unknown overload policy {self.overload_policy!r}; "
+                f"expected one of {OVERLOAD_POLICY_NAMES}"
+            )
+        if not 0.0 < self.overload_exit < self.overload_enter:
+            raise ValueError(
+                "need 0 < overload_exit < overload_enter"
+            )
+        if self.overload_dwell < 1:
+            raise ValueError("overload_dwell must be >= 1")
+        if self.overload_classes < 1:
+            raise ValueError("overload_classes must be >= 1")
+        if self.class_weights is not None:
+            if len(self.class_weights) != self.overload_classes:
+                raise ValueError(
+                    "class_weights must have one entry per overload class"
+                )
+            if any(weight <= 0 for weight in self.class_weights):
+                raise ValueError("class_weights must be positive")
+        ladder = self.downgrade_ladder
+        if len(ladder) < 2 or ladder[0] != 1.0 or any(
+            not 0.0 < after < before
+            for before, after in zip(ladder, ladder[1:])
+        ):
+            raise ValueError(
+                "downgrade_ladder must start at 1.0 and be strictly "
+                "decreasing in (0, 1]"
+            )
+        if self.sacrifice_queue < 1:
+            raise ValueError("sacrifice_queue must be >= 1")
+        if self.sacrifice_max_per_epoch < 1:
+            raise ValueError("sacrifice_max_per_epoch must be >= 1")
 
     def resolve_online_params(self) -> OnlineParams:
         """The heuristic's parameters, capped at the link capacity."""
@@ -140,6 +199,19 @@ class ServerConfig:
             "seed": self.seed,
             "source": self.source,
             "source_slots": self.source_slots,
+            "overload_policy": self.overload_policy,
+            "overload_enter": self.overload_enter,
+            "overload_exit": self.overload_exit,
+            "overload_dwell": self.overload_dwell,
+            "overload_classes": self.overload_classes,
+            "class_weights": (
+                list(self.class_weights)
+                if self.class_weights is not None
+                else None
+            ),
+            "downgrade_ladder": list(self.downgrade_ladder),
+            "sacrifice_queue": self.sacrifice_queue,
+            "sacrifice_max_per_epoch": self.sacrifice_max_per_epoch,
         }
 
 

@@ -40,6 +40,7 @@ from repro.core import kernel as _kernel
 from repro.core.kernel import RenegotiationKernel
 from repro.core.online import OnlineParams
 from repro.traffic.trace import SlottedWorkload
+from repro.util.stats import per_class_counts, per_class_totals
 
 
 def __getattr__(name: str):
@@ -105,6 +106,7 @@ class CallFleet:
         self.pending = np.zeros(capacity, dtype=bool)
         self.streak = np.zeros(capacity, dtype=np.int64)
         self.call_id = np.full(capacity, -1, dtype=np.int64)
+        self.call_class = np.zeros(capacity, dtype=np.int64)
         # LIFO free list ordered so the first admissions take slots 0, 1, …
         self._free = list(range(capacity - 1, -1, -1))
 
@@ -136,6 +138,11 @@ class CallFleet:
         """Cumulative playout-buffer overflow, accounted by the kernel."""
         return self._state.bits_lost
 
+    @property
+    def bits_downgraded(self) -> float:
+        """Cumulative bits shed by resolution downgrade (kernel-accounted)."""
+        return self._state.bits_downgraded
+
     # ------------------------------------------------------------------
     # Pool management
     # ------------------------------------------------------------------
@@ -148,7 +155,9 @@ class CallFleet:
         old = self._capacity
         new = old * 2
         self._state.grow(new)
-        for name in ("active", "shift", "pending", "streak", "call_id"):
+        for name in (
+            "active", "shift", "pending", "streak", "call_id", "call_class"
+        ):
             column = getattr(self, name)
             grown = np.zeros(new, dtype=column.dtype)
             grown[:old] = column
@@ -161,13 +170,19 @@ class CallFleet:
         """eq. 7 on this fleet's grid (see :func:`repro.core.kernel.quantize`)."""
         return self._kernel.quantize(rate_estimate)
 
-    def admit(self, call_id: int, shift: int) -> "tuple[int, float]":
+    def admit(
+        self, call_id: int, shift: int, call_class: int = 0
+    ) -> "tuple[int, float]":
         """Add a call whose arrivals start ``shift`` base slots in.
 
         Returns ``(pool_slot, initial_rate)`` where the initial rate is
         the first slot's arrival rate quantized to the grid — the causal
-        setup-time choice the scalar scheduler makes.
+        setup-time choice the scalar scheduler makes.  ``call_class`` is
+        the service class the overload control plane downgrades and
+        sacrifices by (0 = the most-protected, premium class).
         """
+        if call_class < 0:
+            raise ValueError("call_class must be non-negative")
         if not 0 <= shift < self._num_base_slots:
             raise ValueError(f"shift must be in [0, {self._num_base_slots})")
         if not self._free:
@@ -182,6 +197,7 @@ class CallFleet:
         self.pending[slot] = False
         self.streak[slot] = 0
         self.call_id[slot] = call_id
+        self.call_class[slot] = call_class
         self.num_active += 1
         if self.num_active > self.peak_active:
             self.peak_active = self.num_active
@@ -197,6 +213,7 @@ class CallFleet:
         self.pending[slot] = False
         self.streak[slot] = 0
         self.call_id[slot] = -1
+        self.call_class[slot] = 0
         self.num_active -= 1
         self._free.append(slot)
 
@@ -206,12 +223,17 @@ class CallFleet:
     # ------------------------------------------------------------------
     # The vectorized epoch step
     # ------------------------------------------------------------------
-    def step(self, tick: int) -> EpochStep:
+    def step(
+        self, tick: int, downgrade: Optional[np.ndarray] = None
+    ) -> EpochStep:
         """Advance every active call through base slot ``tick``.
 
         One kernel batch step across the whole fleet.  Returns the calls
         whose buffer crossed a threshold in the matching direction
-        (eq. 8) and are free to signal.
+        (eq. 8) and are free to signal.  ``downgrade``, if given, is the
+        overload plane's per-slot resolution scale array (see
+        :meth:`repro.core.kernel.RenegotiationKernel.step`); ``None``
+        keeps the step bit-identical to the undowngraded path.
         """
         active = self.active
 
@@ -224,7 +246,9 @@ class CallFleet:
         )
         amount = self._bits[index] * active
 
-        wants, candidate = self._kernel.step(self._state, amount)
+        wants, candidate = self._kernel.step(
+            self._state, amount, downgrade=downgrade
+        )
 
         # Eligibility on top of the raw eq.-8 crossings: the call must be
         # active and must not have a renegotiation cell already in flight.
@@ -246,3 +270,13 @@ class CallFleet:
 
     def total_reserved_rate(self) -> float:
         return float(self.rate.sum())
+
+    def class_counts(self, num_classes: int) -> np.ndarray:
+        """Active calls per service class (dense, length ``num_classes``)."""
+        return per_class_counts(self.call_class[self.active], num_classes)
+
+    def class_reserved_rates(self, num_classes: int) -> np.ndarray:
+        """Total reserved rate per service class."""
+        return per_class_totals(
+            self.call_class[self.active], self.rate[self.active], num_classes
+        )

@@ -44,12 +44,22 @@ registry model; a ``source`` instance overrides it), so the runtime can
 carry Star-Wars-like, Markov, multi-timescale, on/off, or trace-playback
 fleets through one code path.
 
+When offered load stays above capacity, an optional link-level overload
+control plane (:mod:`repro.overload`) watches pressure on the link with
+hysteresis and applies the configured policy — downgrade walks service
+classes down a resolution ladder (granted rates shrink immediately,
+future arrivals shrink through the kernel's downgrade mask), sacrifice
+evicts the cheapest-to-displace calls into a bounded requeue.  The
+block policy instantiates no plane at all, so baseline runs remain
+byte-identical to pre-overload builds.
+
 Determinism contract: a fixed config seed spawns the arrival-process,
-call-property, cell-loss, retry-jitter, and workload-sampling streams
-(the fifth is appended, so seeded runs predating it are unchanged); the
-event heap is FIFO-stable; renegotiation issue order is ascending
-pool-slot order.  Same seed (and same fault plan seed) ⇒ bit-identical
-snapshot stream, enforced via
+call-property, cell-loss, retry-jitter, workload-sampling, and overload
+streams (the fifth and sixth were appended in that order, so seeded
+runs predating them are unchanged); the event heap is FIFO-stable;
+renegotiation issue order is ascending pool-slot order, and every
+overload action walks slots in ascending order too.  Same seed (and
+same fault plan seed) ⇒ bit-identical snapshot stream, enforced via
 :func:`~repro.server.stats.snapshot_fingerprint`.
 """
 
@@ -59,9 +69,14 @@ import itertools
 import math
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.admission.callsim import arrival_rate_for_load
 from repro.admission.controllers import AdmissionController
+from repro.admission.offered import OfferedLoadAccountant
 from repro.faults.injectors import FaultPlan
+from repro.overload.plane import OverloadControlPlane
+from repro.overload.policies import make_overload_policy
 from repro.queueing.events import Event, EventScheduler
 from repro.queueing.link import RcbrLink
 from repro.server.config import ServerConfig, build_controller
@@ -77,6 +92,7 @@ from repro.signaling.switch import SwitchPort
 from repro.traffic.sources import TrafficSource, make_source
 from repro.traffic.trace import SlottedWorkload
 from repro.util.rng import spawn_generators
+from repro.util.stats import jain_fairness
 
 #: Tolerance when comparing epoch boundaries against snapshot deadlines.
 _TIME_EPSILON = 1e-9
@@ -101,7 +117,8 @@ class RcbrGateway:
             path_rng,
             retry_rng,
             source_rng,
-        ) = spawn_generators(config.seed, 5)
+            self._overload_rng,
+        ) = spawn_generators(config.seed, 6)
 
         # Resolve the base workload: an explicit TrafficSource instance
         # wins, then a registry name in config.source (sampled on the
@@ -179,6 +196,48 @@ class RcbrGateway:
         self._call_ids = itertools.count()
         self._departure_events: Dict[int, Event] = {}
 
+        # Service classes + class-aware offered-load accounting: classes
+        # are drawn from the dedicated overload stream, so the legacy
+        # streams (and hence block-only fingerprints) are untouched.
+        self.num_classes = config.overload_classes
+        weights = (
+            np.asarray(config.class_weights, dtype=float)
+            if config.class_weights is not None
+            else np.ones(self.num_classes)
+        )
+        self._class_probs = weights / weights.sum()
+        self.offered = OfferedLoadAccountant(self.num_classes)
+
+        # The overload control plane — block means "no plane": the
+        # baseline takes the exact pre-overload code path.
+        if config.overload_policy == "downgrade":
+            policy = make_overload_policy(
+                "downgrade",
+                ladder=config.downgrade_ladder,
+                dwell=config.overload_dwell,
+            )
+        elif config.overload_policy == "sacrifice":
+            policy = make_overload_policy(
+                "sacrifice",
+                queue_size=config.sacrifice_queue,
+                max_per_epoch=config.sacrifice_max_per_epoch,
+            )
+        else:
+            policy = None
+        self.overload_plane = (
+            OverloadControlPlane(
+                self,
+                policy,
+                enter=config.overload_enter,
+                exit_=config.overload_exit,
+                dwell=config.overload_dwell,
+                num_classes=self.num_classes,
+                rng=self._overload_rng,
+            )
+            if policy is not None
+            else None
+        )
+
         # Cumulative counters (snapshot definitions match
         # repro.admission.callsim.CallCounters).
         self.arrivals = 0
@@ -206,13 +265,27 @@ class RcbrGateway:
     def _admit_call(self, now: float) -> Optional[int]:
         """Offer one call; returns its id if admitted, None if blocked."""
         self.arrivals += 1
-        if not self.controller.admit(self.config.capacity, now):
+        call_class = int(
+            self._overload_rng.choice(self.num_classes, p=self._class_probs)
+        )
+        self.offered.on_arrival(call_class)
+        if not self.controller.admit(
+            self.config.capacity, now, call_class=call_class
+        ):
             self.blocked += 1
+            self.offered.on_blocked(call_class)
             return None
-        call_id = next(self._call_ids)
         shift = int(self._call_rng.integers(self.workload.num_slots))
         holding = float(self._call_rng.exponential(self.mean_holding))
-        slot, initial_rate = self.fleet.admit(call_id, shift)
+        return self._install_call(shift, holding, call_class, now)
+
+    def _install_call(
+        self, shift: int, holding: float, call_class: int, now: float
+    ) -> int:
+        """Put an accepted call in service (fresh admission or overload
+        readmission — the post-decision, post-draw part of admission)."""
+        call_id = next(self._call_ids)
+        slot, initial_rate = self.fleet.admit(call_id, shift, call_class)
         outcome = self.link.request(call_id, initial_rate, now)
         if outcome.failed:
             self.setup_shortfalls += 1
@@ -220,8 +293,9 @@ class RcbrGateway:
         self.fleet.set_rate(slot, granted)
         for port in self.ports:
             port.provision(call_id, granted)
-        self.controller.on_admit(call_id, granted, now)
+        self.controller.on_admit(call_id, granted, now, call_class=call_class)
         self.admitted += 1
+        self.offered.on_admitted(call_class)
         self._departure_events[call_id] = self.engine.schedule_at(
             now + holding, self._handle_departure, slot, call_id
         )
@@ -241,6 +315,7 @@ class RcbrGateway:
         if self.fleet.call_id[slot] != call_id:
             return  # stale event: the call already left this pool slot
         now = self.engine.now
+        self.offered.on_departure(int(self.fleet.call_class[slot]))
         self.link.release(call_id, now)
         self.path.release(call_id)
         self.controller.on_departure(call_id, now)
@@ -325,6 +400,86 @@ class RcbrGateway:
             self._abandon(slot, call_id)
 
     # ------------------------------------------------------------------
+    # Overload-plane actions (called by repro.overload policies)
+    # ------------------------------------------------------------------
+    def overload_pressure(self) -> float:
+        """Current link pressure: max(allocated, demand) / capacity."""
+        return (
+            max(self.link.allocated, self.link.total_demand)
+            / self.link.capacity
+        )
+
+    def overload_shrink_class(
+        self, call_class: int, ratio: float, now: float
+    ) -> int:
+        """Shrink every active call of ``call_class``'s granted rate by
+        ``ratio`` (re-quantised to the grid), freeing link bandwidth
+        immediately.  Decreases always succeed at the link; the ports
+        and the admission controller move with it.  Walks pool slots in
+        ascending order (determinism).  Returns calls actually shrunk.
+        """
+        fleet = self.fleet
+        slots = np.flatnonzero(fleet.active & (fleet.call_class == call_class))
+        shrunk = 0
+        for slot in slots.tolist():
+            old_rate = float(fleet.rate[slot])
+            new_rate = fleet.quantize(old_rate * ratio)
+            if new_rate >= old_rate:
+                continue
+            call_id = int(fleet.call_id[slot])
+            outcome = self.link.request(call_id, new_rate, now)
+            granted = outcome.granted_rate
+            for port in self.ports:
+                port.reprovision(call_id, granted - old_rate)
+            self.controller.on_reservation(call_id, granted, now)
+            fleet.set_rate(slot, granted)
+            shrunk += 1
+        return shrunk
+
+    def overload_evict(self, slot: int, now: float) -> "tuple[int, int, float]":
+        """Tear one call out of service on the plane's orders.
+
+        Returns ``(call_class, shift, remaining_holding)`` so the
+        sacrifice policy can requeue it.  Accounted as a departure plus
+        an abandonment — the service forcibly ended the call — with the
+        sacrifice-specific truth kept in the snapshot's overload
+        section.  A renegotiation in flight for the evicted call is
+        neutralised by the stale-completion guard (the slot's call id
+        changes).
+        """
+        fleet = self.fleet
+        call_id = int(fleet.call_id[slot])
+        call_class = int(fleet.call_class[slot])
+        shift = int(fleet.shift[slot])
+        event = self._departure_events.pop(call_id, None)
+        remaining = self.mean_holding
+        if event is not None:
+            event.cancel()
+            remaining = max(0.0, event.time - now)
+        self.offered.on_departure(call_class)
+        self.link.release(call_id, now)
+        self.path.release(call_id)
+        self.controller.on_departure(call_id, now)
+        fleet.remove(slot)
+        self.departed += 1
+        self.abandoned += 1
+        return call_class, shift, remaining
+
+    def overload_readmit(
+        self, entry: "tuple[int, int, float]", now: float
+    ) -> int:
+        """Put a sacrificed call back in service for its remaining
+        holding time, under a fresh call id.  Counted as a new arrival
+        plus admission so the lifecycle identities keep balancing; the
+        admission controller is *not* consulted — readmission is the
+        plane's decision, made only when pressure is back below the
+        exit threshold."""
+        call_class, shift, remaining = entry
+        self.arrivals += 1
+        self.offered.on_arrival(call_class)
+        return self._install_call(shift, remaining, call_class, now)
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def _take_snapshot(self, time: float) -> ServerSnapshot:
@@ -341,6 +496,11 @@ class RcbrGateway:
             utilization = 0.0
             renegotiation_rate = 0.0
         stats = self.path.stats
+        overload = (
+            self._overload_section()
+            if self.overload_plane is not None
+            else None
+        )
         snapshot = ServerSnapshot(
             time=time,
             active_calls=self.fleet.num_active,
@@ -365,12 +525,39 @@ class RcbrGateway:
             renegotiation_rate=renegotiation_rate,
             buffer_bits=self.fleet.total_buffered_bits(),
             reserved_rate=self.fleet.total_reserved_rate(),
+            overload=overload,
         )
         self.snapshots.append(snapshot)
         self._last_snapshot_time = time
         self._last_allocated_bit_seconds = self.link.allocated_bit_seconds
         self._last_reneg_requests = self.reneg_requests
         return snapshot
+
+    def _overload_section(self) -> Dict[str, object]:
+        """The fingerprinted per-snapshot overload payload: plane state,
+        policy counters, and per-class treatment (occupancy, reserved
+        rate, fairness, offered-load tallies)."""
+        section = self.overload_plane.section()
+        counts = self.fleet.class_counts(self.num_classes)
+        rates = self.fleet.class_reserved_rates(self.num_classes)
+        occupied = counts > 0
+        fairness = (
+            jain_fairness(rates[occupied] / counts[occupied])
+            if bool(occupied.any())
+            else 1.0
+        )
+        section.update(
+            {
+                "class_active": counts.tolist(),
+                "class_reserved_rate": rates.tolist(),
+                "class_fairness": fairness,
+                "bits_downgraded": self.fleet.bits_downgraded,
+                "class_arrivals": list(self.offered.arrivals),
+                "class_blocked": list(self.offered.blocked),
+                "class_admitted": list(self.offered.admitted),
+            }
+        )
+        return section
 
     # ------------------------------------------------------------------
     # The service loop
@@ -433,7 +620,12 @@ class RcbrGateway:
                 next_snapshot += snapshot_every  # type: ignore[operator]
             if epoch_hook is not None:
                 epoch_hook(tick, self)
-            step = self.fleet.step(tick)
+            downgrade = (
+                self.overload_plane.on_epoch(tick, now)
+                if self.overload_plane is not None
+                else None
+            )
+            step = self.fleet.step(tick, downgrade=downgrade)
             if step.num_requests:
                 end_of_slot = (tick + 1) * slot
                 call_ids = self.fleet.call_id[step.slots]
@@ -457,6 +649,14 @@ class RcbrGateway:
             peak_active=self.fleet.peak_active,
             call_epochs_stepped=self.fleet.call_epochs_stepped,
             mean_utilization=self.link.mean_utilization(end_time),
+            overload=(
+                dict(
+                    self._overload_section(),
+                    class_blocking=self.offered.blocking_fractions(),
+                )
+                if self.overload_plane is not None
+                else None
+            ),
         )
 
 

@@ -15,7 +15,25 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _canon(value: Any) -> str:
+    """Deterministic rendering for fingerprinted values.
+
+    ``repr`` of a Python float is shortest-round-trip, so two floats
+    render identically iff they are bit-identical; containers render
+    element-wise with the same rule so the overload section (a nested
+    dict of counters, gauges, and lists) canonicalises stably.
+    """
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, dict):
+        inner = ",".join(f"{k}:{_canon(v)}" for k, v in value.items())
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canon(item) for item in value) + "]"
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -54,9 +72,13 @@ class ServerSnapshot:
     # Instantaneous gauges.
     buffer_bits: float
     reserved_rate: float
+    # Overload control plane section (None when the plane is disabled —
+    # i.e. the block-only baseline — so pre-overload snapshot streams
+    # and their fingerprints are byte-identical to this build's).
+    overload: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "time": self.time,
             "active_calls": self.active_calls,
             "arrivals": self.arrivals,
@@ -81,21 +103,22 @@ class ServerSnapshot:
             "buffer_bits": self.buffer_bits,
             "reserved_rate": self.reserved_rate,
         }
+        if self.overload is not None:
+            payload["overload"] = self.overload
+        return payload
 
     def canonical(self) -> str:
         """Exact textual form fed to the fingerprint.
 
         ``repr`` of a Python float is shortest-round-trip, so two floats
         render identically iff they are bit-identical — which is the
-        contract the fingerprint enforces.
+        contract the fingerprint enforces.  The ``overload`` key is
+        omitted entirely when the plane is disabled, keeping block-only
+        streams byte-identical to pre-overload builds.
         """
-        parts = []
-        for key, value in self.to_dict().items():
-            if isinstance(value, float):
-                parts.append(f"{key}={value!r}")
-            else:
-                parts.append(f"{key}={value}")
-        return ";".join(parts)
+        return ";".join(
+            f"{key}={_canon(value)}" for key, value in self.to_dict().items()
+        )
 
 
 def snapshot_fingerprint(snapshots: Sequence[ServerSnapshot]) -> str:
@@ -120,6 +143,10 @@ class ServerReport:
     peak_active: int = 0
     call_epochs_stepped: int = 0
     mean_utilization: float = 0.0
+    # Shutdown-time overload summary (per-class treatment, fairness);
+    # lives outside the snapshot stream so it never feeds the
+    # fingerprint.  None when the plane is disabled.
+    overload: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -130,6 +157,7 @@ class ServerReport:
             "call_epochs_stepped": self.call_epochs_stepped,
             "mean_utilization": self.mean_utilization,
             "fingerprint": self.fingerprint,
+            "overload": self.overload,
             "final": self.final.to_dict(),
             "snapshots": [snapshot.to_dict() for snapshot in self.snapshots],
         }

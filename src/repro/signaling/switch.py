@@ -88,6 +88,18 @@ class SwitchPort:
         self.utilization += rate
         self._bump_vci(vci, rate)
 
+    def reprovision(self, vci: int, delta: float) -> None:
+        """Adjust a connection's reservation by ``delta`` switch-side.
+
+        The overload control plane downgrades or restores granted rates
+        at the link, not through the ER fast path, so the matching port
+        accounting moves with it the same way :meth:`provision` does at
+        setup: no capacity check, no denial — the plane has already
+        decided.  Negative deltas free capacity immediately.
+        """
+        self.utilization = max(0.0, self.utilization + delta)
+        self._bump_vci(vci, delta)
+
     def process(self, cell: RmCell) -> bool:
         """Apply one RM cell; returns True if this hop accepted it.
 

@@ -28,6 +28,10 @@ from repro.util.stats import (
     ConfidenceInterval,
     mean_confidence_interval,
     RelativePrecisionStopper,
+    jain_fairness,
+    per_class_counts,
+    per_class_means,
+    per_class_totals,
 )
 from repro.util.search import binary_search_min_feasible
 
@@ -53,5 +57,9 @@ __all__ = [
     "ConfidenceInterval",
     "mean_confidence_interval",
     "RelativePrecisionStopper",
+    "jain_fairness",
+    "per_class_counts",
+    "per_class_means",
+    "per_class_totals",
     "binary_search_min_feasible",
 ]

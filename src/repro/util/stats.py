@@ -13,9 +13,76 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
+import numpy as np
 from scipy import stats as _scipy_stats
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means every share is equal; ``1/n`` means one party holds
+    everything.  An empty or all-zero allocation is vacuously fair
+    (returns 1.0) so sweep cells can report the index before any calls
+    are admitted.  Negative shares are rejected — the index is only
+    meaningful over non-negative allocations.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"values must be one-dimensional, got shape {x.shape}")
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0.0):
+        raise ValueError("jain_fairness requires non-negative values")
+    total = float(x.sum())
+    if total <= 0.0:
+        return 1.0
+    return float(total * total / (x.size * float(np.square(x).sum())))
+
+
+def per_class_totals(
+    classes: Sequence[int],
+    values: Sequence[float],
+    num_classes: int,
+) -> np.ndarray:
+    """Sum ``values`` grouped by class index into a dense length-
+    ``num_classes`` array (empty classes contribute 0.0)."""
+    if num_classes < 1:
+        raise ValueError("num_classes must be >= 1")
+    idx = np.asarray(classes, dtype=np.int64)
+    vals = np.asarray(values, dtype=float)
+    if idx.shape != vals.shape:
+        raise ValueError(
+            f"classes and values must align, got {idx.shape} vs {vals.shape}"
+        )
+    if idx.size and (idx.min() < 0 or idx.max() >= num_classes):
+        raise ValueError(f"class indices must be in [0, {num_classes})")
+    return np.bincount(idx, weights=vals, minlength=num_classes)
+
+
+def per_class_counts(classes: Sequence[int], num_classes: int) -> np.ndarray:
+    """Occupancy per class index as a dense length-``num_classes`` array."""
+    if num_classes < 1:
+        raise ValueError("num_classes must be >= 1")
+    idx = np.asarray(classes, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= num_classes):
+        raise ValueError(f"class indices must be in [0, {num_classes})")
+    return np.bincount(idx, minlength=num_classes)
+
+
+def per_class_means(
+    classes: Sequence[int],
+    values: Sequence[float],
+    num_classes: int,
+) -> np.ndarray:
+    """Mean of ``values`` per class; empty classes report 0.0."""
+    totals = per_class_totals(classes, values, num_classes)
+    counts = per_class_counts(classes, num_classes)
+    means = np.zeros(num_classes)
+    occupied = counts > 0
+    means[occupied] = totals[occupied] / counts[occupied]
+    return means
 
 
 class RunningStats:

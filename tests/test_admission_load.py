@@ -178,3 +178,64 @@ class TestMemoryBeatsMemoryless:
             counters = result.counters
             assert counters.arrivals == counters.blocked + counters.admitted
             assert counters.departed == counters.completed + counters.abandoned
+
+
+class TestSaturationSoak:
+    """ISSUE 6 satellite: a sustained-saturation soak of the gateway
+    under each overload policy.  Offered load is 1.5x a 20-mean-rate
+    link for a long horizon; the run must stay live (no deadlock), keep
+    its snapshot cadence, and keep every chaos-test counting identity
+    balanced throughout."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.traffic.starwars import generate_starwars_trace
+
+        return generate_starwars_trace(
+            num_frames=400, seed=1995
+        ).as_workload()
+
+    @pytest.mark.parametrize("policy", ("block", "downgrade", "sacrifice"))
+    def test_soak_stays_live_and_balanced(self, workload, policy):
+        from repro.server import ServerConfig, serve
+
+        config = ServerConfig(
+            capacity=20 * workload.mean_rate,
+            load=1.5,
+            controller="always",
+            overload_policy=policy,
+            seed=17,
+            initial_calls=25,
+        )
+        duration, cadence = 45.0, 3.0
+        report = serve(
+            workload, config, duration=duration, snapshot_every=cadence
+        )
+        # Liveness: the full horizon was served on schedule.
+        assert report.duration == pytest.approx(duration)
+        assert len(report.snapshots) == int(duration / cadence)
+        times = [snapshot.time for snapshot in report.snapshots]
+        assert times == pytest.approx(
+            [cadence * (index + 1) for index in range(len(times))]
+        )
+        # The chaos-test identities hold in every snapshot.
+        for snapshot in report.snapshots:
+            assert snapshot.arrivals == snapshot.blocked + snapshot.admitted
+            assert (
+                snapshot.departed
+                == snapshot.completed + snapshot.abandoned
+            )
+            assert (
+                snapshot.active_calls
+                == snapshot.admitted - snapshot.departed
+            )
+            assert (
+                snapshot.injected_denials
+                <= snapshot.reneg_denied
+                <= snapshot.reneg_requests
+            )
+        # The link genuinely saturated (the soak exercised overload);
+        # downgrade deliberately frees bandwidth, hence the loose bound.
+        assert report.mean_utilization > 0.8
+        if policy != "block":
+            assert report.overload["epochs_overloaded"] > 0

@@ -268,6 +268,41 @@ class TestServeSource:
             main(["serve", "--source", "fractal"])
 
 
+class TestServeOverload:
+    """`repro serve --overload-policy` wires the control plane."""
+
+    ARGS = ["serve", "--duration", "6", "--frames", "400",
+            "--load", "1.5", "--controller", "always",
+            "--initial-calls", "25", "--capacity-multiple", "20",
+            "--seed", "13"]
+
+    def test_downgrade_reports_plane_and_classes(self, capsys):
+        assert main(self.ARGS + ["--overload-policy", "downgrade",
+                                 "--downgrade-ladder", "1.0,0.6,0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "overload plane:  policy=downgrade" in out
+        assert "class treatment:" in out
+
+    def test_sacrifice_accepts_queue_knobs(self, capsys):
+        assert main(self.ARGS + ["--overload-policy", "sacrifice",
+                                 "--sacrifice-queue", "8",
+                                 "--sacrifice-max-per-epoch", "1"]) == 0
+        assert "policy=sacrifice" in capsys.readouterr().out
+
+    def test_block_prints_no_plane_section(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "overload plane:" not in capsys.readouterr().out
+
+    def test_rejects_bad_ladder(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--overload-policy", "downgrade",
+                              "--downgrade-ladder", "1.0,oops"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--overload-policy", "panic"])
+
+
 class TestSupervisionFlags:
     """The sweep subcommands expose the supervision knobs."""
 

@@ -41,6 +41,10 @@ GUARDED_PATTERNS = [
             re.DOTALL,
         ),
     ),
+    (
+        "downgrade-mask shed accounting (bits_downgraded accrual)",
+        re.compile(r"bits_downgraded\s*\+="),
+    ),
 ]
 
 

@@ -10,6 +10,7 @@ from repro.queueing.fluid import (
     min_rate_for_loss,
     required_buffer,
     sigma_rho_curve,
+    simulate_downgrade_fluid,
     simulate_fluid_queue,
 )
 from repro.traffic.trace import SlottedWorkload
@@ -160,3 +161,96 @@ class TestSigmaRhoCurve:
             workload.bits_per_slot, rate * workload.slot_duration
         )
         assert sigma > 10 * 300_000.0
+
+
+class TestDowngradeFluid:
+    """The overload plane's fluid-ODE companion model."""
+
+    def _run(self, **overrides):
+        defaults = dict(
+            arrival_rates=[0.5, 0.3, 0.2],
+            mean_holding=30.0,
+            call_bandwidth=1e6,
+            capacity=30.0 * 1e6,  # exactly the offered bandwidth
+            dwell=2.0,
+            dt=0.05,
+            duration=300.0,
+        )
+        defaults.update(overrides)
+        return simulate_downgrade_fluid(**defaults)
+
+    def test_underload_stays_at_full_resolution(self):
+        # Offered bandwidth at half the capacity: never overloaded, and
+        # occupancies converge to the M/G/infinity point lambda_c * h.
+        result = self._run(capacity=60.0 * 1e6)
+        assert result.steady_levels.tolist() == [0, 0, 0]
+        lam_h = np.array([0.5, 0.3, 0.2]) * 30.0
+        assert np.allclose(result.steady_occupancy, lam_h, rtol=0.02)
+        assert result.admitted_fraction == pytest.approx(1.0)
+
+    def test_overload_escalates_lowest_priority_first(self):
+        result = self._run(capacity=20.0 * 1e6)  # offered = 1.5x
+        levels = result.steady_levels
+        # Premium class is never more degraded than lower priorities.
+        assert levels[0] <= levels[1] <= levels[2]
+        assert levels.max() > 0
+
+    def test_gated_equilibrium_structure(self):
+        """With the admission gate binding, all classes share one
+        admitted fraction, so occupancy ratios equal arrival-rate
+        ratios exactly; carried bandwidth parks between the exit
+        threshold and the gate (the hysteresis dead band)."""
+        lam = np.array([1.5, 0.9, 0.6])
+        capacity = (lam.sum() * 30.0 * 1e6) / 1.5  # offered = 1.5x gate
+        result = self._run(
+            arrival_rates=lam, capacity=capacity,
+            admit_threshold=1.0, duration=600.0,
+        )
+        # The gate actually bound: some arrivals were turned away.
+        assert result.admitted_fraction < 1.0
+        # Shared admitted fraction => exact per-class proportionality.
+        occupancy = result.steady_occupancy
+        assert np.allclose(
+            occupancy / occupancy.sum(), lam / lam.sum(), atol=1e-6
+        )
+        # Carried bandwidth never exceeds the gate and settles no
+        # further below it than one hysteresis dead band.
+        ladder = np.array([1.0, 0.75, 0.5, 0.35])
+        carried = float(
+            (occupancy * ladder[result.steady_levels]).sum() * 1e6
+        )
+        assert carried <= capacity * (1.0 + 1e-9)
+        assert carried >= 0.75 * capacity
+
+    def test_demand_overshoot_pins_the_floor(self):
+        gentle = self._run(capacity=25.0 * 1e6)
+        pinned = self._run(capacity=25.0 * 1e6, demand_overshoot=3.0)
+        assert pinned.steady_levels.sum() >= gentle.steady_levels.sum()
+        assert pinned.steady_levels.tolist() == [3, 3, 3]
+
+    def test_trajectory_shapes_align(self):
+        result = self._run(duration=10.0)
+        steps = result.times.size
+        assert result.occupancy.shape == (steps, 3)
+        assert result.levels.shape == (steps, 3)
+        assert result.pressure.shape == (steps,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._run(arrival_rates=[])
+        with pytest.raises(ValueError):
+            self._run(arrival_rates=[1.0, -1.0])
+        with pytest.raises(ValueError):
+            self._run(mean_holding=0.0)
+        with pytest.raises(ValueError):
+            simulate_downgrade_fluid(
+                [1.0], 10.0, 1e6, 1e7, ladder=(1.0,)
+            )
+        with pytest.raises(ValueError):
+            simulate_downgrade_fluid(
+                [1.0], 10.0, 1e6, 1e7, enter=0.8, exit_=0.9
+            )
+        with pytest.raises(ValueError):
+            self._run(demand_overshoot=0.5)
+        with pytest.raises(ValueError):
+            self._run(tail_fraction=0.0)

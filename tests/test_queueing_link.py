@@ -173,3 +173,64 @@ class TestCapacityChanges:
         link = RcbrLink(1000.0)
         with pytest.raises(ValueError):
             link.set_capacity(0.0, 1.0)
+
+    def test_shrink_never_overcommits_with_float_drift(self):
+        """Regression: proportional scaling of many odd-valued grants
+        used to leave ``allocated`` a few ULPs above the new capacity,
+        so a subsequent full-capacity request could over-commit the
+        link.  The shrink now exact-sums and shaves the residual."""
+        link = RcbrLink(10_000.0)
+        for index in range(97):
+            link.request(index, 10_000.0 / 97.0, 0.0)
+        link.set_capacity(3_333.33, 1.0)
+        import math
+
+        exact = math.fsum(
+            link.grant_of(index) for index in range(97)
+        )
+        assert exact <= 3_333.33
+        # A new arrival sized to the remaining headroom must fit.
+        headroom = 3_333.33 - exact
+        if headroom > 0:
+            outcome = link.request("late", headroom, 2.0)
+            assert outcome.granted_rate <= headroom + 1e-12
+        assert link.allocated <= 3_333.33
+
+    def test_repeated_shrink_grow_cycles_stay_consistent(self):
+        link = RcbrLink(1000.0)
+        for index in range(10):
+            link.request(index, 100.0, 0.0)
+        for cycle in range(5):
+            link.set_capacity(333.3, float(2 * cycle + 1))
+            link.set_capacity(1000.0, float(2 * cycle + 2))
+        assert link.allocated == pytest.approx(1000.0)
+        assert link.total_demand == pytest.approx(1000.0)
+
+
+class TestDemandTracking:
+    def test_total_demand_tracks_requests_and_releases(self):
+        link = RcbrLink(1000.0)
+        link.request("a", 400.0, 0.0)
+        link.request("b", 900.0, 0.0)
+        assert link.total_demand == pytest.approx(1300.0)
+        link.request("a", 100.0, 1.0)
+        assert link.total_demand == pytest.approx(1000.0)
+        link.release("b", 2.0)
+        assert link.total_demand == pytest.approx(100.0)
+        link.release("a", 3.0)
+        assert link.total_demand == 0.0
+
+    def test_total_demand_immune_to_cancellation_drift(self):
+        """The O(1) running total must match a fresh sum even after many
+        add/remove cycles with drift-prone magnitudes."""
+        import math
+
+        link = RcbrLink(1e9)
+        for index in range(200):
+            link.request(index, 1e6 / 3.0 + index * 0.1, 0.0)
+        for index in range(0, 200, 2):
+            link.release(index, 1.0)
+        fresh = math.fsum(
+            1e6 / 3.0 + index * 0.1 for index in range(1, 200, 2)
+        )
+        assert link.total_demand == pytest.approx(fresh, rel=1e-12)

@@ -6,8 +6,73 @@ import pytest
 from repro.util.stats import (
     RelativePrecisionStopper,
     RunningStats,
+    jain_fairness,
     mean_confidence_interval,
+    per_class_counts,
+    per_class_means,
+    per_class_totals,
 )
+
+
+class TestJainFairness:
+    def test_equal_allocations_are_perfectly_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_is_fair(self):
+        assert jain_fairness([3.7]) == pytest.approx(1.0)
+
+    def test_one_user_hogging_approaches_reciprocal_n(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+        assert jain_fairness([1.0, 2.0, 3.0]) == pytest.approx(36.0 / 42.0)
+
+    def test_scale_invariance(self):
+        values = [1.0, 2.0, 5.0, 0.5]
+        assert jain_fairness(values) == pytest.approx(
+            jain_fairness([1000.0 * v for v in values])
+        )
+
+    def test_empty_and_all_zero_are_vacuously_fair(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -1.0])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness(np.ones((2, 2)))
+
+
+class TestPerClassHelpers:
+    def test_totals_by_class(self):
+        totals = per_class_totals([0, 1, 0, 2], [1.0, 2.0, 3.0, 4.0], 3)
+        assert totals.tolist() == [4.0, 2.0, 4.0]
+
+    def test_counts_by_class(self):
+        counts = per_class_counts([2, 2, 0], 4)
+        assert counts.tolist() == [1, 0, 2, 0]
+
+    def test_means_with_empty_class(self):
+        means = per_class_means([0, 0, 2], [2.0, 4.0, 9.0], 3)
+        assert means.tolist() == [3.0, 0.0, 9.0]
+
+    def test_empty_inputs(self):
+        assert per_class_totals([], [], 2).tolist() == [0.0, 0.0]
+        assert per_class_counts([], 2).tolist() == [0, 0]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            per_class_totals([0, 1], [1.0], 2)
+
+    def test_out_of_range_class_rejected(self):
+        with pytest.raises(ValueError):
+            per_class_counts([0, 3], 2)
+        with pytest.raises(ValueError):
+            per_class_counts([-1], 2)
 
 
 class TestRunningStats:
