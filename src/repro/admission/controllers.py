@@ -77,6 +77,22 @@ class _ReservationTracker:
         if call_id in self.current_rate:
             self.current_rate[call_id] = new_rate
 
+    def on_reservation_batch(self, call_ids, new_rates, time: float) -> None:
+        """One epoch's renegotiation outcomes at once.
+
+        Equivalent to one :meth:`on_reservation` per pair *provided
+        every call id is currently tracked* — the sharded gateway
+        guarantees that (stale completions are filtered before the
+        batch), and a plain ``dict.update`` is then identical to the
+        guarded per-call writes while being ~10x cheaper at the 1M-call
+        scale's ~40k renegotiations per epoch.  Accepts numpy arrays;
+        the ``tolist`` keeps the dict holding Python ints and floats,
+        same as the scalar writes.
+        """
+        self.current_rate.update(
+            zip(np.asarray(call_ids).tolist(), np.asarray(new_rates).tolist())
+        )
+
     def on_departure(self, call_id, time: float) -> None:
         self.current_rate.pop(call_id, None)
 
@@ -101,6 +117,15 @@ class AlwaysAdmit:
 
     def on_reservation(self, call_id, new_rate: float, time: float) -> None:
         self._tracker.on_reservation(call_id, new_rate, time)
+
+    def on_reservation_batch(self, call_ids, new_rates, time: float) -> None:
+        # Always-admit never reads the tracked rates: admission is
+        # unconditional, ``num_active`` is membership (keyed by
+        # admit/departure alone), and the rate-distribution snapshot
+        # belongs to the measuring controllers.  Refreshing ~40k dict
+        # values per epoch against a 1M-entry table is therefore pure
+        # overhead on the sharded gateway's realtime budget — skip it.
+        pass
 
     def on_departure(self, call_id, time: float) -> None:
         self._tracker.on_departure(call_id, time)

@@ -517,16 +517,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: the long-lived event-driven RCBR gateway.
 
-    Builds a :class:`~repro.server.RcbrGateway` over a synthesized (or
-    loaded) trace and serves open-loop arrivals through the configured
-    admission controller for ``--duration`` simulated seconds, printing
-    the final accounting.  ``--bench`` instead times the vectorized
-    service loop on a preloaded fleet and writes ``BENCH_server.json``.
+    Builds a gateway over a synthesized (or loaded) trace and serves
+    open-loop arrivals through the configured admission controller for
+    ``--duration`` simulated seconds, printing the final accounting.
+    ``--shards N`` selects the multi-process sharded runtime (same
+    fingerprint for any shard count).  ``--bench`` instead times the
+    vectorized service loop on a preloaded fleet and writes
+    ``BENCH_server.json`` (appending a history leg); with
+    ``--perf-baseline`` the run is gated against the committed
+    artifact's history and a >20% call-epochs/s regression fails the
+    command.
     """
     import json
 
     from repro.faults.injectors import FaultPlan
-    from repro.server import RcbrGateway, ServerConfig, run_server_benchmark
+    from repro.server import ServerConfig, build_gateway, run_server_benchmark
+    from repro.server.bench import check_perf_regression
 
     if args.bench:
         result = run_server_benchmark(
@@ -534,9 +540,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             epochs=args.bench_epochs,
             warmup_epochs=args.bench_warmup,
             seed=args.seed,
+            shards=args.shards,
+            shard_chunk=args.shard_chunk,
             out=args.out,
         )
-        print(f"server benchmark ({result['num_calls']} concurrent calls):")
+        runtime = (
+            f"sharded x{result['shards']}" if result["shards"] else "plain"
+        )
+        print(f"server benchmark ({result['num_calls']} concurrent calls, "
+              f"{runtime}):")
         print(f"  simulated:       {result['simulated_seconds']:.2f} s in "
               f"{result['run_seconds']:.2f} s wall "
               f"({result['epochs']} epochs)")
@@ -545,9 +557,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{result['call_epochs_per_second']:,.0f} call-epochs/s")
         print(f"  utilization:     {result['mean_utilization']:.3f}")
         print(f"  fingerprint:     {result['fingerprint']}")
-        print(f"bench records written to {args.out}")
+        print(f"bench records written to {args.out} "
+              f"({result['history_legs']} history legs)")
         if result["realtime_factor"] < 1.0:
             print("  WARNING: gateway fell behind real time on this host")
+        if args.perf_baseline:
+            gate = check_perf_regression(
+                result, args.perf_baseline, threshold=args.perf_threshold
+            )
+            verdict = "pass" if gate["ok"] else "FAIL"
+            print(f"perf gate ({verdict}): {gate['reason']}")
+            if not gate["ok"]:
+                return 1
         return 0
 
     trace = (
@@ -596,6 +617,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         source=args.source or None,
         source_slots=args.source_slots,
+        shards=args.shards,
+        shard_chunk=args.shard_chunk,
         overload_policy=args.overload_policy,
         overload_enter=args.overload_enter,
         overload_exit=args.overload_exit,
@@ -623,8 +646,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         else:
             faults = FaultPlan.from_file(args.fault_plan, seed=args.fault_seed)
 
-    gateway = RcbrGateway(workload, config, faults=faults, source=source)
-    report = gateway.run(args.duration, snapshot_every=args.snapshot_every)
+    gateway = build_gateway(workload, config, faults=faults, source=source)
+    with gateway:
+        report = gateway.run(
+            args.duration, snapshot_every=args.snapshot_every
+        )
     final = report.final
     print(f"RCBR gateway (controller={config.controller}, "
           f"source={gateway.workload.name}, seed={config.seed}):")
@@ -931,6 +957,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="calls preloaded at t=0 before open-loop arrivals start",
     )
     serve.add_argument(
+        "--shards", type=int, default=0,
+        help="worker processes for the sharded runtime (0 = plain "
+             "single-process gateway; the fingerprint is identical "
+             "either way)",
+    )
+    serve.add_argument(
+        "--shard-chunk", type=int, default=4_096,
+        help="contiguous pool slots per shard chunk (default 4096)",
+    )
+    serve.add_argument(
         "--overload-policy", choices=OVERLOAD_POLICY_NAMES, default="block",
         help="link-level overload control policy (default: block — "
              "admission blocking only, no control plane)",
@@ -995,6 +1031,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--out", default="BENCH_server.json",
         help="bench records path with --bench (default: BENCH_server.json)",
+    )
+    serve.add_argument(
+        "--perf-baseline", default=None,
+        help="with --bench: gate call-epochs/s against this committed "
+             "bench artifact's history; a regression fails the command",
+    )
+    serve.add_argument(
+        "--perf-threshold", type=float, default=0.2,
+        help="relative throughput drop that fails the perf gate "
+             "(default 0.2)",
     )
     serve.set_defaults(handler=cmd_serve)
 

@@ -151,6 +151,100 @@ class KernelState:
         self.buffer[index] = 0.0
 
 
+class KernelStateView:
+    """A zero-copy window onto a contiguous range of kernel state columns.
+
+    The sharded gateway partitions one full-size :class:`KernelState`
+    block across worker processes; each worker steps its own contiguous
+    slice through :meth:`RenegotiationKernel.step` via one of these
+    views.  Because every step operation is elementwise, stepping a
+    slice produces bit-for-bit the floats the whole-array step produces
+    for those rows — which is the sharded runtime's determinism anchor.
+
+    The persistent columns (``rate``/``estimate``/``buffer``, plus the
+    observable ``_candidate``/``_wants`` outputs) are typically slices
+    of process-shared arrays; the private scratch
+    (``_scratch``/``_wants_down``/``_cmp``) can be worker-local
+    buffers.  Views are meant to be stepped in *deferred accounting*
+    mode (``excess_out``/``raw_arrivals_out``/``scaled_arrivals_out``),
+    so their ``bits_lost``/``bits_downgraded`` floats stay untouched;
+    the coordinator merges the deferred columns into the authoritative
+    :class:`KernelState` through :func:`merge_deferred_step`.
+    """
+
+    __slots__ = (
+        "rate",
+        "estimate",
+        "buffer",
+        "bits_lost",
+        "bits_downgraded",
+        "_candidate",
+        "_scratch",
+        "_wants",
+        "_wants_down",
+        "_cmp",
+    )
+
+    def __init__(
+        self,
+        rate: np.ndarray,
+        estimate: np.ndarray,
+        buffer: np.ndarray,
+        candidate: np.ndarray,
+        scratch: np.ndarray,
+        wants: np.ndarray,
+        wants_down: np.ndarray,
+        cmp: np.ndarray,
+    ) -> None:
+        self.rate = rate
+        self.estimate = estimate
+        self.buffer = buffer
+        self.bits_lost = 0.0
+        self.bits_downgraded = 0.0
+        self._candidate = candidate
+        self._scratch = scratch
+        self._wants = wants
+        self._wants_down = wants_down
+        self._cmp = cmp
+
+    @property
+    def capacity(self) -> int:
+        return int(self.rate.size)
+
+
+def merge_deferred_step(
+    state: KernelState,
+    excess: Optional[np.ndarray] = None,
+    raw_arrivals: Optional[np.ndarray] = None,
+    scaled_arrivals: Optional[np.ndarray] = None,
+) -> None:
+    """Fold one epoch's deferred accounting columns into ``state``.
+
+    The counterpart of :meth:`RenegotiationKernel.step`'s
+    ``excess_out``/``raw_arrivals_out``/``scaled_arrivals_out`` mode:
+    shard workers write the per-slot overflow excess and the raw/scaled
+    downgrade arrivals into full-size shared columns, and the
+    coordinator calls this once per epoch over the *whole* columns —
+    the reductions then run over arrays of exactly the shape and
+    content the unsharded step reduces, so ``bits_lost`` and
+    ``bits_downgraded`` accumulate bit-identically.  This function
+    lives here because the shed-accounting arithmetic, like the rest of
+    eqs. 6-8, has exactly one home.
+    """
+    if excess is not None:
+        lost = float(excess.sum())
+        if lost > 0.0:
+            state.bits_lost += lost
+    if raw_arrivals is not None:
+        if scaled_arrivals is None:
+            raise ValueError(
+                "raw_arrivals and scaled_arrivals must be given together"
+            )
+        state.bits_downgraded += float(
+            raw_arrivals.sum() - scaled_arrivals.sum()
+        )
+
+
 class RenegotiationKernel:
     """One vectorized slot-step of the heuristic over a state block."""
 
@@ -190,10 +284,13 @@ class RenegotiationKernel:
 
     def step(
         self,
-        state: KernelState,
+        state: "KernelState | KernelStateView",
         arrivals: np.ndarray,
         drain: Optional[np.ndarray] = None,
         downgrade: Optional[np.ndarray] = None,
+        excess_out: Optional[np.ndarray] = None,
+        raw_arrivals_out: Optional[np.ndarray] = None,
+        scaled_arrivals_out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance every call in ``state`` through one slot of arrivals.
 
@@ -217,6 +314,20 @@ class RenegotiationKernel:
         ``state.bits_lost``.  ``downgrade=None`` performs zero extra
         array operations, keeping the undowngraded path bit-identical.
 
+        **Deferred accounting** (the sharded runtime's worker mode):
+        with ``excess_out``, the per-slot overflow excess is written to
+        that array instead of being summed into ``state.bits_lost``
+        (the buffer is still clamped — a no-overflow clamp is a
+        bit-exact no-op); with ``raw_arrivals_out``/
+        ``scaled_arrivals_out``, the pre- and post-downgrade arrivals
+        are written out instead of accruing ``state.bits_downgraded``.
+        A coordinator holding every shard's columns then performs the
+        reductions once, over full-size arrays, via
+        :func:`merge_deferred_step` — reproducing the unsharded
+        accumulation order bit for bit.  Deferred mode cannot be
+        combined with ``drain`` (drain-shed accounting is summed
+        in-step).
+
         Returns ``(wants, candidates)``: the raw eq.-8 crossing mask and
         the full quantised eq.-7 candidate array.  Both are views of
         state-owned scratch, valid until the next ``step`` call; the
@@ -234,6 +345,10 @@ class RenegotiationKernel:
         wants = state._wants
         wants_down = state._wants_down
         compare = state._cmp
+        if drain is not None and (
+            excess_out is not None or raw_arrivals_out is not None
+        ):
+            raise ValueError("drain cannot be combined with deferred outputs")
 
         # Resolution downgrade: the source encodes at a fraction of full
         # fidelity, so every consumer below (buffer, estimator, drain)
@@ -241,9 +356,16 @@ class RenegotiationKernel:
         # until eq. 7 overwrites it, well after the last read of
         # ``arrivals``.
         if downgrade is not None:
-            np.multiply(arrivals, downgrade, out=candidate)
-            state.bits_downgraded += float(arrivals.sum() - candidate.sum())
-            arrivals = candidate
+            if scaled_arrivals_out is not None:
+                raw_arrivals_out[:] = arrivals
+                np.multiply(arrivals, downgrade, out=scaled_arrivals_out)
+                arrivals = scaled_arrivals_out
+            else:
+                np.multiply(arrivals, downgrade, out=candidate)
+                state.bits_downgraded += float(
+                    arrivals.sum() - candidate.sum()
+                )
+                arrivals = candidate
 
         # Buffer update: q = max(0, (q + a) - r * slot), the adds and
         # subtracts associating exactly as in the original scalar loop.
@@ -267,12 +389,18 @@ class RenegotiationKernel:
         if self.buffer_size is not None:
             np.subtract(buffer_level, self.buffer_size, out=scratch)
             np.maximum(scratch, 0.0, out=scratch)
-            lost = float(scratch.sum())
-            if lost > 0.0:
-                state.bits_lost += lost
+            if excess_out is not None:
+                excess_out[:] = scratch
                 np.minimum(
                     buffer_level, self.buffer_size, out=buffer_level
                 )
+            else:
+                lost = float(scratch.sum())
+                if lost > 0.0:
+                    state.bits_lost += lost
+                    np.minimum(
+                        buffer_level, self.buffer_size, out=buffer_level
+                    )
 
         # eq. 6: the AR(1) update on the true incoming rate.
         np.divide(arrivals, self.slot_duration, out=scratch)

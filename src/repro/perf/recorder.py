@@ -27,6 +27,7 @@ class BenchRecorder:
         self.context: Dict[str, Any] = dict(context or {})
         self.records: List[Dict[str, Any]] = []
         self.sweep_report: Optional[Dict[str, Any]] = None
+        self.history: Optional[List[Dict[str, Any]]] = None
         self._started = time.time()
 
     # ------------------------------------------------------------------
@@ -63,6 +64,16 @@ class BenchRecorder:
         """
         self.sweep_report = dict(report)
 
+    def attach_history(self, legs: List[Dict[str, Any]]) -> None:
+        """Attach the artifact's per-commit history array.
+
+        Benchmarks that gate on regressions (the server throughput
+        bench) append one compact leg per run instead of overwriting the
+        file, so the artifact carries the perf trajectory across
+        commits.  Emitted under ``"history"`` in :meth:`as_dict`.
+        """
+        self.history = [dict(leg) for leg in legs]
+
     @contextmanager
     def time(self, name: str, **meta: Any):
         """Context manager timing a block as one record."""
@@ -94,6 +105,8 @@ class BenchRecorder:
         }
         if self.sweep_report is not None:
             payload["sweep_report"] = self.sweep_report
+        if self.history is not None:
+            payload["history"] = self.history
         return payload
 
     def write(self, path: Union[str, Path]) -> None:

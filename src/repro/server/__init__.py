@@ -9,19 +9,23 @@ whose integrals yield the utilization/loss story of the paper — all under
 a deterministic seed with periodic snapshots and a replay fingerprint.
 Under sustained saturation the optional link-level overload control
 plane (:mod:`repro.overload`) downgrades or sacrifices calls instead of
-only blocking at the door.
+only blocking at the door.  ``config.shards >= 1`` swaps in the
+multi-process sharded runtime (:mod:`repro.server.sharded`, DESIGN.md
+§14) — 1M+ concurrent calls at realtime with a byte-identical
+fingerprint.
 """
 
 from repro.overload import OVERLOAD_POLICY_NAMES
 from repro.server.config import CONTROLLER_NAMES, ServerConfig, build_controller
 from repro.server.fleet import CallFleet, EpochStep
-from repro.server.gateway import RcbrGateway, serve
+from repro.server.gateway import RcbrGateway, build_gateway, serve
+from repro.server.sharded import ShardedFleet, ShardedGateway, shard_of_slot
 from repro.server.stats import (
     ServerReport,
     ServerSnapshot,
     snapshot_fingerprint,
 )
-from repro.server.bench import run_server_benchmark
+from repro.server.bench import check_perf_regression, run_server_benchmark
 
 __all__ = [
     "CONTROLLER_NAMES",
@@ -31,9 +35,14 @@ __all__ = [
     "CallFleet",
     "EpochStep",
     "RcbrGateway",
+    "build_gateway",
     "serve",
+    "ShardedFleet",
+    "ShardedGateway",
+    "shard_of_slot",
     "ServerReport",
     "ServerSnapshot",
     "snapshot_fingerprint",
+    "check_perf_regression",
     "run_server_benchmark",
 ]

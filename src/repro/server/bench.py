@@ -1,5 +1,4 @@
-"""Gateway throughput benchmark: the ">=50k concurrent calls, one core"
-acceptance number.
+"""Gateway throughput benchmark: concurrent calls served at realtime.
 
 Preloads a fleet of ``num_calls`` calls (no open-loop arrivals, an
 always-admit controller, capacity sized with headroom above the fleet's
@@ -7,27 +6,134 @@ aggregate mean) and times the vectorized service loop for a fixed number
 of epochs.  The headline figures are ``realtime_factor`` — simulated
 seconds per wall-clock second, which must stay >= 1 for the gateway to
 keep up with real time — and ``call_epochs_per_second``, the
-size-independent throughput of the vector step.  Results land in
-``BENCH_server.json`` via the shared :class:`~repro.perf.recorder.BenchRecorder`.
+size-independent throughput of the vector step.  ``shards >= 1`` runs
+the multi-process sharded gateway (:mod:`repro.server.sharded`) — the
+">=1M concurrent calls at realtime" configuration — with the same
+fingerprint for any shard count.
+
+Results land in ``BENCH_server.json`` via the shared
+:class:`~repro.perf.recorder.BenchRecorder`.  The artifact keeps a
+``history`` array of compact per-run legs (appended, not overwritten,
+when the output file already exists), and :func:`check_perf_regression`
+gates CI on it: a run whose call-epochs/s falls more than the threshold
+below the committed baseline leg of the same shape fails.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.perf.recorder import BenchRecorder
 from repro.perf.sweeps import GRANULARITY, TRACE_SEED
 from repro.server.config import ServerConfig
-from repro.server.gateway import RcbrGateway
+from repro.server.gateway import build_gateway
 from repro.traffic.starwars import generate_starwars_trace
 from repro.traffic.trace import SlottedWorkload
+
+#: Default relative call-epochs/s drop that fails the perf gate.
+REGRESSION_THRESHOLD = 0.2
 
 
 def bench_workload(num_frames: int = 4_096, seed: int = TRACE_SEED) -> SlottedWorkload:
     """A short synthetic Star Wars segment shared by all bench calls."""
     return generate_starwars_trace(num_frames=num_frames, seed=seed).as_workload()
+
+
+def load_bench_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The per-run history legs of a bench artifact (oldest first).
+
+    Accepts both artifact generations: files with an explicit
+    ``history`` array, and pre-history files whose single run lives in
+    ``context`` (synthesized into a one-leg history so old baselines
+    keep gating).  Missing or unparsable files yield an empty history.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if not isinstance(payload, dict):
+        return []
+    history = payload.get("history")
+    if isinstance(history, list):
+        return [leg for leg in history if isinstance(leg, dict)]
+    leg = _history_leg(payload.get("context") or {})
+    return [leg] if leg is not None else []
+
+
+def _history_leg(context: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """A compact history leg from a bench context (None if not one)."""
+    if "call_epochs_per_second" not in context:
+        return None
+    keys = (
+        "num_calls",
+        "shards",
+        "epochs",
+        "warmup_epochs",
+        "realtime_factor",
+        "call_epochs_per_second",
+        "mean_utilization",
+        "fingerprint",
+    )
+    return {key: context[key] for key in keys if key in context}
+
+
+def check_perf_regression(
+    result: Dict[str, Any],
+    baseline: Union[str, Path],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Dict[str, Any]:
+    """Gate a bench result against the committed baseline artifact.
+
+    Compares ``result["call_epochs_per_second"]`` against the most
+    recent baseline history leg with the same ``num_calls`` and
+    ``shards`` (throughput depends on both the fleet size and the
+    runtime, so cross-shape comparisons would gate on noise).  With no
+    matching leg the gate passes vacuously and says so.
+
+    Returns ``{"ok", "reason", "measured", "baseline", "ratio"}`` —
+    ``ok`` is False when the measured throughput fell more than
+    ``threshold`` (a fraction) below the baseline.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    measured = float(result["call_epochs_per_second"])
+    shape = (int(result.get("num_calls", 0)), int(result.get("shards", 0)))
+    reference: Optional[Dict[str, Any]] = None
+    for leg in load_bench_history(baseline):
+        leg_shape = (int(leg.get("num_calls", 0)), int(leg.get("shards", 0)))
+        if leg_shape == shape and "call_epochs_per_second" in leg:
+            reference = leg
+    if reference is None:
+        return {
+            "ok": True,
+            "reason": (
+                f"no baseline leg for num_calls={shape[0]} "
+                f"shards={shape[1]} in {baseline}; gate passes vacuously"
+            ),
+            "measured": measured,
+            "baseline": None,
+            "ratio": None,
+        }
+    reference_ceps = float(reference["call_epochs_per_second"])
+    ratio = measured / reference_ceps if reference_ceps > 0 else float("inf")
+    ok = ratio >= 1.0 - threshold
+    return {
+        "ok": ok,
+        "reason": (
+            f"call-epochs/s {measured:,.0f} vs baseline "
+            f"{reference_ceps:,.0f} (ratio {ratio:.3f}, "
+            f"floor {1.0 - threshold:.2f})"
+        ),
+        "measured": measured,
+        "baseline": reference_ceps,
+        "ratio": ratio,
+    }
 
 
 def run_server_benchmark(
@@ -37,6 +143,8 @@ def run_server_benchmark(
     seed: int = 0,
     workload: Optional[SlottedWorkload] = None,
     capacity_headroom: float = 1.1,
+    shards: int = 0,
+    shard_chunk: int = 4096,
     out: Optional[Union[str, Path]] = None,
     recorder: Optional[BenchRecorder] = None,
 ) -> Dict[str, Any]:
@@ -70,6 +178,8 @@ def run_server_benchmark(
         granularity=GRANULARITY,
         initial_calls=num_calls,
         seed=seed,
+        shards=shards,
+        shard_chunk=shard_chunk,
     )
     if recorder is None:
         recorder = BenchRecorder(
@@ -77,28 +187,28 @@ def run_server_benchmark(
         )
 
     slot = workload.slot_duration
-    gateway = RcbrGateway(workload, config)
-    build_start = time.perf_counter()
-    gateway.preload()
-    build_seconds = time.perf_counter() - build_start
-    recorder.add("server/preload", build_seconds, num_calls=num_calls)
+    with build_gateway(workload, config) as gateway:
+        build_start = time.perf_counter()
+        gateway.preload()
+        build_seconds = time.perf_counter() - build_start
+        recorder.add("server/preload", build_seconds, num_calls=num_calls)
 
-    if warmup_epochs:
-        warmup_start = time.perf_counter()
-        warmup = gateway.run(warmup_epochs * slot)
-        recorder.add(
-            "server/warmup",
-            time.perf_counter() - warmup_start,
-            epochs=warmup_epochs,
-            reneg_requests=warmup.final.reneg_requests,
-        )
+        if warmup_epochs:
+            warmup_start = time.perf_counter()
+            warmup = gateway.run(warmup_epochs * slot)
+            recorder.add(
+                "server/warmup",
+                time.perf_counter() - warmup_start,
+                epochs=warmup_epochs,
+                reneg_requests=warmup.final.reneg_requests,
+            )
 
-    duration = epochs * slot
-    renegs_before = gateway.reneg_requests
-    call_epochs_before = gateway.fleet.call_epochs_stepped
-    run_start = time.perf_counter()
-    report = gateway.run(duration)
-    run_seconds = time.perf_counter() - run_start
+        duration = epochs * slot
+        renegs_before = gateway.reneg_requests
+        call_epochs_before = gateway.fleet.call_epochs_stepped
+        run_start = time.perf_counter()
+        report = gateway.run(duration)
+        run_seconds = time.perf_counter() - run_start
 
     call_epochs = report.call_epochs_stepped - call_epochs_before
     reneg_requests = report.final.reneg_requests - renegs_before
@@ -116,6 +226,7 @@ def run_server_benchmark(
     )
     recorder.annotate(
         num_calls=num_calls,
+        shards=shards,
         epochs=report.epochs,
         warmup_epochs=warmup_epochs,
         simulated_seconds=round(duration, 6),
@@ -124,11 +235,20 @@ def run_server_benchmark(
         mean_utilization=round(report.mean_utilization, 6),
         fingerprint=report.fingerprint,
     )
+    # One compact leg per run, appended to whatever history the output
+    # file already carries: the artifact is a perf trajectory, not a
+    # single sample, and the CI gate reads the legs.
+    history = load_bench_history(out) if out is not None else []
+    leg = _history_leg(recorder.context)
+    if leg is not None:
+        history.append(leg)
+    recorder.attach_history(history)
     if out is not None:
         recorder.write(out)
 
     return {
         "num_calls": num_calls,
+        "shards": shards,
         "epochs": report.epochs,
         "warmup_epochs": warmup_epochs,
         "simulated_seconds": duration,
@@ -139,4 +259,5 @@ def run_server_benchmark(
         "reneg_requests": reneg_requests,
         "mean_utilization": report.mean_utilization,
         "fingerprint": report.fingerprint,
+        "history_legs": len(history),
     }

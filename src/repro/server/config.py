@@ -53,6 +53,15 @@ class ServerConfig:
     to sample.  The sample is drawn from a dedicated stream spawned from
     ``seed``, so sourced runs inherit the same determinism contract.
 
+    ``shards`` selects the multi-process sharded runtime
+    (:mod:`repro.server.sharded`): 0 runs the plain single-process
+    gateway, ``N >= 1`` partitions the call fleet's kernel state across
+    ``N`` worker processes in contiguous ``shard_chunk``-slot chunks
+    (shard of a slot = ``(slot // shard_chunk) % shards``, a pure
+    function of the pool slot, so a call never migrates shards).  The
+    snapshot fingerprint is byte-identical for any shard count,
+    including 0.
+
     The ``overload_*`` knobs configure the link-level overload control
     plane (:mod:`repro.overload`).  ``overload_policy`` selects block
     (the baseline — no plane is even instantiated, so the snapshot
@@ -90,6 +99,8 @@ class ServerConfig:
     seed: int = 0
     source: Optional[str] = None
     source_slots: int = 2400
+    shards: int = 0
+    shard_chunk: int = 4096
     overload_policy: str = "block"
     overload_enter: float = 0.95
     overload_exit: float = 0.85
@@ -135,6 +146,10 @@ class ServerConfig:
             )
         if self.source_slots < 1:
             raise ValueError("source_slots must be >= 1")
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative (0 = unsharded)")
+        if self.shard_chunk < 1:
+            raise ValueError("shard_chunk must be >= 1")
         if self.overload_policy not in OVERLOAD_POLICY_NAMES:
             raise ValueError(
                 f"unknown overload policy {self.overload_policy!r}; "
@@ -199,6 +214,8 @@ class ServerConfig:
             "seed": self.seed,
             "source": self.source,
             "source_slots": self.source_slots,
+            "shards": self.shards,
+            "shard_chunk": self.shard_chunk,
             "overload_policy": self.overload_policy,
             "overload_enter": self.overload_enter,
             "overload_exit": self.overload_exit,

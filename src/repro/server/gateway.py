@@ -146,27 +146,12 @@ class RcbrGateway:
         )
 
         self.engine = EventScheduler()
-        self.fleet = CallFleet(
-            workload,
-            self.params,
-            buffer_size=config.buffer_bits,
-            initial_capacity=max(256, config.initial_calls),
-        )
-        self.link = RcbrLink(config.capacity)
-        # The last port is the bottleneck (capacity == link capacity);
-        # upstream hops get headroom so the bottleneck stays binding.
-        ports: List[SwitchPort] = [
-            SwitchPort(
-                config.capacity * config.upstream_headroom,
-                name=f"hop{index}",
-            )
-            for index in range(config.num_hops - 1)
-        ]
-        ports.append(SwitchPort(config.capacity, name="bottleneck"))
-        self.ports = ports
+        self.fleet = self._build_fleet(workload, config)
+        self.link = self._build_link(config)
+        self.ports = self._build_ports(config)
 
         self.path = SignalingPath(
-            ports,
+            self.ports,
             hop_delay=config.hop_delay,
             seed=path_rng,
             faults=faults,
@@ -260,6 +245,44 @@ class RcbrGateway:
         self._preloaded = False
 
     # ------------------------------------------------------------------
+    # Construction hooks (overridden by the sharded runtime)
+    # ------------------------------------------------------------------
+    def _build_fleet(
+        self, workload: SlottedWorkload, config: ServerConfig
+    ) -> CallFleet:
+        return CallFleet(
+            workload,
+            self.params,
+            buffer_size=config.buffer_bits,
+            initial_capacity=max(256, config.initial_calls),
+        )
+
+    def _build_link(self, config: ServerConfig) -> RcbrLink:
+        return RcbrLink(config.capacity)
+
+    def _build_ports(self, config: ServerConfig) -> List[SwitchPort]:
+        # The last port is the bottleneck (capacity == link capacity);
+        # upstream hops get headroom so the bottleneck stays binding.
+        ports: List[SwitchPort] = [
+            SwitchPort(
+                config.capacity * config.upstream_headroom,
+                name=f"hop{index}",
+            )
+            for index in range(config.num_hops - 1)
+        ]
+        ports.append(SwitchPort(config.capacity, name="bottleneck"))
+        return ports
+
+    def _source_key(self, slot: int, call_id: int) -> int:
+        """The identity a call reserves under at the link/ports/path.
+
+        The plain gateway keys by call id; the sharded gateway keys by
+        pool slot so the link and ports can be dense arrays.  Admission
+        controllers always see the call id regardless.
+        """
+        return call_id
+
+    # ------------------------------------------------------------------
     # Call lifecycle
     # ------------------------------------------------------------------
     def _admit_call(self, now: float) -> Optional[int]:
@@ -286,13 +309,14 @@ class RcbrGateway:
         readmission — the post-decision, post-draw part of admission)."""
         call_id = next(self._call_ids)
         slot, initial_rate = self.fleet.admit(call_id, shift, call_class)
-        outcome = self.link.request(call_id, initial_rate, now)
+        key = self._source_key(slot, call_id)
+        outcome = self.link.request(key, initial_rate, now)
         if outcome.failed:
             self.setup_shortfalls += 1
         granted = outcome.granted_rate
         self.fleet.set_rate(slot, granted)
         for port in self.ports:
-            port.provision(call_id, granted)
+            port.provision(key, granted)
         self.controller.on_admit(call_id, granted, now, call_class=call_class)
         self.admitted += 1
         self.offered.on_admitted(call_class)
@@ -316,8 +340,9 @@ class RcbrGateway:
             return  # stale event: the call already left this pool slot
         now = self.engine.now
         self.offered.on_departure(int(self.fleet.call_class[slot]))
-        self.link.release(call_id, now)
-        self.path.release(call_id)
+        key = self._source_key(slot, call_id)
+        self.link.release(key, now)
+        self.path.release(key)
         self.controller.on_departure(call_id, now)
         self.fleet.remove(slot)
         self._departure_events.pop(call_id, None)
@@ -351,7 +376,7 @@ class RcbrGateway:
         else:
             granted = self.path.renegotiate(
                 RenegotiationRequest(
-                    vci=call_id,
+                    vci=self._source_key(slot, call_id),
                     old_rate=old_rate,
                     new_rate=new_rate,
                     time=time,
@@ -370,6 +395,21 @@ class RcbrGateway:
             apply,
         )
 
+    def _issue_epoch(self, step, end_of_slot: float) -> None:
+        """Issue every renegotiation one epoch step produced.
+
+        ``step.slots`` is in ascending pool-slot order — the documented
+        issue order of the determinism contract.  The sharded gateway
+        overrides this with a batched path commit.
+        """
+        call_ids = self.fleet.call_id[step.slots]
+        for slot_index, call_id, candidate in zip(
+            step.slots.tolist(),
+            call_ids.tolist(),
+            step.candidates.tolist(),
+        ):
+            self._issue(slot_index, call_id, candidate, end_of_slot)
+
     def _complete(
         self,
         slot: int,
@@ -383,7 +423,9 @@ class RcbrGateway:
         self.fleet.pending[slot] = False
         now = self.engine.now
         if apply:
-            outcome = self.link.request(call_id, new_rate, now)
+            outcome = self.link.request(
+                self._source_key(slot, call_id), new_rate, now
+            )
             if outcome.failed:
                 self.link_shortfalls += 1
             self.fleet.set_rate(slot, outcome.granted_rate)
@@ -427,10 +469,11 @@ class RcbrGateway:
             if new_rate >= old_rate:
                 continue
             call_id = int(fleet.call_id[slot])
-            outcome = self.link.request(call_id, new_rate, now)
+            key = self._source_key(slot, call_id)
+            outcome = self.link.request(key, new_rate, now)
             granted = outcome.granted_rate
             for port in self.ports:
-                port.reprovision(call_id, granted - old_rate)
+                port.reprovision(key, granted - old_rate)
             self.controller.on_reservation(call_id, granted, now)
             fleet.set_rate(slot, granted)
             shrunk += 1
@@ -457,8 +500,9 @@ class RcbrGateway:
             event.cancel()
             remaining = max(0.0, event.time - now)
         self.offered.on_departure(call_class)
-        self.link.release(call_id, now)
-        self.path.release(call_id)
+        key = self._source_key(slot, call_id)
+        self.link.release(key, now)
+        self.path.release(key)
         self.controller.on_departure(call_id, now)
         fleet.remove(slot)
         self.departed += 1
@@ -627,14 +671,7 @@ class RcbrGateway:
             )
             step = self.fleet.step(tick, downgrade=downgrade)
             if step.num_requests:
-                end_of_slot = (tick + 1) * slot
-                call_ids = self.fleet.call_id[step.slots]
-                for slot_index, call_id, candidate in zip(
-                    step.slots.tolist(),
-                    call_ids.tolist(),
-                    step.candidates.tolist(),
-                ):
-                    self._issue(slot_index, call_id, candidate, end_of_slot)
+                self._issue_epoch(step, (tick + 1) * slot)
         self._next_tick = start_tick + epochs
 
         self.engine.run(until=end_time)
@@ -660,6 +697,20 @@ class RcbrGateway:
         )
 
 
+    def close(self) -> None:
+        """Release external resources (worker processes, shared memory).
+
+        A no-op for the single-process gateway; the sharded runtime
+        overrides it to shut its worker pool down.  Idempotent.
+        """
+
+    def __enter__(self) -> "RcbrGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def serve(
     workload: Optional[SlottedWorkload],
     config: ServerConfig,
@@ -669,5 +720,32 @@ def serve(
     source: Optional[TrafficSource] = None,
 ) -> ServerReport:
     """One-shot convenience wrapper: build a gateway and run it."""
-    gateway = RcbrGateway(workload, config, faults=faults, source=source)
-    return gateway.run(duration, snapshot_every=snapshot_every)
+    gateway = build_gateway(workload, config, faults=faults, source=source)
+    with gateway:
+        return gateway.run(duration, snapshot_every=snapshot_every)
+
+
+def build_gateway(
+    workload: Optional[SlottedWorkload],
+    config: ServerConfig,
+    controller: Optional[AdmissionController] = None,
+    faults: Optional[FaultPlan] = None,
+    source: Optional[TrafficSource] = None,
+) -> RcbrGateway:
+    """Build the gateway class ``config`` calls for.
+
+    ``config.shards >= 1`` selects the sharded multi-process runtime
+    (``repro.server.sharded``); the default plain gateway is returned
+    when ``shards`` is 0/unset.  Kept here so ``serve`` and the CLI
+    share one dispatch point.
+    """
+    if getattr(config, "shards", 0):
+        from repro.server.sharded import ShardedGateway
+
+        return ShardedGateway(
+            workload, config, controller=controller, faults=faults,
+            source=source,
+        )
+    return RcbrGateway(
+        workload, config, controller=controller, faults=faults, source=source
+    )

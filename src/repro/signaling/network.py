@@ -28,6 +28,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.schedule import RateSchedule
 from repro.queueing.events import EventScheduler
 from repro.signaling.messages import CellKind, RenegotiationRequest, RmCell
@@ -271,6 +273,87 @@ class SignalingPath:
         granted = status is DeliveryStatus.ACCEPTED
         if not granted and request.delta > 0:
             self.stats.failures += 1
+        return granted
+
+    def renegotiate_batch(
+        self,
+        vcis: Sequence,
+        old_rates: np.ndarray,
+        new_rates: np.ndarray,
+        time: float,
+    ) -> np.ndarray:
+        """Issue one epoch's renegotiations; returns per-request grants.
+
+        Semantically identical to one :meth:`renegotiate` per entry at
+        the same ``time``, in order — this is the sharded gateway's
+        per-epoch commit, where the scalar path's ~40k cell traversals
+        per epoch would dominate the real-time budget.  The batched
+        paths engage only when nothing can perturb the per-cell fold:
+        no fault plan, no cell loss, no outage windows on any hop.  A
+        single-hop path then resolves the exact denied set by fixpoint
+        (:meth:`SwitchPort.delta_batch_apply`) — denials are local, no
+        upstream rollback exists to perturb other hops — so a hot link
+        denying a few percent of increases every epoch stays fully
+        vectorized.  A multi-hop path stays all-or-nothing (checked
+        two-phase via :meth:`SwitchPort.delta_batch_total` before
+        anything commits) because a mid-batch denial rolls back
+        upstream hops, and ``(u + d) - d`` bitwise-perturbs their
+        utilizations in a way only the sequential walk reproduces.
+        Anything else replays the whole batch through ``renegotiate``,
+        which is exact by construction.
+        """
+        count = int(len(new_rates))
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        deltas = np.asarray(new_rates, dtype=float) - np.asarray(
+            old_rates, dtype=float
+        )
+        fast = (
+            self.faults is None
+            and self.cell_loss_probability == 0.0
+            and not any(port.has_outages for port in self.ports)
+        )
+        if fast and self.num_hops == 1:
+            granted = self.ports[0].delta_batch_apply(vcis, deltas)
+            if granted is not None:
+                self.stats.requests += count
+                self.stats.increase_requests += int(
+                    np.count_nonzero(deltas > 0)
+                )
+                self.stats.cells_sent += count
+                denied_count = count - int(np.count_nonzero(granted))
+                if denied_count:
+                    # Every denial is an increase refused at hop 0, in
+                    # slot order — exactly the scalar path's appends.
+                    self.stats.failure_hops.extend([0] * denied_count)
+                    self.stats.failures += denied_count
+                return granted
+            fast = False
+        totals: List[float] = []
+        if fast:
+            for port in self.ports:
+                total = port.delta_batch_total(deltas)
+                if total is None:
+                    fast = False
+                    break
+                totals.append(total)
+        if fast:
+            for port, total in zip(self.ports, totals):
+                port.commit_delta_batch(vcis, deltas, total)
+            self.stats.requests += count
+            self.stats.increase_requests += int(np.count_nonzero(deltas > 0))
+            self.stats.cells_sent += count
+            return np.ones(count, dtype=bool)
+        granted = np.empty(count, dtype=bool)
+        for index in range(count):
+            granted[index] = self.renegotiate(
+                RenegotiationRequest(
+                    vci=int(vcis[index]),
+                    old_rate=float(old_rates[index]),
+                    new_rate=float(new_rates[index]),
+                    time=time,
+                )
+            )
         return granted
 
     def resynchronize(self, vci: int, true_rate: float, time: float) -> bool:

@@ -199,3 +199,54 @@ class TestBenchmark:
             run_server_benchmark(num_calls=0, workload=workload)
         with pytest.raises(ValueError):
             run_server_benchmark(num_calls=1, epochs=0, workload=workload)
+
+    def test_history_appends_across_runs(self, workload, tmp_path):
+        import json
+
+        from repro.server.bench import load_bench_history
+
+        out = tmp_path / "BENCH_server.json"
+        for _ in range(2):
+            run_server_benchmark(
+                num_calls=200, epochs=4, warmup_epochs=2, seed=0,
+                workload=workload, out=out,
+            )
+        history = load_bench_history(out)
+        assert len(history) == 2
+        for leg in history:
+            assert leg["num_calls"] == 200
+            assert leg["shards"] == 0
+            assert leg["call_epochs_per_second"] > 0
+        # A pre-history artifact (single run in "context") still yields
+        # a one-leg history, so old committed baselines keep gating.
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({
+            "context": {"num_calls": 200, "shards": 0,
+                        "call_epochs_per_second": 1000.0},
+        }))
+        assert len(load_bench_history(legacy)) == 1
+
+    def test_perf_gate(self, workload, tmp_path):
+        from repro.server.bench import check_perf_regression
+
+        out = tmp_path / "BENCH_server.json"
+        result = run_server_benchmark(
+            num_calls=200, epochs=4, warmup_epochs=2, seed=0,
+            workload=workload, out=out,
+        )
+        # Same run vs its own leg: ratio 1.0, passes.
+        gate = check_perf_regression(result, out, threshold=0.2)
+        assert gate["ok"] and gate["ratio"] == pytest.approx(1.0)
+        # A >20% drop against the committed leg fails.
+        slow = dict(result)
+        slow["call_epochs_per_second"] = (
+            result["call_epochs_per_second"] * 0.5
+        )
+        gate = check_perf_regression(slow, out, threshold=0.2)
+        assert not gate["ok"]
+        assert gate["ratio"] == pytest.approx(0.5)
+        # No leg of the same (num_calls, shards) shape: vacuous pass.
+        other = dict(result)
+        other["num_calls"] = 999
+        gate = check_perf_regression(other, out, threshold=0.2)
+        assert gate["ok"] and gate["baseline"] is None
