@@ -533,6 +533,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.faults.injectors import FaultPlan
     from repro.server import ServerConfig, build_gateway, run_server_benchmark
     from repro.server.bench import check_perf_regression
+    from repro.server.checkpoint import ServeLifecycle
+    from repro.server.stats import snapshot_fingerprint
 
     if args.bench:
         result = run_server_benchmark(
@@ -542,8 +544,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             shards=args.shards,
             shard_chunk=args.shard_chunk,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
             out=args.out,
         )
+        if args.checkpoint_every:
+            print(f"benchmark ran with --checkpoint-every "
+                  f"{args.checkpoint_every} (deferred writes to "
+                  f"{args.checkpoint_path}); the perf gate measures the "
+                  f"cadence overhead against the clean baseline")
         runtime = (
             f"sharded x{result['shards']}" if result["shards"] else "plain"
         )
@@ -647,10 +656,58 @@ def cmd_serve(args: argparse.Namespace) -> int:
             faults = FaultPlan.from_file(args.fault_plan, seed=args.fault_seed)
 
     gateway = build_gateway(workload, config, faults=faults, source=source)
-    with gateway:
-        report = gateway.run(
-            args.duration, snapshot_every=args.snapshot_every
-        )
+    lifecycle = ServeLifecycle()
+    checkpoint_path = args.checkpoint_path
+
+    def _serve_hook(tick: int, gw) -> bool:
+        # Runs at each epoch boundary *before* the epoch is stepped, so
+        # a checkpoint written here resumes bit-exactly: it contains
+        # every snapshot due at this boundary and nothing later.
+        if lifecycle.stop_requested:
+            meta = gw.save(checkpoint_path)
+            print(f"\n{lifecycle.signal_name}: stopping at epoch boundary "
+                  f"t={meta['time']:.1f} s; checkpoint "
+                  f"({meta['bytes']:,} bytes) -> {checkpoint_path}",
+                  flush=True)
+            return True
+        if (
+            args.checkpoint_every
+            and tick
+            and tick % args.checkpoint_every == 0
+        ):
+            # Deferred: serialize inline (boundary-consistent), write in
+            # the background so the cadence tax is serialization-only.
+            gw.save(checkpoint_path, defer=True)
+        return False
+
+    try:
+        with gateway, lifecycle:
+            if args.resume_from:
+                gateway.restore(args.resume_from)
+                resumed_at = gateway.engine.now
+                remaining = args.duration - resumed_at
+                if remaining <= 0:
+                    print(f"checkpoint {args.resume_from} is already at "
+                          f"t={resumed_at:.1f} s; nothing left of "
+                          f"--duration {args.duration:.1f} s to serve")
+                    return 1
+                print(f"resumed from {args.resume_from} at "
+                      f"t={resumed_at:.1f} s; serving {remaining:.1f} s "
+                      f"more (--duration is the absolute end time)")
+            else:
+                remaining = args.duration
+            report = gateway.run(
+                remaining,
+                snapshot_every=args.snapshot_every,
+                epoch_hook=_serve_hook,
+            )
+    except KeyboardInterrupt:
+        # Second signal (or a Ctrl-C the lifecycle never saw): abandon
+        # the epoch in progress, report what completed, exit 130.
+        print(f"\ninterrupted: served {gateway.engine.now:.1f} s, "
+              f"{len(gateway.snapshots)} snapshots, partial fingerprint "
+              f"{snapshot_fingerprint(gateway.snapshots)}")
+        return 130
     final = report.final
     print(f"RCBR gateway (controller={config.controller}, "
           f"source={gateway.workload.name}, seed={config.seed}):")
@@ -684,6 +741,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
         )
         print(f"server report written to {args.report}")
+    if lifecycle.stop_requested:
+        print(f"stopped early by {lifecycle.signal_name}; continue with "
+              f"--resume-from {checkpoint_path}")
+        return 128 + (lifecycle.signum or 2)
     return 0
 
 
@@ -1019,6 +1080,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--report", default=None,
         help="write the full ServerReport JSON here",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="write a crash-safe checkpoint every N epochs (0 = off); "
+             "SIGTERM/SIGINT also writes one at the next epoch boundary",
+    )
+    serve.add_argument(
+        "--checkpoint-path", default="repro-serve.ckpt",
+        help="where periodic and shutdown checkpoints are written "
+             "(atomic replace; default: repro-serve.ckpt)",
+    )
+    serve.add_argument(
+        "--resume-from", default=None,
+        help="restore this checkpoint and continue serving; --duration "
+             "stays the absolute end time, so the resumed run serves "
+             "duration minus checkpoint time and reproduces the "
+             "uninterrupted run's fingerprint bit-exactly",
     )
     serve.add_argument(
         "--bench", action="store_true",

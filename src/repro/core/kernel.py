@@ -150,6 +150,38 @@ class KernelState:
         self.estimate[index] = 0.0
         self.buffer[index] = 0.0
 
+    # -- checkpointing --------------------------------------------------
+    def state_dict(self) -> dict:
+        """Export the persistent columns and ledgers (scratch excluded)."""
+        return {
+            "rate": self.rate.copy(),
+            "estimate": self.estimate.copy(),
+            "buffer": self.buffer.copy(),
+            "bits_lost": self.bits_lost,
+            "bits_downgraded": self.bits_downgraded,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` export, writing columns in place.
+
+        In-place writes matter: the sharded fleet points these columns at
+        a process-shared block, and rebinding the attributes would break
+        the sharing.  The current capacity must already cover the saved
+        columns (the fleet grows itself before delegating here).
+        """
+        saved = np.asarray(state["rate"])
+        if saved.size > self.capacity:
+            raise ValueError(
+                f"kernel state holds {saved.size} slots but capacity is "
+                f"{self.capacity}; grow before loading"
+            )
+        for name in ("rate", "estimate", "buffer"):
+            column = getattr(self, name)
+            column[:] = 0.0
+            column[: saved.size] = np.asarray(state[name])
+        self.bits_lost = float(state["bits_lost"])
+        self.bits_downgraded = float(state["bits_downgraded"])
+
 
 class KernelStateView:
     """A zero-copy window onto a contiguous range of kernel state columns.

@@ -431,5 +431,39 @@ class FaultPlan:
         injector = self._injectors.get("corruption")
         return injector.corrupt(workload) if injector is not None else workload
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, FaultInjector]:
+        """Export the injector objects themselves for a checkpoint.
+
+        Injectors are self-contained (own RNG streams, plain counters,
+        no back-references), so the checkpoint pickles them wholesale.
+        Crucially, pickling a numpy ``Generator`` preserves its
+        ``SeedSequence`` *spawn counter* — which restoring only
+        ``bit_generator.state`` would not — so injectors that lazily
+        spawn child streams (the outage injector's per-hop processes)
+        keep producing the same children after a restore.
+        """
+        return {"injectors": dict(self._injectors)}
+
+    def load_state(self, state: Dict[str, FaultInjector]) -> None:
+        """Adopt checkpointed injectors in place.
+
+        In place matters: the signaling path holds a reference to this
+        same plan object, so swapping the dict contents updates both
+        consumers at once.  The injector *names* must match the live
+        plan's — a different set means the checkpoint was taken under a
+        different fault spec, which the caller should have refused by
+        config hash already.
+        """
+        saved = dict(state["injectors"])
+        if set(saved) != set(self._injectors):
+            raise ValueError(
+                f"checkpointed fault plan has injectors {sorted(saved)} "
+                f"but this plan has {sorted(self._injectors)}"
+            )
+        self._injectors = saved
+
     def __repr__(self) -> str:
         return f"FaultPlan(active={list(self.active)})"

@@ -107,6 +107,39 @@ class OverloadControlPlane:
         section.update(self.policy.section())
         return section
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Export hysteresis state plus the bound policy's state.
+
+        The policy holds live references to the gateway and its RNG via
+        ``bind()`` and is therefore never pickled wholesale; the restored
+        plane's policy is freshly bound to the new gateway and reloaded
+        from this explicit state.
+        """
+        return {
+            "overloaded": self.overloaded,
+            "last_pressure": self.last_pressure,
+            "entries": self.entries,
+            "exits": self.exits,
+            "epochs_overloaded": self.epochs_overloaded,
+            "above": self._above,
+            "below": self._below,
+            "policy": self.policy.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` export into a bound plane."""
+        self.overloaded = bool(state["overloaded"])
+        self.last_pressure = float(state["last_pressure"])
+        self.entries = int(state["entries"])
+        self.exits = int(state["exits"])
+        self.epochs_overloaded = int(state["epochs_overloaded"])
+        self._above = int(state["above"])
+        self._below = int(state["below"])
+        self.policy.load_state(state["policy"])
+
     def __repr__(self) -> str:
         state = "overload" if self.overloaded else "normal"
         return (

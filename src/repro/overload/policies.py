@@ -89,6 +89,19 @@ class OverloadPolicy:
         """Policy counters for the snapshot's overload section."""
         return {}
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Export mutable policy state for a checkpoint.
+
+        Policies hold live gateway and RNG references through ``bind()``
+        and so are never pickled as objects; the checkpoint stores this
+        explicit state and replays it into a freshly bound policy.  The
+        RNG stream itself is owned (and checkpointed) by the gateway.
+        """
+        return {}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` export into a bound policy."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -214,6 +227,26 @@ class DowngradePolicy(OverloadPolicy):
             "calls_shrunk": self.calls_shrunk,
         }
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "levels": list(self.levels),
+            "escalations": self.escalations,
+            "restorations": self.restorations,
+            "calls_shrunk": self.calls_shrunk,
+            "last_action_tick": self._last_action_tick,
+            "factors": None if self._factors is None else self._factors.copy(),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self.levels = [int(level) for level in state["levels"]]
+        self.escalations = int(state["escalations"])
+        self.restorations = int(state["restorations"])
+        self.calls_shrunk = int(state["calls_shrunk"])
+        last = state["last_action_tick"]
+        self._last_action_tick = None if last is None else int(last)
+        factors = state["factors"]
+        self._factors = None if factors is None else np.asarray(factors).copy()
+
 
 class SacrificePolicy(OverloadPolicy):
     """Temporarily evict the cheapest-to-displace calls under pressure.
@@ -293,6 +326,23 @@ class SacrificePolicy(OverloadPolicy):
             "dropped": self.dropped,
             "queued": len(self.queue),
         }
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "queue": list(self.queue),
+            "sacrificed": self.sacrificed,
+            "readmitted": self.readmitted,
+            "dropped": self.dropped,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self.queue = deque(
+            (int(cls), int(shift), float(remaining))
+            for cls, shift, remaining in state["queue"]
+        )
+        self.sacrificed = int(state["sacrificed"])
+        self.readmitted = int(state["readmitted"])
+        self.dropped = int(state["dropped"])
 
 
 def make_overload_policy(name: str, **kwargs) -> OverloadPolicy:

@@ -28,11 +28,12 @@ import os
 import pickle
 import shutil
 import struct
-import tempfile
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.util.io import atomic_write
 
 #: Bump when the canonical encoding or the on-disk layout changes.
 CACHE_SCHEMA = 1
@@ -209,23 +210,15 @@ class ResultCache:
         if not self.enabled:
             return False
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         try:
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return False
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
-        )
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp_name, path)
+            # A lost cache entry is just a future miss: skip the fsync
+            # and keep only the torn-write protection.
+            atomic_write(path, blob, fsync=False)
         except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
             return False
         self.writes += 1
         return True

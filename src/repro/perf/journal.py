@@ -24,10 +24,11 @@ import base64
 import json
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.util.io import atomic_write
 
 #: Bump when the line format changes; mismatched journals are stale.
 JOURNAL_SCHEMA = 1
@@ -108,7 +109,6 @@ class SweepJournal:
 
     def reset(self) -> None:
         """Start a fresh journal: atomically write just the header."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         header = json.dumps(
             {
                 "kind": "header",
@@ -117,14 +117,7 @@ class SweepJournal:
             },
             sort_keys=True,
         )
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=".journal-", suffix=".tmp"
-        )
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(header + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, self.path)
+        atomic_write(self.path, header + "\n")
 
     def append(self, entry: JournalEntry) -> None:
         """Durably append one completed cell."""

@@ -16,6 +16,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.util.io import atomic_write
+
 #: Format version of the emitted JSON.
 BENCH_SCHEMA = 1
 
@@ -110,10 +112,8 @@ class BenchRecorder:
         return payload
 
     def write(self, path: Union[str, Path]) -> None:
-        """Write the records as pretty-printed JSON."""
-        Path(path).write_text(
-            json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8"
-        )
+        """Atomically write the records as pretty-printed JSON."""
+        atomic_write(path, json.dumps(self.as_dict(), indent=2) + "\n")
 
     def __len__(self) -> int:
         return len(self.records)

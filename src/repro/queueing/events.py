@@ -12,7 +12,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Callable, Optional
+from operator import attrgetter
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
 
 
 class Event:
@@ -148,6 +151,119 @@ class EventScheduler:
                     return
         if until != math.inf and until > self._now:
             self._now = until
+
+    # -- checkpointing --------------------------------------------------
+    def state_dict(
+        self,
+        encode_callback: Callable[[Callable[..., Any]], Any],
+        encode_args: Optional[Callable[..., Any]] = None,
+    ) -> Dict[str, Any]:
+        """Export the full scheduler state for a checkpoint.
+
+        Callbacks are typically bound methods of the owning gateway and
+        cannot be serialized directly; ``encode_callback`` maps each one
+        to a picklable token (the gateway uses the method name, checked
+        against an allowlist).  Event args must already be plain data.
+
+        The export is columnar — times/sequences/cancelled as arrays,
+        one small token code per event — because a large service has one
+        pending departure per call and a Python tuple per event would
+        dominate checkpoint latency.  Every per-event pass is C-driven
+        (``map`` + ``attrgetter``); ``encode_callback`` runs once per
+        distinct underlying function, not once per event.
+        ``encode_args(token_table, token_codes, args_list)`` may pack
+        the whole heap's argument tuples into arrays; the symmetric
+        ``decode_args`` unpacks.
+
+        Reading the sequence counter consumes one value, so it is
+        recreated from the observed value — a net no-op: the next
+        ``schedule_at`` sees exactly the sequence it would have.
+        """
+        next_sequence = next(self._counter)
+        self._counter = itertools.count(next_sequence)
+        events = self._queue
+        count = len(events)
+        times = np.fromiter(
+            map(attrgetter("time"), events), dtype=np.float64, count=count
+        )
+        sequences = np.fromiter(
+            map(attrgetter("sequence"), events), dtype=np.int64, count=count
+        )
+        cancelled = np.fromiter(
+            map(attrgetter("cancelled"), events), dtype=np.bool_, count=count
+        )
+        callbacks = list(map(attrgetter("callback"), events))
+        try:
+            # Bound methods are created fresh at each schedule_at; the
+            # underlying function object is the stable identity.
+            keys = list(map(attrgetter("__func__"), callbacks))
+        except AttributeError:
+            keys = callbacks
+        representative = dict(zip(keys, callbacks))
+        code_of: Dict[Any, int] = {}
+        token_table: List[Any] = []
+        for key, callback in representative.items():
+            code_of[key] = len(token_table)
+            token_table.append(encode_callback(callback))
+        token_codes = np.fromiter(
+            map(code_of.__getitem__, keys), dtype=np.uint16, count=count
+        )
+        args_list = list(map(attrgetter("args"), events))
+        return {
+            "now": self._now,
+            "processed": self._processed,
+            "next_sequence": next_sequence,
+            "times": times,
+            "sequences": sequences,
+            "cancelled": cancelled,
+            "token_table": token_table,
+            "token_codes": token_codes,
+            "args": (
+                encode_args(token_table, token_codes, args_list)
+                if encode_args is not None
+                else args_list
+            ),
+        }
+
+    def load_state(
+        self,
+        state: Dict[str, Any],
+        decode_callback: Callable[[Any], Callable[..., Any]],
+        decode_args: Optional[Callable[..., List[tuple]]] = None,
+    ) -> List[Event]:
+        """Restore a :meth:`state_dict` export; returns the live events.
+
+        The returned list lets the caller rebuild side indexes into the
+        heap (the gateway's pending-departure map keys call ids to the
+        very :class:`Event` objects it may later cancel).
+        """
+        self._now = float(state["now"])
+        self._processed = int(state["processed"])
+        self._counter = itertools.count(int(state["next_sequence"]))
+        token_table = list(state["token_table"])
+        callbacks = [decode_callback(token) for token in token_table]
+        codes = state["token_codes"]
+        if decode_args is not None:
+            args_list = decode_args(token_table, codes, state["args"])
+        else:
+            args_list = state["args"]
+        times = state["times"]
+        sequences = state["sequences"]
+        cancelled = state["cancelled"]
+        self._queue = []
+        for index in range(len(times)):
+            event = Event(
+                float(times[index]),
+                int(sequences[index]),
+                callbacks[int(codes[index])],
+                tuple(args_list[index]),
+            )
+            event.cancelled = bool(cancelled[index])
+            self._queue.append(event)
+        # The export preserved heap order, but heapify anyway: the
+        # invariant is cheap to re-establish and load-bearing.
+        heapq.heapify(self._queue)
+        return list(self._queue)
 
     def step(self) -> bool:
         """Process exactly one event; returns False if none remain."""

@@ -294,6 +294,58 @@ class RcbrLink:
         for source_id in satisfied:
             self._shortfall_order.remove(source_id)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Export allocations, running sums, integrals, and counters.
+
+        The incrementally maintained ``_allocated_total``/``_demand_total``
+        are exported verbatim rather than recomputed: their float values
+        carry the exact accumulation history, and a recomputed sum would
+        diverge from the live gateway by rounding dust — visible in the
+        fingerprint.
+        """
+        return {
+            "grants": dict(self._grants),
+            "demands": dict(self._demands),
+            **self._common_state(),
+        }
+
+    def _common_state(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "allocated_total": self._allocated_total,
+            "demand_total": self._demand_total,
+            "shortfall_order": list(self._shortfall_order),
+            "clock": self._clock,
+            "allocated_integral": self._allocated_integral,
+            "shortfall_integral": self._shortfall_integral,
+            "request_count": self.request_count,
+            "increase_count": self.increase_count,
+            "failure_count": self.failure_count,
+            "downgrade_events": self.downgrade_events,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` export."""
+        self.capacity = float(state["capacity"])  # type: ignore[arg-type]
+        self._grants = dict(state["grants"])  # type: ignore[arg-type]
+        self._demands = dict(state["demands"])  # type: ignore[arg-type]
+        self._load_common(state)
+
+    def _load_common(self, state: Dict[str, object]) -> None:
+        self._allocated_total = float(state["allocated_total"])  # type: ignore[arg-type]
+        self._demand_total = float(state["demand_total"])  # type: ignore[arg-type]
+        self._shortfall_order = list(state["shortfall_order"])  # type: ignore[arg-type]
+        self._clock = float(state["clock"])  # type: ignore[arg-type]
+        self._allocated_integral = float(state["allocated_integral"])  # type: ignore[arg-type]
+        self._shortfall_integral = float(state["shortfall_integral"])  # type: ignore[arg-type]
+        self.request_count = int(state["request_count"])  # type: ignore[arg-type]
+        self.increase_count = int(state["increase_count"])  # type: ignore[arg-type]
+        self.failure_count = int(state["failure_count"])  # type: ignore[arg-type]
+        self.downgrade_events = int(state["downgrade_events"])  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         return (
             f"RcbrLink(capacity={self.capacity:.0f}, sources={self.num_sources}, "
@@ -525,6 +577,35 @@ class DenseRcbrLink(RcbrLink):
                 satisfied.append(source_id)
         for source_id in satisfied:
             self._shortfall_order.remove(source_id)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Export the dense columns in place of the base-class dicts."""
+        return {
+            "grants": self._grants.copy(),
+            "demands": self._demands.copy(),
+            "present": self._present.copy(),
+            "num_sources": self._num_sources,
+            **self._common_state(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        saved = np.asarray(state["grants"])
+        if saved.size > self.num_slots:
+            self.grow(saved.size)
+        self.capacity = float(state["capacity"])  # type: ignore[arg-type]
+        for name, fill in (
+            ("_grants", 0.0),
+            ("_demands", 0.0),
+            ("_present", False),
+        ):
+            column = getattr(self, name)
+            column[:] = fill
+            column[: saved.size] = np.asarray(state[name.lstrip("_")])
+        self._num_sources = int(state["num_sources"])  # type: ignore[arg-type]
+        self._load_common(state)
 
     def __repr__(self) -> str:
         return (

@@ -75,6 +75,7 @@ def _history_leg(context: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         "shards",
         "epochs",
         "warmup_epochs",
+        "checkpoint_every",
         "realtime_factor",
         "call_epochs_per_second",
         "mean_utilization",
@@ -107,6 +108,11 @@ def check_perf_regression(
     reference: Optional[Dict[str, Any]] = None
     for leg in load_bench_history(baseline):
         leg_shape = (int(leg.get("num_calls", 0)), int(leg.get("shards", 0)))
+        if leg.get("checkpoint_every"):
+            # Checkpointed legs measure cadence overhead; baselines are
+            # always the clean serving loop, so a checkpointed run is
+            # gated against the uncheckpointed floor, never itself.
+            continue
         if leg_shape == shape and "call_epochs_per_second" in leg:
             reference = leg
     if reference is None:
@@ -145,6 +151,8 @@ def run_server_benchmark(
     capacity_headroom: float = 1.1,
     shards: int = 0,
     shard_chunk: int = 4096,
+    checkpoint_every: int = 0,
+    checkpoint_path: Union[str, Path] = "repro-serve.ckpt",
     out: Optional[Union[str, Path]] = None,
     recorder: Optional[BenchRecorder] = None,
 ) -> Dict[str, Any]:
@@ -162,6 +170,14 @@ def run_server_benchmark(
     what "keeps up with real time" means for a gateway.  Both phases are
     still recorded (``server/preload``, ``server/warmup``) so the
     transient cost stays visible in the artifact.
+
+    ``checkpoint_every`` enables the serve loop's periodic deferred
+    checkpoints (every N epochs, written to ``checkpoint_path``) inside
+    the *timed* window — the cadence-overhead measurement ISSUE 8's
+    acceptance gates on.  The resulting history leg is stamped with
+    ``checkpoint_every`` and :func:`check_perf_regression` never uses
+    such a leg as a baseline: checkpointed runs are gated against the
+    clean serving floor.
     """
     if num_calls < 1:
         raise ValueError("num_calls must be >= 1")
@@ -204,10 +220,21 @@ def run_server_benchmark(
             )
 
         duration = epochs * slot
+        epoch_hook = None
+        if checkpoint_every:
+
+            def epoch_hook(tick: int, gw) -> bool:
+                if tick and tick % checkpoint_every == 0:
+                    gw.save(checkpoint_path, defer=True)
+                return False
+
         renegs_before = gateway.reneg_requests
         call_epochs_before = gateway.fleet.call_epochs_stepped
         run_start = time.perf_counter()
-        report = gateway.run(duration)
+        report = gateway.run(duration, epoch_hook=epoch_hook)
+        if checkpoint_every:
+            # The last deferred write is part of the cadence cost.
+            gateway.checkpoint_sync()
         run_seconds = time.perf_counter() - run_start
 
     call_epochs = report.call_epochs_stepped - call_epochs_before
@@ -229,6 +256,7 @@ def run_server_benchmark(
         shards=shards,
         epochs=report.epochs,
         warmup_epochs=warmup_epochs,
+        checkpoint_every=checkpoint_every,
         simulated_seconds=round(duration, 6),
         realtime_factor=round(realtime_factor, 3),
         call_epochs_per_second=round(call_epochs_per_second, 1),

@@ -280,3 +280,57 @@ class CallFleet:
         return per_class_totals(
             self.call_class[self.active], self.rate[self.active], num_classes
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Export slot metadata, the free list, counters, and the kernel
+        columns.  The workload and parameters are *not* exported: they
+        are a pure function of the gateway config, which the checkpoint
+        layer hashes and validates instead."""
+        return {
+            "capacity": self._capacity,
+            "kernel": self._state.state_dict(),
+            "active": self.active.copy(),
+            "shift": self.shift.copy(),
+            "pending": self.pending.copy(),
+            "streak": self.streak.copy(),
+            "call_id": self.call_id.copy(),
+            "call_class": self.call_class.copy(),
+            "free": list(self._free),
+            "num_active": self.num_active,
+            "peak_active": self.peak_active,
+            "epochs_stepped": self.epochs_stepped,
+            "call_epochs_stepped": self.call_epochs_stepped,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` export, growing the pool first.
+
+        Growth happens through :meth:`_grow` so subclasses keep their
+        invariants (the sharded fleet re-points columns at a fresh
+        shared block and notifies the gateway to widen link/ports).
+        Capacities must then match exactly — both sides double from the
+        same config-derived initial size, so any mismatch means the
+        checkpoint belongs to a different config and is refused.
+        """
+        saved_capacity = int(state["capacity"])
+        while self._capacity < saved_capacity:
+            self._grow()
+        if self._capacity != saved_capacity:
+            raise ValueError(
+                f"fleet capacity {self._capacity} cannot match checkpointed "
+                f"capacity {saved_capacity} (different initial pool size?)"
+            )
+        self._state.load_state(state["kernel"])
+        for name in (
+            "active", "shift", "pending", "streak", "call_id", "call_class"
+        ):
+            column = getattr(self, name)
+            column[:] = np.asarray(state[name])
+        self._free = [int(slot) for slot in state["free"]]
+        self.num_active = int(state["num_active"])
+        self.peak_active = int(state["peak_active"])
+        self.epochs_stepped = int(state["epochs_stepped"])
+        self.call_epochs_stepped = int(state["call_epochs_stepped"])

@@ -97,7 +97,22 @@ from repro.util.stats import jain_fairness
 #: Tolerance when comparing epoch boundaries against snapshot deadlines.
 _TIME_EPSILON = 1e-9
 
-EpochHook = Callable[[int, "RcbrGateway"], None]
+EpochHook = Callable[[int, "RcbrGateway"], Optional[bool]]
+
+#: Event-heap callbacks a checkpoint may carry (encoded by method name,
+#: decoded by ``getattr`` on the restoring gateway).  Anything else in
+#: the heap at save time is a bug — refuse rather than guess.
+_EVENT_CALLBACK_ALLOWLIST = frozenset(
+    {"_handle_arrival", "_handle_departure", "_complete", "_complete_batch"}
+)
+
+#: Scalar argument signatures for checkpoint arg packing: these events'
+#: args round-trip through one float64 matrix per callback (every value
+#: is exactly representable), restored with the original types below.
+_EVENT_ARG_CODECS: Dict[str, tuple] = {
+    "_handle_departure": (int, int),
+    "_complete": (int, int, float, bool, bool),
+}
 
 
 class RcbrGateway:
@@ -243,6 +258,7 @@ class RcbrGateway:
 
         self._next_tick = 0
         self._preloaded = False
+        self._encode_callback_cache: Dict[object, str] = {}
 
     # ------------------------------------------------------------------
     # Construction hooks (overridden by the sharded runtime)
@@ -637,8 +653,12 @@ class RcbrGateway:
         ``snapshot_every`` emits a :class:`ServerSnapshot` at that period
         (rounded to epoch boundaries); the final snapshot at the end of
         the run is always taken.  ``epoch_hook(tick, gateway)`` runs after
-        the heap drain and before the vector step of each epoch — test
-        observability, not a public extension point.
+        the heap drain and before the vector step of each epoch; a hook
+        returning a truthy value stops the run *at that epoch boundary*
+        (the tick it saw is not stepped) — the graceful-shutdown path of
+        ``repro serve``, where the hook writes a final checkpoint before
+        the boundary snapshot so a resumed run stays bit-identical to an
+        uninterrupted one.
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -647,7 +667,6 @@ class RcbrGateway:
         slot = self.workload.slot_duration
         epochs = int(math.ceil(duration / slot - _TIME_EPSILON))
         start_tick = self._next_tick
-        end_time = (start_tick + epochs) * slot
 
         self.preload()
 
@@ -656,14 +675,20 @@ class RcbrGateway:
             if snapshot_every is not None
             else math.inf
         )
+        completed = 0
         for tick in range(start_tick, start_tick + epochs):
             now = tick * slot
+            # Keep "the gateway is at boundary _next_tick" true *inside*
+            # the loop, not just between runs: the epoch hook below may
+            # checkpoint, and a checkpoint stamped with a stale start
+            # tick would resume by replaying epochs already served.
+            self._next_tick = tick
             self.engine.run(until=now)
             while now >= next_snapshot - _TIME_EPSILON:
                 self._take_snapshot(now)
                 next_snapshot += snapshot_every  # type: ignore[operator]
-            if epoch_hook is not None:
-                epoch_hook(tick, self)
+            if epoch_hook is not None and epoch_hook(tick, self):
+                break
             downgrade = (
                 self.overload_plane.on_epoch(tick, now)
                 if self.overload_plane is not None
@@ -672,14 +697,16 @@ class RcbrGateway:
             step = self.fleet.step(tick, downgrade=downgrade)
             if step.num_requests:
                 self._issue_epoch(step, (tick + 1) * slot)
-        self._next_tick = start_tick + epochs
+            completed += 1
+        self._next_tick = start_tick + completed
+        end_time = self._next_tick * slot
 
         self.engine.run(until=end_time)
         final = self._take_snapshot(end_time)
         return ServerReport(
             config=self.config.to_dict(),
-            duration=epochs * slot,
-            epochs=epochs,
+            duration=completed * slot,
+            epochs=completed,
             final=final,
             snapshots=list(self.snapshots),
             fingerprint=snapshot_fingerprint(self.snapshots),
@@ -697,6 +724,300 @@ class RcbrGateway:
         )
 
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.server.checkpoint and DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def _encode_callback(self, callback: Callable) -> str:
+        # Called once per pending event (one departure per live call),
+        # so the name/allowlist validation is memoized by the underlying
+        # function object; the binding check stays per-call because each
+        # schedule_at creates a fresh bound method.
+        func = getattr(callback, "__func__", None)
+        name = self._encode_callback_cache.get(func)
+        if name is None:
+            name = getattr(callback, "__name__", None)
+            if name not in _EVENT_CALLBACK_ALLOWLIST:
+                raise ValueError(
+                    f"cannot checkpoint event callback {callback!r}; "
+                    f"allowed: {sorted(_EVENT_CALLBACK_ALLOWLIST)}"
+                )
+            if func is not None:
+                self._encode_callback_cache[func] = name
+        if getattr(callback, "__self__", None) is not self:
+            raise ValueError(
+                f"event callback {callback!r} is not bound to this gateway"
+            )
+        return name
+
+    def _decode_callback(self, token: str) -> Callable:
+        if token not in _EVENT_CALLBACK_ALLOWLIST:
+            raise ValueError(f"unknown checkpointed event callback {token!r}")
+        return getattr(self, token)
+
+    def _encode_event_args(self, token_table, token_codes, args_list):
+        # The hot callbacks carry only scalars, one event per live call
+        # — flatten the whole heap's args into one float64 array (each
+        # event's width fixed by its codec spec; arrivals contribute
+        # zero) so a 1M-call heap pickles as one array, not a million
+        # tuples.  The single C-driven ``fromiter`` over a chain is the
+        # fastest packing measured (≈2× over per-row ``asarray``).
+        # Events without a scalar spec (the rare in-flight batch commit
+        # with its ndarray args) ride in a side dict keyed by position.
+        widths = []
+        generic_codes = []
+        for code, token in enumerate(token_table):
+            spec = _EVENT_ARG_CODECS.get(token)
+            if spec is not None:
+                widths.append(len(spec))
+            else:
+                widths.append(0)
+                if token != "_handle_arrival":
+                    generic_codes.append(code)
+        count = len(args_list)
+        per_event = np.asarray(widths, dtype=np.int64)[token_codes]
+        generic: Dict[int, tuple] = {}
+        if generic_codes:
+            mask = np.isin(token_codes, generic_codes)
+            for index in np.nonzero(mask)[0].tolist():
+                generic[index] = args_list[index]
+        # Misaligned args would corrupt the flat layout silently; a
+        # vectorized length audit is ~2ms per 50k events — cheap
+        # insurance against a codec spec drifting from a call site.
+        lengths = np.fromiter(map(len, args_list), dtype=np.int64, count=count)
+        if generic:
+            lengths[mask] = per_event[mask]
+        if not np.array_equal(lengths, per_event):
+            raise ValueError(
+                "event args disagree with _EVENT_ARG_CODECS widths; "
+                "refusing to write a misaligned checkpoint"
+            )
+        if generic:
+            flat_iter = itertools.chain.from_iterable(
+                args
+                for index, args in enumerate(args_list)
+                if index not in generic
+            )
+        else:
+            flat_iter = itertools.chain.from_iterable(args_list)
+        flat = np.fromiter(
+            flat_iter, dtype=np.float64, count=int(per_event.sum())
+        )
+        return {"flat": flat, "generic": generic}
+
+    def _decode_event_args(self, token_table, token_codes, packed):
+        if isinstance(packed, list):  # written without a packer
+            return [tuple(args) for args in packed]
+        flat = packed["flat"].tolist()
+        generic = packed["generic"]
+        specs = [_EVENT_ARG_CODECS.get(token, ()) for token in token_table]
+        args_list: List[tuple] = []
+        offset = 0
+        for index, code in enumerate(token_codes.tolist()):
+            if index in generic:
+                args_list.append(tuple(generic[index]))
+                continue
+            spec = specs[code]
+            if not spec:
+                args_list.append(())
+                continue
+            end = offset + len(spec)
+            args_list.append(
+                tuple(
+                    conv(value)
+                    for conv, value in zip(spec, flat[offset:end])
+                )
+            )
+            offset = end
+        return args_list
+
+    def state_dict(self) -> Dict[str, object]:
+        """Export the complete mutable runtime state of this gateway.
+
+        Everything a resumed run's fingerprint can depend on is here:
+        kernel/fleet columns, link allocations and compensated sums,
+        per-hop port state, the event heap (callbacks encoded by method
+        name), all live RNG streams, overload-plane hysteresis, fault
+        injectors, counters, and the accumulated snapshot stream.  The
+        workload-sampling stream is *not* captured: it is consumed only
+        during ``__init__``, and a restoring gateway reconstructs from
+        the identical config, re-drawing it identically.
+
+        The returned structure shares arrays and objects with the live
+        gateway; :func:`repro.server.checkpoint.write_checkpoint`
+        pickles it immediately.  Call this only at an epoch boundary
+        (after the heap drain, before the vector step) — the documented
+        quiescent point where ``path.in_flight`` is empty and no
+        renegotiation is torn.
+        """
+        return {
+            "engine": self.engine.state_dict(
+                self._encode_callback, self._encode_event_args
+            ),
+            "fleet": self.fleet.state_dict(),
+            "link": self.link.state_dict(),
+            "ports": [port.state_dict() for port in self.ports],
+            "path": self.path.state_dict(),
+            "faults": (
+                self.faults.state_dict() if self.faults is not None else None
+            ),
+            "controller": self.controller,
+            "offered": self.offered,
+            "overload_plane": (
+                self.overload_plane.state_dict()
+                if self.overload_plane is not None
+                else None
+            ),
+            "rng": {
+                "arrival": self._arrival_rng.bit_generator.state,
+                "call": self._call_rng.bit_generator.state,
+                "overload": self._overload_rng.bit_generator.state,
+            },
+            "next_call_id": self._peek_call_ids(),
+            "counters": {
+                "arrivals": self.arrivals,
+                "blocked": self.blocked,
+                "admitted": self.admitted,
+                "departed": self.departed,
+                "abandoned": self.abandoned,
+                "setup_shortfalls": self.setup_shortfalls,
+                "reneg_requests": self.reneg_requests,
+                "reneg_denied": self.reneg_denied,
+                "injected_denials": self.injected_denials,
+                "link_shortfalls": self.link_shortfalls,
+            },
+            "snapshots": list(self.snapshots),
+            "last_snapshot_time": self._last_snapshot_time,
+            "last_allocated_bit_seconds": self._last_allocated_bit_seconds,
+            "last_reneg_requests": self._last_reneg_requests,
+            "next_tick": self._next_tick,
+            "preloaded": self._preloaded,
+        }
+
+    def _peek_call_ids(self) -> int:
+        """Read the next call id without net side effects (consume one,
+        recreate the counter at the observed value)."""
+        next_id = next(self._call_ids)
+        self._call_ids = itertools.count(next_id)
+        return next_id
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` export into this (fresh) gateway.
+
+        The caller (:meth:`restore` via ``repro.server.checkpoint``) has
+        already verified the checkpoint was taken under this exact
+        config, so every structural attribute — workload, params, plane
+        presence, hop count, shard layout — is already right; this
+        method only replays the mutable state.  Restoring into a
+        gateway that has already served traffic is unsupported.
+        """
+        self.fleet.load_state(state["fleet"])  # grows link/ports via hooks
+        self.link.load_state(state["link"])
+        port_states = state["ports"]
+        if len(port_states) != len(self.ports):  # type: ignore[arg-type]
+            raise ValueError(
+                f"checkpoint has {len(port_states)} ports, "  # type: ignore[arg-type]
+                f"gateway has {len(self.ports)}"
+            )
+        for port, port_state in zip(self.ports, port_states):  # type: ignore[arg-type]
+            port.load_state(port_state)
+        self.path.load_state(state["path"])
+        faults_state = state["faults"]
+        if (faults_state is None) != (self.faults is None):
+            raise ValueError(
+                "checkpoint and gateway disagree about fault injection"
+            )
+        if self.faults is not None:
+            self.faults.load_state(faults_state)  # type: ignore[arg-type]
+        self.controller = state["controller"]  # type: ignore[assignment]
+        self.offered = state["offered"]  # type: ignore[assignment]
+        plane_state = state["overload_plane"]
+        if (plane_state is None) != (self.overload_plane is None):
+            raise ValueError(
+                "checkpoint and gateway disagree about the overload plane"
+            )
+        if self.overload_plane is not None:
+            self.overload_plane.load_state(plane_state)  # type: ignore[arg-type]
+        rng_states = state["rng"]
+        self._arrival_rng.bit_generator.state = rng_states["arrival"]  # type: ignore[index]
+        self._call_rng.bit_generator.state = rng_states["call"]  # type: ignore[index]
+        self._overload_rng.bit_generator.state = rng_states["overload"]  # type: ignore[index]
+        self._call_ids = itertools.count(int(state["next_call_id"]))  # type: ignore[arg-type]
+        events = self.engine.load_state(
+            state["engine"],
+            self._decode_callback,  # type: ignore[arg-type]
+            self._decode_event_args,
+        )
+        self._departure_events = {
+            int(event.args[1]): event
+            for event in events
+            if not event.cancelled
+            and event.callback.__name__ == "_handle_departure"
+        }
+        counters = state["counters"]
+        self.arrivals = int(counters["arrivals"])  # type: ignore[index]
+        self.blocked = int(counters["blocked"])  # type: ignore[index]
+        self.admitted = int(counters["admitted"])  # type: ignore[index]
+        self.departed = int(counters["departed"])  # type: ignore[index]
+        self.abandoned = int(counters["abandoned"])  # type: ignore[index]
+        self.setup_shortfalls = int(counters["setup_shortfalls"])  # type: ignore[index]
+        self.reneg_requests = int(counters["reneg_requests"])  # type: ignore[index]
+        self.reneg_denied = int(counters["reneg_denied"])  # type: ignore[index]
+        self.injected_denials = int(counters["injected_denials"])  # type: ignore[index]
+        self.link_shortfalls = int(counters["link_shortfalls"])  # type: ignore[index]
+        self.snapshots = list(state["snapshots"])  # type: ignore[arg-type]
+        self._last_snapshot_time = float(state["last_snapshot_time"])  # type: ignore[arg-type]
+        self._last_allocated_bit_seconds = float(
+            state["last_allocated_bit_seconds"]  # type: ignore[arg-type]
+        )
+        self._last_reneg_requests = int(state["last_reneg_requests"])  # type: ignore[arg-type]
+        self._next_tick = int(state["next_tick"])  # type: ignore[arg-type]
+        self._preloaded = bool(state["preloaded"])
+
+    def save(self, path, defer: bool = False) -> Dict[str, object]:
+        """Write an atomic, stamped checkpoint of this gateway to ``path``.
+
+        Returns the checkpoint metadata (code version, config hash,
+        simulated time, byte size).  ``defer=True`` moves the file write
+        to a background thread (serialization stays inline) — the mode
+        for periodic checkpoints on a hot serve loop; the final save of
+        a run should stay synchronous.  See
+        :mod:`repro.server.checkpoint` for the format, the staleness
+        rules, and the deferred-write ordering guarantee.
+        """
+        from repro.server.checkpoint import write_checkpoint
+
+        return write_checkpoint(path, self, defer=defer)
+
+    def checkpoint_sync(self) -> None:
+        """Block until any deferred checkpoint write has landed on disk.
+
+        Raises :class:`repro.server.checkpoint.CheckpointError` if a
+        background write failed; a no-op when nothing is pending.
+        """
+        writer = getattr(self, "_checkpoint_writer", None)
+        if writer is not None:
+            writer.flush()
+
+    def restore(self, path) -> None:
+        """Load a checkpoint written by :meth:`save` into this gateway.
+
+        The gateway must have been freshly built from the *same config*
+        the checkpoint was taken under (enforced by canonical config
+        hash), stepping the *same workload* (enforced by workload hash —
+        the trace is built outside the config), by the *same code
+        version* (enforced by version stamp); mismatches raise
+        :class:`repro.server.checkpoint.StaleCheckpointError` rather
+        than resuming a run that could not be bit-exact.
+        """
+        from repro.server.checkpoint import read_checkpoint, workload_fingerprint
+
+        # A deferred write to this very path may still be in flight.
+        self.checkpoint_sync()
+        state = read_checkpoint(
+            path, self.config, workload_hash=workload_fingerprint(self.workload)
+        )
+        self.load_state(state)
+
     def close(self) -> None:
         """Release external resources (worker processes, shared memory).
 
@@ -707,8 +1028,17 @@ class RcbrGateway:
     def __enter__(self) -> "RcbrGateway":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            # Don't let a pending background checkpoint be abandoned by
+            # process exit; but never mask an in-flight exception with a
+            # flush failure.
+            self.checkpoint_sync()
+        except Exception:
+            if exc_type is None:
+                raise
+        finally:
+            self.close()
 
 
 def serve(

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import ctypes
 import multiprocessing
+import os
 import time
 from multiprocessing.connection import wait as _wait_connections
 from typing import Callable, List, Optional, Sequence
@@ -245,11 +246,22 @@ def _shard_worker_main(
     documented derivation instead of inventing one.
     """
     del seed_sequence  # reserved; see docstring
+    parent_pid = os.getppid()
     try:
         while True:
+            # Block in short slices: a SIGKILLed coordinator never
+            # closes our pipe (sibling workers forked after us inherit
+            # its parent end, so EOF cannot arrive), and reparenting is
+            # then the only death signal we get.
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
             command = conn.recv()
             if command[0] == "stop":
                 break
+            if command[0] == "ping":
+                conn.send(("pong",))
+                continue
             _, tick, use_downgrade = command
             for chunk in chunks:
                 _run_chunk(
@@ -339,6 +351,72 @@ class ShardWorkerPool:
         return bool(self._workers) and all(
             worker.is_alive() for worker in self._workers
         )
+
+    def heartbeat(self, timeout: Optional[float] = None) -> None:
+        """Watchdog round-trip: every worker must be alive and answering.
+
+        Run once per epoch before dispatching the step.  A worker that
+        died *between* epochs would otherwise surface only as an EOF
+        mid-step — or, with ``policy.timeout`` unset (the default), a
+        worker wedged without dying (e.g. SIGSTOP) would hang the
+        coordinator forever.  The liveness check catches silent deaths
+        before any pipe I/O; the ping round-trip bounds wedge detection
+        by ``timeout`` (default: ``policy.timeout`` or 5 s).  Failures
+        raise :class:`WorkerPoolError`, folding into the owner's
+        existing rebuild-or-degrade path.
+        """
+        if timeout is None:
+            timeout = self._policy.timeout or 5.0
+        dead = [
+            shard
+            for shard, worker in enumerate(self._workers)
+            if not worker.is_alive()
+        ]
+        if dead:
+            codes = [self._workers[shard].exitcode for shard in dead]
+            raise WorkerPoolError(
+                f"shards {dead} died silently between epochs "
+                f"(exit codes {codes})"
+            )
+        try:
+            for conn in self._conns:
+                conn.send(("ping",))
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerPoolError(f"shard worker pipe broke: {error}")
+        deadline = time.monotonic() + timeout
+        pending = dict(enumerate(self._conns))
+        while pending:
+            ready = _wait_connections(
+                list(pending.values()), timeout=self._policy.poll_interval
+            )
+            for conn in ready:
+                shard = next(
+                    index for index, c in pending.items() if c is conn
+                )
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as error:
+                    raise WorkerPoolError(
+                        f"shard {shard} died during heartbeat: {error}"
+                    )
+                if reply != ("pong",):
+                    raise WorkerPoolError(
+                        f"shard {shard} answered {reply!r} to a ping"
+                    )
+                del pending[shard]
+            if not pending:
+                return
+            for shard in pending:
+                if not self._workers[shard].is_alive():
+                    raise WorkerPoolError(
+                        f"shard {shard} died during heartbeat (exit code "
+                        f"{self._workers[shard].exitcode})"
+                    )
+            if time.monotonic() > deadline:
+                raise WorkerPoolError(
+                    f"shards {sorted(pending)} failed to answer the "
+                    f"heartbeat within {timeout}s"
+                )
 
     def step(self, tick: int, use_downgrade: bool) -> None:
         """Dispatch one epoch step and wait for every shard."""
@@ -545,6 +623,7 @@ class ShardedFleet(CallFleet):
             self._spawn_pool()
         while self._pool is not None:
             try:
+                self._pool.heartbeat()
                 self._pool.step(tick, use_downgrade)
                 break
             except WorkerPoolError:
@@ -583,6 +662,22 @@ class ShardedFleet(CallFleet):
         )
 
     def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def load_state(self, state: dict) -> None:
+        """Coordinator-owned restore: write the persistent columns of the
+        shared block in place, reset the chunk journals, and drop any
+        live pool so the next step respawns workers against the restored
+        block — each re-deriving its canonical
+        ``SeedSequence(base_seed, spawn_key=(shard,))`` stream."""
+        super().load_state(state)
+        self._columns.chunk_started.fill(-1)
+        self._columns.chunk_done.fill(-1)
         if self._pool is not None:
             self._pool.close()
             self._pool = None

@@ -24,6 +24,7 @@ not a fault, and is never retried.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
@@ -366,6 +367,36 @@ class SignalingPath:
     def release(self, vci: int) -> None:
         for port in self.ports:
             port.release(vci)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Export RNG streams, statistics, and in-flight bookkeeping.
+
+        Port state is *not* included: the gateway owns the port objects
+        (this path holds references to the same instances) and
+        checkpoints them itself.  Neither stream here ever spawns
+        children, so ``bit_generator.state`` captures them completely.
+        """
+        return {
+            "rng": self.rng.bit_generator.state,
+            "retry_rng": self._retry_rng.bit_generator.state,
+            "stats": dataclasses.replace(
+                self.stats, failure_hops=list(self.stats.failure_hops)
+            ),
+            "in_flight": dict(self._in_flight),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` export."""
+        self.rng.bit_generator.state = state["rng"]
+        self._retry_rng.bit_generator.state = state["retry_rng"]
+        self.stats = dataclasses.replace(
+            state["stats"],  # type: ignore[arg-type]
+            failure_hops=list(state["stats"].failure_hops),  # type: ignore[union-attr]
+        )
+        self._in_flight = dict(state["in_flight"])  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)

@@ -320,6 +320,38 @@ class SwitchPort:
         rate = self._vci_rates.pop(vci, 0.0)
         self.utilization = max(0.0, self.utilization - rate)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Export utilization, per-VCI rates, outages, and counters."""
+        rates = self._vci_rates
+        return {
+            "capacity": self.capacity,
+            "utilization": self.utilization,
+            "vci_rates": dict(rates) if isinstance(rates, dict) else None,
+            "outages": list(self._outages),
+            "cells_processed": self.cells_processed,
+            "requests_denied": self.requests_denied,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` export."""
+        rates = state["vci_rates"]
+        if self.track_per_vci:
+            self._vci_rates = dict(rates) if rates is not None else {}
+        self._load_common(state)
+
+    def _load_common(self, state: Dict[str, object]) -> None:
+        self.capacity = float(state["capacity"])  # type: ignore[arg-type]
+        self.utilization = float(state["utilization"])  # type: ignore[arg-type]
+        self._outages = [
+            (float(start), float(end))
+            for start, end in state["outages"]  # type: ignore[union-attr]
+        ]
+        self.cells_processed = int(state["cells_processed"])  # type: ignore[arg-type]
+        self.requests_denied = int(state["requests_denied"])  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         return (
             f"SwitchPort({self.name!r}, util={self.utilization:.0f}/"
@@ -393,6 +425,22 @@ class DenseSwitchPort(SwitchPort):
         rate = float(self._vci_rates[vci])
         self._vci_rates[vci] = 0.0
         self.utilization = max(0.0, self.utilization - rate)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        state = SwitchPort.state_dict(self)
+        state["vci_rates"] = self._vci_rates.copy()
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        saved = np.asarray(state["vci_rates"])
+        if saved.size > self.num_slots:
+            self.grow(saved.size)
+        self._vci_rates[:] = 0.0
+        self._vci_rates[: saved.size] = saved
+        self._load_common(state)
 
     def __repr__(self) -> str:
         return (

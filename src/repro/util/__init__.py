@@ -22,6 +22,7 @@ from repro.util.units import (
     format_rate,
     format_bits,
 )
+from repro.util.io import atomic_write
 from repro.util.rng import RngMixin, as_generator, spawn_generators
 from repro.util.stats import (
     RunningStats,
@@ -50,6 +51,7 @@ __all__ = [
     "rate_to_mbps",
     "format_rate",
     "format_bits",
+    "atomic_write",
     "RngMixin",
     "as_generator",
     "spawn_generators",

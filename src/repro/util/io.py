@@ -1,0 +1,59 @@
+"""Durable filesystem primitives shared across the package.
+
+One idiom — write to a temp file in the destination directory, flush,
+``fsync``, then ``os.replace`` over the target — had grown three
+hand-rolled copies (result cache, sweep journal, bench recorder) before
+it was extracted here.  The gateway checkpoints (:mod:`repro.server.
+checkpoint`) use the same helper: a crash mid-write must leave either
+the old file or the new file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write"]
+
+
+def atomic_write(
+    path: Union[str, Path],
+    data: Union[bytes, str],
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> None:
+    """Atomically replace ``path`` with ``data`` (bytes or text).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (the only rename POSIX
+    makes atomic).  ``fsync=True`` (the default) makes the contents
+    durable before the rename; callers for whom a lost-but-consistent
+    file is acceptable (e.g. a warm cache) may pass ``fsync=False`` to
+    skip the sync and keep only the torn-write protection.
+
+    On any failure the temp file is removed and the original ``path``
+    is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(data, str):
+        data = data.encode(encoding)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -233,6 +233,59 @@ class TestServe:
             main(["serve", "--controller", "frobnicate"])
 
 
+class TestServeCheckpoint:
+    """`repro serve` checkpoint/resume: the CLI face of DESIGN.md §15."""
+
+    BASE = ["serve", "--frames", "400", "--initial-calls", "6",
+            "--seed", "5", "--snapshot-every", "1"]
+
+    @staticmethod
+    def fingerprint(out):
+        for line in out.splitlines():
+            if "fingerprint:" in line:
+                return line.split()[-1]
+        raise AssertionError(f"no fingerprint in output:\n{out}")
+
+    def test_resume_reproduces_uninterrupted_fingerprint(
+        self, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "serve.ckpt"
+        assert main(self.BASE + ["--duration", "8"]) == 0
+        expected = self.fingerprint(capsys.readouterr().out)
+
+        assert main(self.BASE + ["--duration", "4",
+                                 "--checkpoint-every", "20",
+                                 "--checkpoint-path", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert ckpt.exists()
+
+        assert main(self.BASE + ["--duration", "8",
+                                 "--resume-from", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert self.fingerprint(out) == expected
+
+    def test_resume_past_duration_is_an_error(self, tmp_path, capsys):
+        ckpt = tmp_path / "serve.ckpt"
+        main(self.BASE + ["--duration", "4", "--checkpoint-every", "30",
+                          "--checkpoint-path", str(ckpt)])
+        capsys.readouterr()
+        assert main(self.BASE + ["--duration", "1",
+                                 "--resume-from", str(ckpt)]) == 1
+        assert "nothing left" in capsys.readouterr().out
+
+    def test_resume_refuses_different_config(self, tmp_path, capsys):
+        from repro.server.checkpoint import StaleCheckpointError
+
+        ckpt = tmp_path / "serve.ckpt"
+        main(self.BASE + ["--duration", "4", "--checkpoint-every", "30",
+                          "--checkpoint-path", str(ckpt)])
+        capsys.readouterr()
+        argv = [arg if arg != "5" else "6" for arg in self.BASE]
+        with pytest.raises(StaleCheckpointError, match="config hash"):
+            main(argv + ["--duration", "8", "--resume-from", str(ckpt)])
+
+
 class TestServeSource:
     """`repro serve --source` runs the gateway off a sampled model."""
 

@@ -239,24 +239,25 @@ class TestBlockIdentity:
             ).read_text()
         )
 
-        def find_fingerprint(node):
-            if isinstance(node, dict):
-                if "fingerprint" in node:
-                    return node["fingerprint"]
-                for value in node.values():
-                    found = find_fingerprint(value)
-                    if found:
-                        return found
-            if isinstance(node, list):
-                for value in node:
-                    found = find_fingerprint(value)
-                    if found:
-                        return found
-            return None
+        # Pin against the committed history legs *of this shape* (50k
+        # calls, 48 epochs, any shard count — sharding must not change
+        # the fingerprint).  The artifact's top-level context is
+        # whatever shape was benchmarked most recently, so matching on
+        # shape is what keeps this test meaningful as legs accumulate.
+        pinned = {
+            leg["fingerprint"]
+            for leg in recorded["history"]
+            if leg.get("num_calls") == 50_000
+            and leg.get("epochs") == 48
+            and leg.get("warmup_epochs") == 48
+        }
+        assert len(pinned) == 1, (
+            f"committed 50k-call history legs disagree: {sorted(pinned)}"
+        )
 
         result = run_server_benchmark(num_calls=50_000, epochs=48,
                                       warmup_epochs=48, seed=0)
-        assert result["fingerprint"] == find_fingerprint(recorded)
+        assert result["fingerprint"] == pinned.pop()
 
 
 class TestGatewayActions:

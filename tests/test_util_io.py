@@ -1,0 +1,59 @@
+"""Atomic file replacement: the one write primitive everything shares."""
+
+import os
+
+import pytest
+
+from repro.util.io import atomic_write
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write(target, "hello\n")
+        assert target.read_text(encoding="utf-8") == "hello\n"
+
+    def test_writes_bytes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write(target, "nested")
+        assert target.read_text(encoding="utf-8") == "nested"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write(target, "one")
+        atomic_write(target, "two")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_replace_cleans_up_and_preserves_target(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+
+        def explode(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write(target, "doomed")
+        monkeypatch.undo()
+
+        # The previous contents survive and no temp debris remains.
+        assert target.read_text(encoding="utf-8") == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_custom_encoding(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write(target, "café", encoding="latin-1")
+        assert target.read_bytes() == b"caf\xe9"
