@@ -32,6 +32,7 @@ from repro.core import (
 )
 from repro.core.schedule import RateSchedule, empirical_rate_distribution
 from repro.overload.policies import OVERLOAD_POLICY_NAMES
+from repro.scenarios.registry import SCENARIO_NAMES
 from repro.server.config import CONTROLLER_NAMES
 from repro.traffic import (
     FrameTrace,
@@ -255,6 +256,7 @@ def _sweep_cells(name: str, scale, cache, recorder, loss_target: float):
         figs7_9_cells,
         optimal_schedule_for,
         overload_cells,
+        scenario_cells,
         smg_cells,
         starwars_trace_for,
         tradeoff_cells,
@@ -262,6 +264,8 @@ def _sweep_cells(name: str, scale, cache, recorder, loss_target: float):
 
     if name == "overload":
         return overload_cells(scale=scale)
+    if name == "scenarios":
+        return scenario_cells(scale=scale)
     if name == "mbac":
         schedule = optimal_schedule_for(scale, cache=cache, recorder=recorder)
         return figs7_9_cells(schedule, scale)
@@ -748,6 +752,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """``repro scenario {list,describe,run}``: the declarative scenario
+    suite — competing RCBR flow groups over multi-bottleneck topologies
+    with hostile background cross-traffic (DESIGN.md §16)."""
+    import json
+
+    from repro.faults.injectors import FaultPlan
+    from repro.scenarios import get_scenario, run_scenario
+
+    if args.scenario_cmd == "list":
+        for name in SCENARIO_NAMES:
+            spec = get_scenario(name)
+            background = (
+                ",".join(bg.traffic for bg in spec.background) or "-"
+            )
+            print(
+                f"{name:20s} links={len(spec.links)} "
+                f"groups={len(spec.flows)} background={background}"
+            )
+            print(f"{'':20s} {spec.description}")
+        return 0
+
+    if args.scenario_cmd == "describe":
+        print(get_scenario(args.name).describe())
+        return 0
+
+    faults = None
+    if args.fault_plan:
+        if args.fault_plan.lstrip().startswith("{"):
+            faults = FaultPlan.from_json(args.fault_plan, seed=args.fault_seed)
+        else:
+            faults = FaultPlan.from_file(args.fault_plan, seed=args.fault_seed)
+    result = run_scenario(
+        args.name,
+        seed=args.seed,
+        duration=args.duration,
+        snapshot_every=args.snapshot_every,
+        route_k=args.route_k,
+        shards=args.shards,
+        faults=faults,
+    )
+    for line in result.summary_lines():
+        print(line)
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"scenario report written to {args.report}")
+    return 0
+
+
 def cmd_fit(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     model = fit_starwars_model(trace, num_classes=args.classes)
@@ -864,6 +919,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("tradeoff", "the Fig. 2 alpha/delta tradeoff cells"),
         ("overload", "the block/downgrade/sacrifice overload-plane "
                      "comparison under saturation"),
+        ("scenarios", "the hostile-neighborhood scenario roster "
+                      "(one cell per registered scenario)"),
     ):
         sub = sweep_commands.add_parser(sweep_name, help=sweep_help)
         add_sweep_options(sub)
@@ -983,7 +1040,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--source", choices=SOURCE_NAMES, default=None,
         help="sample the base workload from this traffic model instead "
              "of using the trace directly ('trace' plays the trace back "
-             "through the source path)",
+             "through the source path); one of: " + ", ".join(SOURCE_NAMES),
     )
     serve.add_argument(
         "--source-mean-kbps", type=float, default=374.0,
@@ -1121,6 +1178,73 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0.2)",
     )
     serve.set_defaults(handler=cmd_serve)
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="the declarative scenario suite: competing RCBR flows over "
+             "multi-bottleneck topologies with hostile cross-traffic",
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_cmd", required=True
+    )
+
+    sc_list = scenario_commands.add_parser(
+        "list", help="list the registered scenarios"
+    )
+    sc_list.set_defaults(handler=cmd_scenario)
+
+    sc_describe = scenario_commands.add_parser(
+        "describe",
+        help="print one scenario's full spec; one of: "
+             + ", ".join(SCENARIO_NAMES),
+    )
+    sc_describe.add_argument(
+        "name", metavar="NAME", choices=SCENARIO_NAMES,
+        help="scenario name (one of: " + ", ".join(SCENARIO_NAMES) + ")",
+    )
+    sc_describe.set_defaults(handler=cmd_scenario)
+
+    sc_run = scenario_commands.add_parser(
+        "run",
+        help="run one scenario; one of: " + ", ".join(SCENARIO_NAMES),
+    )
+    sc_run.add_argument(
+        "name", metavar="NAME", choices=SCENARIO_NAMES,
+        help="scenario name (one of: " + ", ".join(SCENARIO_NAMES) + ")",
+    )
+    sc_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's determinism seed (same seed => "
+             "byte-identical fingerprint)",
+    )
+    sc_run.add_argument(
+        "--duration", type=float, default=None,
+        help="override the spec's simulated duration in seconds",
+    )
+    sc_run.add_argument(
+        "--snapshot-every", type=float, default=None,
+        help="override the spec's snapshot period in simulated seconds",
+    )
+    sc_run.add_argument(
+        "--route-k", type=int, default=None,
+        help="candidate routes per call (k-shortest, most-headroom wins)",
+    )
+    sc_run.add_argument(
+        "--shards", type=int, default=0,
+        help="sharded runtime worker count (single-bottleneck scenarios "
+             "without background only; 0 = plain gateway)",
+    )
+    sc_run.add_argument(
+        "--fault-plan", default=None,
+        help="fault-plan spec: a JSON file path, or an inline JSON "
+             'object like \'{"denial": {"rate": 0.2}}\'',
+    )
+    sc_run.add_argument("--fault-seed", type=int, default=0)
+    sc_run.add_argument(
+        "--report", default=None,
+        help="write the full scenario report JSON here",
+    )
+    sc_run.set_defaults(handler=cmd_scenario)
 
     return parser
 

@@ -43,6 +43,8 @@ class SweepScale:
     overload_loads: Sequence[float] = (1.3, 1.5)
     overload_duration: float = 60.0
     overload_frames: int = 400
+    # Scenario-suite smoke grid (repro scenario).
+    scenario_duration: float = 8.0
 
 
 SWEEP_SCALES = {
@@ -57,6 +59,7 @@ SWEEP_SCALES = {
         overload_loads=(1.3, 1.5),
         overload_duration=60.0,
         overload_frames=400,
+        scenario_duration=8.0,
     ),
     "paper": SweepScale(
         name="paper",
@@ -69,6 +72,7 @@ SWEEP_SCALES = {
         overload_loads=(1.1, 1.3, 1.5, 1.8),
         overload_duration=180.0,
         overload_frames=1200,
+        scenario_duration=30.0,
     ),
 }
 
@@ -550,6 +554,89 @@ def overload_cells(
                     kwargs=kwargs,
                     cache_payload=kwargs,
                     meta={"figure": "overload"},
+                )
+            )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Scenario-suite cells (repro.scenarios)
+# ----------------------------------------------------------------------
+SCENARIO_SEED = 11
+
+
+def scenario_cell(
+    name: str,
+    seed: int = SCENARIO_SEED,
+    duration: float = 8.0,
+    route_k: Optional[int] = None,
+) -> Dict[str, Any]:
+    """One scenario of the declarative suite at sweep scale.
+
+    Runs the named scenario on the serving stack and reports the
+    quantities the hostile-neighborhood comparison is judged on:
+    blocking, renegotiation-denial fraction, bits lost at the link(s),
+    abandonment, and the run's determinism fingerprint.
+    """
+    from repro.scenarios import run_scenario
+
+    result = run_scenario(
+        name, seed=seed, duration=duration, route_k=route_k
+    )
+    final = result.report.final
+    return {
+        "scenario": name,
+        "route_k": route_k,
+        "arrivals": final.arrivals,
+        "blocking_probability": (
+            final.blocked / final.arrivals if final.arrivals else 0.0
+        ),
+        "reneg_requests": final.reneg_requests,
+        "reneg_denial_fraction": (
+            final.reneg_denied / final.reneg_requests
+            if final.reneg_requests
+            else 0.0
+        ),
+        "bits_lost": final.bits_lost_overflow + final.bits_lost_link,
+        "abandoned": final.abandoned,
+        "mean_utilization": result.report.mean_utilization,
+        "fingerprint": result.fingerprint,
+    }
+
+
+def scenario_cells(
+    names: Optional[Sequence[str]] = None,
+    scale: Optional[SweepScale] = None,
+    seed: int = SCENARIO_SEED,
+) -> List[SweepCell]:
+    """The full scenario roster at ``scale``, one cell per scenario
+    (plus a ``route_k=2`` companion for the alternate-routing scenario,
+    paired on the same seed so the comparison is not distributional)."""
+    from repro.scenarios import SCENARIO_NAMES
+
+    if scale is None:
+        scale = current_scale()
+    if names is None:
+        names = SCENARIO_NAMES
+    cells = []
+    for name in names:
+        variants = [(None, "")]
+        if name == "hotspot-collision":
+            variants.append((2, "/k2"))
+        for route_k, suffix in variants:
+            kwargs = dict(
+                name=name,
+                seed=seed,
+                duration=scale.scenario_duration,
+                route_k=route_k,
+            )
+            cells.append(
+                SweepCell(
+                    name=f"scenarios/{name}{suffix}",
+                    fn=scenario_cell,
+                    kwargs=kwargs,
+                    cache_payload=kwargs,
+                    meta={"figure": "scenarios"},
                 )
             )
     return cells

@@ -65,6 +65,8 @@ class RcbrLink:
         self._clock = 0.0
         self._allocated_integral = 0.0  # bit-seconds of reserved bandwidth
         self._shortfall_integral = 0.0  # bits lost to unmet demand
+        self._capacity_integral = 0.0  # bit-seconds of deliverable capacity
+        self._capacity_changes = 0
         self.request_count = 0
         self.increase_count = 0
         self.failure_count = 0
@@ -121,6 +123,7 @@ class RcbrLink:
             )
             self._allocated_integral += allocated * elapsed
             self._shortfall_integral += shortfall * elapsed
+            self._capacity_integral += self.capacity * elapsed
         self._clock = time
 
     @property
@@ -133,11 +136,36 @@ class RcbrLink:
         """Integral of unmet demand over time (bits lost to failures)."""
         return self._shortfall_integral
 
+    @property
+    def delivered_bit_seconds(self) -> float:
+        """Integral of link capacity over time (bits deliverable).
+
+        Equals ``capacity * now`` until :meth:`set_capacity` is first
+        used; under time-varying capacity (background cross-traffic,
+        outages) it is the honest utilization denominator.
+        """
+        return self._capacity_integral
+
     def mean_utilization(self, horizon: Optional[float] = None) -> float:
-        """Time-average fraction of capacity reserved since time zero."""
+        """Time-average fraction of deliverable capacity reserved.
+
+        With constant capacity this is the classic
+        ``allocated_bit_seconds / (capacity * span)``.  Once
+        :meth:`set_capacity` has varied the capacity, the denominator
+        switches to the capacity *integral* (extrapolating the current
+        capacity out to ``horizon``) — normalizing a background-squeezed
+        link by its nominal capacity would understate how busy it was.
+        """
         span = self._clock if horizon is None else horizon
         if span <= 0:
             return 0.0
+        if self._capacity_changes:
+            delivered = self._capacity_integral + self.capacity * max(
+                0.0, span - self._clock
+            )
+            return (
+                self._allocated_integral / delivered if delivered > 0 else 0.0
+            )
         return self._allocated_integral / (self.capacity * span)
 
     # ------------------------------------------------------------------
@@ -226,6 +254,8 @@ class RcbrLink:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._advance(time)
+        if capacity != self.capacity:
+            self._capacity_changes += 1
         self.capacity = float(capacity)
         # Scale against the *exact* grant sum, not the incrementally
         # maintained running total: the running total drifts by float
@@ -321,6 +351,8 @@ class RcbrLink:
             "clock": self._clock,
             "allocated_integral": self._allocated_integral,
             "shortfall_integral": self._shortfall_integral,
+            "capacity_integral": self._capacity_integral,
+            "capacity_changes": self._capacity_changes,
             "request_count": self.request_count,
             "increase_count": self.increase_count,
             "failure_count": self.failure_count,
@@ -341,6 +373,12 @@ class RcbrLink:
         self._clock = float(state["clock"])  # type: ignore[arg-type]
         self._allocated_integral = float(state["allocated_integral"])  # type: ignore[arg-type]
         self._shortfall_integral = float(state["shortfall_integral"])  # type: ignore[arg-type]
+        # Both default for checkpoints predating capacity accounting
+        # (constant capacity is the only state they can describe).
+        self._capacity_integral = float(
+            state.get("capacity_integral", self.capacity * self._clock)  # type: ignore[union-attr]
+        )
+        self._capacity_changes = int(state.get("capacity_changes", 0))  # type: ignore[arg-type]
         self.request_count = int(state["request_count"])  # type: ignore[arg-type]
         self.increase_count = int(state["increase_count"])  # type: ignore[arg-type]
         self.failure_count = int(state["failure_count"])  # type: ignore[arg-type]
@@ -447,6 +485,7 @@ class DenseRcbrLink(RcbrLink):
             )
             self._allocated_integral += allocated * elapsed
             self._shortfall_integral += shortfall * elapsed
+            self._capacity_integral += self.capacity * elapsed
         self._clock = time
 
     def _set_grant(self, source_id, rate: float) -> None:

@@ -1,0 +1,918 @@
+"""Scenario execution: the multi-bottleneck gateway and the dispatcher.
+
+:func:`run_scenario` picks one of two runtime shapes:
+
+* **Single-bottleneck specs** (one link, one flow group) run on the
+  classic stack via :func:`~repro.server.gateway.build_gateway` — so
+  shards, overload planes, and MBAC controllers all work — with
+  background cross-traffic applied through the epoch hook.
+* **Multi-bottleneck specs** run on :class:`ScenarioGateway`, a
+  subclass of the classic gateway that serves one
+  :class:`~repro.server.fleet.CallFleet` per flow group over per-edge
+  :class:`~repro.queueing.link.RcbrLink`s and per-route
+  :class:`~repro.signaling.network.SignalingPath`s through a shared
+  :class:`~repro.signaling.topology.SignalingNetwork`.
+
+Determinism contract (multi-bottleneck).  Three scenario streams are
+appended to the classic six via the SeedSequence spawn-prefix property
+(``spawn_generators(seed, 9)[6:]`` leaves streams 0-5 identical):
+stream 6 samples the per-group workloads in flow order, stream 7 the
+background series in background order, stream 8 seeds route signaling
+paths in route-creation order.  Per offered call the draw order is
+fixed: service class (overload stream), then workload shift (call
+stream), then — only if admitted — holding time (call stream).  Per
+epoch the merge order is: background capacity updates in background
+order, then one fleet step per flow group in flow order, renegotiations
+issuing in ascending pool-slot order within each group.  Event-heap
+callbacks address calls by ``group * GROUP_STRIDE + slot``.  Same seed
+(and fault seed) => bit-identical snapshot stream, including the
+per-link/per-group ``network`` section.
+
+Setup admission differs from the classic runtime by design: a call's
+initial rate travels its route as a real reservation
+(``path.renegotiate`` from rate 0), so a hop without headroom *blocks*
+the call — on a network, admission is the ports' decision, which is
+exactly the back-pressure the multi-hop experiments measure.
+Renegotiations then travel the same path under faults, and granted
+rates are mirrored onto every traversed link (taking the minimum grant,
+equalizing over-grants down), so per-link utilization and loss
+integrals stay honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.admission.callsim import arrival_rate_for_load
+from repro.faults.injectors import FaultPlan
+from repro.queueing.link import RcbrLink
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.server.config import ServerConfig
+from repro.server.fleet import CallFleet
+from repro.server.gateway import RcbrGateway, build_gateway
+from repro.server.stats import ServerReport
+from repro.signaling.messages import RenegotiationRequest
+from repro.signaling.network import PathStats, SignalingPath
+from repro.signaling.topology import SignalingNetwork, _edge_key
+from repro.traffic.sources import make_source
+from repro.traffic.trace import SlottedWorkload
+from repro.util.rng import spawn_generators
+
+#: Pool-slot encoding for event callbacks: ``group * STRIDE + slot``.
+GROUP_STRIDE = 1 << 20
+
+#: The reserved port VCI background cross-traffic occupies.
+BACKGROUND_VCI = -1
+
+#: The classic gateway's stream count; scenario streams append after it.
+_BASE_STREAMS = 6
+
+
+def _route_edges(route: Tuple[str, ...]) -> List[Tuple[str, str]]:
+    return list(zip(route[:-1], route[1:]))
+
+
+@dataclass
+class _GroupStats:
+    """Cumulative per-flow-group lifecycle counters."""
+
+    arrivals: int = 0
+    blocked: int = 0
+    admitted: int = 0
+    departed: int = 0
+    abandoned: int = 0
+    reneg_requests: int = 0
+    reneg_denied: int = 0
+
+
+@dataclass(frozen=True)
+class _CallBinding:
+    """Everything a live call reserved: its route, path, and links."""
+
+    group: int
+    route: Tuple[str, ...]
+    path: SignalingPath
+    links: Tuple[RcbrLink, ...]
+
+
+class _FleetStack:
+    """Aggregate gauge view over the per-group fleets.
+
+    Quacks like the single :class:`CallFleet` the base gateway reads in
+    snapshots and reports; sums run in fixed group order so the floats
+    feeding the fingerprint are reproducible.
+    """
+
+    def __init__(self, fleets: List[CallFleet]) -> None:
+        self.fleets = fleets
+
+    @property
+    def num_active(self) -> int:
+        return sum(fleet.num_active for fleet in self.fleets)
+
+    @property
+    def peak_active(self) -> int:
+        # Sum of per-group peaks: an upper bound on the true concurrent
+        # peak, fine for the (unfingerprinted) report gauge.
+        return sum(fleet.peak_active for fleet in self.fleets)
+
+    @property
+    def call_epochs_stepped(self) -> int:
+        return sum(fleet.call_epochs_stepped for fleet in self.fleets)
+
+    @property
+    def bits_lost(self) -> float:
+        return float(sum(fleet.bits_lost for fleet in self.fleets))
+
+    @property
+    def bits_downgraded(self) -> float:
+        return float(sum(fleet.bits_downgraded for fleet in self.fleets))
+
+    def total_buffered_bits(self) -> float:
+        return float(
+            sum(fleet.total_buffered_bits() for fleet in self.fleets)
+        )
+
+    def total_reserved_rate(self) -> float:
+        return float(
+            sum(fleet.total_reserved_rate() for fleet in self.fleets)
+        )
+
+
+class _LinkStack:
+    """Aggregate accounting view over the per-edge links."""
+
+    def __init__(self, links: List[RcbrLink], total_capacity: float) -> None:
+        self.links = links
+        self.capacity = float(total_capacity)
+
+    def finish(self, time: float) -> None:
+        for link in self.links:
+            link.finish(time)
+
+    @property
+    def allocated(self) -> float:
+        return float(sum(link.allocated for link in self.links))
+
+    @property
+    def total_demand(self) -> float:
+        return float(sum(link.total_demand for link in self.links))
+
+    @property
+    def allocated_bit_seconds(self) -> float:
+        return float(
+            sum(link.allocated_bit_seconds for link in self.links)
+        )
+
+    @property
+    def lost_bits(self) -> float:
+        return float(sum(link.lost_bits for link in self.links))
+
+    def mean_utilization(self, horizon: Optional[float] = None) -> float:
+        delivered = 0.0
+        for link in self.links:
+            span = link.now if horizon is None else horizon
+            delivered += link.delivered_bit_seconds + link.capacity * max(
+                0.0, span - link.now
+            )
+        if delivered <= 0:
+            return 0.0
+        return self.allocated_bit_seconds / delivered
+
+
+class _PathStack:
+    """Merged :class:`PathStats` over the per-route signaling paths."""
+
+    def __init__(self, route_paths: Dict[Tuple[str, ...], SignalingPath]):
+        self._route_paths = route_paths
+
+    @property
+    def stats(self) -> PathStats:
+        merged = PathStats()
+        for path in self._route_paths.values():  # route-creation order
+            stats = path.stats
+            merged.requests += stats.requests
+            merged.increase_requests += stats.increase_requests
+            merged.failures += stats.failures
+            merged.cells_sent += stats.cells_sent
+            merged.cells_lost += stats.cells_lost
+            merged.timeouts += stats.timeouts
+            merged.retries += stats.retries
+            merged.duplicates += stats.duplicates
+            merged.outage_drops += stats.outage_drops
+            merged.failure_hops.extend(stats.failure_hops)
+        return merged
+
+
+class ScenarioGateway(RcbrGateway):
+    """The multi-bottleneck RCBR gateway (see the module docstring)."""
+
+    def __init__(
+        self, spec: ScenarioSpec, faults: Optional[FaultPlan] = None
+    ) -> None:
+        if spec.single_bottleneck:
+            raise ValueError(
+                "single-bottleneck scenarios run on the classic gateway"
+                " (use run_scenario)"
+            )
+        self.spec = spec
+        config = ServerConfig(
+            capacity=spec.total_capacity,
+            load=0.0,  # arrivals are scheduled per flow group below
+            controller=spec.controller,
+            mean_holding=spec.mean_holding,
+            abandon_after=spec.abandon_after,
+            hop_delay=spec.links[0].delay,
+            initial_calls=0,
+            seed=spec.seed,
+            source_slots=spec.source_slots,
+            overload_policy=spec.overload_policy,
+            overload_classes=spec.overload_classes,
+            class_weights=spec.class_weights,
+        )
+        # Scenario streams 6..8; the spawn-prefix property keeps the
+        # classic streams 0..5 identical to a same-seed classic run.
+        (
+            self._workload_rng,
+            self._bg_rng,
+            self._path_rng,
+        ) = spawn_generators(config.seed, _BASE_STREAMS + 3)[_BASE_STREAMS:]
+
+        source = make_source(
+            spec.traffic,
+            mean_rate=spec.mean_rate,
+            slot_duration=spec.slot_duration,
+        )
+        self._group_workloads = [
+            source.sample_workload(spec.source_slots, seed=self._workload_rng)
+            for _ in spec.flows
+        ]
+
+        graph = nx.Graph()
+        for link in spec.links:
+            graph.add_edge(link.u, link.v, capacity=link.capacity)
+        self.network = SignalingNetwork(graph, seed=0)
+        self._edge_keys = [
+            _edge_key(link.u, link.v) for link in spec.links
+        ]
+        self._edge_capacity = {
+            key: link.capacity
+            for key, link in zip(self._edge_keys, spec.links)
+        }
+        self._edge_delay = {
+            key: link.delay for key, link in zip(self._edge_keys, spec.links)
+        }
+        self._edge_ports = {
+            key: self.network.port_between(link.u, link.v)
+            for key, link in zip(self._edge_keys, spec.links)
+        }
+
+        # Background rate series (bits/s per epoch), sampled up front in
+        # background order and clamped at the peak fraction so the RCBR
+        # side always keeps some capacity.
+        self._bg_keys = []
+        self._bg_series: Dict[Tuple, np.ndarray] = {}
+        self._bg_current: Dict[Tuple, float] = {}
+        for bg in spec.background:
+            key = _edge_key(bg.u, bg.v)
+            capacity = self._edge_capacity[key]
+            bg_source = make_source(
+                bg.traffic,
+                mean_rate=bg.mean_fraction * capacity,
+                slot_duration=spec.slot_duration,
+            )
+            sample = bg_source.sample_workload(
+                spec.source_slots, seed=self._bg_rng
+            )
+            rates = np.minimum(
+                sample.bits_per_slot / spec.slot_duration,
+                bg.peak_fraction * capacity,
+            )
+            self._bg_keys.append(key)
+            self._bg_series[key] = rates
+            self._bg_current[key] = 0.0
+
+        self.group_stats = [_GroupStats() for _ in spec.flows]
+
+        super().__init__(self._group_workloads[0], config, faults=faults)
+
+        # Per-route shared signaling paths, created lazily in call
+        # order; the stack view feeds the base snapshot fields.
+        self._route_paths: Dict[Tuple[str, ...], SignalingPath] = {}
+        self.path = _PathStack(self._route_paths)  # type: ignore[assignment]
+        self._bindings: Dict[int, _CallBinding] = {}
+
+        # Per-group Poisson arrival rates against the (k=1) shortest
+        # route's bottleneck capacity — the same Erlang identity the
+        # classic config uses, so per-link offered loads are additive.
+        self._group_rates: List[float] = []
+        for flow, workload in zip(spec.flows, self._group_workloads):
+            if flow.load <= 0:
+                self._group_rates.append(0.0)
+                continue
+            route = self.network.k_shortest_paths(
+                flow.source, flow.target, 1
+            )[0]
+            bottleneck = min(
+                self._edge_capacity[_edge_key(u, v)]
+                for u, v in _route_edges(tuple(route))
+            )
+            self._group_rates.append(
+                arrival_rate_for_load(
+                    flow.load,
+                    bottleneck,
+                    workload.mean_rate,
+                    self.mean_holding,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Construction seams
+    # ------------------------------------------------------------------
+    def _build_fleet(
+        self, workload: SlottedWorkload, config: ServerConfig
+    ) -> _FleetStack:
+        self._fleets = [
+            CallFleet(
+                group_workload,
+                self.params,
+                buffer_size=config.buffer_bits,
+                initial_capacity=256,
+            )
+            for group_workload in self._group_workloads
+        ]
+        return _FleetStack(self._fleets)  # type: ignore[return-value]
+
+    def _build_link(self, config: ServerConfig) -> _LinkStack:
+        self._edge_links = {
+            key: RcbrLink(self._edge_capacity[key])
+            for key in self._edge_keys
+        }
+        return _LinkStack(  # type: ignore[return-value]
+            [self._edge_links[key] for key in self._edge_keys],
+            config.capacity,
+        )
+
+    def _build_ports(self, config: ServerConfig):
+        return [self._edge_ports[key] for key in self._edge_keys]
+
+    def _path_for_route(self, route: Tuple[str, ...]) -> SignalingPath:
+        path = self._route_paths.get(route)
+        if path is None:
+            edges = _route_edges(route)
+            delays = [self._edge_delay[_edge_key(u, v)] for u, v in edges]
+            path = SignalingPath(
+                [self._edge_ports[_edge_key(u, v)] for u, v in edges],
+                # SignalingPath models one scalar per-hop delay; the
+                # mean preserves the route's total round-trip time
+                # (2 * sum of link delays).
+                hop_delay=sum(delays) / len(delays),
+                seed=self._path_rng,
+                faults=self.faults,
+                request_timeout=self.config.request_timeout,
+                max_retries=self.config.max_retries,
+                retry_backoff=self.config.retry_backoff,
+                retry_jitter=self.config.retry_jitter,
+                retry_seed=self._path_rng,
+            )
+            self._route_paths[route] = path
+        return path
+
+    # ------------------------------------------------------------------
+    # Call lifecycle
+    # ------------------------------------------------------------------
+    def preload(self) -> None:
+        if self._preloaded:
+            return
+        self._preloaded = True
+        for group, flow in enumerate(self.spec.flows):
+            for _ in range(flow.initial_calls):
+                self._admit_group_call(group, 0.0)
+        for group in range(len(self.spec.flows)):
+            self._schedule_group_arrival(group)
+
+    def _schedule_group_arrival(self, group: int) -> None:
+        rate = self._group_rates[group]
+        if rate <= 0:
+            return
+        gap = float(self._arrival_rng.exponential(1.0 / rate))
+        self.engine.schedule_in(gap, self._handle_group_arrival, group)
+
+    def _handle_group_arrival(self, group: int) -> None:
+        self._admit_group_call(group, self.engine.now)
+        self._schedule_group_arrival(group)
+
+    def _admit_group_call(self, group: int, now: float) -> Optional[int]:
+        """Offer one call to ``group``; admission is route setup."""
+        flow = self.spec.flows[group]
+        stats = self.group_stats[group]
+        fleet = self._fleets[group]
+        self.arrivals += 1
+        stats.arrivals += 1
+        call_class = int(
+            self._overload_rng.choice(self.num_classes, p=self._class_probs)
+        )
+        self.offered.on_arrival(call_class)
+        shift = int(
+            self._call_rng.integers(self._group_workloads[group].num_slots)
+        )
+        call_id = next(self._call_ids)
+        slot, initial_rate = fleet.admit(call_id, shift, call_class)
+        k = flow.route_k if flow.route_k is not None else self.spec.route_k
+        route = tuple(
+            self.network.select_route(
+                flow.source, flow.target, k=k, rate_hint=initial_rate
+            )
+        )
+        bottleneck = min(
+            self._edge_capacity[_edge_key(u, v)]
+            for u, v in _route_edges(route)
+        )
+        path = self._path_for_route(route)
+        admitted = self.controller.admit(
+            bottleneck, now, call_class=call_class
+        )
+        if admitted:
+            # The initial reservation travels the route for real: any
+            # hop without headroom denies (and rolls back upstream
+            # commits), blocking the call.
+            admitted = path.renegotiate(
+                RenegotiationRequest(
+                    vci=call_id,
+                    old_rate=0.0,
+                    new_rate=initial_rate,
+                    time=now,
+                )
+            )
+        if not admitted:
+            fleet.remove(slot)
+            self.blocked += 1
+            stats.blocked += 1
+            self.offered.on_blocked(call_class)
+            return None
+        holding = float(self._call_rng.exponential(self.mean_holding))
+        return self._install_group_call(
+            group, slot, call_id, initial_rate, holding, call_class, now,
+            route, path,
+        )
+
+    def _install_group_call(
+        self,
+        group: int,
+        slot: int,
+        call_id: int,
+        initial_rate: float,
+        holding: float,
+        call_class: int,
+        now: float,
+        route: Tuple[str, ...],
+        path: SignalingPath,
+    ) -> int:
+        fleet = self._fleets[group]
+        stats = self.group_stats[group]
+        links = tuple(
+            self._edge_links[_edge_key(u, v)]
+            for u, v in _route_edges(route)
+        )
+        granted = initial_rate
+        failed = False
+        for link in links:
+            outcome = link.request(call_id, initial_rate, now)
+            granted = min(granted, outcome.granted_rate)
+            failed = failed or outcome.failed
+        if failed:
+            self.setup_shortfalls += 1
+            for link in links:
+                if link.grant_of(call_id) > granted + 1e-12:
+                    link.request(call_id, granted, now)
+        fleet.set_rate(slot, granted)
+        self.controller.on_admit(call_id, granted, now, call_class=call_class)
+        self.admitted += 1
+        stats.admitted += 1
+        self.offered.on_admitted(call_class)
+        gslot = group * GROUP_STRIDE + slot
+        self._bindings[gslot] = _CallBinding(
+            group=group, route=route, path=path, links=links
+        )
+        self._departure_events[call_id] = self.engine.schedule_at(
+            now + holding, self._handle_departure, gslot, call_id
+        )
+        return call_id
+
+    def _handle_departure(self, gslot: int, call_id: int) -> None:
+        group, slot = divmod(gslot, GROUP_STRIDE)
+        fleet = self._fleets[group]
+        if fleet.call_id[slot] != call_id:
+            return  # stale event: the call already left this pool slot
+        now = self.engine.now
+        binding = self._bindings.pop(gslot)
+        self.offered.on_departure(int(fleet.call_class[slot]))
+        for link in binding.links:
+            link.release(call_id, now)
+        binding.path.release(call_id)
+        self.controller.on_departure(call_id, now)
+        fleet.remove(slot)
+        self._departure_events.pop(call_id, None)
+        self.departed += 1
+        self.group_stats[group].departed += 1
+
+    def _abandon(self, gslot: int, call_id: int) -> None:
+        self.group_stats[gslot // GROUP_STRIDE].abandoned += 1
+        super()._abandon(gslot, call_id)
+
+    # ------------------------------------------------------------------
+    # Renegotiation round trips
+    # ------------------------------------------------------------------
+    def _issue(
+        self, gslot: int, call_id: int, new_rate: float, time: float
+    ) -> None:
+        group, slot = divmod(gslot, GROUP_STRIDE)
+        fleet = self._fleets[group]
+        binding = self._bindings[gslot]
+        old_rate = float(fleet.rate[slot])
+        increase = new_rate > old_rate
+        fleet.pending[slot] = True
+        self.reneg_requests += 1
+        self.group_stats[group].reneg_requests += 1
+        if (
+            increase
+            and self.faults is not None
+            and self.faults.should_deny(time)
+        ):
+            self.injected_denials += 1
+            granted = False
+        else:
+            granted = binding.path.renegotiate(
+                RenegotiationRequest(
+                    vci=call_id,
+                    old_rate=old_rate,
+                    new_rate=new_rate,
+                    time=time,
+                )
+            )
+        apply = granted or not increase
+        self.engine.schedule_at(
+            time + binding.path.round_trip_time,
+            self._complete,
+            gslot,
+            call_id,
+            new_rate,
+            granted,
+            apply,
+        )
+
+    def _complete(
+        self,
+        gslot: int,
+        call_id: int,
+        new_rate: float,
+        granted: bool,
+        apply: bool,
+    ) -> None:
+        group, slot = divmod(gslot, GROUP_STRIDE)
+        fleet = self._fleets[group]
+        if fleet.call_id[slot] != call_id:
+            return  # the call departed while its cell was in flight
+        fleet.pending[slot] = False
+        now = self.engine.now
+        stats = self.group_stats[group]
+        if apply:
+            binding = self._bindings[gslot]
+            granted_rate = new_rate
+            failed = False
+            for link in binding.links:
+                outcome = link.request(call_id, new_rate, now)
+                granted_rate = min(granted_rate, outcome.granted_rate)
+                failed = failed or outcome.failed
+            if failed:
+                self.link_shortfalls += 1
+                # Equalize over-granting links down to the route
+                # bottleneck so per-link utilization stays honest; the
+                # binding link keeps the unmet demand (-> lost_bits).
+                for link in binding.links:
+                    if link.grant_of(call_id) > granted_rate + 1e-12:
+                        link.request(call_id, granted_rate, now)
+            fleet.set_rate(slot, granted_rate)
+            self.controller.on_reservation(call_id, granted_rate, now)
+            fleet.streak[slot] = 0
+            return
+        self.reneg_denied += 1
+        stats.reneg_denied += 1
+        streak = int(fleet.streak[slot]) + 1
+        fleet.streak[slot] = streak
+        if (
+            self.config.abandon_after is not None
+            and streak >= self.config.abandon_after
+        ):
+            self._abandon(gslot, call_id)
+
+    # ------------------------------------------------------------------
+    # The epoch step
+    # ------------------------------------------------------------------
+    def _step_epoch(self, tick: int, now: float, end_of_slot: float) -> None:
+        self._apply_background(tick, now)
+        for group, fleet in enumerate(self._fleets):
+            step = fleet.step(tick)
+            if step.num_requests:
+                self._issue_group_epoch(group, step, end_of_slot)
+
+    def _issue_group_epoch(self, group: int, step, end_of_slot: float) -> None:
+        fleet = self._fleets[group]
+        call_ids = fleet.call_id[step.slots]
+        base = group * GROUP_STRIDE
+        for slot, call_id, candidate in zip(
+            step.slots.tolist(),
+            call_ids.tolist(),
+            step.candidates.tolist(),
+        ):
+            self._issue(base + slot, call_id, candidate, end_of_slot)
+
+    def _apply_background(self, tick: int, now: float) -> None:
+        for key in self._bg_keys:
+            series = self._bg_series[key]
+            rate = float(series[tick % series.size])
+            previous = self._bg_current[key]
+            if rate == previous:
+                continue
+            self._bg_current[key] = rate
+            self._edge_ports[key].reprovision(BACKGROUND_VCI, rate - previous)
+            self._edge_links[key].set_capacity(
+                self._edge_capacity[key] - rate, now
+            )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _network_section(self) -> Dict[str, object]:
+        links: Dict[str, Dict[str, object]] = {}
+        for link_spec, key in zip(self.spec.links, self._edge_keys):
+            link = self._edge_links[key]
+            port = self._edge_ports[key]
+            links[f"{link_spec.u}~{link_spec.v}"] = {
+                "capacity": float(link.capacity),
+                "allocated": float(link.allocated),
+                "lost_bits": float(link.lost_bits),
+                "failures": int(link.failure_count),
+                "port_denied": int(port.requests_denied),
+                "background": float(self._bg_current.get(key, 0.0)),
+            }
+        groups: Dict[str, Dict[str, object]] = {}
+        for flow, fleet, stats in zip(
+            self.spec.flows, self._fleets, self.group_stats
+        ):
+            groups[flow.name] = {
+                "active": int(fleet.num_active),
+                "arrivals": stats.arrivals,
+                "blocked": stats.blocked,
+                "admitted": stats.admitted,
+                "departed": stats.departed,
+                "abandoned": stats.abandoned,
+                "reneg_requests": stats.reneg_requests,
+                "reneg_denied": stats.reneg_denied,
+            }
+        return {"links": links, "groups": groups}
+
+    # ------------------------------------------------------------------
+    # Checkpointing: not supported on the scenario runtime (yet)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        raise NotImplementedError(
+            "ScenarioGateway does not support checkpointing"
+        )
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        raise NotImplementedError(
+            "ScenarioGateway does not support checkpointing"
+        )
+
+
+# ----------------------------------------------------------------------
+# The dispatcher
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioResult:
+    """A scenario run: the classic report plus scenario-shaped views."""
+
+    spec: ScenarioSpec
+    report: ServerReport
+    #: Per-flow-group and per-link final state (uniform across both
+    #: runtime shapes; derived from the classic counters when the
+    #: scenario ran single-bottleneck).
+    groups: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    links: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.report.fingerprint
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.to_dict(),
+            "groups": self.groups,
+            "links": self.links,
+            **self.report.to_dict(),
+        }
+
+    def summary_lines(self) -> List[str]:
+        final = self.report.final
+        denial = (
+            final.reneg_denied / final.reneg_requests
+            if final.reneg_requests
+            else 0.0
+        )
+        blocking = final.blocked / final.arrivals if final.arrivals else 0.0
+        lines = [
+            f"scenario:        {self.spec.name}",
+            f"duration:        {self.report.duration:g} s "
+            f"({self.report.epochs} epochs)",
+            f"calls:           {final.arrivals} offered, "
+            f"{final.admitted} admitted, {final.blocked} blocked "
+            f"({blocking:.1%}), {final.abandoned} abandoned",
+            f"renegotiations:  {final.reneg_requests} requests, "
+            f"{final.reneg_denied} denied ({denial:.1%})",
+            f"bits lost:       {final.bits_lost_overflow:.0f} overflow, "
+            f"{final.bits_lost_link:.0f} link",
+            f"mean utilization: {self.report.mean_utilization:.3f}",
+        ]
+        for name, group in self.groups.items():
+            requests = group.get("reneg_requests", 0)
+            denied = group.get("reneg_denied", 0)
+            fraction = denied / requests if requests else 0.0
+            lines.append(
+                f"  group {name}: active={group.get('active', 0)} "
+                f"blocked={group.get('blocked', 0)} "
+                f"denied={denied}/{requests} ({fraction:.1%}) "
+                f"abandoned={group.get('abandoned', 0)}"
+            )
+        for name, link in self.links.items():
+            lines.append(
+                f"  link {name}: lost_bits={link.get('lost_bits', 0.0):.0f} "
+                f"failures={link.get('failures', 0)} "
+                f"port_denied={link.get('port_denied', 0)}"
+            )
+        lines.append(f"fingerprint:     {self.fingerprint}")
+        return lines
+
+
+def _run_single_bottleneck(
+    spec: ScenarioSpec,
+    shards: int,
+    faults: Optional[FaultPlan],
+) -> ScenarioResult:
+    link = spec.links[0]
+    flow = spec.flows[0]
+    if spec.background and shards:
+        raise ValueError(
+            "background cross-traffic needs the unsharded runtime "
+            "(the dense link cannot vary its capacity mid-run)"
+        )
+    config = ServerConfig(
+        capacity=link.capacity,
+        load=flow.load,
+        controller=spec.controller,
+        mean_holding=spec.mean_holding,
+        abandon_after=spec.abandon_after,
+        num_hops=spec.num_hops,
+        hop_delay=link.delay,
+        initial_calls=flow.initial_calls,
+        seed=spec.seed,
+        source_slots=spec.source_slots,
+        shards=shards,
+        overload_policy=spec.overload_policy,
+        overload_classes=spec.overload_classes,
+        class_weights=spec.class_weights,
+    )
+    source = make_source(
+        spec.traffic,
+        mean_rate=spec.mean_rate,
+        slot_duration=spec.slot_duration,
+    )
+    gateway = build_gateway(None, config, faults=faults, source=source)
+
+    hook = None
+    if spec.background:
+        bg = spec.background[0]
+        # Stream 7 is the scenario background stream in both runtime
+        # shapes (see the module docstring).
+        bg_rng = spawn_generators(spec.seed, _BASE_STREAMS + 2)[
+            _BASE_STREAMS + 1
+        ]
+        bg_source = make_source(
+            bg.traffic,
+            mean_rate=bg.mean_fraction * link.capacity,
+            slot_duration=spec.slot_duration,
+        )
+        series = np.minimum(
+            bg_source.sample_workload(
+                spec.source_slots, seed=bg_rng
+            ).bits_per_slot
+            / spec.slot_duration,
+            bg.peak_fraction * link.capacity,
+        )
+        port = gateway.ports[-1]
+        state = {"rate": 0.0}
+
+        def hook(tick: int, gw: RcbrGateway) -> None:
+            rate = float(series[tick % series.size])
+            previous = state["rate"]
+            if rate != previous:
+                state["rate"] = rate
+                port.reprovision(BACKGROUND_VCI, rate - previous)
+                gw.link.set_capacity(link.capacity - rate, gw.engine.now)
+
+    with gateway:
+        report = gateway.run(
+            spec.duration,
+            snapshot_every=spec.snapshot_every,
+            epoch_hook=hook,
+        )
+    final = report.final
+    groups = {
+        flow.name: {
+            "active": final.active_calls,
+            "arrivals": final.arrivals,
+            "blocked": final.blocked,
+            "admitted": final.admitted,
+            "departed": final.departed,
+            "abandoned": final.abandoned,
+            "reneg_requests": final.reneg_requests,
+            "reneg_denied": final.reneg_denied,
+        }
+    }
+    links = {
+        f"{link.u}~{link.v}": {
+            "capacity": link.capacity,
+            "lost_bits": final.bits_lost_link,
+            "failures": final.reneg_denied,
+            "port_denied": final.reneg_denied,
+            "background": (
+                spec.background[0].mean_fraction * link.capacity
+                if spec.background
+                else 0.0
+            ),
+        }
+    }
+    return ScenarioResult(spec=spec, report=report, groups=groups, links=links)
+
+
+def _run_multi_bottleneck(
+    spec: ScenarioSpec, faults: Optional[FaultPlan]
+) -> ScenarioResult:
+    gateway = ScenarioGateway(spec, faults=faults)
+    with gateway:
+        report = gateway.run(
+            spec.duration, snapshot_every=spec.snapshot_every
+        )
+        section = gateway._network_section()
+    return ScenarioResult(
+        spec=spec,
+        report=report,
+        groups=section["groups"],  # type: ignore[arg-type]
+        links=section["links"],  # type: ignore[arg-type]
+    )
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    *,
+    seed: Optional[int] = None,
+    duration: Optional[float] = None,
+    snapshot_every: Optional[float] = None,
+    route_k: Optional[int] = None,
+    shards: int = 0,
+    faults: Optional[FaultPlan] = None,
+) -> ScenarioResult:
+    """Run a scenario (by name or spec) and return its result.
+
+    Keyword overrides replace the spec's defaults; ``shards`` applies
+    only to single-bottleneck scenarios (multi-bottleneck specs raise,
+    as does background cross-traffic with ``shards >= 1``).  Same spec
+    and seed => byte-identical fingerprint.
+    """
+    spec = (
+        get_scenario(scenario) if isinstance(scenario, str) else scenario
+    )
+    overrides: Dict[str, Any] = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if duration is not None:
+        overrides["duration"] = duration
+    if snapshot_every is not None:
+        overrides["snapshot_every"] = snapshot_every
+    if route_k is not None:
+        overrides["route_k"] = route_k
+    if overrides:
+        spec = spec.replace(**overrides)
+    if spec.single_bottleneck:
+        return _run_single_bottleneck(spec, shards, faults)
+    if shards:
+        raise ValueError(
+            "multi-bottleneck scenarios run only on the unsharded "
+            "scenario gateway"
+        )
+    return _run_multi_bottleneck(spec, faults)

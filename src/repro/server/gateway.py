@@ -539,6 +539,24 @@ class RcbrGateway:
         self.offered.on_arrival(call_class)
         return self._install_call(shift, remaining, call_class, now)
 
+    def _step_epoch(self, tick: int, now: float, end_of_slot: float) -> None:
+        """One data-plane epoch: overload poll, vector step, issue.
+
+        A construction seam like :meth:`_build_fleet`: the scenario
+        runtime (``repro.scenarios``) overrides it to apply background
+        cross-traffic and step one fleet per flow group.  The base body
+        is exactly the classic single-fleet epoch, so refactoring it out
+        of :meth:`run` changes no fingerprint.
+        """
+        downgrade = (
+            self.overload_plane.on_epoch(tick, now)
+            if self.overload_plane is not None
+            else None
+        )
+        step = self.fleet.step(tick, downgrade=downgrade)
+        if step.num_requests:
+            self._issue_epoch(step, end_of_slot)
+
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
@@ -586,12 +604,21 @@ class RcbrGateway:
             buffer_bits=self.fleet.total_buffered_bits(),
             reserved_rate=self.fleet.total_reserved_rate(),
             overload=overload,
+            network=self._network_section(),
         )
         self.snapshots.append(snapshot)
         self._last_snapshot_time = time
         self._last_allocated_bit_seconds = self.link.allocated_bit_seconds
         self._last_reneg_requests = self.reneg_requests
         return snapshot
+
+    def _network_section(self) -> Optional[Dict[str, object]]:
+        """The fingerprinted multi-bottleneck payload (per-link and
+        per-flow-group state).  None on the single-link runtime, which
+        keeps classic snapshot streams byte-identical — the same
+        omission rule as the ``overload`` section.  The scenario
+        runtime overrides this."""
+        return None
 
     def _overload_section(self) -> Dict[str, object]:
         """The fingerprinted per-snapshot overload payload: plane state,
@@ -689,14 +716,7 @@ class RcbrGateway:
                 next_snapshot += snapshot_every  # type: ignore[operator]
             if epoch_hook is not None and epoch_hook(tick, self):
                 break
-            downgrade = (
-                self.overload_plane.on_epoch(tick, now)
-                if self.overload_plane is not None
-                else None
-            )
-            step = self.fleet.step(tick, downgrade=downgrade)
-            if step.num_requests:
-                self._issue_epoch(step, (tick + 1) * slot)
+            self._step_epoch(tick, now, (tick + 1) * slot)
             completed += 1
         self._next_tick = start_tick + completed
         end_time = self._next_tick * slot

@@ -76,6 +76,11 @@ class ServerSnapshot:
     # i.e. the block-only baseline — so pre-overload snapshot streams
     # and their fingerprints are byte-identical to this build's).
     overload: Optional[Dict[str, Any]] = None
+    # Multi-bottleneck network section (per-link allocation/loss and
+    # per-flow-group counters).  None on the classic single-link runtime
+    # — same omission rule as ``overload``, so single-link fingerprints
+    # are byte-identical to pre-scenario builds.
+    network: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = {
@@ -105,6 +110,8 @@ class ServerSnapshot:
         }
         if self.overload is not None:
             payload["overload"] = self.overload
+        if self.network is not None:
+            payload["network"] = self.network
         return payload
 
     def canonical(self) -> str:

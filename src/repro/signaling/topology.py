@@ -28,8 +28,28 @@ from repro.util.rng import SeedLike, as_generator
 
 
 def _edge_key(u, v) -> Tuple:
-    """Canonical undirected edge key."""
-    return (u, v) if repr(u) <= repr(v) else (v, u)
+    """Canonical undirected edge key: ``_edge_key(u, v) == _edge_key(v, u)``.
+
+    Ordering contract (stable across processes and documented so port
+    names and dict iteration order are reproducible):
+
+    1. Same-type endpoints order by their own ``<`` when they support it
+       — ints numerically, strings lexicographically.
+    2. Otherwise (mixed types, or types without a total order) endpoints
+       order by ``(type module, qualified name, repr)``.
+
+    The old implementation compared bare ``repr`` strings, which is
+    wrong for ints (``repr(10) < repr(9)``) and unstable for objects
+    whose default ``repr`` embeds the memory address.
+    """
+    if type(u) is type(v):
+        try:
+            return (u, v) if u <= v else (v, u)
+        except TypeError:
+            pass
+    a = (type(u).__module__, type(u).__qualname__, repr(u))
+    b = (type(v).__module__, type(v).__qualname__, repr(v))
+    return (u, v) if a <= b else (v, u)
 
 
 class SignalingNetwork:

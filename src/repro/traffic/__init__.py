@@ -33,10 +33,16 @@ from repro.traffic.starwars import (
     STAR_WARS_NUM_FRAMES,
 )
 from repro.traffic.sources import (
+    CELL_BITS,
     SOURCE_NAMES,
-    TrafficSource,
+    LrdSource,
+    MmppSource,
+    PoissonSource,
     TraceSource,
+    TrafficSource,
+    lrd_source,
     make_source,
+    mmpp_source,
 )
 from repro.traffic.arrivals import PoissonArrivals, offered_load
 from repro.traffic.fit import (
@@ -68,10 +74,16 @@ __all__ = [
     "STAR_WARS_MEAN_RATE",
     "STAR_WARS_FPS",
     "STAR_WARS_NUM_FRAMES",
+    "CELL_BITS",
     "SOURCE_NAMES",
+    "LrdSource",
+    "MmppSource",
+    "PoissonSource",
     "TrafficSource",
     "TraceSource",
+    "lrd_source",
     "make_source",
+    "mmpp_source",
     "PoissonArrivals",
     "offered_load",
     "SceneSegmentation",

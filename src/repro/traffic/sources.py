@@ -38,10 +38,23 @@ from repro.traffic.markov import (
 from repro.traffic.onoff import onoff_source
 from repro.traffic.starwars import STAR_WARS_MEAN_RATE, StarWarsModel
 from repro.traffic.trace import SlottedWorkload
-from repro.util.rng import SeedLike
+from repro.util.rng import SeedLike, as_generator
 
 #: Names accepted by :func:`make_source` (and ``repro serve --source``).
-SOURCE_NAMES = ("starwars", "markov", "multiscale", "onoff", "trace")
+SOURCE_NAMES = (
+    "starwars",
+    "markov",
+    "multiscale",
+    "onoff",
+    "trace",
+    "mmpp",
+    "lrd",
+    "poisson",
+)
+
+#: One ATM cell (53 bytes) in bits — the arrival granule of the Poisson
+#: cell streams (:class:`MmppSource`, :class:`PoissonSource`).
+CELL_BITS = 424.0
 
 
 @runtime_checkable
@@ -101,6 +114,319 @@ class TraceSource:
         return SlottedWorkload(
             bits, self.workload.slot_duration, name=self.workload.name
         )
+
+
+@dataclass(frozen=True)
+class MmppSource:
+    """Two-state Markov-modulated Poisson process (MMPP-2) in bits.
+
+    The classic hostile background model: a hidden two-state chain
+    switches between a quiet rate ``rates[0]`` and a burst rate
+    ``rates[1]`` (bits/s); while in state *s*, cell arrivals in a slot
+    are Poisson with mean ``rates[s] * slot_duration / cell_bits``.
+    Unlike :class:`~repro.traffic.markov.MarkovModulatedSource` (which
+    emits the deterministic per-state rate), the Poisson layer adds
+    short-timescale jitter on top of the state bursts.
+
+    Stationary mean is exact by construction: with stationary
+    distribution ``pi`` of the transition matrix, ``E[rate] =
+    pi @ rates``, independent of the Poisson layer (which is unbiased).
+    """
+
+    chain: MarkovChain
+    rates: np.ndarray
+    slot_duration: float = 1.0 / 24.0
+    cell_bits: float = CELL_BITS
+    name: str = "mmpp"
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=float)
+        object.__setattr__(self, "rates", rates)
+        if rates.shape != (self.chain.num_states,):
+            raise ValueError("need one rate per chain state")
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        if self.cell_bits <= 0:
+            raise ValueError("cell_bits must be positive")
+
+    def mean_rate(self) -> float:
+        """Stationary mean rate in bits/s."""
+        return float(self.chain.stationary_distribution() @ self.rates)
+
+    def sample_states(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> np.ndarray:
+        """Draw the hidden state path alone (for dwell-time statistics)."""
+        return self.chain.sample_path(num_slots, seed=seed)
+
+    def sample_workload(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> SlottedWorkload:
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        rng = as_generator(seed)
+        states = self.chain.sample_path(num_slots, seed=rng)
+        lam = self.rates[states] * (self.slot_duration / self.cell_bits)
+        bits = rng.poisson(lam).astype(float) * self.cell_bits
+        return SlottedWorkload(bits, self.slot_duration, name=self.name)
+
+
+def mmpp_source(
+    mean_rate: float,
+    *,
+    burst_ratio: float = 8.0,
+    p_enter_burst: float = 1.0 / 96.0,
+    p_leave_burst: float = 1.0 / 12.0,
+    slot_duration: float = 1.0 / 24.0,
+    cell_bits: float = CELL_BITS,
+) -> MmppSource:
+    """An MMPP-2 calibrated so the stationary mean is ``mean_rate`` exactly.
+
+    ``burst_ratio`` is the burst-to-quiet rate ratio; the transition
+    probabilities are per-slot, so the defaults give a mean quiet dwell
+    of 96 slots (4 s at 24 slots/s) and a mean burst dwell of 12 slots
+    (0.5 s).  Rates are linear in the quiet rate while the stationary
+    distribution depends only on the transition probabilities, so one
+    division lands the mean exactly.
+    """
+    if burst_ratio < 1.0:
+        raise ValueError("burst_ratio must be >= 1")
+    if not (0.0 < p_enter_burst <= 1.0 and 0.0 < p_leave_burst <= 1.0):
+        raise ValueError("transition probabilities must be in (0, 1]")
+    chain = MarkovChain(
+        np.array(
+            [
+                [1.0 - p_enter_burst, p_enter_burst],
+                [p_leave_burst, 1.0 - p_leave_burst],
+            ]
+        )
+    )
+    multipliers = np.array([1.0, burst_ratio])
+    stationary_mean = float(chain.stationary_distribution() @ multipliers)
+    rates = multipliers * (mean_rate / stationary_mean)
+    return MmppSource(
+        chain, rates, slot_duration=slot_duration, cell_bits=cell_bits
+    )
+
+
+def _coverage_per_slot(
+    starts: np.ndarray, ends: np.ndarray, num_slots: int
+) -> np.ndarray:
+    """Fraction of each unit slot ``[k, k+1)`` covered by the intervals.
+
+    ``starts``/``ends`` are in slot units.  Fractional endpoints land in
+    their slot via ``np.add.at`` (unbuffered, so overlapping intervals
+    accumulate); the fully covered interior slots use a difference
+    array + cumsum, keeping the whole computation vectorized over
+    intervals.
+    """
+    cover = np.zeros(num_slots, dtype=float)
+    if starts.size == 0:
+        return cover
+    starts = np.clip(starts, 0.0, float(num_slots))
+    ends = np.clip(ends, 0.0, float(num_slots))
+    keep = ends > starts
+    starts, ends = starts[keep], ends[keep]
+    if starts.size == 0:
+        return cover
+    first = np.floor(starts).astype(np.int64)
+    last = np.minimum(np.floor(ends).astype(np.int64), num_slots - 1)
+    same = first == last
+    # Intervals inside one slot contribute their length to that slot.
+    np.add.at(cover, first[same], (ends - starts)[same])
+    first_m, last_m = first[~same], last[~same]
+    starts_m, ends_m = starts[~same], ends[~same]
+    np.add.at(cover, first_m, first_m + 1.0 - starts_m)
+    np.add.at(cover, last_m, ends_m - last_m)
+    # Fully covered interior slots (first+1 .. last-1) via a diff array.
+    diff = np.zeros(num_slots + 1, dtype=float)
+    np.add.at(diff, first_m + 1, 1.0)
+    np.add.at(diff, last_m, -1.0)
+    cover += np.cumsum(diff[:-1])
+    return cover
+
+
+def _pareto_durations(
+    rng: np.random.Generator, count: int, alpha: float, mean: float
+) -> np.ndarray:
+    """Classic Pareto durations with tail index ``alpha`` and the given mean.
+
+    ``numpy``'s ``pareto(a)`` is the Lomax form; shifting by one and
+    scaling by the location ``x_m = mean * (alpha - 1) / alpha`` gives
+    Pareto-I with ``E[X] = x_m * alpha / (alpha - 1) = mean``.
+    """
+    x_m = mean * (alpha - 1.0) / alpha
+    return x_m * (1.0 + rng.pareto(alpha, size=count))
+
+
+@dataclass(frozen=True)
+class LrdSource:
+    """Long-range-dependent fluid: aggregated Pareto on/off sources.
+
+    ``num_sources`` independent on/off fluid sources, each emitting
+    ``peak_rate`` bits/s while ON, with heavy-tailed Pareto ON and OFF
+    durations (tail index ``alpha`` in (1, 2), so durations have finite
+    mean but infinite variance).  By the classic aggregation result the
+    superposition's rate process is asymptotically self-similar with
+    Hurst parameter ``H = (3 - alpha) / 2`` — the ``alpha = 1.5``
+    default targets ``H = 0.75``, squarely in the range measured for
+    real packet traffic.
+
+    Stationary mean: each source is ON a fraction ``mean_on / (mean_on
+    + mean_off)`` of the time, so ``E[rate] = num_sources * peak_rate *
+    mean_on / (mean_on + mean_off)`` exactly (per-slot emission is the
+    exact ON-coverage of the slot, so no discretization bias).
+    """
+
+    peak_rate: float
+    num_sources: int = 32
+    alpha: float = 1.5
+    mean_on: float = 1.0
+    mean_off: float = 2.0
+    slot_duration: float = 1.0 / 24.0
+    name: str = "lrd"
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        if self.num_sources < 1:
+            raise ValueError("num_sources must be >= 1")
+        if not (1.0 < self.alpha < 2.0):
+            raise ValueError(
+                "alpha must be in (1, 2) for finite mean and LRD"
+            )
+        if self.mean_on <= 0 or self.mean_off <= 0:
+            raise ValueError("mean durations must be positive")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+
+    def mean_rate(self) -> float:
+        """Stationary mean rate in bits/s."""
+        activity = self.mean_on / (self.mean_on + self.mean_off)
+        return self.num_sources * self.peak_rate * activity
+
+    @property
+    def hurst(self) -> float:
+        """Target Hurst parameter of the aggregate rate process."""
+        return (3.0 - self.alpha) / 2.0
+
+    def _on_intervals(
+        self, rng: np.random.Generator, horizon: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """ON intervals of one source over ``[0, horizon]``, slot units."""
+        mean_period = self.mean_on + self.mean_off
+        activity = self.mean_on / mean_period
+        starts: list[np.ndarray] = []
+        ends: list[np.ndarray] = []
+        clock = 0.0
+        # Start mid-phase with probability = that phase's time share (a
+        # fresh duration draw approximates the stationary residual).
+        if rng.random() >= activity:
+            clock = float(
+                _pareto_durations(rng, 1, self.alpha, self.mean_off)[0]
+            )
+        while clock < horizon:
+            # Heavy tails make the period count fluctuate: draw in
+            # blocks sized for the expected remainder, repeat as needed.
+            expect = (horizon - clock) / mean_period
+            block = max(8, int(expect + 4.0 * np.sqrt(expect) + 1.0))
+            on = _pareto_durations(rng, block, self.alpha, self.mean_on)
+            off = _pareto_durations(rng, block, self.alpha, self.mean_off)
+            edges = clock + np.cumsum(
+                np.stack([on, off], axis=1).ravel()
+            )
+            starts.append(np.concatenate(([clock], edges[1:-1:2])))
+            ends.append(edges[0::2])
+            clock = float(edges[-1])
+        if not starts:
+            # The stationary-residual OFF draw outlived the horizon:
+            # this source never turns on inside the window.
+            empty = np.empty(0, dtype=float)
+            return empty, empty
+        all_starts = np.concatenate(starts)
+        all_ends = np.concatenate(ends)
+        keep = all_starts < horizon
+        return (
+            all_starts[keep] / self.slot_duration,
+            np.minimum(all_ends[keep], horizon) / self.slot_duration,
+        )
+
+    def sample_workload(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> SlottedWorkload:
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        rng = as_generator(seed)
+        horizon = num_slots * self.slot_duration
+        coverage = np.zeros(num_slots, dtype=float)
+        for _ in range(self.num_sources):
+            starts, ends = self._on_intervals(rng, horizon)
+            coverage += _coverage_per_slot(starts, ends, num_slots)
+        bits = coverage * (self.peak_rate * self.slot_duration)
+        return SlottedWorkload(bits, self.slot_duration, name=self.name)
+
+
+def lrd_source(
+    mean_rate: float,
+    *,
+    num_sources: int = 32,
+    alpha: float = 1.5,
+    mean_on: float = 1.0,
+    mean_off: float = 2.0,
+    slot_duration: float = 1.0 / 24.0,
+) -> LrdSource:
+    """An LRD aggregate calibrated so the stationary mean is exact.
+
+    The per-source peak is solved from the activity factor:
+    ``peak = mean_rate * (mean_on + mean_off) / (num_sources * mean_on)``.
+    """
+    activity = mean_on / (mean_on + mean_off)
+    peak = mean_rate / (num_sources * activity)
+    return LrdSource(
+        peak_rate=peak,
+        num_sources=num_sources,
+        alpha=alpha,
+        mean_on=mean_on,
+        mean_off=mean_off,
+        slot_duration=slot_duration,
+    )
+
+
+@dataclass(frozen=True)
+class PoissonSource:
+    """Memoryless cell arrivals — the control for the hostile sources.
+
+    IID Poisson cell counts per slot at a constant rate: same mean as
+    any calibrated hostile source, no burst structure at any timescale
+    (``H = 0.5``).  Scenario pairs like ``dumbbell-lrd`` vs
+    ``dumbbell-poisson`` isolate the effect of burst structure at equal
+    mean load.
+    """
+
+    mean_rate: float
+    slot_duration: float = 1.0 / 24.0
+    cell_bits: float = CELL_BITS
+    name: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.mean_rate <= 0:
+            raise ValueError("mean_rate must be positive")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        if self.cell_bits <= 0:
+            raise ValueError("cell_bits must be positive")
+
+    def sample_workload(
+        self, num_slots: int, seed: SeedLike = None
+    ) -> SlottedWorkload:
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        rng = as_generator(seed)
+        lam = self.mean_rate * self.slot_duration / self.cell_bits
+        bits = rng.poisson(lam, size=num_slots).astype(float) * self.cell_bits
+        return SlottedWorkload(bits, self.slot_duration, name=self.name)
 
 
 def _scene_markov_source(
@@ -168,6 +494,12 @@ def make_source(
             mean_off_slots=36.0,
             slot_duration=slot_duration,
         )
+    if name == "mmpp":
+        return mmpp_source(mean_rate, slot_duration=slot_duration)
+    if name == "lrd":
+        return lrd_source(mean_rate, slot_duration=slot_duration)
+    if name == "poisson":
+        return PoissonSource(mean_rate, slot_duration=slot_duration)
     # "multiscale": rates are linear in base_rate, so one probe
     # construction measures the mean and a second lands it exactly.
     probe = fig4_example(slot_duration=slot_duration, base_rate=mean_rate)

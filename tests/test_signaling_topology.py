@@ -127,3 +127,40 @@ class TestNetworkSimulation:
         network = SignalingNetwork(line_graph())
         with pytest.raises(ValueError):
             simulate_calls_on_network(network, [])
+
+
+class TestEdgeKeyOrdering:
+    """The undirected-edge key: a stable, documented total order."""
+
+    def test_integers_order_numerically(self):
+        from repro.signaling.topology import _edge_key
+
+        # repr-based ordering would put 10 before 2; value ordering
+        # must not.
+        assert _edge_key(10, 2) == (2, 10)
+        assert _edge_key(2, 10) == (2, 10)
+
+    def test_symmetric_for_strings(self):
+        from repro.signaling.topology import _edge_key
+
+        assert _edge_key("b", "a") == _edge_key("a", "b") == ("a", "b")
+
+    def test_mixed_types_are_stable(self):
+        from repro.signaling.topology import _edge_key
+
+        # int vs str has no value order; the key must still be total
+        # and symmetric.
+        assert _edge_key(1, "a") == _edge_key("a", 1)
+
+    def test_unorderable_same_type_falls_back(self):
+        from repro.signaling.topology import _edge_key
+
+        u, v = 1 + 2j, 3 + 4j  # complex: same type, no __le__
+        assert _edge_key(u, v) == _edge_key(v, u)
+
+    def test_port_lookup_is_direction_agnostic(self):
+        network = SignalingNetwork(line_graph(num_nodes=12))
+        # Node labels 0..11: reprs of 10 and 2 sort "wrong" while the
+        # values do not, which the old repr-keyed table got wrong.
+        assert network.port_between(10, 9) is network.port_between(9, 10)
+        assert network.port_between(2, 3) is network.port_between(3, 2)

@@ -184,3 +184,89 @@ class TestGatewayIntegration:
             ServerConfig(capacity=1e6, source="fractal")
         with pytest.raises(ValueError, match="source_slots"):
             ServerConfig(capacity=1e6, source="markov", source_slots=0)
+
+
+class TestMmppSource:
+    def test_stationary_mean_calibration(self):
+        source = make_source("mmpp", mean_rate=400_000.0)
+        assert source.mean_rate() == pytest.approx(400_000.0)
+        sample = source.sample_workload(60_000, seed=5)
+        assert sample.mean_rate == pytest.approx(400_000.0, rel=0.1)
+
+    def test_burst_state_is_hotter(self):
+        source = make_source("mmpp", mean_rate=400_000.0)
+        states = source.sample_states(60_000, seed=5)
+        bits = source.sample_workload(60_000, seed=5).bits_per_slot
+        assert np.array_equal(
+            states, source.sample_states(60_000, seed=5)
+        )
+        quiet = bits[states == 0].mean()
+        burst = bits[states == 1].mean()
+        # The defaults put the burst state at 8x the quiet rate.
+        assert burst > 4.0 * quiet
+
+    def test_state_dwell_statistics(self):
+        # Mean sojourns match the geometric dwell of the modulating
+        # chain: 1/p_enter quiet slots, 1/p_leave burst slots.
+        source = make_source("mmpp", mean_rate=400_000.0)
+        states = source.sample_states(200_000, seed=11)
+        changes = np.flatnonzero(np.diff(states)) + 1
+        runs = np.diff(np.concatenate(([0], changes, [states.size])))
+        run_states = states[np.concatenate(([0], changes))]
+        quiet_dwell = runs[run_states == 0].mean()
+        burst_dwell = runs[run_states == 1].mean()
+        assert quiet_dwell == pytest.approx(96.0, rel=0.1)
+        assert burst_dwell == pytest.approx(12.0, rel=0.1)
+
+
+def _variance_time_hurst(bits, min_exp=0, max_exp=10):
+    """Variance-time-plot Hurst estimate: H = 1 + slope/2 of
+    log Var[mean over blocks of m] against log m."""
+    sizes, variances = [], []
+    for exponent in range(min_exp, max_exp + 1):
+        m = 2**exponent
+        blocks = bits.size // m
+        if blocks < 8:
+            break
+        means = bits[: blocks * m].reshape(blocks, m).mean(axis=1)
+        variance = means.var()
+        if variance <= 0:
+            break
+        sizes.append(m)
+        variances.append(variance)
+    slope = np.polyfit(np.log(sizes), np.log(variances), 1)[0]
+    return 1.0 + slope / 2.0
+
+
+class TestLrdSource:
+    def test_stationary_mean_calibration(self):
+        source = make_source("lrd", mean_rate=400_000.0)
+        assert source.mean_rate() == pytest.approx(400_000.0)
+        sample = source.sample_workload(60_000, seed=5)
+        assert sample.mean_rate == pytest.approx(400_000.0, rel=0.1)
+
+    def test_hurst_parameter_from_alpha(self):
+        source = make_source("lrd", mean_rate=400_000.0)
+        # H = (3 - alpha) / 2 with the default alpha = 1.5.
+        assert source.hurst == pytest.approx(0.75)
+
+    def test_variance_time_plot_shows_long_range_dependence(self):
+        # The aggregated Pareto on/off sample must sit clearly above
+        # the short-range-dependent H = 0.5, where the equal-mean
+        # Poisson control sits.
+        lrd = make_source("lrd", mean_rate=400_000.0)
+        bits = lrd.sample_workload(1 << 17, seed=3).bits_per_slot
+        estimate = _variance_time_hurst(bits)
+        assert 0.6 < estimate < 0.98
+        poisson = make_source("poisson", mean_rate=400_000.0)
+        control = poisson.sample_workload(1 << 17, seed=3).bits_per_slot
+        assert _variance_time_hurst(control) < estimate - 0.1
+
+
+class TestPoissonSource:
+    def test_stationary_mean_calibration(self):
+        source = make_source("poisson", mean_rate=400_000.0)
+        # The Poisson control's parameter *is* its stationary mean.
+        assert source.mean_rate == pytest.approx(400_000.0)
+        sample = source.sample_workload(60_000, seed=5)
+        assert sample.mean_rate == pytest.approx(400_000.0, rel=0.05)
