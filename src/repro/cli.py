@@ -759,7 +759,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     import json
 
     from repro.faults.injectors import FaultPlan
-    from repro.scenarios import get_scenario, run_scenario
+    from repro.scenarios import get_scenario
 
     if args.scenario_cmd == "list":
         for name in SCENARIO_NAMES:
@@ -784,15 +784,75 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             faults = FaultPlan.from_json(args.fault_plan, seed=args.fault_seed)
         else:
             faults = FaultPlan.from_file(args.fault_plan, seed=args.fault_seed)
-    result = run_scenario(
-        args.name,
-        seed=args.seed,
-        duration=args.duration,
-        snapshot_every=args.snapshot_every,
-        route_k=args.route_k,
-        shards=args.shards,
-        faults=faults,
-    )
+
+    from repro.scenarios.runtime import ScenarioHarness
+    from repro.server.checkpoint import ServeLifecycle
+    from repro.server.stats import snapshot_fingerprint
+
+    spec = get_scenario(args.name)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.snapshot_every is not None:
+        overrides["snapshot_every"] = args.snapshot_every
+    if args.route_k is not None:
+        overrides["route_k"] = args.route_k
+    if overrides:
+        spec = spec.replace(**overrides)
+
+    harness = ScenarioHarness(spec, shards=args.shards, faults=faults)
+    lifecycle = ServeLifecycle()
+    checkpoint_path = args.checkpoint_path
+
+    def _scenario_hook(tick: int, gw) -> bool:
+        # Same boundary contract as `repro serve`: the hook runs before
+        # the epoch is stepped (and before this tick's background
+        # capacity update applies), so a checkpoint written here
+        # resumes bit-exactly.
+        if lifecycle.stop_requested:
+            meta = harness.save(checkpoint_path)
+            print(f"\n{lifecycle.signal_name}: stopping at epoch boundary "
+                  f"t={meta['time']:.1f} s; checkpoint "
+                  f"({meta['bytes']:,} bytes) -> {checkpoint_path}",
+                  flush=True)
+            return True
+        if (
+            args.checkpoint_every
+            and tick
+            and tick % args.checkpoint_every == 0
+        ):
+            harness.save(checkpoint_path, defer=True)
+        return False
+
+    try:
+        with harness, lifecycle:
+            if args.resume_from:
+                harness.restore(args.resume_from)
+                resumed_at = harness.gateway.engine.now
+                remaining = spec.duration - resumed_at
+                if remaining <= 0:
+                    print(f"checkpoint {args.resume_from} is already at "
+                          f"t={resumed_at:.1f} s; nothing left of "
+                          f"--duration {spec.duration:.1f} s to run")
+                    return 1
+                print(f"resumed from {args.resume_from} at "
+                      f"t={resumed_at:.1f} s; running {remaining:.1f} s "
+                      f"more (--duration is the absolute end time)")
+            else:
+                remaining = spec.duration
+            report = harness.run(
+                duration=remaining,
+                epoch_hook=_scenario_hook,
+            )
+    except KeyboardInterrupt:
+        gateway = harness.gateway
+        print(f"\ninterrupted: ran {gateway.engine.now:.1f} s, "
+              f"{len(gateway.snapshots)} snapshots, partial fingerprint "
+              f"{snapshot_fingerprint(gateway.snapshots)}")
+        return 130
+    result = harness.result(report)
     for line in result.summary_lines():
         print(line)
     if args.report:
@@ -800,6 +860,10 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
         )
         print(f"scenario report written to {args.report}")
+    if lifecycle.stop_requested:
+        print(f"stopped early by {lifecycle.signal_name}; continue with "
+              f"--resume-from {checkpoint_path}")
+        return 128 + (lifecycle.signum or 2)
     return 0
 
 
@@ -1231,8 +1295,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sc_run.add_argument(
         "--shards", type=int, default=0,
-        help="sharded runtime worker count (single-bottleneck scenarios "
-             "without background only; 0 = plain gateway)",
+        help="sharded runtime worker count (any scenario shape; "
+             "multi-bottleneck specs shard each flow group's fleet; "
+             "0 = plain gateway, fingerprint-identical)",
     )
     sc_run.add_argument(
         "--fault-plan", default=None,
@@ -1240,6 +1305,20 @@ def build_parser() -> argparse.ArgumentParser:
              'object like \'{"denial": {"rate": 0.2}}\'',
     )
     sc_run.add_argument("--fault-seed", type=int, default=0)
+    sc_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="EPOCHS",
+        help="write a deferred checkpoint every N epochs (0 = only on "
+             "SIGINT/SIGTERM)",
+    )
+    sc_run.add_argument(
+        "--checkpoint-path", default="scenario.ckpt",
+        help="where checkpoints are written (periodic and on-signal)",
+    )
+    sc_run.add_argument(
+        "--resume-from", default=None, metavar="CHECKPOINT",
+        help="resume from a checkpoint of the same scenario and seed; "
+             "--duration stays the absolute end time of the whole run",
+    )
     sc_run.add_argument(
         "--report", default=None,
         help="write the full scenario report JSON here",

@@ -20,9 +20,14 @@ in the spirit of Fricker et al.'s downgrading allocation schemes:
 * :class:`~repro.overload.policies.SacrificePolicy` — temporarily
   evicts the cheapest-to-displace calls (deterministic, seeded victim
   selection) into a bounded requeue, readmitting them once the link
-  recovers.
+  recovers;
+* :class:`~repro.overload.linkagent.LinkScopedOverloadAgent` — scopes
+  one plane+policy pair to a single bottleneck edge of a multi-link
+  gateway, so every topology gets per-link overload control through
+  the same policies.
 """
 
+from repro.overload.linkagent import LinkScopedOverloadAgent
 from repro.overload.plane import OverloadControlPlane
 from repro.overload.policies import (
     OVERLOAD_POLICY_NAMES,
@@ -34,6 +39,7 @@ from repro.overload.policies import (
 )
 
 __all__ = [
+    "LinkScopedOverloadAgent",
     "OverloadControlPlane",
     "OVERLOAD_POLICY_NAMES",
     "OverloadPolicy",

@@ -1,0 +1,122 @@
+"""Per-link overload adaptation for multi-bottleneck gateways.
+
+The overload control plane and its policies were written against the
+classic single-link gateway: pressure comes from ``gateway.link``, the
+victim pool is ``gateway.fleet``, and actions go through
+``overload_shrink_class`` / ``overload_evict`` / ``overload_readmit``.
+On a route graph there is no single link — each bottleneck edge needs
+its own hysteresis state and its own victim pool (the calls whose
+routes traverse that edge).
+
+:class:`LinkScopedOverloadAgent` closes that gap without touching the
+plane or the policies: it presents one edge of a multi-link host
+gateway through the exact gateway protocol the plane drives.  The
+host (see :class:`~repro.scenarios.runtime.ScenarioGateway`) supplies
+the topology-aware pieces:
+
+* ``link_members(key)`` — ``(group, slot)`` pairs of live calls whose
+  bound route traverses the edge, ascending (the dense mirror of the
+  classic gateway's ascending-slot shrink walk);
+* ``link_member_mask(key)`` — the same membership as a boolean column
+  over the concatenated group fleets;
+* ``shrink_member_call`` / ``evict_member_call`` /
+  ``readmit_member_call`` — the per-call actions, applied to *every*
+  link on the call's route (shrinking a call on one congested edge
+  frees its grant on all of them, exactly like a renegotiation).
+
+Determinism: all per-link planes share one dedicated RNG stream drawn
+in link-spec order each epoch, and every member walk is in ascending
+``(group, slot)`` order, so same seed still means byte-identical
+fingerprints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["LinkScopedOverloadAgent"]
+
+
+class _MemberFleetView:
+    """The concatenated per-group fleets, masked to one link's calls.
+
+    Quacks like the single ``gateway.fleet`` the overload policies
+    read: ``active`` is True only for calls routed over the link (so a
+    sacrifice victim search stays on-link), while ``call_class`` and
+    ``rate`` are the plain concatenation in fixed group order.
+    """
+
+    def __init__(self, host, key: Tuple[str, str]) -> None:
+        self._host = host
+        self._key = key
+
+    @property
+    def active(self) -> np.ndarray:
+        mask = self._host.link_member_mask(self._key)
+        stacked = np.concatenate(
+            [fleet.active for fleet in self._host._fleets]
+        )
+        return stacked & mask
+
+    @property
+    def call_class(self) -> np.ndarray:
+        return np.concatenate(
+            [fleet.call_class for fleet in self._host._fleets]
+        )
+
+    @property
+    def rate(self) -> np.ndarray:
+        return np.concatenate(
+            [fleet.rate for fleet in self._host._fleets]
+        )
+
+    def locate(self, view_slot: int) -> Tuple[int, int]:
+        """Map a concatenated-view index back to ``(group, slot)``."""
+        offset = 0
+        for group, fleet in enumerate(self._host._fleets):
+            size = int(fleet.active.size)
+            if view_slot < offset + size:
+                return group, view_slot - offset
+            offset += size
+        raise IndexError(
+            f"view slot {view_slot} beyond {offset} pooled slots"
+        )
+
+
+class LinkScopedOverloadAgent:
+    """One bottleneck edge of a multi-link gateway, presented through
+    the single-link gateway protocol the overload plane drives."""
+
+    def __init__(self, host, key: Tuple[str, str], link) -> None:
+        self.host = host
+        self.key = key
+        self.link = link
+        self.fleet = _MemberFleetView(host, key)
+
+    # -- the gateway protocol the policies call -----------------------
+    def overload_pressure(self) -> float:
+        capacity = self.link.capacity
+        if capacity <= 0:
+            return 0.0
+        return max(self.link.allocated, self.link.total_demand) / capacity
+
+    def overload_shrink_class(
+        self, call_class: int, ratio: float, now: float
+    ) -> int:
+        shrunk = 0
+        for group, slot in self.host.link_members(self.key):
+            fleet = self.host._fleets[group]
+            if int(fleet.call_class[slot]) != call_class:
+                continue
+            if self.host.shrink_member_call(group, slot, ratio, now):
+                shrunk += 1
+        return shrunk
+
+    def overload_evict(self, view_slot: int, now: float):
+        group, slot = self.fleet.locate(int(view_slot))
+        return self.host.evict_member_call(group, slot, now)
+
+    def overload_readmit(self, entry, now: float) -> int:
+        return self.host.readmit_member_call(entry, now)

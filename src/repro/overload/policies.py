@@ -40,7 +40,9 @@ __all__ = [
 OVERLOAD_POLICY_NAMES = ("block", "downgrade", "sacrifice")
 
 #: A sacrificed call waiting for readmission: (call_class, workload
-#: shift, remaining holding time in seconds).
+#: shift, remaining holding time in seconds).  Gateways may append
+#: extra routing context (the scenario gateway adds the flow group);
+#: the policy carries the tuple opaquely back to ``overload_readmit``.
 QueuedCall = Tuple[int, int, float]
 
 
@@ -337,8 +339,8 @@ class SacrificePolicy(OverloadPolicy):
 
     def load_state(self, state: Dict[str, Any]) -> None:
         self.queue = deque(
-            (int(cls), int(shift), float(remaining))
-            for cls, shift, remaining in state["queue"]
+            (int(entry[0]), int(entry[1]), float(entry[2]), *entry[3:])
+            for entry in state["queue"]
         )
         self.sacrificed = int(state["sacrificed"])
         self.readmitted = int(state["readmitted"])

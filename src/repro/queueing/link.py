@@ -414,9 +414,12 @@ class DenseRcbrLink(RcbrLink):
     slower but exact by construction.  Batches must not repeat a slot
     (the gateway's ``pending`` mask guarantees this).
 
-    ``set_capacity`` (mid-run outage shrinking) is not supported — the
-    sharded gateway models outages at the signaling ports, not the
-    link.
+    ``set_capacity`` (mid-run shrinking under background cross-traffic
+    or outages) keeps the same contract: the dict link's downgrade
+    iterates sources in dict insertion order, so the dense link mirrors
+    that order with a per-slot first-request sequence number
+    (``_insert_seq``) and replays the exact fsum/scale/shave fold over
+    it.
     """
 
     def __init__(self, capacity: float, num_slots: int) -> None:
@@ -427,6 +430,11 @@ class DenseRcbrLink(RcbrLink):
         self._demands = np.zeros(num_slots)  # type: ignore[assignment]
         self._present = np.zeros(num_slots, dtype=bool)
         self._num_sources = 0
+        # Mirrors dict insertion order: a slot gets a fresh sequence
+        # number each time it turns present, exactly when the dict link
+        # would (re-)insert its key.
+        self._insert_seq = np.zeros(num_slots, dtype=np.int64)
+        self._insert_counter = 0
 
     # ------------------------------------------------------------------
     @property
@@ -437,7 +445,7 @@ class DenseRcbrLink(RcbrLink):
         """Widen the slot columns (pool growth); zero-filled tail."""
         if num_slots < self.num_slots:
             raise ValueError("DenseRcbrLink can only grow")
-        for name in ("_grants", "_demands", "_present"):
+        for name in ("_grants", "_demands", "_present", "_insert_seq"):
             column = getattr(self, name)
             grown = np.zeros(num_slots, dtype=column.dtype)
             grown[: column.size] = column
@@ -510,6 +518,8 @@ class DenseRcbrLink(RcbrLink):
         if not self._present[slot]:
             self._present[slot] = True
             self._num_sources += 1
+            self._insert_seq[slot] = self._insert_counter
+            self._insert_counter += 1
         if new_rate <= old_grant:
             self._set_grant(slot, new_rate)
             self._redistribute()
@@ -569,8 +579,17 @@ class DenseRcbrLink(RcbrLink):
         self._demand_total = float(demand_totals[-1])
         fresh = ~self._present[slots]
         if np.any(fresh):
-            self._num_sources += int(np.count_nonzero(fresh))
+            count = int(np.count_nonzero(fresh))
+            self._num_sources += count
             self._present[slots] = True
+            # Batch order is the scalar request order, so the fresh
+            # slots take consecutive sequence numbers in that order.
+            self._insert_seq[slots[fresh]] = np.arange(
+                self._insert_counter,
+                self._insert_counter + count,
+                dtype=np.int64,
+            )
+            self._insert_counter += count
         return rates.copy(), 0
 
     def release(self, source_id, time: float) -> None:
@@ -590,9 +609,52 @@ class DenseRcbrLink(RcbrLink):
         self._redistribute()
 
     def set_capacity(self, capacity: float, time: float) -> None:
-        raise NotImplementedError(
-            "DenseRcbrLink does not support mid-run capacity changes"
-        )
+        """Bit-parity port of the base-class mid-run downgrade.
+
+        ``math.fsum`` accumulates exactly, so the grant sums match the
+        dict link's regardless of iteration order; the only
+        order-sensitive steps are the shave tie-break (a stable sort
+        whose ties fall back to dict insertion order) and the shortfall
+        FIFO appends, both of which replay here in ``_insert_seq``
+        order — the dense mirror of dict insertion order.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._advance(time)
+        if capacity != self.capacity:
+            self._capacity_changes += 1
+        self.capacity = float(capacity)
+        present = np.nonzero(self._present)[0]
+        order = present[
+            np.argsort(self._insert_seq[present], kind="stable")
+        ].tolist()
+        exact_allocated = math.fsum(self._grants[present])
+        if exact_allocated > capacity + 1e-9:
+            scale = capacity / exact_allocated
+            self._grants[present] = self._grants[present] * scale
+            excess = math.fsum(self._grants[present]) - capacity
+            if excess > 0.0:
+                for slot in sorted(
+                    order,
+                    key=lambda s: float(self._grants[s]),
+                    reverse=True,
+                ):
+                    shave = min(excess, float(self._grants[slot]))
+                    self._grants[slot] -= shave
+                    excess -= shave
+                    if excess <= 0.0:
+                        break
+            for slot in order:
+                if (
+                    float(self._demands[slot])
+                    > float(self._grants[slot]) + 1e-9
+                    and slot not in self._shortfall_order
+                ):
+                    self._shortfall_order.append(slot)
+            self._allocated_total = math.fsum(self._grants[present])
+            self.downgrade_events += 1
+        else:
+            self._redistribute()
 
     def _redistribute(self) -> None:
         # Same FIFO back-fill as the base class, with float() casts so
@@ -626,6 +688,8 @@ class DenseRcbrLink(RcbrLink):
             "grants": self._grants.copy(),
             "demands": self._demands.copy(),
             "present": self._present.copy(),
+            "insert_seq": self._insert_seq.copy(),
+            "insert_counter": self._insert_counter,
             "num_sources": self._num_sources,
             **self._common_state(),
         }
@@ -643,6 +707,15 @@ class DenseRcbrLink(RcbrLink):
             column = getattr(self, name)
             column[:] = fill
             column[: saved.size] = np.asarray(state[name.lstrip("_")])
+        self._insert_seq[:] = 0
+        seq = state.get("insert_seq")
+        if seq is not None:
+            seq = np.asarray(seq)
+            self._insert_seq[: seq.size] = seq
+        # Checkpoints predating the sequence column default to zeros:
+        # constant-capacity runs never read it, which is the only state
+        # such checkpoints can describe.
+        self._insert_counter = int(state.get("insert_counter", 0))  # type: ignore[arg-type]
         self._num_sources = int(state["num_sources"])  # type: ignore[arg-type]
         self._load_common(state)
 

@@ -15,8 +15,10 @@ from repro.scenarios.runtime import (
     BACKGROUND_VCI,
     GROUP_STRIDE,
     ScenarioGateway,
+    ScenarioHarness,
     ScenarioResult,
     run_scenario,
+    scenario_fingerprint,
 )
 from repro.scenarios.spec import (
     SCENARIO_SOURCE_NAMES,
@@ -35,8 +37,10 @@ __all__ = [
     "FlowGroupSpec",
     "LinkSpec",
     "ScenarioGateway",
+    "ScenarioHarness",
     "ScenarioResult",
     "ScenarioSpec",
     "get_scenario",
     "run_scenario",
+    "scenario_fingerprint",
 ]

@@ -1,46 +1,63 @@
-"""Scenario execution: the multi-bottleneck gateway and the dispatcher.
+"""Scenario execution: the topology-general gateway and its harness.
 
-:func:`run_scenario` picks one of two runtime shapes:
+Every scenario runs on one serving core.  A **single-bottleneck** spec
+(one link, one flow group) builds the classic gateway via
+:func:`~repro.server.gateway.build_gateway` — the degenerate one-edge
+topology — while a **multi-bottleneck** spec builds
+:class:`ScenarioGateway`, a subclass serving one
+:class:`~repro.server.fleet.CallFleet` per flow group over per-edge
+:class:`~repro.queueing.link.RcbrLink`s and per-route
+:class:`~repro.signaling.network.SignalingPath`s through a shared
+:class:`~repro.signaling.topology.SignalingNetwork`, aggregated through
+the :mod:`repro.server.topology` stacks.  Both shapes are driven
+through :class:`ScenarioHarness`, so shards, checkpoint/resume,
+overload planes, and MBAC admission work identically on every spec.
 
-* **Single-bottleneck specs** (one link, one flow group) run on the
-  classic stack via :func:`~repro.server.gateway.build_gateway` — so
-  shards, overload planes, and MBAC controllers all work — with
-  background cross-traffic applied through the epoch hook.
-* **Multi-bottleneck specs** run on :class:`ScenarioGateway`, a
-  subclass of the classic gateway that serves one
-  :class:`~repro.server.fleet.CallFleet` per flow group over per-edge
-  :class:`~repro.queueing.link.RcbrLink`s and per-route
-  :class:`~repro.signaling.network.SignalingPath`s through a shared
-  :class:`~repro.signaling.topology.SignalingNetwork`.
-
-Determinism contract (multi-bottleneck).  Three scenario streams are
-appended to the classic six via the SeedSequence spawn-prefix property
-(``spawn_generators(seed, 9)[6:]`` leaves streams 0-5 identical):
+Determinism contract.  Four scenario streams are appended to the
+classic six via the SeedSequence spawn-prefix property
+(``spawn_generators(seed, 10)[6:]`` leaves streams 0-5 identical):
 stream 6 samples the per-group workloads in flow order, stream 7 the
 background series in background order, stream 8 seeds route signaling
-paths in route-creation order.  Per offered call the draw order is
-fixed: service class (overload stream), then workload shift (call
-stream), then — only if admitted — holding time (call stream).  Per
-epoch the merge order is: background capacity updates in background
-order, then one fleet step per flow group in flow order, renegotiations
-issuing in ascending pool-slot order within each group.  Event-heap
-callbacks address calls by ``group * GROUP_STRIDE + slot``.  Same seed
-(and fault seed) => bit-identical snapshot stream, including the
-per-link/per-group ``network`` section.
+paths (one shared generator threaded through every route path), and
+stream 9 drives the per-link overload planes, polled in link-spec
+order each epoch.  Per offered call the draw order is fixed: service
+class (overload stream), then workload shift (call stream), then —
+only if admitted — holding time (call stream).  Per epoch the merge
+order is: background capacity updates in background order, then the
+per-link overload planes in link-spec order, then one fleet step per
+flow group in flow order, renegotiations issuing in ascending
+pool-slot order within each group.  Event-heap callbacks address calls
+by ``group * GROUP_STRIDE + slot``.  Same seed (and fault seed) =>
+bit-identical snapshot stream for shards ∈ {0, 1, N}, and
+``run(T1); save; restore; run(T2)`` equals ``run(T1 + T2)``.
 
 Setup admission differs from the classic runtime by design: a call's
 initial rate travels its route as a real reservation
 (``path.renegotiate`` from rate 0), so a hop without headroom *blocks*
 the call — on a network, admission is the ports' decision, which is
-exactly the back-pressure the multi-hop experiments measure.
+exactly the back-pressure the multi-hop experiments measure.  An MBAC
+controller composes with that: it vets the call against its route's
+bottleneck capacity *before* the setup reservation travels.
 Renegotiations then travel the same path under faults, and granted
-rates are mirrored onto every traversed link (taking the minimum grant,
-equalizing over-grants down), so per-link utilization and loss
+rates are mirrored onto every traversed link (taking the minimum
+grant, equalizing over-grants down), so per-link utilization and loss
 integrals stay honest.
+
+Overload beyond blocking: with ``overload_policy`` ≠ ``block`` the
+gateway runs one :class:`~repro.overload.plane.OverloadControlPlane`
+per bottleneck link, each driving the existing downgrade/sacrifice
+policy through a :class:`~repro.overload.linkagent.LinkScopedOverloadAgent`
+whose victim pool is the calls routed over that link.  Downgrade
+factors from multiple congested links combine per call by minimum.
+With the default ``block`` policy no plane exists and the epoch
+sequence is byte-identical to the pre-overload runtime.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -49,15 +66,26 @@ import numpy as np
 
 from repro.admission.callsim import arrival_rate_for_load
 from repro.faults.injectors import FaultPlan
+from repro.overload.linkagent import LinkScopedOverloadAgent
+from repro.overload.plane import OverloadControlPlane
+from repro.overload.policies import make_overload_policy
 from repro.queueing.link import RcbrLink
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.server.config import ServerConfig
 from repro.server.fleet import CallFleet
 from repro.server.gateway import RcbrGateway, build_gateway
+from repro.server.sharded import ShardedFleet
 from repro.server.stats import ServerReport
+from repro.server.topology import (
+    CallBinding,
+    FleetStack,
+    GroupStats,
+    LinkStack,
+    PathStack,
+)
 from repro.signaling.messages import RenegotiationRequest
-from repro.signaling.network import PathStats, SignalingPath
+from repro.signaling.network import SignalingPath
 from repro.signaling.topology import SignalingNetwork, _edge_key
 from repro.traffic.sources import make_source
 from repro.traffic.trace import SlottedWorkload
@@ -72,148 +100,47 @@ BACKGROUND_VCI = -1
 #: The classic gateway's stream count; scenario streams append after it.
 _BASE_STREAMS = 6
 
+#: Scenario streams appended after the classic six (see module docstring).
+_SCENARIO_STREAMS = 4
+
 
 def _route_edges(route: Tuple[str, ...]) -> List[Tuple[str, str]]:
     return list(zip(route[:-1], route[1:]))
 
 
-@dataclass
-class _GroupStats:
-    """Cumulative per-flow-group lifecycle counters."""
-
-    arrivals: int = 0
-    blocked: int = 0
-    admitted: int = 0
-    departed: int = 0
-    abandoned: int = 0
-    reneg_requests: int = 0
-    reneg_denied: int = 0
-
-
-@dataclass(frozen=True)
-class _CallBinding:
-    """Everything a live call reserved: its route, path, and links."""
-
-    group: int
-    route: Tuple[str, ...]
-    path: SignalingPath
-    links: Tuple[RcbrLink, ...]
-
-
-class _FleetStack:
-    """Aggregate gauge view over the per-group fleets.
-
-    Quacks like the single :class:`CallFleet` the base gateway reads in
-    snapshots and reports; sums run in fixed group order so the floats
-    feeding the fingerprint are reproducible.
-    """
-
-    def __init__(self, fleets: List[CallFleet]) -> None:
-        self.fleets = fleets
-
-    @property
-    def num_active(self) -> int:
-        return sum(fleet.num_active for fleet in self.fleets)
-
-    @property
-    def peak_active(self) -> int:
-        # Sum of per-group peaks: an upper bound on the true concurrent
-        # peak, fine for the (unfingerprinted) report gauge.
-        return sum(fleet.peak_active for fleet in self.fleets)
-
-    @property
-    def call_epochs_stepped(self) -> int:
-        return sum(fleet.call_epochs_stepped for fleet in self.fleets)
-
-    @property
-    def bits_lost(self) -> float:
-        return float(sum(fleet.bits_lost for fleet in self.fleets))
-
-    @property
-    def bits_downgraded(self) -> float:
-        return float(sum(fleet.bits_downgraded for fleet in self.fleets))
-
-    def total_buffered_bits(self) -> float:
-        return float(
-            sum(fleet.total_buffered_bits() for fleet in self.fleets)
-        )
-
-    def total_reserved_rate(self) -> float:
-        return float(
-            sum(fleet.total_reserved_rate() for fleet in self.fleets)
-        )
-
-
-class _LinkStack:
-    """Aggregate accounting view over the per-edge links."""
-
-    def __init__(self, links: List[RcbrLink], total_capacity: float) -> None:
-        self.links = links
-        self.capacity = float(total_capacity)
-
-    def finish(self, time: float) -> None:
-        for link in self.links:
-            link.finish(time)
-
-    @property
-    def allocated(self) -> float:
-        return float(sum(link.allocated for link in self.links))
-
-    @property
-    def total_demand(self) -> float:
-        return float(sum(link.total_demand for link in self.links))
-
-    @property
-    def allocated_bit_seconds(self) -> float:
-        return float(
-            sum(link.allocated_bit_seconds for link in self.links)
-        )
-
-    @property
-    def lost_bits(self) -> float:
-        return float(sum(link.lost_bits for link in self.links))
-
-    def mean_utilization(self, horizon: Optional[float] = None) -> float:
-        delivered = 0.0
-        for link in self.links:
-            span = link.now if horizon is None else horizon
-            delivered += link.delivered_bit_seconds + link.capacity * max(
-                0.0, span - link.now
-            )
-        if delivered <= 0:
-            return 0.0
-        return self.allocated_bit_seconds / delivered
-
-
-class _PathStack:
-    """Merged :class:`PathStats` over the per-route signaling paths."""
-
-    def __init__(self, route_paths: Dict[Tuple[str, ...], SignalingPath]):
-        self._route_paths = route_paths
-
-    @property
-    def stats(self) -> PathStats:
-        merged = PathStats()
-        for path in self._route_paths.values():  # route-creation order
-            stats = path.stats
-            merged.requests += stats.requests
-            merged.increase_requests += stats.increase_requests
-            merged.failures += stats.failures
-            merged.cells_sent += stats.cells_sent
-            merged.cells_lost += stats.cells_lost
-            merged.timeouts += stats.timeouts
-            merged.retries += stats.retries
-            merged.duplicates += stats.duplicates
-            merged.outage_drops += stats.outage_drops
-            merged.failure_hops.extend(stats.failure_hops)
-        return merged
+def scenario_fingerprint(spec: ScenarioSpec) -> str:
+    """A stable hash of the spec's *simulation identity*, stamped into
+    checkpoints so a resume cannot cross scenarios whose derived
+    configs collide (e.g. dumbbell-lrd vs dumbbell-poisson, which
+    differ only in background burst structure).  ``duration`` and
+    ``snapshot_every`` are run-time arguments — like ``repro serve``'s
+    ``--duration``, a resume may extend the end time — so they are
+    excluded."""
+    identity = spec.to_dict()
+    identity.pop("duration", None)
+    identity.pop("snapshot_every", None)
+    payload = json.dumps(identity, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class ScenarioGateway(RcbrGateway):
     """The multi-bottleneck RCBR gateway (see the module docstring)."""
 
+    EVENT_CALLBACK_ALLOWLIST = RcbrGateway.EVENT_CALLBACK_ALLOWLIST | {
+        "_handle_group_arrival"
+    }
+
+    EVENT_ARG_CODECS = {
+        **RcbrGateway.EVENT_ARG_CODECS,
+        "_handle_group_arrival": (int,),
+    }
+
     def __init__(
-        self, spec: ScenarioSpec, faults: Optional[FaultPlan] = None
+        self,
+        spec: ScenarioSpec,
+        faults: Optional[FaultPlan] = None,
+        shards: int = 0,
+        shard_chunk: int = 4096,
     ) -> None:
         if spec.single_bottleneck:
             raise ValueError(
@@ -231,17 +158,23 @@ class ScenarioGateway(RcbrGateway):
             initial_calls=0,
             seed=spec.seed,
             source_slots=spec.source_slots,
+            shards=shards,
+            shard_chunk=shard_chunk,
             overload_policy=spec.overload_policy,
             overload_classes=spec.overload_classes,
             class_weights=spec.class_weights,
         )
-        # Scenario streams 6..8; the spawn-prefix property keeps the
-        # classic streams 0..5 identical to a same-seed classic run.
+        # Scenario streams 6..9; the spawn-prefix property keeps the
+        # classic streams 0..5 identical to a same-seed classic run
+        # (and streams 6..8 identical to pre-overload scenario runs).
         (
             self._workload_rng,
             self._bg_rng,
             self._path_rng,
-        ) = spawn_generators(config.seed, _BASE_STREAMS + 3)[_BASE_STREAMS:]
+            self._link_overload_rng,
+        ) = spawn_generators(
+            config.seed, _BASE_STREAMS + _SCENARIO_STREAMS
+        )[_BASE_STREAMS:]
 
         source = make_source(
             spec.traffic,
@@ -297,15 +230,55 @@ class ScenarioGateway(RcbrGateway):
             self._bg_series[key] = rates
             self._bg_current[key] = 0.0
 
-        self.group_stats = [_GroupStats() for _ in spec.flows]
+        self.group_stats = [GroupStats() for _ in spec.flows]
 
         super().__init__(self._group_workloads[0], config, faults=faults)
 
+        # The base class built a single plane over the whole-topology
+        # LinkStack — meaningless pressure.  Replace it with one plane
+        # per bottleneck link, each driving the configured policy over
+        # the calls routed across that link; all planes share the
+        # dedicated link-overload stream, polled in link-spec order.
+        # With the default "block" policy there are no planes and the
+        # epoch sequence (and fingerprint) is unchanged.
+        self.overload_plane = None
+        self._link_planes: List[Tuple[Tuple[str, str], Any]] = []
+        if config.overload_policy not in (None, "block"):
+            for key in self._edge_keys:
+                if config.overload_policy == "downgrade":
+                    policy = make_overload_policy(
+                        "downgrade",
+                        ladder=config.downgrade_ladder,
+                        dwell=config.overload_dwell,
+                    )
+                else:
+                    policy = make_overload_policy(
+                        "sacrifice",
+                        queue_size=config.sacrifice_queue,
+                        max_per_epoch=config.sacrifice_max_per_epoch,
+                    )
+                agent = LinkScopedOverloadAgent(
+                    self, key, self._edge_links[key]
+                )
+                plane = OverloadControlPlane(
+                    agent,
+                    policy,
+                    enter=config.overload_enter,
+                    exit_=config.overload_exit,
+                    dwell=config.overload_dwell,
+                    num_classes=self.num_classes,
+                    rng=self._link_overload_rng,
+                )
+                self._link_planes.append((key, plane))
+
         # Per-route shared signaling paths, created lazily in call
-        # order; the stack view feeds the base snapshot fields.
+        # order; the stack view feeds the base snapshot fields and
+        # recreates the routes on restore via the factory.
         self._route_paths: Dict[Tuple[str, ...], SignalingPath] = {}
-        self.path = _PathStack(self._route_paths)  # type: ignore[assignment]
-        self._bindings: Dict[int, _CallBinding] = {}
+        self.path = PathStack(  # type: ignore[assignment]
+            self._route_paths, factory=self._path_for_route
+        )
+        self._bindings: Dict[int, CallBinding] = {}
 
         # Per-group Poisson arrival rates against the (k=1) shortest
         # route's bottleneck capacity — the same Erlang identity the
@@ -336,24 +309,38 @@ class ScenarioGateway(RcbrGateway):
     # ------------------------------------------------------------------
     def _build_fleet(
         self, workload: SlottedWorkload, config: ServerConfig
-    ) -> _FleetStack:
-        self._fleets = [
-            CallFleet(
-                group_workload,
-                self.params,
-                buffer_size=config.buffer_bits,
-                initial_capacity=256,
-            )
-            for group_workload in self._group_workloads
-        ]
-        return _FleetStack(self._fleets)  # type: ignore[return-value]
+    ) -> FleetStack:
+        if config.shards:
+            self._fleets = [
+                ShardedFleet(
+                    group_workload,
+                    self.params,
+                    buffer_size=config.buffer_bits,
+                    initial_capacity=256,
+                    num_shards=config.shards,
+                    chunk_size=config.shard_chunk,
+                    seed=config.seed,
+                )
+                for group_workload in self._group_workloads
+            ]
+        else:
+            self._fleets = [
+                CallFleet(
+                    group_workload,
+                    self.params,
+                    buffer_size=config.buffer_bits,
+                    initial_capacity=256,
+                )
+                for group_workload in self._group_workloads
+            ]
+        return FleetStack(self._fleets)  # type: ignore[return-value]
 
-    def _build_link(self, config: ServerConfig) -> _LinkStack:
+    def _build_link(self, config: ServerConfig) -> LinkStack:
         self._edge_links = {
             key: RcbrLink(self._edge_capacity[key])
             for key in self._edge_keys
         }
-        return _LinkStack(  # type: ignore[return-value]
+        return LinkStack(  # type: ignore[return-value]
             [self._edge_links[key] for key in self._edge_keys],
             config.capacity,
         )
@@ -382,6 +369,9 @@ class ScenarioGateway(RcbrGateway):
             )
             self._route_paths[route] = path
         return path
+
+    def close(self) -> None:
+        self.fleet.close()
 
     # ------------------------------------------------------------------
     # Call lifecycle
@@ -475,10 +465,10 @@ class ScenarioGateway(RcbrGateway):
     ) -> int:
         fleet = self._fleets[group]
         stats = self.group_stats[group]
-        links = tuple(
-            self._edge_links[_edge_key(u, v)]
-            for u, v in _route_edges(route)
+        edge_keys = tuple(
+            _edge_key(u, v) for u, v in _route_edges(route)
         )
+        links = tuple(self._edge_links[key] for key in edge_keys)
         granted = initial_rate
         failed = False
         for link in links:
@@ -496,8 +486,9 @@ class ScenarioGateway(RcbrGateway):
         stats.admitted += 1
         self.offered.on_admitted(call_class)
         gslot = group * GROUP_STRIDE + slot
-        self._bindings[gslot] = _CallBinding(
-            group=group, route=route, path=path, links=links
+        self._bindings[gslot] = CallBinding(
+            group=group, route=route, path=path, links=links,
+            edge_keys=edge_keys,
         )
         self._departure_events[call_id] = self.engine.schedule_at(
             now + holding, self._handle_departure, gslot, call_id
@@ -524,6 +515,127 @@ class ScenarioGateway(RcbrGateway):
     def _abandon(self, gslot: int, call_id: int) -> None:
         self.group_stats[gslot // GROUP_STRIDE].abandoned += 1
         super()._abandon(gslot, call_id)
+
+    # ------------------------------------------------------------------
+    # Per-link overload protocol (driven by LinkScopedOverloadAgent)
+    # ------------------------------------------------------------------
+    def link_members(self, key: Tuple[str, str]) -> List[Tuple[int, int]]:
+        """Live calls routed over ``key``, ascending ``(group, slot)``
+        — the multi-link mirror of the classic ascending-slot walk."""
+        return [
+            divmod(gslot, GROUP_STRIDE)
+            for gslot in sorted(
+                gslot
+                for gslot, binding in self._bindings.items()
+                if key in binding.edge_keys
+            )
+        ]
+
+    def link_member_mask(self, key: Tuple[str, str]) -> np.ndarray:
+        """The same membership as a boolean column over the
+        concatenated group fleets (fixed group order)."""
+        sizes = [int(fleet.active.size) for fleet in self._fleets]
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        mask = np.zeros(int(offsets[-1]), dtype=bool)
+        for gslot, binding in self._bindings.items():
+            if key in binding.edge_keys:
+                group, slot = divmod(gslot, GROUP_STRIDE)
+                mask[int(offsets[group]) + slot] = True
+        return mask
+
+    def shrink_member_call(
+        self, group: int, slot: int, ratio: float, now: float
+    ) -> bool:
+        """Shrink one call's granted rate by ``ratio`` on *every* link
+        of its route (a decrease always succeeds), moving the ports and
+        the admission controller with it."""
+        fleet = self._fleets[group]
+        old_rate = float(fleet.rate[slot])
+        new_rate = fleet.quantize(old_rate * ratio)
+        if new_rate >= old_rate:
+            return False
+        gslot = group * GROUP_STRIDE + slot
+        binding = self._bindings[gslot]
+        call_id = int(fleet.call_id[slot])
+        granted = new_rate
+        for link in binding.links:
+            outcome = link.request(call_id, new_rate, now)
+            granted = min(granted, outcome.granted_rate)
+        for key in binding.edge_keys:
+            self._edge_ports[key].reprovision(call_id, granted - old_rate)
+        self.controller.on_reservation(call_id, granted, now)
+        fleet.set_rate(slot, granted)
+        return True
+
+    def evict_member_call(
+        self, group: int, slot: int, now: float
+    ) -> Tuple[int, int, float, int]:
+        """Tear one call out of service on a link plane's orders.
+
+        The classic ``overload_evict`` plus the flow group appended to
+        the queue entry, so readmission re-routes within the right
+        group.  Accounted as a departure plus an abandonment, same as
+        the classic gateway."""
+        fleet = self._fleets[group]
+        gslot = group * GROUP_STRIDE + slot
+        call_id = int(fleet.call_id[slot])
+        call_class = int(fleet.call_class[slot])
+        shift = int(fleet.shift[slot])
+        event = self._departure_events.pop(call_id, None)
+        remaining = self.mean_holding
+        if event is not None:
+            event.cancel()
+            remaining = max(0.0, event.time - now)
+        binding = self._bindings.pop(gslot)
+        self.offered.on_departure(call_class)
+        for link in binding.links:
+            link.release(call_id, now)
+        binding.path.release(call_id)
+        self.controller.on_departure(call_id, now)
+        fleet.remove(slot)
+        self.departed += 1
+        self.abandoned += 1
+        stats = self.group_stats[group]
+        stats.departed += 1
+        stats.abandoned += 1
+        return call_class, shift, remaining, group
+
+    def readmit_member_call(
+        self, entry: Tuple[int, int, float, int], now: float
+    ) -> int:
+        """Put a sacrificed call back in service for its remaining
+        holding time under a fresh call id and a freshly selected route.
+        Like the classic readmission, the admission controller is not
+        consulted and the route reservation is installed directly — the
+        plane only readmits once pressure is below the exit threshold."""
+        call_class, shift, remaining, group = (
+            int(entry[0]), int(entry[1]), float(entry[2]), int(entry[3]),
+        )
+        flow = self.spec.flows[group]
+        fleet = self._fleets[group]
+        stats = self.group_stats[group]
+        self.arrivals += 1
+        stats.arrivals += 1
+        self.offered.on_arrival(call_class)
+        call_id = next(self._call_ids)
+        slot, initial_rate = fleet.admit(call_id, shift, call_class)
+        k = flow.route_k if flow.route_k is not None else self.spec.route_k
+        route = tuple(
+            self.network.select_route(
+                flow.source, flow.target, k=k, rate_hint=initial_rate
+            )
+        )
+        path = self._path_for_route(route)
+        call_id_installed = self._install_group_call(
+            group, slot, call_id, initial_rate, remaining, call_class,
+            now, route, path,
+        )
+        # Mirror the link grants onto the route ports directly (no
+        # signaling round trip): readmission is the plane's decision.
+        granted = float(fleet.rate[slot])
+        for key in self._bindings[group * GROUP_STRIDE + slot].edge_keys:
+            self._edge_ports[key].provision(call_id, granted)
+        return call_id_installed
 
     # ------------------------------------------------------------------
     # Renegotiation round trips
@@ -616,10 +728,45 @@ class ScenarioGateway(RcbrGateway):
     # ------------------------------------------------------------------
     def _step_epoch(self, tick: int, now: float, end_of_slot: float) -> None:
         self._apply_background(tick, now)
+        downgrade = self._poll_link_planes(tick, now)
         for group, fleet in enumerate(self._fleets):
-            step = fleet.step(tick)
+            step = fleet.step(
+                tick,
+                downgrade=None if downgrade is None else downgrade[group],
+            )
             if step.num_requests:
                 self._issue_group_epoch(group, step, end_of_slot)
+
+    def _poll_link_planes(
+        self, tick: int, now: float
+    ) -> Optional[List[Optional[np.ndarray]]]:
+        """Drive each per-link plane once; fold their downgrade factors
+        (masked to each link's member calls) into per-group columns by
+        minimum.  Returns None when no plane asked for a downgrade —
+        including always, when the policy is ``block`` (no planes)."""
+        if not self._link_planes:
+            return None
+        combined: Optional[List[np.ndarray]] = None
+        sizes = [int(fleet.active.size) for fleet in self._fleets]
+        for key, plane in self._link_planes:
+            factors = plane.on_epoch(tick, now)
+            if factors is None:
+                continue
+            mask = self.link_member_mask(key)
+            if combined is None:
+                combined = [np.ones(size) for size in sizes]
+            offset = 0
+            for group, size in enumerate(sizes):
+                member = mask[offset:offset + size]
+                np.minimum(
+                    combined[group],
+                    np.where(member, factors[offset:offset + size], 1.0),
+                    out=combined[group],
+                )
+                offset += size
+        if combined is None:
+            return None
+        return combined  # type: ignore[return-value]
 
     def _issue_group_epoch(self, group: int, step, end_of_slot: float) -> None:
         fleet = self._fleets[group]
@@ -649,11 +796,12 @@ class ScenarioGateway(RcbrGateway):
     # Observability
     # ------------------------------------------------------------------
     def _network_section(self) -> Dict[str, object]:
+        planes = dict(self._link_planes)
         links: Dict[str, Dict[str, object]] = {}
         for link_spec, key in zip(self.spec.links, self._edge_keys):
             link = self._edge_links[key]
             port = self._edge_ports[key]
-            links[f"{link_spec.u}~{link_spec.v}"] = {
+            entry: Dict[str, object] = {
                 "capacity": float(link.capacity),
                 "allocated": float(link.allocated),
                 "lost_bits": float(link.lost_bits),
@@ -661,6 +809,13 @@ class ScenarioGateway(RcbrGateway):
                 "port_denied": int(port.requests_denied),
                 "background": float(self._bg_current.get(key, 0.0)),
             }
+            # Only present when per-link planes exist, so block-policy
+            # snapshot streams keep their pre-overload shape (and
+            # fingerprints).
+            plane = planes.get(key)
+            if plane is not None:
+                entry["overload"] = plane.section()
+            links[f"{link_spec.u}~{link_spec.v}"] = entry
         groups: Dict[str, Dict[str, object]] = {}
         for flow, fleet, stats in zip(
             self.spec.flows, self._fleets, self.group_stats
@@ -678,21 +833,90 @@ class ScenarioGateway(RcbrGateway):
         return {"links": links, "groups": groups}
 
     # ------------------------------------------------------------------
-    # Checkpointing: not supported on the scenario runtime (yet)
+    # Checkpointing
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
-        raise NotImplementedError(
-            "ScenarioGateway does not support checkpointing"
-        )
+        """The base export (the stacks serialize per group/edge/route)
+        plus the scenario-only state: call-route bindings, group
+        counters, applied background rates, the two live scenario
+        streams, and the per-link overload planes.
+
+        The workload stream (6) and background stream (7) are consumed
+        only during ``__init__`` — a restoring gateway re-draws them
+        identically from the spec — so like the classic workload
+        stream, they are not captured.
+        """
+        state = super().state_dict()
+        state["scenario"] = {
+            "bindings": [
+                [gslot, list(binding.route)]
+                for gslot, binding in self._bindings.items()
+            ],
+            "group_stats": [
+                dataclasses.asdict(stats) for stats in self.group_stats
+            ],
+            "bg_current": [
+                self._bg_current[key] for key in self._bg_keys
+            ],
+            "rng": {
+                "path": self._path_rng.bit_generator.state,
+                "link_overload": (
+                    self._link_overload_rng.bit_generator.state
+                ),
+            },
+            "link_planes": [
+                plane.state_dict() for _, plane in self._link_planes
+            ],
+        }
+        return state
 
     def load_state(self, state: Dict[str, object]) -> None:
-        raise NotImplementedError(
-            "ScenarioGateway does not support checkpointing"
+        scenario = state["scenario"]  # type: ignore[index]
+        super().load_state(state)
+        # The PathStack restore above recreated every route's path (in
+        # creation order) through the factory; bindings can now resolve
+        # routes back to live paths and links.
+        self._bindings = {}
+        for gslot, route in scenario["bindings"]:  # type: ignore[index]
+            gslot = int(gslot)
+            route = tuple(route)
+            edge_keys = tuple(
+                _edge_key(u, v) for u, v in _route_edges(route)
+            )
+            self._bindings[gslot] = CallBinding(
+                group=gslot // GROUP_STRIDE,
+                route=route,
+                path=self._route_paths[route],
+                links=tuple(self._edge_links[key] for key in edge_keys),
+                edge_keys=edge_keys,
+            )
+        self.group_stats = [
+            GroupStats(**stats)
+            for stats in scenario["group_stats"]  # type: ignore[index]
+        ]
+        for key, value in zip(
+            self._bg_keys, scenario["bg_current"]  # type: ignore[index]
+        ):
+            self._bg_current[key] = float(value)
+        rng_states = scenario["rng"]  # type: ignore[index]
+        self._path_rng.bit_generator.state = rng_states["path"]
+        self._link_overload_rng.bit_generator.state = (
+            rng_states["link_overload"]
         )
+        plane_states = scenario["link_planes"]  # type: ignore[index]
+        if len(plane_states) != len(self._link_planes):
+            raise ValueError(
+                f"checkpoint carries {len(plane_states)} link planes, "
+                f"this gateway runs {len(self._link_planes)}"
+            )
+        for (_, plane), plane_state in zip(
+            self._link_planes, plane_states
+        ):
+            plane.load_state(plane_state)
 
 
 # ----------------------------------------------------------------------
-# The dispatcher
+# The harness and dispatcher
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -759,43 +983,19 @@ class ScenarioResult:
         return lines
 
 
-def _run_single_bottleneck(
-    spec: ScenarioSpec,
-    shards: int,
-    faults: Optional[FaultPlan],
-) -> ScenarioResult:
-    link = spec.links[0]
-    flow = spec.flows[0]
-    if spec.background and shards:
-        raise ValueError(
-            "background cross-traffic needs the unsharded runtime "
-            "(the dense link cannot vary its capacity mid-run)"
-        )
-    config = ServerConfig(
-        capacity=link.capacity,
-        load=flow.load,
-        controller=spec.controller,
-        mean_holding=spec.mean_holding,
-        abandon_after=spec.abandon_after,
-        num_hops=spec.num_hops,
-        hop_delay=link.delay,
-        initial_calls=flow.initial_calls,
-        seed=spec.seed,
-        source_slots=spec.source_slots,
-        shards=shards,
-        overload_policy=spec.overload_policy,
-        overload_classes=spec.overload_classes,
-        class_weights=spec.class_weights,
-    )
-    source = make_source(
-        spec.traffic,
-        mean_rate=spec.mean_rate,
-        slot_duration=spec.slot_duration,
-    )
-    gateway = build_gateway(None, config, faults=faults, source=source)
+class BackgroundDriver:
+    """The single-bottleneck background epoch hook as an object.
 
-    hook = None
-    if spec.background:
+    Same arithmetic as always (stream 7 series, last port, set_capacity
+    on change) but with its applied rate held where a resume can reach
+    it: the hook runs *before* the tick it gates, so a checkpoint
+    stamped ``next_tick=T`` saw the background rate of tick ``T - 1``
+    applied — :meth:`sync_to` re-derives that from the series, making
+    kill-and-resume bit-exact with no extra checkpoint state.
+    """
+
+    def __init__(self, spec: ScenarioSpec, gateway: RcbrGateway) -> None:
+        link = spec.links[0]
         bg = spec.background[0]
         # Stream 7 is the scenario background stream in both runtime
         # shapes (see the module docstring).
@@ -807,74 +1007,226 @@ def _run_single_bottleneck(
             mean_rate=bg.mean_fraction * link.capacity,
             slot_duration=spec.slot_duration,
         )
-        series = np.minimum(
+        self._series = np.minimum(
             bg_source.sample_workload(
                 spec.source_slots, seed=bg_rng
             ).bits_per_slot
             / spec.slot_duration,
             bg.peak_fraction * link.capacity,
         )
-        port = gateway.ports[-1]
-        state = {"rate": 0.0}
+        self._capacity = link.capacity
+        self._port = gateway.ports[-1]
+        self._rate = 0.0
 
-        def hook(tick: int, gw: RcbrGateway) -> None:
-            rate = float(series[tick % series.size])
-            previous = state["rate"]
-            if rate != previous:
-                state["rate"] = rate
-                port.reprovision(BACKGROUND_VCI, rate - previous)
-                gw.link.set_capacity(link.capacity - rate, gw.engine.now)
+    def __call__(self, tick: int, gw: RcbrGateway) -> None:
+        rate = float(self._series[tick % self._series.size])
+        previous = self._rate
+        if rate != previous:
+            self._rate = rate
+            self._port.reprovision(BACKGROUND_VCI, rate - previous)
+            gw.link.set_capacity(self._capacity - rate, gw.engine.now)
 
-    with gateway:
-        report = gateway.run(
-            spec.duration,
-            snapshot_every=spec.snapshot_every,
+    def sync_to(self, next_tick: int) -> None:
+        """Align the applied-rate latch with a restored gateway."""
+        if next_tick > 0:
+            self._rate = float(
+                self._series[(next_tick - 1) % self._series.size]
+            )
+        else:
+            self._rate = 0.0
+
+
+class ScenarioHarness:
+    """One scenario, fully armed: run, checkpoint, restore, report.
+
+    Builds the right gateway for the spec's shape — the classic
+    (optionally sharded) gateway for a single-bottleneck spec, the
+    :class:`ScenarioGateway` otherwise — and exposes the uniform
+    lifecycle ``repro serve`` drives: :meth:`run` with an epoch hook,
+    :meth:`save`/:meth:`restore` with scenario-stamped checkpoints, and
+    :meth:`result` to shape the final report.  Construction and draw
+    order are byte-identical to the pre-harness dispatcher.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        shards: int = 0,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        from repro.server.checkpoint import (
+            checkpoint_code_version,
+            config_fingerprint,
+            workload_fingerprint,
+        )
+
+        self.spec = spec
+        self.shards = int(shards)
+        self._background: Optional[BackgroundDriver] = None
+        self._section: Optional[Dict[str, object]] = None
+        if spec.single_bottleneck:
+            link = spec.links[0]
+            flow = spec.flows[0]
+            config = ServerConfig(
+                capacity=link.capacity,
+                load=flow.load,
+                controller=spec.controller,
+                mean_holding=spec.mean_holding,
+                abandon_after=spec.abandon_after,
+                num_hops=spec.num_hops,
+                hop_delay=link.delay,
+                initial_calls=flow.initial_calls,
+                seed=spec.seed,
+                source_slots=spec.source_slots,
+                shards=shards,
+                overload_policy=spec.overload_policy,
+                overload_classes=spec.overload_classes,
+                class_weights=spec.class_weights,
+            )
+            source = make_source(
+                spec.traffic,
+                mean_rate=spec.mean_rate,
+                slot_duration=spec.slot_duration,
+            )
+            self.gateway = build_gateway(
+                None, config, faults=faults, source=source
+            )
+            if spec.background:
+                self._background = BackgroundDriver(spec, self.gateway)
+        else:
+            self.gateway = ScenarioGateway(
+                spec, faults=faults, shards=shards
+            )
+        # Stamp checkpoints with the scenario identity up front: two
+        # specs can derive identical configs and workloads (the
+        # dumbbell twins differ only in background structure), and a
+        # resume across them must refuse, not drift.
+        config = self.gateway.config
+        self.gateway._checkpoint_stamps = {
+            "code_version": checkpoint_code_version(),
+            "config_hash": config_fingerprint(config),
+            "workload_hash": workload_fingerprint(self.gateway.workload),
+            "config": config.to_dict(),
+            "scenario_hash": scenario_fingerprint(spec),
+            "scenario": spec.to_dict(),
+        }
+
+    def run(
+        self,
+        duration: Optional[float] = None,
+        snapshot_every: Optional[float] = None,
+        epoch_hook=None,
+    ) -> ServerReport:
+        spec = self.spec
+        background = self._background
+        if epoch_hook is None:
+            hook = background
+        elif background is None:
+            hook = epoch_hook
+        else:
+            def hook(tick: int, gw: RcbrGateway):
+                # The serve hook first: a stop/save request breaks the
+                # loop *before* the tick is stepped, so background for
+                # this tick must not apply either (it applies on the
+                # resumed run's first tick instead).
+                stop = epoch_hook(tick, gw)
+                if stop:
+                    return stop
+                background(tick, gw)
+                return None
+        report = self.gateway.run(
+            spec.duration if duration is None else duration,
+            snapshot_every=(
+                spec.snapshot_every
+                if snapshot_every is None
+                else snapshot_every
+            ),
             epoch_hook=hook,
         )
-    final = report.final
-    groups = {
-        flow.name: {
-            "active": final.active_calls,
-            "arrivals": final.arrivals,
-            "blocked": final.blocked,
-            "admitted": final.admitted,
-            "departed": final.departed,
-            "abandoned": final.abandoned,
-            "reneg_requests": final.reneg_requests,
-            "reneg_denied": final.reneg_denied,
-        }
-    }
-    links = {
-        f"{link.u}~{link.v}": {
-            "capacity": link.capacity,
-            "lost_bits": final.bits_lost_link,
-            "failures": final.reneg_denied,
-            "port_denied": final.reneg_denied,
-            "background": (
-                spec.background[0].mean_fraction * link.capacity
-                if spec.background
-                else 0.0
-            ),
-        }
-    }
-    return ScenarioResult(spec=spec, report=report, groups=groups, links=links)
+        if isinstance(self.gateway, ScenarioGateway):
+            # Captured while the gateway is open: sharded fleet columns
+            # live in shared memory that close() unlinks.
+            self._section = self.gateway._network_section()
+        return report
 
+    def save(self, path, defer: bool = False) -> Dict[str, Any]:
+        return self.gateway.save(path, defer=defer)
 
-def _run_multi_bottleneck(
-    spec: ScenarioSpec, faults: Optional[FaultPlan]
-) -> ScenarioResult:
-    gateway = ScenarioGateway(spec, faults=faults)
-    with gateway:
-        report = gateway.run(
-            spec.duration, snapshot_every=spec.snapshot_every
+    def checkpoint_sync(self) -> None:
+        self.gateway.checkpoint_sync()
+
+    def restore(self, path) -> None:
+        """Resume from a checkpoint of the *same scenario* (spec hash
+        enforced on top of the config/workload/code stamps)."""
+        from repro.server.checkpoint import (
+            read_checkpoint,
+            workload_fingerprint,
         )
-        section = gateway._network_section()
-    return ScenarioResult(
-        spec=spec,
-        report=report,
-        groups=section["groups"],  # type: ignore[arg-type]
-        links=section["links"],  # type: ignore[arg-type]
-    )
+
+        self.gateway.checkpoint_sync()
+        state = read_checkpoint(
+            path,
+            self.gateway.config,
+            workload_hash=workload_fingerprint(self.gateway.workload),
+            expected_stamps={
+                "scenario_hash": scenario_fingerprint(self.spec)
+            },
+        )
+        self.gateway.load_state(state)
+        if self._background is not None:
+            self._background.sync_to(self.gateway._next_tick)
+
+    def result(self, report: ServerReport) -> ScenarioResult:
+        spec = self.spec
+        if isinstance(self.gateway, ScenarioGateway):
+            section = self._section
+            if section is None:
+                section = self.gateway._network_section()
+            return ScenarioResult(
+                spec=spec,
+                report=report,
+                groups=section["groups"],  # type: ignore[arg-type]
+                links=section["links"],  # type: ignore[arg-type]
+            )
+        link = spec.links[0]
+        flow = spec.flows[0]
+        final = report.final
+        groups = {
+            flow.name: {
+                "active": final.active_calls,
+                "arrivals": final.arrivals,
+                "blocked": final.blocked,
+                "admitted": final.admitted,
+                "departed": final.departed,
+                "abandoned": final.abandoned,
+                "reneg_requests": final.reneg_requests,
+                "reneg_denied": final.reneg_denied,
+            }
+        }
+        links = {
+            f"{link.u}~{link.v}": {
+                "capacity": link.capacity,
+                "lost_bits": final.bits_lost_link,
+                "failures": final.reneg_denied,
+                "port_denied": final.reneg_denied,
+                "background": (
+                    spec.background[0].mean_fraction * link.capacity
+                    if spec.background
+                    else 0.0
+                ),
+            }
+        }
+        return ScenarioResult(
+            spec=spec, report=report, groups=groups, links=links
+        )
+
+    def __enter__(self) -> "ScenarioHarness":
+        self.gateway.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.gateway.__exit__(exc_type, exc, tb)
 
 
 def run_scenario(
@@ -889,10 +1241,11 @@ def run_scenario(
 ) -> ScenarioResult:
     """Run a scenario (by name or spec) and return its result.
 
-    Keyword overrides replace the spec's defaults; ``shards`` applies
-    only to single-bottleneck scenarios (multi-bottleneck specs raise,
-    as does background cross-traffic with ``shards >= 1``).  Same spec
-    and seed => byte-identical fingerprint.
+    Keyword overrides replace the spec's defaults.  ``shards`` applies
+    to every scenario shape — the single-bottleneck specs run the
+    classic sharded gateway, the multi-bottleneck specs shard each flow
+    group's fleet.  Same spec and seed => byte-identical fingerprint
+    for shards ∈ {0, 1, N}.
     """
     spec = (
         get_scenario(scenario) if isinstance(scenario, str) else scenario
@@ -908,11 +1261,7 @@ def run_scenario(
         overrides["route_k"] = route_k
     if overrides:
         spec = spec.replace(**overrides)
-    if spec.single_bottleneck:
-        return _run_single_bottleneck(spec, shards, faults)
-    if shards:
-        raise ValueError(
-            "multi-bottleneck scenarios run only on the unsharded "
-            "scenario gateway"
-        )
-    return _run_multi_bottleneck(spec, faults)
+    harness = ScenarioHarness(spec, shards=shards, faults=faults)
+    with harness:
+        report = harness.run()
+    return harness.result(report)

@@ -13,17 +13,16 @@ overload policy, abandonment).
 Validation is eager, like ``ServerConfig``: a registry typo or an
 impossible topology fails at spec construction, not mid-run.
 
-Two runtime shapes, decided by the spec (see
-:mod:`repro.scenarios.runtime`):
-
-* **single-bottleneck** (one link, one flow group): runs on the full
-  classic stack — ``build_gateway``, so shards, overload planes, and
-  MBAC controllers all apply — with background applied through an epoch
-  hook.
-* **multi-bottleneck** (anything else): runs on the
-  :class:`~repro.scenarios.runtime.ScenarioGateway`, which restricts
-  the controller to ``always`` and the overload policy to ``block``
-  (per-hop port denial *is* the back-pressure being measured).
+Every spec runs on the unified serving core (see
+:mod:`repro.scenarios.runtime`): a **single-bottleneck** spec (one
+link, one flow group) builds the classic gateway — the degenerate
+one-edge topology — while anything else builds the multi-bottleneck
+:class:`~repro.scenarios.runtime.ScenarioGateway`.  Shards,
+checkpoint/resume, MBAC controllers, and overload policies beyond
+blocking apply to both shapes; on a multi-bottleneck topology an MBAC
+controller vets each call against its route's bottleneck capacity, and
+a non-``block`` overload policy runs one control plane per bottleneck
+link.
 """
 
 from __future__ import annotations
@@ -218,18 +217,6 @@ class ScenarioSpec:
             )
         if self.num_hops < 1:
             raise ValueError("num_hops must be >= 1")
-        if not self.single_bottleneck:
-            if self.controller != "always":
-                raise ValueError(
-                    "multi-bottleneck scenarios support only the "
-                    "'always' controller (admission is the per-hop "
-                    "ports' decision)"
-                )
-            if self.overload_policy != "block":
-                raise ValueError(
-                    "multi-bottleneck scenarios support only the "
-                    "'block' overload policy"
-                )
 
     # ------------------------------------------------------------------
     @property
@@ -249,9 +236,12 @@ class ScenarioSpec:
     @property
     def shard_compatible(self) -> bool:
         """Whether ``shards >= 1`` reproduces the ``shards = 0``
-        fingerprint: the sharded runtime's dense link cannot carry
-        time-varying background capacity."""
-        return self.single_bottleneck and not self.background
+        fingerprint.  Always true on the unified serving core: the
+        dense sharded link carries time-varying background capacity,
+        and multi-bottleneck gateways shard each flow group's fleet.
+        Kept as a property so capability displays and older callers
+        keep working."""
+        return True
 
     @property
     def total_capacity(self) -> float:
@@ -339,13 +329,22 @@ class ScenarioSpec:
             f"  policy        controller={self.controller}, "
             f"overload={self.overload_policy}, route_k={self.route_k}"
         )
+        overload = (
+            self.overload_policy
+            if self.overload_policy != "block"
+            else "block-only"
+        )
+        if not self.single_bottleneck and self.overload_policy != "block":
+            overload += " (per-link planes)"
+        lines.append(
+            "  capability    "
+            f"shards={'yes' if self.shard_compatible else 'no'}, "
+            "checkpoint=yes, "
+            f"overload={overload}, "
+            f"mbac={'yes' if self.controller != 'always' else 'no'}"
+        )
         lines.append(
             f"  run           {self.duration:g} s, snapshot every "
             f"{self.snapshot_every:g} s, seed {self.seed}"
-            + (
-                ", shard-compatible"
-                if self.shard_compatible
-                else ""
-            )
         )
         return "\n".join(lines)

@@ -265,6 +265,7 @@ def read_checkpoint(
     path: Union[str, Path],
     config: "ServerConfig",
     workload_hash: Optional[str] = None,
+    expected_stamps: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Validate a checkpoint against ``config`` and return its state.
 
@@ -272,6 +273,12 @@ def read_checkpoint(
     which stamp disagreed (schema, code version, config hash, or
     workload hash), since "restore refused" is only actionable if the
     operator can tell a stale binary from a wrong flag.
+
+    ``expected_stamps`` extends the validation to caller-defined stamps
+    (e.g. the scenario hash a :class:`ScenarioHarness` writes): each key
+    must be present in the payload with exactly the expected value, so a
+    checkpoint written by a different scenario — or by the plain serve
+    loop — is refused even when the derived config hashes collide.
     """
     payload = _read_payload(path)
     if payload.get("schema") != CHECKPOINT_SCHEMA:
@@ -305,6 +312,13 @@ def read_checkpoint(
             f"workload hash {workload_hash!r}; same config, different "
             "trace — refusing to resume"
         )
+    for stamp, expected in (expected_stamps or {}).items():
+        if payload.get(stamp) != expected:
+            raise StaleCheckpointError(
+                f"checkpoint {path} carries {stamp}="
+                f"{payload.get(stamp)!r} but this runtime expects "
+                f"{expected!r}; refusing to resume a different run shape"
+            )
     return payload["state"]
 
 

@@ -99,24 +99,26 @@ _TIME_EPSILON = 1e-9
 
 EpochHook = Callable[[int, "RcbrGateway"], Optional[bool]]
 
-#: Event-heap callbacks a checkpoint may carry (encoded by method name,
-#: decoded by ``getattr`` on the restoring gateway).  Anything else in
-#: the heap at save time is a bug — refuse rather than guess.
-_EVENT_CALLBACK_ALLOWLIST = frozenset(
-    {"_handle_arrival", "_handle_departure", "_complete", "_complete_batch"}
-)
-
-#: Scalar argument signatures for checkpoint arg packing: these events'
-#: args round-trip through one float64 matrix per callback (every value
-#: is exactly representable), restored with the original types below.
-_EVENT_ARG_CODECS: Dict[str, tuple] = {
-    "_handle_departure": (int, int),
-    "_complete": (int, int, float, bool, bool),
-}
-
-
 class RcbrGateway:
     """A long-lived RCBR service instance over one bottleneck link."""
+
+    #: Event-heap callbacks a checkpoint may carry (encoded by method
+    #: name, decoded by ``getattr`` on the restoring gateway).  Anything
+    #: else in the heap at save time is a bug — refuse rather than
+    #: guess.  Subclasses with extra callbacks extend this.
+    EVENT_CALLBACK_ALLOWLIST = frozenset(
+        {"_handle_arrival", "_handle_departure", "_complete",
+         "_complete_batch"}
+    )
+
+    #: Scalar argument signatures for checkpoint arg packing: these
+    #: events' args round-trip through one float64 matrix per callback
+    #: (every value is exactly representable), restored with the
+    #: original types below.
+    EVENT_ARG_CODECS: Dict[str, tuple] = {
+        "_handle_departure": (int, int),
+        "_complete": (int, int, float, bool, bool),
+    }
 
     def __init__(
         self,
@@ -756,10 +758,10 @@ class RcbrGateway:
         name = self._encode_callback_cache.get(func)
         if name is None:
             name = getattr(callback, "__name__", None)
-            if name not in _EVENT_CALLBACK_ALLOWLIST:
+            if name not in type(self).EVENT_CALLBACK_ALLOWLIST:
                 raise ValueError(
                     f"cannot checkpoint event callback {callback!r}; "
-                    f"allowed: {sorted(_EVENT_CALLBACK_ALLOWLIST)}"
+                    f"allowed: {sorted(type(self).EVENT_CALLBACK_ALLOWLIST)}"
                 )
             if func is not None:
                 self._encode_callback_cache[func] = name
@@ -770,7 +772,7 @@ class RcbrGateway:
         return name
 
     def _decode_callback(self, token: str) -> Callable:
-        if token not in _EVENT_CALLBACK_ALLOWLIST:
+        if token not in type(self).EVENT_CALLBACK_ALLOWLIST:
             raise ValueError(f"unknown checkpointed event callback {token!r}")
         return getattr(self, token)
 
@@ -786,7 +788,7 @@ class RcbrGateway:
         widths = []
         generic_codes = []
         for code, token in enumerate(token_table):
-            spec = _EVENT_ARG_CODECS.get(token)
+            spec = type(self).EVENT_ARG_CODECS.get(token)
             if spec is not None:
                 widths.append(len(spec))
             else:
@@ -808,7 +810,7 @@ class RcbrGateway:
             lengths[mask] = per_event[mask]
         if not np.array_equal(lengths, per_event):
             raise ValueError(
-                "event args disagree with _EVENT_ARG_CODECS widths; "
+                "event args disagree with EVENT_ARG_CODECS widths; "
                 "refusing to write a misaligned checkpoint"
             )
         if generic:
@@ -829,7 +831,10 @@ class RcbrGateway:
             return [tuple(args) for args in packed]
         flat = packed["flat"].tolist()
         generic = packed["generic"]
-        specs = [_EVENT_ARG_CODECS.get(token, ()) for token in token_table]
+        specs = [
+            type(self).EVENT_ARG_CODECS.get(token, ())
+            for token in token_table
+        ]
         args_list: List[tuple] = []
         offset = 0
         for index, code in enumerate(token_codes.tolist()):

@@ -385,6 +385,10 @@ class DenseSwitchPort(SwitchPort):
         if num_slots < 1:
             raise ValueError("num_slots must be >= 1")
         self._vci_rates = np.zeros(num_slots)  # type: ignore[assignment]
+        # Reserved (negative) VCIs — the background cross-traffic VCI —
+        # live in a side dict: a negative index into the slot column
+        # would silently alias the tail slot.
+        self._reserved_rates: Dict[int, float] = {}
 
     @property
     def num_slots(self) -> int:
@@ -399,6 +403,9 @@ class DenseSwitchPort(SwitchPort):
         self._vci_rates = grown  # type: ignore[assignment]
 
     def rate_of(self, vci: int) -> Optional[float]:
+        if vci < 0:
+            rate = self._reserved_rates.get(vci, 0.0)
+            return rate if rate != 0.0 else None
         rate = float(self._vci_rates[vci])
         return rate if rate != 0.0 else None
 
@@ -413,6 +420,13 @@ class DenseSwitchPort(SwitchPort):
         return False
 
     def _bump_vci(self, vci: int, delta: float) -> None:
+        if vci < 0:
+            new_rate = self._reserved_rates.get(vci, 0.0) + delta
+            if new_rate <= 1e-12:
+                self._reserved_rates.pop(vci, None)
+            else:
+                self._reserved_rates[vci] = new_rate
+            return
         new_rate = float(self._vci_rates[vci]) + delta
         self._vci_rates[vci] = 0.0 if new_rate <= 1e-12 else new_rate
 
@@ -422,6 +436,10 @@ class DenseSwitchPort(SwitchPort):
         table[vcis] = np.where(new_rates <= 1e-12, 0.0, new_rates)
 
     def release(self, vci: int) -> None:
+        if vci < 0:
+            rate = self._reserved_rates.pop(vci, 0.0)
+            self.utilization = max(0.0, self.utilization - rate)
+            return
         rate = float(self._vci_rates[vci])
         self._vci_rates[vci] = 0.0
         self.utilization = max(0.0, self.utilization - rate)
@@ -432,6 +450,7 @@ class DenseSwitchPort(SwitchPort):
     def state_dict(self) -> Dict[str, object]:
         state = SwitchPort.state_dict(self)
         state["vci_rates"] = self._vci_rates.copy()
+        state["reserved_rates"] = dict(self._reserved_rates)
         return state
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -440,6 +459,9 @@ class DenseSwitchPort(SwitchPort):
             self.grow(saved.size)
         self._vci_rates[:] = 0.0
         self._vci_rates[: saved.size] = saved
+        # Absent in checkpoints predating reserved-VCI support (which
+        # could not have carried background state anyway).
+        self._reserved_rates = dict(state.get("reserved_rates") or {})
         self._load_common(state)
 
     def __repr__(self) -> str:

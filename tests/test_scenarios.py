@@ -88,22 +88,32 @@ class TestSpecValidation:
                 )
             )
 
-    def test_background_disables_shard_compatibility(self):
+    def test_background_keeps_shard_compatibility(self):
+        # The unified core's dense link carries time-varying background
+        # capacity, so sharding composes with every spec.
         spec = ScenarioSpec(
             **spec_kwargs(background=(BackgroundSpec("a", "b"),))
         )
-        assert spec.single_bottleneck and not spec.shard_compatible
+        assert spec.single_bottleneck and spec.shard_compatible
 
-    def test_multi_bottleneck_requires_plain_control_plane(self):
+    def test_multi_bottleneck_accepts_full_control_plane(self):
         multi = spec_kwargs(
             links=(LinkSpec("a", "b", 4e6), LinkSpec("b", "c", 4e6)),
             flows=(FlowGroupSpec("calls", "a", "c", initial_calls=2),),
         )
         ScenarioSpec(**multi)  # fine with the defaults
-        with pytest.raises(ValueError, match="multi-bottleneck"):
-            ScenarioSpec(**dict(multi, overload_policy="downgrade"))
-        with pytest.raises(ValueError, match="multi-bottleneck"):
-            ScenarioSpec(**dict(multi, controller="memory"))
+        # Previously-illegal combinations are now first-class: per-link
+        # overload planes and MBAC admission on any topology.
+        assert (
+            ScenarioSpec(
+                **dict(multi, overload_policy="downgrade")
+            ).overload_policy
+            == "downgrade"
+        )
+        assert (
+            ScenarioSpec(**dict(multi, controller="memory")).controller
+            == "memory"
+        )
 
     def test_replace_revalidates(self):
         spec = ScenarioSpec(**spec_kwargs())
@@ -163,13 +173,17 @@ class TestDeterminism:
         sharded = run_scenario("mixed-classes", shards=1, **SMOKE)
         assert plain.fingerprint == sharded.fingerprint
 
-    def test_background_rejects_shards(self):
-        with pytest.raises(ValueError, match="background"):
-            run_scenario("dumbbell-lrd", shards=1, **SMOKE)
+    def test_background_shard_parity(self):
+        plain = run_scenario("dumbbell-lrd", shards=0, **SMOKE)
+        sharded = run_scenario("dumbbell-lrd", shards=1, **SMOKE)
+        assert plain.fingerprint == sharded.fingerprint
 
-    def test_multi_bottleneck_rejects_shards(self):
-        with pytest.raises(ValueError, match="unsharded"):
-            run_scenario("parking-lot", shards=2, **SMOKE)
+    def test_multi_bottleneck_shard_parity(self):
+        plain = run_scenario("parking-lot", shards=0, **SMOKE)
+        sharded = run_scenario("parking-lot", shards=2, **SMOKE)
+        assert plain.fingerprint == sharded.fingerprint
+        assert plain.groups == sharded.groups
+        assert plain.links == sharded.links
 
     def test_faulted_run_is_deterministic(self):
         faults = FaultPlan.from_json(
